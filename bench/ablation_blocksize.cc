@@ -1,0 +1,113 @@
+// Ablation A8: sector (block) size.
+//
+// The paper fixes "block size: the physical sector size used by the disk
+// hardware" (512 bytes on the testbed) and aligns files on blocks. Larger
+// blocks cut the inode-table and free-list overheads but waste more space
+// to internal fragmentation (a 1-byte file occupies a whole block); they
+// also change how much of a create is positioning vs. transfer. This sweep
+// loads the paper's file-size profile at several sector sizes and reports
+// space efficiency and timing.
+#include "bench/bench_util.h"
+
+namespace bullet::bench {
+namespace {
+
+struct Sample {
+  std::uint64_t logical_bytes = 0;   // sum of file sizes
+  std::uint64_t physical_bytes = 0;  // blocks actually consumed
+  double create_ms = 0;              // mean create (P=2)
+  double read_ms = 0;                // mean cold read
+};
+
+Sample run_with_block_size(std::uint64_t block_size) {
+  sim::Clock clock;
+  const std::uint64_t device_bytes = 32ull << 20;
+  MemDisk raw0(block_size, device_bytes / block_size);
+  MemDisk raw1(block_size, device_bytes / block_size);
+  auto params = sim::DiskParams::winchester_1989(
+      block_size, sim::Testbed1989::kDiskBytes / block_size);
+  SimDisk sim0(&raw0, params, &clock);
+  SimDisk sim1(&raw1, params, &clock);
+  (void)BulletServer::format(raw0, 2048);
+  (void)raw1.restore(raw0.snapshot());
+  auto mirror = MirroredDisk::create({&sim0, &sim1});
+  auto mirror_disk = std::move(mirror).value();
+  BulletConfig config;
+  config.clock = &clock;
+  config.cache_bytes = 8 << 20;
+  auto server = BulletServer::start(&mirror_disk, config).value();
+  rpc::SimTransport transport(sim::Testbed1989::net(), &clock);
+  (void)transport.register_service(server.get(),
+                                   sim::Testbed1989::bullet_costs());
+  BulletClient client(&transport, server->super_capability());
+
+  Sample sample;
+  Rng rng(14);
+  std::vector<Capability> caps;
+  const auto free_before = server->disk_free().total_free();
+  sim::Duration create_total = 0;
+  constexpr int kFiles = 200;
+  for (int i = 0; i < kFiles; ++i) {
+    // Paper profile: median ~1 KB.
+    const std::uint64_t size =
+        rng.next_below(10) < 8 ? rng.next_range(64, 2048)
+                               : rng.next_range(2048, 65536);
+    const Bytes data = rng.next_bytes(size);
+    const auto t0 = clock.now();
+    auto cap = client.create(data, 2);
+    create_total += clock.now() - t0;
+    if (!cap.ok()) break;
+    caps.push_back(cap.value());
+    sample.logical_bytes += size;
+  }
+  sample.physical_bytes =
+      (free_before - server->disk_free().total_free()) * block_size;
+  sample.create_ms =
+      sim::to_ms(create_total) / static_cast<double>(caps.size());
+
+  // Cold reads: reboot to drop the cache.
+  auto server2 = BulletServer::start(&mirror_disk, config).value();
+  rpc::SimTransport transport2(sim::Testbed1989::net(), &clock);
+  (void)transport2.register_service(server2.get(),
+                                    sim::Testbed1989::bullet_costs());
+  BulletClient client2(&transport2, server2->super_capability());
+  const auto t0 = clock.now();
+  for (const Capability& cap : caps) {
+    (void)client2.read(cap);
+  }
+  sample.read_ms =
+      sim::to_ms(clock.now() - t0) / static_cast<double>(caps.size());
+  return sample;
+}
+
+int run() {
+  std::printf("Ablation A8: sector size (200 files, paper size profile, "
+              "P-FACTOR 2)\n");
+  std::printf("\n  %-10s %14s %12s %14s %14s\n", "sector", "space used",
+              "overhead", "create (ms)", "cold read (ms)");
+  for (const std::uint64_t bs : {512u, 1024u, 4096u, 16384u}) {
+    const Sample sample = run_with_block_size(bs);
+    const double overhead =
+        100.0 * (static_cast<double>(sample.physical_bytes) /
+                     static_cast<double>(sample.logical_bytes) -
+                 1.0);
+    char sector[16], used[24];
+    std::snprintf(sector, sizeof sector, "%llu B",
+                  static_cast<unsigned long long>(bs));
+    std::snprintf(used, sizeof used, "%llu KB",
+                  static_cast<unsigned long long>(sample.physical_bytes >> 10));
+    std::printf("  %-10s %14s %11.1f%% %14.1f %14.1f\n", sector, used,
+                overhead, sample.create_ms, sample.read_ms);
+  }
+  std::printf(
+      "\nInternal fragmentation (block-alignment waste) grows with sector\n"
+      "size under the small-file-dominated profile, while per-file timing\n"
+      "barely moves: the paper's choice of hardware sector granularity is\n"
+      "the space-efficient end and costs nothing in speed.\n\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bullet::bench
+
+int main() { return bullet::bench::run(); }

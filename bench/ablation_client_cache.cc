@@ -1,0 +1,131 @@
+// Ablation A7: client-side caching of immutable files (§5).
+//
+//   "Client caching of immutable files is straightforward. Checking if a
+//    cached copy of a file is still current is simply done by looking up
+//    its capability in the directory service."
+//
+// Replays a skewed read workload over named files three ways:
+//   none        — every read fetches the whole file from the server;
+//   validated   — client cache + a directory lookup per read (the paper's
+//                 check-currency protocol; correct even if names move);
+//   by-cap      — client cache keyed by capability, no validation (safe
+//                 when the application holds capabilities, since files are
+//                 immutable).
+#include "bench/bench_util.h"
+#include "bullet/caching_client.h"
+#include "dir/server.h"
+
+namespace bullet::bench {
+namespace {
+
+constexpr int kFiles = 32;
+constexpr int kReads = 500;
+constexpr std::uint64_t kFileBytes = 16 << 10;
+
+int run() {
+  Rng rng(12);
+
+  // Deployment: the directory server persists through a free loopback so
+  // its setup traffic never touches the measured clock; the *measured*
+  // transport below prices both services with Amoeba costs.
+  BulletRig rig;
+  rpc::LoopbackTransport setup_transport;
+  (void)setup_transport.register_service(&rig.server());
+  BulletClient setup_client(&setup_transport, rig.server().super_capability());
+  auto dir_server = dir::DirServer::start(setup_client, dir::DirConfig());
+  if (!dir_server.ok()) {
+    std::fprintf(stderr, "dir start: %s\n", dir_server.error().to_string().c_str());
+    return 1;
+  }
+  (void)setup_transport.register_service(dir_server.value().get());
+  auto root = dir_server.value()->create_dir();
+  if (!root.ok()) {
+    std::fprintf(stderr, "create_dir: %s\n", root.error().to_string().c_str());
+    return 1;
+  }
+
+  std::vector<Capability> caps;
+  std::vector<std::string> names;
+  for (int i = 0; i < kFiles; ++i) {
+    auto cap = setup_client.create(rng.next_bytes(kFileBytes), 1);
+    if (!cap.ok()) {
+      std::fprintf(stderr, "create: %s\n", cap.error().to_string().c_str());
+      return 1;
+    }
+    const std::string name = "file" + std::to_string(i);
+    dir::DirClient setup_names(&setup_transport,
+                               dir_server.value()->super_capability());
+    const Status entered = setup_names.enter(root.value(), name, cap.value());
+    if (!entered.ok()) {
+      std::fprintf(stderr, "enter: %s\n", entered.to_string().c_str());
+      return 1;
+    }
+    caps.push_back(cap.value());
+    names.push_back(name);
+  }
+
+  // Measured transports: Bullet + directory over simulated costs.
+  sim::Clock& clock = rig.clock();
+  rpc::SimTransport measured(sim::Testbed1989::net(), &clock);
+  (void)measured.register_service(&rig.server(),
+                                  sim::Testbed1989::bullet_costs());
+  (void)measured.register_service(dir_server.value().get(),
+                                  sim::Testbed1989::bullet_costs());
+  BulletClient plain(&measured, rig.server().super_capability());
+  dir::DirClient name_client(&measured, dir_server.value()->super_capability());
+
+  // Skewed access sequence, shared across modes.
+  std::vector<std::size_t> accesses;
+  Rng access_rng(21);
+  for (int i = 0; i < kReads; ++i) {
+    const double u = access_rng.next_double();
+    accesses.push_back(
+        std::min<std::size_t>(static_cast<std::size_t>(u * u * kFiles),
+                              kFiles - 1));
+  }
+
+  // Mode 1: no client cache.
+  auto t0 = clock.now();
+  for (const std::size_t i : accesses) {
+    (void)plain.read_whole(caps[i]);
+  }
+  const double none_ms = sim::to_ms(clock.now() - t0) / kReads;
+
+  // Mode 2: cache + per-read name validation.
+  CachingBulletClient validated(plain, name_client, 1 << 20);
+  t0 = clock.now();
+  for (const std::size_t i : accesses) {
+    (void)validated.read_name(root.value(), names[i]);
+  }
+  const double validated_ms = sim::to_ms(clock.now() - t0) / kReads;
+
+  // Mode 3: cache keyed by capability, no validation.
+  CachingBulletClient by_cap(plain, name_client, 1 << 20);
+  t0 = clock.now();
+  for (const std::size_t i : accesses) {
+    (void)by_cap.read(caps[i]);
+  }
+  const double by_cap_ms = sim::to_ms(clock.now() - t0) / kReads;
+
+  std::printf("Ablation A7: client-side caching of immutable files\n");
+  std::printf("(%d files x %llu KB, %d skewed reads)\n\n", kFiles,
+              static_cast<unsigned long long>(kFileBytes >> 10), kReads);
+  std::printf("  %-22s %14s %12s\n", "mode", "mean read (ms)", "speedup");
+  std::printf("  %-22s %14.2f %12s\n", "no client cache", none_ms, "1.0x");
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%.1fx", none_ms / validated_ms);
+  std::printf("  %-22s %14.2f %12s\n", "cache + name check", validated_ms,
+              buf);
+  std::snprintf(buf, sizeof buf, "%.1fx", none_ms / by_cap_ms);
+  std::printf("  %-22s %14.2f %12s\n", "cache by capability", by_cap_ms, buf);
+  std::printf(
+      "\nImmutability makes the by-capability cache trivially coherent; the\n"
+      "name-check mode adds one small directory RPC per read and is still\n"
+      "an order of magnitude cheaper than shipping the file.\n\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bullet::bench
+
+int main() { return bullet::bench::run(); }

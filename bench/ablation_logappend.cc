@@ -1,0 +1,99 @@
+// Ablation A6: the log-append worst case and the dedicated log server.
+//
+//   "Each append to a log file, for example, would require the whole file
+//    to be copied. ... For log files we have implemented a separate
+//    server."
+//
+// Compares three ways to append one 128-byte record to a log that has
+// grown to N bytes:
+//   naive      — client fetches the whole file, appends locally, creates a
+//                new Bullet file (whole file over the wire, twice);
+//   create-from — the §5 server-side edit (no wire copy, but the server
+//                still writes the whole new file to disk);
+//   log server — the dedicated append-only server (O(record) work).
+#include "bench/bench_util.h"
+#include "logsvc/client.h"
+#include "logsvc/server.h"
+
+namespace bullet::bench {
+namespace {
+
+constexpr std::uint64_t kRecord = 128;
+
+int run() {
+  std::printf("Ablation A6: appending a 128-byte record to a grown log\n");
+  std::printf("\n  %-12s %12s %14s %14s\n", "Log size", "naive (ms)",
+              "create-from", "log server");
+  std::printf("  %-12s %12s %14s %14s\n", "--------", "----------",
+              "(ms)", "(ms)");
+
+  Rng rng(10);
+  const Bytes record = rng.next_bytes(kRecord);
+
+  for (const std::uint64_t log_size :
+       {std::uint64_t{1} << 10, std::uint64_t{16} << 10,
+        std::uint64_t{128} << 10, std::uint64_t{1} << 20}) {
+    const Bytes base = rng.next_bytes(log_size);
+
+    // naive: read_whole + local append + create + (delete old).
+    BulletRig rig;
+    auto cap = rig.client().create(base, 2);
+    if (!cap.ok()) return 1;
+    auto t0 = rig.clock().now();
+    auto fetched = rig.client().read_whole(cap.value());
+    if (!fetched.ok()) return 1;
+    Bytes grown = std::move(fetched).value();
+    append(grown, record);
+    auto fresh = rig.client().create(grown, 2);
+    if (!fresh.ok()) return 1;
+    if (!rig.client().erase(cap.value()).ok()) return 1;
+    const double naive_ms = sim::to_ms(rig.clock().now() - t0);
+
+    // create-from: server-side append edit.
+    auto cap2 = rig.client().create(base, 2);
+    if (!cap2.ok()) return 1;
+    std::vector<wire::FileEdit> edits;
+    edits.push_back(wire::FileEdit::make_append(record));
+    t0 = rig.clock().now();
+    auto derived = rig.client().create_from(cap2.value(), edits, 2);
+    if (!derived.ok()) return 1;
+    if (!rig.client().erase(cap2.value()).ok()) return 1;
+    const double create_from_ms = sim::to_ms(rig.clock().now() - t0);
+
+    // log server.
+    sim::Clock clock;
+    MemDisk raw(512, 1 << 13);
+    SimDisk sim_disk(&raw, sim::Testbed1989::disk(), &clock);
+    (void)logsvc::LogServer::format(raw, 16);
+    auto log_server = logsvc::LogServer::start(&sim_disk, logsvc::LogConfig());
+    if (!log_server.ok()) return 1;
+    rpc::SimTransport transport(sim::Testbed1989::net(), &clock);
+    (void)transport.register_service(log_server.value().get(),
+                                     sim::Testbed1989::bullet_costs());
+    logsvc::LogClient log_client(&transport,
+                                 log_server.value()->super_capability());
+    auto log = log_client.create_log();
+    if (!log.ok()) return 1;
+    // Grow the log to size in bulk (not measured).
+    if (!log_client.append(log.value(), base).ok()) return 1;
+    const auto t1 = clock.now();
+    if (!log_client.append(log.value(), record).ok()) return 1;
+    const double log_ms = sim::to_ms(clock.now() - t1);
+
+    char label[32];
+    std::snprintf(label, sizeof label, "%" PRIu64 " KB", log_size >> 10);
+    std::printf("  %-12s %12.1f %14.1f %14.1f\n", label, naive_ms,
+                create_from_ms, log_ms);
+  }
+  std::printf(
+      "\nThe naive path degrades linearly with log size (whole file over\n"
+      "the wire twice plus a full rewrite); CREATE-FROM removes the wire\n"
+      "copies but still rewrites the file on disk; the log server's\n"
+      "append cost is independent of log size.\n\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bullet::bench
+
+int main() { return bullet::bench::run(); }

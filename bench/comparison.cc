@@ -1,0 +1,140 @@
+// Section 4's headline comparison, computed from the same runs that drive
+// Fig. 2 and Fig. 3:
+//
+//   "The Bullet file server performs read operations three to six times
+//    better than the SUN NFS file server for all file sizes. ... for large
+//    files the bandwidth is ten times that of SUN NFS. For very large
+//    files (> 64 Kbytes) the Bullet server even achieves a higher
+//    bandwidth for writing than SUN NFS achieves for reading files."
+//
+// The binary prints the measured ratio table and checks each qualitative
+// claim, exiting nonzero if the reproduced shape disagrees with the paper.
+#include <algorithm>
+
+#include "bench/bench_util.h"
+
+namespace bullet::bench {
+namespace {
+
+struct Measured {
+  double bullet_read_ms[std::size(kFileSizes)];
+  double bullet_create_ms[std::size(kFileSizes)];  // create+delete
+  double nfs_read_ms[std::size(kFileSizes)];
+  double nfs_create_ms[std::size(kFileSizes)];
+};
+
+Measured measure() {
+  Measured m{};
+  Rng rng(3);
+
+  BulletRig bullet_rig;
+  for (std::size_t i = 0; i < std::size(kFileSizes); ++i) {
+    const Bytes data = rng.next_bytes(kFileSizes[i].bytes);
+    auto cap = bullet_rig.client().create(data, 0);
+    (void)bullet_rig.client().read(cap.value());
+    auto t0 = bullet_rig.clock().now();
+    (void)bullet_rig.client().read(cap.value());
+    m.bullet_read_ms[i] = sim::to_ms(bullet_rig.clock().now() - t0);
+    (void)bullet_rig.client().erase(cap.value());
+
+    t0 = bullet_rig.clock().now();
+    auto fresh = bullet_rig.client().create(data, 2);
+    (void)bullet_rig.client().erase(fresh.value());
+    m.bullet_create_ms[i] = sim::to_ms(bullet_rig.clock().now() - t0);
+  }
+
+  NfsRig nfs_rig;
+  for (std::size_t i = 0; i < std::size(kFileSizes); ++i) {
+    const Bytes data = rng.next_bytes(kFileSizes[i].bytes);
+    const std::string name = "cmp" + std::to_string(i);
+    auto t0 = nfs_rig.clock().now();
+    auto handle = nfs_rig.client().write_file(name, data);
+    m.nfs_create_ms[i] = sim::to_ms(nfs_rig.clock().now() - t0);
+    t0 = nfs_rig.clock().now();
+    (void)nfs_rig.client().read_file_body(handle.value(),
+                                          kFileSizes[i].bytes);
+    m.nfs_read_ms[i] = sim::to_ms(nfs_rig.clock().now() - t0);
+  }
+  return m;
+}
+
+int run() {
+  const Measured m = measure();
+
+  std::printf("Section 4 comparison: Bullet vs. SUN NFS (same simulated "
+              "hardware)\n");
+  std::printf("\n  %-12s %18s %22s\n", "File Size", "READ delay ratio",
+              "Bullet write / NFS read");
+  std::printf("  %-12s %18s %22s\n", "---------", "(NFS / Bullet)",
+              "(bandwidth ratio)");
+  double min_read_ratio = 1e18;
+  double max_read_ratio = 0;
+  for (std::size_t i = 0; i < std::size(kFileSizes); ++i) {
+    const double read_ratio = m.nfs_read_ms[i] / m.bullet_read_ms[i];
+    const double write_vs_read =
+        m.nfs_read_ms[i] / m.bullet_create_ms[i];  // same size cancels
+    std::printf("  %-12s %18.2f %22.2f\n", kFileSizes[i].label, read_ratio,
+                write_vs_read);
+    min_read_ratio = std::min(min_read_ratio, read_ratio);
+    max_read_ratio = std::max(max_read_ratio, read_ratio);
+  }
+
+  const std::size_t last = std::size(kFileSizes) - 1;   // 1 MB
+  const std::size_t prev = std::size(kFileSizes) - 2;   // 64 KB
+  const double large_bw_ratio = m.nfs_read_ms[last] / m.bullet_read_ms[last];
+  const double nfs_read_bw_64k =
+      bandwidth_kb_per_s(kFileSizes[prev].bytes,
+                         sim::from_ms(m.nfs_read_ms[prev]));
+  const double nfs_read_bw_1m =
+      bandwidth_kb_per_s(kFileSizes[last].bytes,
+                         sim::from_ms(m.nfs_read_ms[last]));
+  const double nfs_create_bw_64k =
+      bandwidth_kb_per_s(kFileSizes[prev].bytes,
+                         sim::from_ms(m.nfs_create_ms[prev]));
+  const double nfs_create_bw_1m =
+      bandwidth_kb_per_s(kFileSizes[last].bytes,
+                         sim::from_ms(m.nfs_create_ms[last]));
+  const double bullet_write_bw_1m =
+      bandwidth_kb_per_s(kFileSizes[last].bytes,
+                         sim::from_ms(m.bullet_create_ms[last]));
+
+  std::printf("\nHeadline claims (paper -> measured):\n");
+  int failures = 0;
+  auto check = [&failures](bool ok, const char* text) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", text);
+    if (!ok) ++failures;
+  };
+
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "reads 3-6x faster at all sizes -> measured %.1fx - %.1fx",
+                min_read_ratio, max_read_ratio);
+  check(min_read_ratio >= 2.5, line);
+
+  std::snprintf(line, sizeof line,
+                "~10x read bandwidth at 1 Mbyte -> measured %.1fx",
+                large_bw_ratio);
+  check(large_bw_ratio >= 4.0, line);
+
+  std::snprintf(line, sizeof line,
+                "Bullet write bandwidth > NFS read bandwidth for large "
+                "files -> %.0f vs %.0f KB/s",
+                bullet_write_bw_1m, nfs_read_bw_1m);
+  check(bullet_write_bw_1m > nfs_read_bw_1m, line);
+
+  std::snprintf(line, sizeof line,
+                "NFS 1 Mbyte bandwidth below its 64 Kbyte bandwidth "
+                "(read: %.0f vs %.0f, create: %.0f vs %.0f KB/s)",
+                nfs_read_bw_1m, nfs_read_bw_64k, nfs_create_bw_1m,
+                nfs_create_bw_64k);
+  check(nfs_read_bw_1m < nfs_read_bw_64k && nfs_create_bw_1m < nfs_create_bw_64k,
+        line);
+
+  std::printf("\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bullet::bench
+
+int main() { return bullet::bench::run(); }

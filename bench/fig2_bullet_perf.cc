@@ -1,0 +1,84 @@
+// Figure 2 of the paper: performance of the Bullet file server.
+//
+//   "In the first column the delay and bandwidth for read operations are
+//    shown. ... In all cases the test file will be completely in memory,
+//    and no disk accesses are necessary. In the second column a create and
+//    a delete operation together is measured, and the file is written to
+//    both disks."
+//
+// Reproduced on the simulated 1989 testbed: warm-cache READs; CREATE with
+// P-FACTOR = 2 (both disks, write-through, inode included) followed by
+// DELETE (which also writes the zeroed inode to both disks).
+#include "bench/bench_util.h"
+
+namespace bullet::bench {
+namespace {
+
+constexpr int kRepetitions = 5;
+
+int run() {
+  BulletRig rig;
+  Rng rng(1);
+
+  std::vector<double> read_ms(std::size(kFileSizes));
+  std::vector<double> create_del_ms(std::size(kFileSizes));
+
+  for (std::size_t i = 0; i < std::size(kFileSizes); ++i) {
+    const SizeRow& row = kFileSizes[i];
+    const Bytes data = rng.next_bytes(row.bytes);
+
+    // READ, warm cache: create once, touch once, then measure.
+    auto cap = rig.client().create(data, 0);
+    if (!cap.ok()) {
+      std::fprintf(stderr, "create failed: %s\n",
+                   cap.error().to_string().c_str());
+      return 1;
+    }
+    (void)rig.client().read(cap.value());
+    sim::Duration read_total = 0;
+    for (int r = 0; r < kRepetitions; ++r) {
+      const auto t0 = rig.clock().now();
+      auto got = rig.client().read(cap.value());
+      if (!got.ok()) return 1;
+      read_total += rig.clock().now() - t0;
+    }
+    read_ms[i] = sim::to_ms(read_total / kRepetitions);
+    (void)rig.client().erase(cap.value());
+
+    // CREATE+DELETE with P-FACTOR 2: both disks before the reply.
+    sim::Duration create_del_total = 0;
+    for (int r = 0; r < kRepetitions; ++r) {
+      const auto t0 = rig.clock().now();
+      auto fresh = rig.client().create(data, 2);
+      if (!fresh.ok()) return 1;
+      if (!rig.client().erase(fresh.value()).ok()) return 1;
+      create_del_total += rig.clock().now() - t0;
+    }
+    create_del_ms[i] = sim::to_ms(create_del_total / kRepetitions);
+  }
+
+  std::printf("Fig. 2: Performance of the Bullet file server\n");
+  std::printf("(simulated 1989 testbed: 10 Mbit/s Ethernet, two 800 MB "
+              "disks, warm cache reads, P-FACTOR = 2 creates)\n");
+
+  print_header("(a) Delay (msec)", "READ", "CREATE+DEL");
+  for (std::size_t i = 0; i < std::size(kFileSizes); ++i) {
+    print_row(kFileSizes[i].label, read_ms[i], create_del_ms[i]);
+  }
+
+  print_header("(b) Bandwidth (Kbytes/sec)", "READ", "CREATE+DEL");
+  for (std::size_t i = 0; i < std::size(kFileSizes); ++i) {
+    const double read_bw = static_cast<double>(kFileSizes[i].bytes) / 1024.0 /
+                           (read_ms[i] / 1000.0);
+    const double create_bw = static_cast<double>(kFileSizes[i].bytes) /
+                             1024.0 / (create_del_ms[i] / 1000.0);
+    print_row(kFileSizes[i].label, read_bw, create_bw);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bullet::bench
+
+int main() { return bullet::bench::run(); }

@@ -1,0 +1,124 @@
+// Real-time (host clock) microbenchmarks of the hot primitives, using
+// google-benchmark. Everything else in bench/ measures *virtual* 1989-time;
+// these measure what the implementation itself costs on the host, which is
+// what matters for using the library as a real server today.
+#include <benchmark/benchmark.h>
+
+#include "bullet/extent_allocator.h"
+#include "bullet/file_cache.h"
+#include "bullet/server.h"
+#include "common/crc.h"
+#include "common/rng.h"
+#include "common/serde.h"
+#include "crypto/oneway.h"
+#include "crypto/speck.h"
+#include "disk/mem_disk.h"
+#include "disk/mirrored_disk.h"
+
+namespace bullet {
+namespace {
+
+void BM_SpeckEncrypt(benchmark::State& state) {
+  Speck64 cipher(Speck64::Key{});
+  std::uint64_t block = 0x0123456789ABCDEF;
+  for (auto _ : state) {
+    block = cipher.encrypt(block);
+    benchmark::DoNotOptimize(block);
+  }
+}
+BENCHMARK(BM_SpeckEncrypt);
+
+void BM_CapabilityVerify(benchmark::State& state) {
+  CheckSealer sealer(Speck64::Key{0x11});
+  const std::uint64_t random = 0xABCDEF;
+  const std::uint64_t check = sealer.seal(rights::kAll, random);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sealer.verify(rights::kAll, random, check));
+  }
+}
+BENCHMARK(BM_CapabilityVerify);
+
+void BM_Crc32c(benchmark::State& state) {
+  Rng rng(1);
+  const Bytes data = rng.next_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(1 << 10)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_ExtentAllocatorChurn(benchmark::State& state) {
+  ExtentAllocator alloc(0, 1 << 20);
+  Rng rng(2);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> live;
+  for (auto _ : state) {
+    if (live.size() < 256 && (live.empty() || rng.next_below(2) == 0)) {
+      const std::uint64_t n = rng.next_range(1, 64);
+      const auto got = alloc.allocate(n);
+      if (got.has_value()) live.emplace_back(*got, n);
+    } else {
+      const auto idx = rng.next_below(live.size());
+      (void)alloc.release(live[idx].first, live[idx].second);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+}
+BENCHMARK(BM_ExtentAllocatorChurn);
+
+void BM_FileCacheHit(benchmark::State& state) {
+  FileCache cache(1 << 20);
+  std::vector<std::uint32_t> evicted;
+  const auto index = cache.insert(1, 4096, &evicted).value();
+  for (auto _ : state) {
+    cache.touch(index);
+    benchmark::DoNotOptimize(cache.data(index));
+  }
+}
+BENCHMARK(BM_FileCacheHit);
+
+void BM_SerdeRoundtrip(benchmark::State& state) {
+  Rng rng(3);
+  const Bytes blob = rng.next_bytes(256);
+  for (auto _ : state) {
+    Writer w;
+    w.u48(0x123456789AB);
+    w.u32(42);
+    w.u8(7);
+    w.blob(blob);
+    Reader r(w.data());
+    benchmark::DoNotOptimize(r.u48());
+    benchmark::DoNotOptimize(r.u32());
+    benchmark::DoNotOptimize(r.u8());
+    benchmark::DoNotOptimize(r.blob());
+  }
+}
+BENCHMARK(BM_SerdeRoundtrip);
+
+// End-to-end server op on RAM disks: what a create+read+delete costs in
+// *host* time (no simulation).
+void BM_BulletServerLifecycle(benchmark::State& state) {
+  MemDisk raw0(512, 1 << 14), raw1(512, 1 << 14);
+  (void)BulletServer::format(raw0, 512);
+  (void)raw1.restore(raw0.snapshot());
+  auto mirror = MirroredDisk::create({&raw0, &raw1});
+  auto mirror_disk = std::move(mirror).value();
+  auto server = BulletServer::start(&mirror_disk, BulletConfig()).value();
+  Rng rng(4);
+  const Bytes data = rng.next_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto cap = server->create(data, 2);
+    benchmark::DoNotOptimize(server->read(cap.value()));
+    (void)server->erase(cap.value());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BulletServerLifecycle)->Arg(1 << 10)->Arg(64 << 10);
+
+}  // namespace
+}  // namespace bullet
+
+BENCHMARK_MAIN();

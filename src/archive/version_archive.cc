@@ -1,0 +1,131 @@
+#include "archive/version_archive.h"
+
+#include "common/crc.h"
+#include "common/serde.h"
+
+namespace bullet::archive {
+namespace {
+
+constexpr std::uint32_t kRecordMagic = 0x57524D31;  // "WRM1"
+// Header layout: magic u32 + capability (17) + size u32 + crc u32.
+constexpr std::size_t kHeaderBytes = 4 + Capability::kWireSize + 4 + 4;
+
+Bytes encode_header(const Capability& origin, std::uint32_t size,
+                    std::uint32_t crc, std::uint64_t block_size) {
+  Writer w(block_size);
+  w.u32(kRecordMagic);
+  origin.encode(w);
+  w.u32(size);
+  w.u32(crc);
+  Bytes out = std::move(w).take();
+  out.resize(block_size, 0);
+  return out;
+}
+
+struct Header {
+  Capability origin;
+  std::uint32_t size = 0;
+  std::uint32_t crc = 0;
+};
+
+Result<Header> decode_header(ByteSpan block) {
+  Reader r(block.first(kHeaderBytes));
+  Header h;
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t magic, r.u32());
+  if (magic != kRecordMagic) {
+    return Error(ErrorCode::not_found, "no record header here");
+  }
+  BULLET_ASSIGN_OR_RETURN(h.origin, Capability::decode(r));
+  BULLET_ASSIGN_OR_RETURN(h.size, r.u32());
+  BULLET_ASSIGN_OR_RETURN(h.crc, r.u32());
+  return h;
+}
+
+}  // namespace
+
+Result<VersionArchive> VersionArchive::open(WormDisk* medium) {
+  if (medium == nullptr) return Error(ErrorCode::bad_argument, "null medium");
+  VersionArchive archive(medium);
+  const std::uint64_t bs = medium->block_size();
+  if (bs < kHeaderBytes) {
+    return Error(ErrorCode::bad_argument, "blocks too small for headers");
+  }
+
+  // Scan existing records: header at cursor, payload follows.
+  Bytes block(bs);
+  std::uint64_t at = 0;
+  while (at < medium->num_blocks()) {
+    BULLET_RETURN_IF_ERROR(medium->read(at, block));
+    auto header = decode_header(block);
+    if (!header.ok()) break;  // end of burned region
+    const std::uint64_t payload_blocks =
+        (header.value().size + bs - 1) / bs;
+    if (at + 1 + payload_blocks > medium->num_blocks()) {
+      return Error(ErrorCode::corrupt, "record overruns medium");
+    }
+    archive.records_.push_back(RecordInfo{at, header.value().origin,
+                                          header.value().size});
+    BULLET_RETURN_IF_ERROR(medium->mark_burned(at, 1 + payload_blocks));
+    at += 1 + payload_blocks;
+  }
+  return archive;
+}
+
+Result<RecordInfo> VersionArchive::archive(const Capability& origin,
+                                           ByteSpan data) {
+  const std::uint64_t bs = medium_->block_size();
+  if (data.size() > 0xFFFF'FFFFull) {
+    return Error(ErrorCode::too_large, "record exceeds 4 GB");
+  }
+  const std::uint64_t payload_blocks = (data.size() + bs - 1) / bs;
+  if (1 + payload_blocks > medium_->blocks_remaining()) {
+    return Error(ErrorCode::no_space, "medium full");
+  }
+  const Bytes header =
+      encode_header(origin, static_cast<std::uint32_t>(data.size()),
+                    crc32c(data), bs);
+  BULLET_ASSIGN_OR_RETURN(const std::uint64_t header_block,
+                          medium_->append(header));
+  if (!data.empty()) {
+    BULLET_ASSIGN_OR_RETURN(const std::uint64_t payload_block,
+                            medium_->append(data));
+    (void)payload_block;
+  }
+  const RecordInfo info{header_block, origin,
+                        static_cast<std::uint32_t>(data.size())};
+  records_.push_back(info);
+  return info;
+}
+
+Result<Bytes> VersionArchive::retrieve(std::uint64_t header_block) const {
+  const std::uint64_t bs = medium_->block_size();
+  Bytes block(bs);
+  BULLET_RETURN_IF_ERROR(medium_->read(header_block, block));
+  BULLET_ASSIGN_OR_RETURN(const auto header, decode_header(block));
+
+  Bytes out(header.size);
+  const std::uint64_t payload_blocks = (header.size + bs - 1) / bs;
+  for (std::uint64_t b = 0; b < payload_blocks; ++b) {
+    BULLET_RETURN_IF_ERROR(medium_->read(header_block + 1 + b, block));
+    const std::uint64_t offset = b * bs;
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(bs, header.size - offset);
+    std::copy(block.begin(), block.begin() + static_cast<std::ptrdiff_t>(chunk),
+              out.begin() + static_cast<std::ptrdiff_t>(offset));
+  }
+  if (crc32c(out) != header.crc) {
+    return Error(ErrorCode::corrupt, "record checksum mismatch (bit rot?)");
+  }
+  return out;
+}
+
+std::vector<RecordInfo> VersionArchive::find_by_origin(
+    const Capability& cap) const {
+  std::vector<RecordInfo> out;
+  for (const RecordInfo& record : records_) {
+    if (record.origin == cap) out.push_back(record);
+  }
+  return out;
+}
+
+}  // namespace bullet::archive

@@ -1,0 +1,61 @@
+// Version archive on write-once media.
+//
+// Stores immutable file versions on a WORM device as self-describing
+// records: one header block {magic, origin capability, payload size,
+// CRC32C} followed by the payload blocks. Reopening a medium is a linear
+// scan of headers (no separate index to corrupt — the medium *is* the
+// index), and every retrieval verifies the checksum, so bit rot on decades
+// -old optical media is detected rather than returned.
+//
+// Pairs naturally with the Bullet server: superseded versions that the
+// directory service would delete can be burned here first, giving the
+// "sequences of versions" model a permanent tail.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cap/capability.h"
+#include "common/bytes.h"
+#include "common/error.h"
+#include "disk/worm_disk.h"
+
+namespace bullet::archive {
+
+struct RecordInfo {
+  std::uint64_t header_block = 0;  // pass to retrieve()
+  Capability origin;               // capability the version had when live
+  std::uint32_t size = 0;          // payload bytes
+};
+
+class VersionArchive {
+ public:
+  // Open a medium, scanning any records already burned onto it. The medium
+  // must outlive the archive.
+  static Result<VersionArchive> open(WormDisk* medium);
+
+  // Burn one version; returns its record handle.
+  Result<RecordInfo> archive(const Capability& origin, ByteSpan data);
+
+  // Read a record back, verifying its checksum.
+  Result<Bytes> retrieve(std::uint64_t header_block) const;
+
+  // All records on the medium, in burn order.
+  const std::vector<RecordInfo>& records() const noexcept { return records_; }
+
+  // Records whose origin matches `cap` exactly (version history of one
+  // capability is usually a single record; of one *name*, several).
+  std::vector<RecordInfo> find_by_origin(const Capability& cap) const;
+
+  std::uint64_t blocks_remaining() const noexcept {
+    return medium_->blocks_remaining();
+  }
+
+ private:
+  explicit VersionArchive(WormDisk* medium) : medium_(medium) {}
+
+  WormDisk* medium_;
+  std::vector<RecordInfo> records_;
+};
+
+}  // namespace bullet::archive

@@ -1,0 +1,83 @@
+#include "bullet/caching_client.h"
+
+namespace bullet {
+
+std::string CachingBulletClient::key_of(const Capability& cap) {
+  Writer w(Capability::kWireSize);
+  cap.encode(w);
+  return to_string(w.data());
+}
+
+void CachingBulletClient::touch(const std::string& key, Entry& entry) {
+  lru_.erase(entry.lru_pos);
+  lru_.push_front(key);
+  entry.lru_pos = lru_.begin();
+}
+
+void CachingBulletClient::insert(const std::string& key, Bytes data) {
+  if (data.size() > capacity_) return;  // would evict everything for nothing
+  while (stats_.bytes_cached + data.size() > capacity_ && !lru_.empty()) {
+    drop(lru_.back());
+    ++stats_.evictions;
+  }
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    // Same capability, same bytes: keep the existing copy.
+    touch(key, it->second);
+    return;
+  }
+  lru_.push_front(key);
+  Entry entry;
+  entry.data = std::move(data);
+  entry.lru_pos = lru_.begin();
+  stats_.bytes_cached += entry.data.size();
+  cache_.emplace(key, std::move(entry));
+}
+
+void CachingBulletClient::drop(const std::string& key) {
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return;
+  stats_.bytes_cached -= it->second.data.size();
+  lru_.erase(it->second.lru_pos);
+  cache_.erase(it);
+}
+
+Result<Bytes> CachingBulletClient::read(const Capability& cap) {
+  const std::string key = key_of(cap);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++stats_.hits;
+    touch(key, it->second);
+    return it->second.data;
+  }
+  ++stats_.misses;
+  BULLET_ASSIGN_OR_RETURN(Bytes data, inner_.read_whole(cap));
+  insert(key, data);
+  return data;
+}
+
+Result<Bytes> CachingBulletClient::read_name(const Capability& dir,
+                                             const std::string& name) {
+  ++stats_.validations;
+  BULLET_ASSIGN_OR_RETURN(const Capability current, names_.lookup(dir, name));
+  return read(current);
+}
+
+Result<Capability> CachingBulletClient::create(ByteSpan data, int pfactor) {
+  BULLET_ASSIGN_OR_RETURN(const Capability cap, inner_.create(data, pfactor));
+  insert(key_of(cap), Bytes(data.begin(), data.end()));
+  return cap;
+}
+
+Status CachingBulletClient::erase(const Capability& cap) {
+  drop(key_of(cap));
+  return inner_.erase(cap);
+}
+
+void CachingBulletClient::clear() {
+  cache_.clear();
+  lru_.clear();
+  stats_.bytes_cached = 0;
+}
+
+}  // namespace bullet

@@ -1,0 +1,120 @@
+#include "bullet/client.h"
+
+namespace bullet {
+
+Result<Bytes> BulletClient::call(const Capability& target,
+                                 std::uint16_t opcode, Bytes body) {
+  rpc::Request request;
+  request.target = target;
+  request.opcode = opcode;
+  request.body = std::move(body);
+  BULLET_ASSIGN_OR_RETURN(rpc::Reply reply, transport_->call(request));
+  if (reply.status != ErrorCode::ok) return Error(reply.status);
+  return std::move(reply.body);
+}
+
+Result<Capability> BulletClient::create(ByteSpan data, int pfactor) {
+  if (pfactor < 0 || pfactor > 255) {
+    return Error(ErrorCode::bad_argument, "pfactor out of range");
+  }
+  Writer w(1 + 4 + data.size());
+  w.u8(static_cast<std::uint8_t>(pfactor));
+  w.blob(data);
+  BULLET_ASSIGN_OR_RETURN(Bytes body,
+                          call(server_, wire::kCreate, std::move(w).take()));
+  Reader r(body);
+  return Capability::decode(r);
+}
+
+Result<std::uint32_t> BulletClient::size(const Capability& cap) {
+  BULLET_ASSIGN_OR_RETURN(Bytes body, call(cap, wire::kSize, {}));
+  Reader r(body);
+  return r.u32();
+}
+
+Result<Bytes> BulletClient::read(const Capability& cap) {
+  BULLET_ASSIGN_OR_RETURN(Bytes body, call(cap, wire::kRead, {}));
+  Reader r(body);
+  BULLET_ASSIGN_OR_RETURN(ByteSpan data, r.blob());
+  return Bytes(data.begin(), data.end());
+}
+
+Result<Bytes> BulletClient::read_whole(const Capability& cap) {
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t n, size(cap));
+  BULLET_ASSIGN_OR_RETURN(Bytes data, read(cap));
+  if (data.size() != n) {
+    return Error(ErrorCode::io_error, "size/read mismatch");
+  }
+  return data;
+}
+
+Status BulletClient::erase(const Capability& cap) {
+  auto result = call(cap, wire::kDelete, {});
+  if (!result.ok()) return result.error();
+  return Status::success();
+}
+
+Result<Capability> BulletClient::create_from(
+    const Capability& source, std::span<const wire::FileEdit> edits,
+    int pfactor) {
+  if (pfactor < 0 || pfactor > 255) {
+    return Error(ErrorCode::bad_argument, "pfactor out of range");
+  }
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(pfactor));
+  w.u32(static_cast<std::uint32_t>(edits.size()));
+  for (const wire::FileEdit& e : edits) e.encode(w);
+  BULLET_ASSIGN_OR_RETURN(
+      Bytes body, call(source, wire::kCreateFrom, std::move(w).take()));
+  Reader r(body);
+  return Capability::decode(r);
+}
+
+Result<Bytes> BulletClient::read_range(const Capability& cap,
+                                       std::uint32_t offset,
+                                       std::uint32_t length) {
+  Writer w(8);
+  w.u32(offset);
+  w.u32(length);
+  BULLET_ASSIGN_OR_RETURN(Bytes body,
+                          call(cap, wire::kReadRange, std::move(w).take()));
+  Reader r(body);
+  BULLET_ASSIGN_OR_RETURN(ByteSpan data, r.blob());
+  return Bytes(data.begin(), data.end());
+}
+
+Result<Capability> BulletClient::restrict(const Capability& cap,
+                                          std::uint8_t new_rights) {
+  Writer w(1);
+  w.u8(new_rights);
+  BULLET_ASSIGN_OR_RETURN(Bytes body,
+                          call(cap, wire::kRestrict, std::move(w).take()));
+  Reader r(body);
+  return Capability::decode(r);
+}
+
+Result<wire::ServerStats> BulletClient::stats() {
+  BULLET_ASSIGN_OR_RETURN(Bytes body, call(server_, wire::kStats, {}));
+  Reader r(body);
+  return wire::ServerStats::decode(r);
+}
+
+Status BulletClient::sync() {
+  auto result = call(server_, wire::kSync, {});
+  if (!result.ok()) return result.error();
+  return Status::success();
+}
+
+Result<std::uint64_t> BulletClient::compact_disk() {
+  BULLET_ASSIGN_OR_RETURN(Bytes body, call(server_, wire::kCompactDisk, {}));
+  Reader r(body);
+  return r.u64();
+}
+
+Result<wire::FsckReport> BulletClient::fsck() {
+  BULLET_ASSIGN_OR_RETURN(Bytes body, call(server_, wire::kFsck, {}));
+  Reader r(body);
+  return wire::FsckReport::decode(r);
+}
+
+}  // namespace bullet

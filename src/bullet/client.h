@@ -1,0 +1,64 @@
+// Typed client stub for the Bullet service: wraps the four paper operations
+// (plus extensions) over any rpc::Transport. This is the public API a
+// Bullet application links against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bullet/wire.h"
+#include "cap/capability.h"
+#include "rpc/transport.h"
+
+namespace bullet {
+
+class BulletClient {
+ public:
+  // `transport` must outlive the client. `server` is a capability for the
+  // server object (object 0) with at least the write right for create.
+  BulletClient(rpc::Transport* transport, Capability server)
+      : transport_(transport), server_(server) {}
+
+  // BULLET.CREATE(SERVER, DATA, SIZE, P-FACTOR) -> CAPABILITY
+  Result<Capability> create(ByteSpan data, int pfactor);
+
+  // BULLET.SIZE(CAPABILITY) -> SIZE
+  Result<std::uint32_t> size(const Capability& cap);
+
+  // BULLET.READ(CAPABILITY, &DATA)
+  Result<Bytes> read(const Capability& cap);
+
+  // Convenience: SIZE + READ in the call sequence the paper prescribes
+  // ("First BULLET.SIZE is called ... after which local memory is
+  // allocated ... Then BULLET.READ is invoked").
+  Result<Bytes> read_whole(const Capability& cap);
+
+  // BULLET.DELETE(CAPABILITY)
+  Status erase(const Capability& cap);
+
+  // §5 extensions.
+  Result<Capability> create_from(const Capability& source,
+                                 std::span<const wire::FileEdit> edits,
+                                 int pfactor);
+  Result<Bytes> read_range(const Capability& cap, std::uint32_t offset,
+                           std::uint32_t length);
+  // Mint a weaker capability for the same object (Amoeba's std_restrict).
+  Result<Capability> restrict(const Capability& cap, std::uint8_t new_rights);
+
+  // Administration (server capability needs the admin right).
+  Result<wire::ServerStats> stats();
+  Status sync();
+  Result<std::uint64_t> compact_disk();
+  Result<wire::FsckReport> fsck();
+
+  const Capability& server_capability() const noexcept { return server_; }
+
+ private:
+  Result<Bytes> call(const Capability& target, std::uint16_t opcode,
+                     Bytes body);
+
+  rpc::Transport* transport_;
+  Capability server_;
+};
+
+}  // namespace bullet

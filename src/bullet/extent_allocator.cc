@@ -1,0 +1,103 @@
+#include "bullet/extent_allocator.h"
+
+#include <algorithm>
+
+namespace bullet {
+
+ExtentAllocator::ExtentAllocator(std::uint64_t start, std::uint64_t length)
+    : start_(start), length_(length), total_free_(length) {
+  if (length > 0) holes_.emplace(start, length);
+}
+
+std::optional<std::uint64_t> ExtentAllocator::allocate(std::uint64_t length) {
+  if (length == 0 || length > total_free_) return std::nullopt;
+  for (auto it = holes_.begin(); it != holes_.end(); ++it) {
+    if (it->second < length) continue;
+    const std::uint64_t offset = it->first;
+    const std::uint64_t remaining = it->second - length;
+    holes_.erase(it);
+    if (remaining > 0) holes_.emplace(offset + length, remaining);
+    total_free_ -= length;
+    return offset;
+  }
+  return std::nullopt;
+}
+
+Status ExtentAllocator::release(std::uint64_t offset, std::uint64_t length) {
+  if (length == 0) return Status::success();
+  if (offset < start_ || offset + length > start_ + length_) {
+    return Error(ErrorCode::bad_argument, "release out of range");
+  }
+  // Find the hole at or after `offset` and the one before it.
+  auto next = holes_.lower_bound(offset);
+  if (next != holes_.end() && next->first < offset + length) {
+    return Error(ErrorCode::bad_state, "double free (overlaps hole after)");
+  }
+  auto prev = next;
+  if (prev != holes_.begin()) {
+    --prev;
+    if (prev->first + prev->second > offset) {
+      return Error(ErrorCode::bad_state, "double free (overlaps hole before)");
+    }
+  } else {
+    prev = holes_.end();
+  }
+
+  std::uint64_t new_offset = offset;
+  std::uint64_t new_length = length;
+  // Coalesce with the preceding hole.
+  if (prev != holes_.end() && prev->first + prev->second == offset) {
+    new_offset = prev->first;
+    new_length += prev->second;
+    holes_.erase(prev);
+  }
+  // Coalesce with the following hole.
+  if (next != holes_.end() && offset + length == next->first) {
+    new_length += next->second;
+    holes_.erase(next);
+  }
+  holes_.emplace(new_offset, new_length);
+  total_free_ += length;
+  return Status::success();
+}
+
+Status ExtentAllocator::reserve(std::uint64_t offset, std::uint64_t length) {
+  if (length == 0) return Status::success();
+  if (!is_free(offset, length)) {
+    return Error(ErrorCode::bad_state, "range not free");
+  }
+  // The containing hole: the last hole starting at or before `offset`.
+  auto it = holes_.upper_bound(offset);
+  --it;
+  const std::uint64_t hole_offset = it->first;
+  const std::uint64_t hole_length = it->second;
+  holes_.erase(it);
+  if (offset > hole_offset) {
+    holes_.emplace(hole_offset, offset - hole_offset);
+  }
+  const std::uint64_t tail = hole_offset + hole_length - (offset + length);
+  if (tail > 0) holes_.emplace(offset + length, tail);
+  total_free_ -= length;
+  return Status::success();
+}
+
+bool ExtentAllocator::is_free(std::uint64_t offset,
+                              std::uint64_t length) const {
+  if (length == 0) return true;
+  if (offset < start_ || offset + length > start_ + length_) return false;
+  auto it = holes_.upper_bound(offset);
+  if (it == holes_.begin()) return false;
+  --it;
+  return it->first + it->second >= offset + length;
+}
+
+std::uint64_t ExtentAllocator::largest_hole() const noexcept {
+  std::uint64_t best = 0;
+  for (const auto& [offset, length] : holes_) {
+    (void)offset;
+    best = std::max(best, length);
+  }
+  return best;
+}
+
+}  // namespace bullet

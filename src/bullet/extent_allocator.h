@@ -1,0 +1,60 @@
+// Extent-based free-space management with first-fit allocation.
+//
+//   "By scanning the inodes it can figure out which parts of disk are
+//    free. It uses this information to build a free list in RAM. ...
+//    For this we use a first fit strategy."
+//
+// One allocator instance manages the disk data region (units = blocks);
+// another manages the RAM cache arena (units = bytes). Free extents are
+// kept in an ordered map so freeing coalesces neighbours in O(log n) and
+// first-fit is a forward scan.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/error.h"
+
+namespace bullet {
+
+class ExtentAllocator {
+ public:
+  ExtentAllocator() = default;
+  // Manage [start, start + length).
+  ExtentAllocator(std::uint64_t start, std::uint64_t length);
+
+  // First-fit allocation of `length` units; nullopt when no hole fits.
+  std::optional<std::uint64_t> allocate(std::uint64_t length);
+
+  // Return [offset, offset + length) to the free pool, coalescing with
+  // adjacent holes. Fails if any part is already free or out of range.
+  Status release(std::uint64_t offset, std::uint64_t length);
+
+  // Remove [offset, offset + length) from the free pool (used when the
+  // startup scan discovers a live file there). Fails unless the whole range
+  // is currently free.
+  Status reserve(std::uint64_t offset, std::uint64_t length);
+
+  bool is_free(std::uint64_t offset, std::uint64_t length) const;
+
+  std::uint64_t total_free() const noexcept { return total_free_; }
+  std::uint64_t largest_hole() const noexcept;
+  std::size_t hole_count() const noexcept { return holes_.size(); }
+  std::uint64_t managed_start() const noexcept { return start_; }
+  std::uint64_t managed_length() const noexcept { return length_; }
+
+  // Ordered view of the holes (offset -> length), for compaction planning
+  // and invariant checks.
+  const std::map<std::uint64_t, std::uint64_t>& holes() const noexcept {
+    return holes_;
+  }
+
+ private:
+  std::uint64_t start_ = 0;
+  std::uint64_t length_ = 0;
+  std::uint64_t total_free_ = 0;
+  std::map<std::uint64_t, std::uint64_t> holes_;  // offset -> length
+};
+
+}  // namespace bullet

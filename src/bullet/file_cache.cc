@@ -1,0 +1,175 @@
+#include "bullet/file_cache.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <limits>
+
+namespace bullet {
+
+FileCache::FileCache(std::uint64_t capacity_bytes, std::uint32_t max_entries)
+    : arena_(capacity_bytes, 0),
+      arena_free_(0, capacity_bytes),
+      rnodes_(std::min<std::uint32_t>(max_entries, 65534)) {
+  free_rnodes_.reserve(rnodes_.size());
+  // Hand slots out in ascending order (push high indices first).
+  for (std::size_t i = rnodes_.size(); i > 0; --i) {
+    free_rnodes_.push_back(static_cast<RnodeIndex>(i));
+  }
+  stats_.capacity = capacity_bytes;
+}
+
+FileCache::Rnode& FileCache::slot(RnodeIndex index) {
+  assert(index >= 1 && index <= rnodes_.size());
+  return rnodes_[index - 1u];
+}
+
+const FileCache::Rnode& FileCache::slot(RnodeIndex index) const {
+  assert(index >= 1 && index <= rnodes_.size());
+  return rnodes_[index - 1u];
+}
+
+bool FileCache::contains(RnodeIndex index) const noexcept {
+  return index >= 1 && index <= rnodes_.size() && rnodes_[index - 1u].in_use;
+}
+
+Result<RnodeIndex> FileCache::insert(std::uint32_t inode_index,
+                                     std::uint32_t size,
+                                     std::vector<std::uint32_t>* evicted) {
+  if (size > arena_.size()) {
+    return Error(ErrorCode::too_large, "file exceeds cache");
+  }
+  if (free_rnodes_.empty()) {
+    // All rnode slots busy: evict to recycle one.
+    if (!evict_lru(evicted)) {
+      return Error(ErrorCode::no_space, "no rnode available");
+    }
+  }
+
+  // "First the memory free list is searched to see if there is a part
+  //  large enough to hold the file. If not, the least recently accessed
+  //  file is removed from the RAM cache ... repeating until enough memory
+  //  is found."
+  std::optional<std::uint64_t> offset;
+  for (;;) {
+    offset = size == 0 ? std::optional<std::uint64_t>(0)
+                       : arena_free_.allocate(size);
+    if (offset.has_value()) break;
+    if (arena_free_.total_free() >= size) {
+      // Enough bytes in total but no contiguous hole: compaction, not
+      // eviction, is the remedy.
+      compact();
+      continue;
+    }
+    if (!evict_lru(evicted)) {
+      return Error(ErrorCode::no_space, "cache exhausted");
+    }
+  }
+
+  if (free_rnodes_.empty()) {
+    // Eviction above may not have recycled a slot if the loop allocated on
+    // the first try; guarantee one now.
+    if (!evict_lru(evicted)) {
+      if (size > 0) {
+        const Status released = arena_free_.release(*offset, size);
+        assert(released.ok());
+        (void)released;
+      }
+      return Error(ErrorCode::no_space, "no rnode available");
+    }
+  }
+
+  const RnodeIndex index = free_rnodes_.back();
+  free_rnodes_.pop_back();
+  Rnode& node = slot(index);
+  node.in_use = true;
+  node.inode_index = inode_index;
+  node.offset = *offset;
+  node.size = size;
+  node.age = next_age_++;
+  ++stats_.entries;
+  stats_.used += size;
+  return index;
+}
+
+void FileCache::remove(RnodeIndex index) {
+  if (!contains(index)) return;
+  Rnode& node = slot(index);
+  if (node.size > 0) {
+    const Status st = arena_free_.release(node.offset, node.size);
+    assert(st.ok());
+    (void)st;
+  }
+  stats_.used -= node.size;
+  --stats_.entries;
+  node = Rnode{};
+  free_rnodes_.push_back(index);
+}
+
+ByteSpan FileCache::data(RnodeIndex index) const {
+  const Rnode& node = slot(index);
+  assert(node.in_use);
+  return ByteSpan(arena_.data() + node.offset, node.size);
+}
+
+MutableByteSpan FileCache::mutable_data(RnodeIndex index) {
+  Rnode& node = slot(index);
+  assert(node.in_use);
+  return MutableByteSpan(arena_.data() + node.offset, node.size);
+}
+
+std::uint32_t FileCache::inode_of(RnodeIndex index) const {
+  return slot(index).inode_index;
+}
+
+void FileCache::touch(RnodeIndex index) {
+  slot(index).age = next_age_++;
+}
+
+bool FileCache::evict_lru(std::vector<std::uint32_t>* evicted) {
+  // Linear scan of the rnode ages, as in the paper ("found by checking the
+  // age fields in the rnodes").
+  RnodeIndex victim = 0;
+  std::uint64_t best_age = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t i = 0; i < rnodes_.size(); ++i) {
+    if (rnodes_[i].in_use && rnodes_[i].age < best_age) {
+      best_age = rnodes_[i].age;
+      victim = static_cast<RnodeIndex>(i + 1);
+    }
+  }
+  if (victim == 0) return false;
+  if (evicted != nullptr) evicted->push_back(slot(victim).inode_index);
+  remove(victim);
+  ++stats_.evictions;
+  return true;
+}
+
+void FileCache::compact() {
+  // Slide every live entry to the lowest available offset, in offset order.
+  std::vector<RnodeIndex> live;
+  for (std::size_t i = 0; i < rnodes_.size(); ++i) {
+    if (rnodes_[i].in_use) live.push_back(static_cast<RnodeIndex>(i + 1));
+  }
+  std::sort(live.begin(), live.end(), [this](RnodeIndex a, RnodeIndex b) {
+    return slot(a).offset < slot(b).offset;
+  });
+  std::uint64_t cursor = 0;
+  for (const RnodeIndex index : live) {
+    Rnode& node = slot(index);
+    if (node.offset != cursor && node.size > 0) {
+      std::memmove(arena_.data() + cursor, arena_.data() + node.offset,
+                   node.size);
+    }
+    node.offset = cursor;
+    cursor += node.size;
+  }
+  arena_free_ = ExtentAllocator(0, arena_.size());
+  if (cursor > 0) {
+    const Status st = arena_free_.reserve(0, cursor);
+    assert(st.ok());
+    (void)st;
+  }
+  ++stats_.compactions;
+}
+
+}  // namespace bullet

@@ -1,0 +1,95 @@
+// The server's RAM file cache.
+//
+//   "A separate table in RAM maintains the administration of the cached
+//    files. ... An rnode contains: 1) the inode table index of the
+//    corresponding file; 2) a pointer to the file in RAM cache; 3) an age
+//    field to implement an LRU cache strategy. The free rnodes and free
+//    parts in the RAM cache are also maintained using free lists."
+//
+// Files are kept *contiguously* in one arena, exactly as on disk, so a
+// cached file can be shipped in a single RPC. Fragmentation inside the
+// arena is resolved by compaction ("the fragmentation in memory can be
+// alleviated by compacting part or all of the RAM cache from time to
+// time") — cheap here because inodes reference rnodes by index, not by
+// address, so moving cached bytes never touches an inode.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bullet/extent_allocator.h"
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace bullet {
+
+// 1-based handle into the rnode table; 0 means "not cached" and is what an
+// inode's cache_index field holds when the file is not in memory.
+using RnodeIndex = std::uint16_t;
+
+class FileCache {
+ public:
+  struct Stats {
+    std::uint64_t capacity = 0;
+    std::uint64_t used = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t compactions = 0;
+  };
+
+  explicit FileCache(std::uint64_t capacity_bytes,
+                     std::uint32_t max_entries = 65534);
+
+  // Space for `size` bytes bound to `inode_index`, evicting LRU entries as
+  // needed (their inode indices are appended to `evicted` so the caller can
+  // clear the corresponding inode cache_index fields) and compacting if
+  // fragmentation blocks an otherwise satisfiable request. Fails with
+  // too_large when the file exceeds the whole cache.
+  Result<RnodeIndex> insert(std::uint32_t inode_index, std::uint32_t size,
+                            std::vector<std::uint32_t>* evicted);
+
+  // Drop one entry (e.g. the file was deleted).
+  void remove(RnodeIndex index);
+
+  // Cached bytes of an entry.
+  ByteSpan data(RnodeIndex index) const;
+  MutableByteSpan mutable_data(RnodeIndex index);
+
+  std::uint32_t inode_of(RnodeIndex index) const;
+
+  // Record a use for LRU purposes ("the age field is updated to reflect
+  // the recent access").
+  void touch(RnodeIndex index);
+
+  // Slide all entries to the front of the arena, erasing holes.
+  void compact();
+
+  bool contains(RnodeIndex index) const noexcept;
+  const Stats& stats() const noexcept { return stats_; }
+  std::uint64_t free_bytes() const noexcept { return arena_free_.total_free(); }
+
+ private:
+  struct Rnode {
+    bool in_use = false;
+    std::uint32_t inode_index = 0;
+    std::uint64_t offset = 0;  // into arena_
+    std::uint32_t size = 0;
+    std::uint64_t age = 0;
+  };
+
+  Rnode& slot(RnodeIndex index);
+  const Rnode& slot(RnodeIndex index) const;
+
+  // Evict the least-recently-used entry; returns false when nothing is
+  // cached. The victim's inode index is appended to `evicted`.
+  bool evict_lru(std::vector<std::uint32_t>* evicted);
+
+  Bytes arena_;
+  ExtentAllocator arena_free_;
+  std::vector<Rnode> rnodes_;              // slot i <-> RnodeIndex i+1
+  std::vector<RnodeIndex> free_rnodes_;    // free list of slots (1-based)
+  std::uint64_t next_age_ = 1;
+  Stats stats_;
+};
+
+}  // namespace bullet

@@ -1,0 +1,65 @@
+#include "bullet/layout.h"
+
+namespace bullet {
+namespace {
+
+void put_le(MutableByteSpan out, std::size_t at, std::uint64_t v,
+            int nbytes) noexcept {
+  for (int i = 0; i < nbytes; ++i) {
+    out[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+std::uint64_t get_le(ByteSpan in, std::size_t at, int nbytes) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < nbytes; ++i) {
+    v |= static_cast<std::uint64_t>(in[at + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void Inode::encode(MutableByteSpan out) const noexcept {
+  put_le(out, 0, random, 6);
+  put_le(out, 6, cache_index, 2);
+  put_le(out, 8, first_block, 4);
+  put_le(out, 12, size_bytes, 4);
+}
+
+Inode Inode::decode(ByteSpan in) noexcept {
+  Inode inode;
+  inode.random = get_le(in, 0, 6);
+  inode.cache_index = static_cast<std::uint16_t>(get_le(in, 6, 2));
+  inode.first_block = static_cast<std::uint32_t>(get_le(in, 8, 4));
+  inode.size_bytes = static_cast<std::uint32_t>(get_le(in, 12, 4));
+  return inode;
+}
+
+void DiskDescriptor::encode(MutableByteSpan out) const noexcept {
+  put_le(out, 0, kMagic, 4);
+  put_le(out, 4, block_size, 4);
+  put_le(out, 8, control_blocks, 4);
+  put_le(out, 12, data_blocks, 4);
+}
+
+Result<DiskDescriptor> DiskDescriptor::decode(ByteSpan in) noexcept {
+  if (in.size() < kDiskSize) {
+    return Error(ErrorCode::corrupt, "descriptor truncated");
+  }
+  if (get_le(in, 0, 4) != kMagic) {
+    return Error(ErrorCode::corrupt, "bad magic (disk not formatted?)");
+  }
+  DiskDescriptor desc;
+  desc.block_size = static_cast<std::uint32_t>(get_le(in, 4, 4));
+  desc.control_blocks = static_cast<std::uint32_t>(get_le(in, 8, 4));
+  desc.data_blocks = static_cast<std::uint32_t>(get_le(in, 12, 4));
+  if (desc.block_size < Inode::kDiskSize || desc.control_blocks == 0) {
+    return Error(ErrorCode::corrupt, "implausible descriptor");
+  }
+  return desc;
+}
+
+}  // namespace bullet

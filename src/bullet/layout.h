@@ -1,0 +1,107 @@
+// On-disk layout of a Bullet disk (Fig. 1 of the paper).
+//
+//   +--------------------+
+//   | disk descriptor    |  inode slot 0 (special)
+//   | inode 1            |
+//   | inode 2            |       "The first [section] is the inode table,
+//   |  ...               |        each entry of which gives the ownership,
+//   | inode N            |        location, and size of one file."
+//   +--------------------+
+//   | contiguous files   |       "The second section contains contiguous
+//   |   and holes        |        files, along with the gaps between files."
+//   +--------------------+
+//
+// Each inode is exactly 16 bytes, as in the paper: a 6-byte random number
+// (the capability key), a 2-byte cache index ("no significance on disk"),
+// a 4-byte first block, and a 4-byte size in bytes. Slot 0 holds the disk
+// descriptor: block size, control size (inode-table blocks), and data size
+// (file-region blocks) — the paper's "three 4 byte integers" plus a magic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace bullet {
+
+// One inode-table entry. In RAM the same struct is used; `cache_index` is
+// only meaningful in RAM (0 = not cached, otherwise rnode index + 1).
+struct Inode {
+  std::uint64_t random = 0;      // low 48 bits significant
+  std::uint16_t cache_index = 0; // rnode + 1, or 0 when not cached
+  std::uint32_t first_block = 0; // within the data region
+  std::uint32_t size_bytes = 0;
+
+  static constexpr std::size_t kDiskSize = 16;
+
+  bool is_free() const noexcept {
+    // "unused inodes (inodes that are zero-filled)"
+    return random == 0 && first_block == 0 && size_bytes == 0;
+  }
+
+  void encode(MutableByteSpan out) const noexcept;  // out.size() >= 16
+  static Inode decode(ByteSpan in) noexcept;        // in.size() >= 16
+};
+
+struct DiskDescriptor {
+  static constexpr std::uint32_t kMagic = 0x424C5431;  // "BLT1"
+
+  std::uint32_t block_size = 0;     // physical sector size
+  std::uint32_t control_blocks = 0; // blocks in the inode table
+  std::uint32_t data_blocks = 0;    // blocks in the file region
+
+  static constexpr std::size_t kDiskSize = 16;
+
+  void encode(MutableByteSpan out) const noexcept;
+  static Result<DiskDescriptor> decode(ByteSpan in) noexcept;
+};
+
+// Geometry helpers derived from a descriptor.
+class DiskLayout {
+ public:
+  DiskLayout() = default;
+  explicit DiskLayout(DiskDescriptor desc) noexcept : desc_(desc) {}
+
+  const DiskDescriptor& descriptor() const noexcept { return desc_; }
+  std::uint32_t block_size() const noexcept { return desc_.block_size; }
+
+  // Number of inode slots, including the descriptor slot 0.
+  std::uint32_t inode_slots() const noexcept {
+    return static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(desc_.control_blocks) * desc_.block_size /
+        Inode::kDiskSize);
+  }
+
+  // First device block of the data region.
+  std::uint64_t data_start_block() const noexcept {
+    return desc_.control_blocks;
+  }
+  std::uint64_t data_blocks() const noexcept { return desc_.data_blocks; }
+
+  // Device block holding inode slot `index` (for write-through of "the
+  // whole disk block containing the inode").
+  std::uint64_t inode_device_block(std::uint32_t index) const noexcept {
+    return static_cast<std::uint64_t>(index) * Inode::kDiskSize /
+           desc_.block_size;
+  }
+
+  // Byte offset of inode `index` within its device block.
+  std::uint32_t inode_offset_in_block(std::uint32_t index) const noexcept {
+    return static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(index) * Inode::kDiskSize %
+        desc_.block_size);
+  }
+
+  // Blocks needed for `size_bytes` of file data ("files are aligned on
+  // blocks").
+  std::uint64_t blocks_for(std::uint64_t size_bytes) const noexcept {
+    return (size_bytes + desc_.block_size - 1) / desc_.block_size;
+  }
+
+ private:
+  DiskDescriptor desc_;
+};
+
+}  // namespace bullet

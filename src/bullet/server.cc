@@ -1,0 +1,685 @@
+#include "bullet/server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "common/log.h"
+
+namespace bullet {
+namespace {
+
+constexpr char kLog[] = "bullet";
+
+}  // namespace
+
+Status BulletServer::format(BlockDevice& device, std::uint32_t inode_slots) {
+  const std::uint64_t bs = device.block_size();
+  if (bs < Inode::kDiskSize || bs % Inode::kDiskSize != 0) {
+    return Error(ErrorCode::bad_argument, "block size must be a multiple of 16");
+  }
+  if (inode_slots < 2) {
+    return Error(ErrorCode::bad_argument, "need at least one file inode");
+  }
+  const std::uint64_t control_blocks =
+      (static_cast<std::uint64_t>(inode_slots) * Inode::kDiskSize + bs - 1) / bs;
+  if (control_blocks >= device.num_blocks()) {
+    return Error(ErrorCode::bad_argument, "inode table exceeds device");
+  }
+  DiskDescriptor desc;
+  desc.block_size = static_cast<std::uint32_t>(bs);
+  desc.control_blocks = static_cast<std::uint32_t>(control_blocks);
+  desc.data_blocks =
+      static_cast<std::uint32_t>(device.num_blocks() - control_blocks);
+
+  // Zero-filled inode table with the descriptor in slot 0.
+  Bytes control(control_blocks * bs, 0);
+  desc.encode(MutableByteSpan(control.data(), DiskDescriptor::kDiskSize));
+  BULLET_RETURN_IF_ERROR(device.write(0, control));
+  return device.flush();
+}
+
+BulletServer::BulletServer(MirroredDisk* disk, BulletConfig config,
+                           DiskLayout layout)
+    : disk_(disk),
+      config_(config),
+      layout_(layout),
+      public_port_(derive_public_port(config.private_port)),
+      sealer_(config.secret),
+      rng_(config.rng_seed),
+      disk_free_(layout.data_start_block(), layout.data_blocks()),
+      cache_(config.cache_bytes) {
+  // The super capability's random is derived from the server secret so it
+  // is stable across reboots without being stored on disk.
+  super_random_ = Speck64(config_.secret).encrypt(config_.private_port) & kMask48;
+  if (super_random_ == 0) super_random_ = 1;
+}
+
+Result<std::unique_ptr<BulletServer>> BulletServer::start(
+    MirroredDisk* disk, BulletConfig config) {
+  if (disk == nullptr) return Error(ErrorCode::bad_argument, "null disk");
+  Bytes block0(disk->block_size());
+  BULLET_RETURN_IF_ERROR(disk->read(0, block0));
+  BULLET_ASSIGN_OR_RETURN(
+      const DiskDescriptor desc,
+      DiskDescriptor::decode(ByteSpan(block0.data(), DiskDescriptor::kDiskSize)));
+  if (desc.block_size != disk->block_size()) {
+    return Error(ErrorCode::corrupt, "descriptor block size mismatch");
+  }
+  if (static_cast<std::uint64_t>(desc.control_blocks) + desc.data_blocks >
+      disk->num_blocks()) {
+    return Error(ErrorCode::corrupt, "descriptor exceeds device");
+  }
+  auto server = std::unique_ptr<BulletServer>(
+      new BulletServer(disk, config, DiskLayout(desc)));
+  BULLET_RETURN_IF_ERROR(server->boot());
+  return server;
+}
+
+Status BulletServer::boot() {
+  // "When the file server starts up, it reads the complete inode table into
+  //  the RAM inode table and keeps it there permanently."
+  const std::uint64_t bs = layout_.block_size();
+  const std::uint32_t slots = layout_.inode_slots();
+  Bytes control(static_cast<std::size_t>(layout_.descriptor().control_blocks) * bs);
+  BULLET_RETURN_IF_ERROR(disk_->read(0, control));
+
+  inodes_.assign(slots, Inode{});
+  boot_report_ = wire::FsckReport{};
+  boot_report_.inodes_scanned = slots > 0 ? slots - 1 : 0;
+
+  struct Extent {
+    std::uint64_t first;
+    std::uint64_t blocks;
+    std::uint32_t index;
+  };
+  std::vector<Extent> extents;
+  std::vector<std::uint64_t> dirty_blocks;  // inode blocks needing rewrite
+
+  const std::uint64_t data_lo = layout_.data_start_block();
+  const std::uint64_t data_hi = data_lo + layout_.data_blocks();
+
+  for (std::uint32_t i = 1; i < slots; ++i) {
+    Inode inode = Inode::decode(
+        ByteSpan(control.data() + static_cast<std::size_t>(i) * Inode::kDiskSize,
+                 Inode::kDiskSize));
+    if (inode.cache_index != 0) {
+      // "The index has no significance on disk."
+      inode.cache_index = 0;
+      ++boot_report_.cleared_cache_fields;
+    }
+    if (inode.is_free()) {
+      inodes_[i] = Inode{};
+      continue;
+    }
+    const std::uint64_t blocks = layout_.blocks_for(inode.size_bytes);
+    const bool in_bounds =
+        blocks == 0 ||
+        (inode.first_block >= data_lo && inode.first_block + blocks <= data_hi);
+    if (!in_bounds) {
+      BULLET_LOG(warn, kLog) << "fsck: inode " << i << " out of bounds, cleared";
+      inodes_[i] = Inode{};
+      ++boot_report_.cleared_bad_bounds;
+      dirty_blocks.push_back(layout_.inode_device_block(i));
+      continue;
+    }
+    inodes_[i] = inode;
+    if (blocks > 0) extents.push_back({inode.first_block, blocks, i});
+  }
+
+  // "the file server performs some consistency checks, for example to make
+  //  sure that files do not overlap."
+  std::sort(extents.begin(), extents.end(),
+            [](const Extent& a, const Extent& b) { return a.first < b.first; });
+  std::uint64_t prev_end = 0;
+  for (const Extent& e : extents) {
+    if (e.first < prev_end) {
+      BULLET_LOG(warn, kLog) << "fsck: inode " << e.index
+                             << " overlaps a neighbour, cleared";
+      inodes_[e.index] = Inode{};
+      ++boot_report_.cleared_overlaps;
+      dirty_blocks.push_back(layout_.inode_device_block(e.index));
+      continue;
+    }
+    prev_end = e.first + e.blocks;
+  }
+
+  // Build the free lists from the surviving inodes.
+  disk_free_ = ExtentAllocator(data_lo, layout_.data_blocks());
+  live_files_ = 0;
+  free_inodes_.clear();
+  for (std::uint32_t i = slots; i-- > 1;) {
+    if (inodes_[i].is_free()) {
+      free_inodes_.push_back(i);
+      continue;
+    }
+    ++live_files_;
+    const std::uint64_t blocks = layout_.blocks_for(inodes_[i].size_bytes);
+    if (blocks > 0) {
+      const Status st = disk_free_.reserve(inodes_[i].first_block, blocks);
+      if (!st.ok()) {
+        // Should be impossible after the overlap pass.
+        return Error(ErrorCode::corrupt, "free-list reconstruction failed");
+      }
+    }
+  }
+
+  // Push repairs back out so the next boot is clean.
+  std::sort(dirty_blocks.begin(), dirty_blocks.end());
+  dirty_blocks.erase(std::unique(dirty_blocks.begin(), dirty_blocks.end()),
+                     dirty_blocks.end());
+  for (const std::uint64_t b : dirty_blocks) {
+    const Status st = disk_->write(b, serialize_inode_block(b));
+    if (!st.ok()) {
+      BULLET_LOG(warn, kLog) << "fsck: rewrite of inode block " << b
+                             << " failed: " << st.to_string();
+    }
+  }
+  if (boot_report_.repairs() > 0) {
+    BULLET_LOG(warn, kLog) << "fsck repaired " << boot_report_.repairs()
+                           << " inode(s)";
+  }
+  boot_report_.files = live_files_;
+  return Status::success();
+}
+
+Result<std::uint32_t> BulletServer::verify(const Capability& cap,
+                                           std::uint8_t required) const {
+  if (cap.port != public_port_) {
+    return Error(ErrorCode::bad_capability, "wrong server port");
+  }
+  std::uint64_t random = 0;
+  if (cap.object == 0) {
+    random = super_random_;
+  } else {
+    if (cap.object >= inodes_.size()) {
+      return Error(ErrorCode::no_such_object, "object out of range");
+    }
+    const Inode& inode = inodes_[cap.object];
+    if (inode.is_free()) {
+      return Error(ErrorCode::no_such_object, "object not in use");
+    }
+    random = inode.random;
+  }
+  if (!sealer_.verify(cap.rights, random, cap.check)) {
+    return Error(ErrorCode::bad_capability, "check field invalid");
+  }
+  if (!cap.has_rights(required)) {
+    return Error(ErrorCode::permission, "insufficient rights");
+  }
+  return cap.object;
+}
+
+Capability BulletServer::super_capability(std::uint8_t rights) const {
+  Capability cap;
+  cap.port = public_port_;
+  cap.object = 0;
+  cap.rights = rights;
+  cap.check = sealer_.seal(rights, super_random_);
+  return cap;
+}
+
+Result<Capability> BulletServer::create(ByteSpan data, int pfactor) {
+  if (pfactor < 0 || pfactor > disk_->replica_count()) {
+    return Error(ErrorCode::bad_argument, "pfactor exceeds replica count");
+  }
+  if (data.size() > std::numeric_limits<std::uint32_t>::max()) {
+    return Error(ErrorCode::too_large, "file exceeds 4 GB");
+  }
+  const auto size = static_cast<std::uint32_t>(data.size());
+
+  if (free_inodes_.empty()) {
+    return Error(ErrorCode::no_space, "inode table full");
+  }
+
+  // Disk extent, first fit; compaction is the fallback when the space
+  // exists but no hole is large enough.
+  const std::uint64_t blocks = layout_.blocks_for(size);
+  std::uint64_t first_block = layout_.data_start_block();
+  if (blocks > 0) {
+    std::optional<std::uint64_t> got = disk_free_.allocate(blocks);
+    if (!got.has_value() && disk_free_.total_free() >= blocks) {
+      BULLET_ASSIGN_OR_RETURN(const std::uint64_t moved, compact_disk());
+      (void)moved;
+      got = disk_free_.allocate(blocks);
+    }
+    if (!got.has_value()) {
+      return Error(ErrorCode::no_space, "disk full");
+    }
+    first_block = *got;
+  }
+
+  // Cache space ("creating files is much the same as reading files that
+  // were not in the cache").
+  const std::uint32_t index = free_inodes_.back();
+  std::vector<std::uint32_t> evicted;
+  auto rnode_result = cache_.insert(index, size, &evicted);
+  drop_evicted(evicted);
+  if (!rnode_result.ok()) {
+    if (blocks > 0) {
+      const Status st = disk_free_.release(first_block, blocks);
+      assert(st.ok());
+      (void)st;
+    }
+    return rnode_result.error();
+  }
+  const RnodeIndex rnode = rnode_result.value();
+  free_inodes_.pop_back();
+  if (size > 0) {
+    std::memcpy(cache_.mutable_data(rnode).data(), data.data(), size);
+  }
+
+  // The RAM inode.
+  Inode& inode = inodes_[index];
+  inode.random = rng_.next() & kMask48;
+  if (inode.random == 0) inode.random = 1;
+  inode.cache_index = rnode;
+  inode.first_block = static_cast<std::uint32_t>(first_block);
+  inode.size_bytes = size;
+
+  // Durability: the client waits for `pfactor` replicas; the rest complete
+  // behind the reply.
+  const ByteSpan stored = cache_.data(rnode);
+  int written = 0;
+  if (pfactor > 0) {
+    auto data_written = write_file_data(first_block, stored, pfactor);
+    Result<int> inode_written =
+        data_written.ok() ? write_inode_block(index, pfactor)
+                          : Result<int>(data_written.error());
+    written = !data_written.ok() || !inode_written.ok()
+                  ? 0
+                  : std::min(data_written.value(), inode_written.value());
+    if (written < pfactor) {
+      // "If the P-FACTOR is N, the file will be stored on N disks before
+      // the client can resume" — anything less means the create failed.
+      // Undo so the inode table stays consistent (a zeroed inode is
+      // written back to whatever replicas remain).
+      cache_.remove(rnode);
+      inodes_[index] = Inode{};
+      (void)write_inode_block(index, disk_->replica_count());
+      free_inodes_.push_back(index);
+      if (blocks > 0) {
+        const Status st = disk_free_.release(first_block, blocks);
+        assert(st.ok());
+        (void)st;
+      }
+      if (!data_written.ok()) return data_written.error();
+      if (!inode_written.ok()) return inode_written.error();
+      return Error(ErrorCode::io_error,
+                   "only " + std::to_string(written) + " of " +
+                       std::to_string(pfactor) + " replicas written");
+    }
+  }
+  {
+    sim::BackgroundSection bg(config_.clock);
+    const Status data_st =
+        write_file_data_remaining(first_block, stored, written);
+    const Status inode_st = write_inode_block_remaining(index, written);
+    if (!data_st.ok() || !inode_st.ok()) {
+      BULLET_LOG(warn, kLog) << "background replication incomplete";
+    }
+  }
+
+  ++creates_;
+  ++live_files_;
+  bytes_stored_ += size;
+
+  Capability cap;
+  cap.port = public_port_;
+  cap.object = index;
+  cap.rights = rights::kAll;
+  cap.check = sealer_.seal(rights::kAll, inode.random);
+  return cap;
+}
+
+Result<ByteSpan> BulletServer::read(const Capability& cap) {
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t index, verify(cap, rights::kRead));
+  if (index == 0) {
+    return Error(ErrorCode::bad_argument, "server object holds no data");
+  }
+  BULLET_ASSIGN_OR_RETURN(const RnodeIndex rnode, ensure_cached(index));
+  cache_.touch(rnode);
+  ++reads_;
+  bytes_served_ += inodes_[index].size_bytes;
+  return cache_.data(rnode);
+}
+
+Result<std::uint32_t> BulletServer::size(const Capability& cap) {
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t index, verify(cap, rights::kRead));
+  if (index == 0) {
+    return Error(ErrorCode::bad_argument, "server object holds no data");
+  }
+  return inodes_[index].size_bytes;
+}
+
+Status BulletServer::erase(const Capability& cap) {
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t index, verify(cap, rights::kDelete));
+  if (index == 0) {
+    return Error(ErrorCode::bad_argument, "cannot delete the server object");
+  }
+  Inode& inode = inodes_[index];
+  const std::uint64_t blocks = layout_.blocks_for(inode.size_bytes);
+  const std::uint64_t first_block = inode.first_block;
+
+  // "Deleting a file involves checking the capability, freeing an inode by
+  //  zeroing it and writing it back to the disk."
+  if (inode.cache_index != 0) {
+    cache_.remove(inode.cache_index);
+  }
+  inode = Inode{};
+  const Result<int> written = write_inode_block(index, disk_->replica_count());
+  if (!written.ok()) {
+    BULLET_LOG(warn, kLog) << "delete: inode write-back failed: "
+                           << written.error().to_string();
+  }
+  if (blocks > 0) {
+    const Status st = disk_free_.release(first_block, blocks);
+    assert(st.ok());
+    (void)st;
+  }
+  free_inodes_.push_back(index);
+  --live_files_;
+  ++deletes_;
+  return Status::success();
+}
+
+Result<Capability> BulletServer::create_from(
+    const Capability& source, std::span<const wire::FileEdit> edits,
+    int pfactor) {
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t index,
+                          verify(source, rights::kRead));
+  if (index == 0) {
+    return Error(ErrorCode::bad_argument, "server object holds no data");
+  }
+  BULLET_ASSIGN_OR_RETURN(const RnodeIndex rnode, ensure_cached(index));
+  cache_.touch(rnode);
+  BULLET_ASSIGN_OR_RETURN(Bytes updated,
+                          wire::apply_edits(cache_.data(rnode), edits));
+  return create(updated, pfactor);
+}
+
+Result<ByteSpan> BulletServer::read_range(const Capability& cap,
+                                          std::uint32_t offset,
+                                          std::uint32_t length) {
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t index, verify(cap, rights::kRead));
+  if (index == 0) {
+    return Error(ErrorCode::bad_argument, "server object holds no data");
+  }
+  const Inode& inode = inodes_[index];
+  if (offset > inode.size_bytes || length > inode.size_bytes - offset) {
+    return Error(ErrorCode::bad_argument, "range beyond end of file");
+  }
+  BULLET_ASSIGN_OR_RETURN(const RnodeIndex rnode, ensure_cached(index));
+  cache_.touch(rnode);
+  ++reads_;
+  bytes_served_ += length;
+  return cache_.data(rnode).subspan(offset, length);
+}
+
+Result<RnodeIndex> BulletServer::ensure_cached(std::uint32_t index) {
+  Inode& inode = inodes_[index];
+  if (inode.cache_index != 0 && cache_.contains(inode.cache_index) &&
+      cache_.inode_of(inode.cache_index) == index) {
+    ++cache_hits_;
+    return inode.cache_index;
+  }
+  ++cache_misses_;
+  std::vector<std::uint32_t> evicted;
+  auto rnode_result = cache_.insert(index, inode.size_bytes, &evicted);
+  drop_evicted(evicted);
+  if (!rnode_result.ok()) return rnode_result.error();
+  const RnodeIndex rnode = rnode_result.value();
+  const Status st = read_file_from_disk(inode, cache_.mutable_data(rnode));
+  if (!st.ok()) {
+    cache_.remove(rnode);
+    return st.error();
+  }
+  inode.cache_index = rnode;
+  return rnode;
+}
+
+Status BulletServer::read_file_from_disk(const Inode& inode,
+                                         MutableByteSpan out) {
+  assert(out.size() == inode.size_bytes);
+  if (inode.size_bytes == 0) return Status::success();
+  const std::uint64_t bs = layout_.block_size();
+  const std::uint64_t aligned = inode.size_bytes / bs * bs;
+  if (aligned > 0) {
+    BULLET_RETURN_IF_ERROR(
+        disk_->read(inode.first_block, out.first(aligned)));
+  }
+  const std::uint64_t tail = inode.size_bytes - aligned;
+  if (tail > 0) {
+    Bytes last(bs);
+    BULLET_RETURN_IF_ERROR(disk_->read(inode.first_block + aligned / bs, last));
+    std::memcpy(out.data() + aligned, last.data(), tail);
+  }
+  return Status::success();
+}
+
+Result<int> BulletServer::write_file_data(std::uint64_t first_block,
+                                          ByteSpan data, int max_replicas) {
+  if (data.empty()) return max_replicas;
+  const std::uint64_t bs = layout_.block_size();
+  const std::uint64_t aligned = data.size() / bs * bs;
+  int written = max_replicas;
+  if (aligned > 0) {
+    BULLET_ASSIGN_OR_RETURN(
+        const int w,
+        disk_->write_partial(first_block, data.first(aligned), max_replicas));
+    written = std::min(written, w);
+  }
+  const std::uint64_t tail = data.size() - aligned;
+  if (tail > 0) {
+    Bytes last(bs, 0);
+    std::memcpy(last.data(), data.data() + aligned, tail);
+    BULLET_ASSIGN_OR_RETURN(
+        const int w,
+        disk_->write_partial(first_block + aligned / bs, last, max_replicas));
+    written = std::min(written, w);
+  }
+  return written;
+}
+
+Status BulletServer::write_file_data_remaining(std::uint64_t first_block,
+                                               ByteSpan data,
+                                               int already_written) {
+  if (data.empty()) return Status::success();
+  const std::uint64_t bs = layout_.block_size();
+  const std::uint64_t aligned = data.size() / bs * bs;
+  if (aligned > 0) {
+    BULLET_RETURN_IF_ERROR(disk_->write_remaining(
+        first_block, data.first(aligned), already_written));
+  }
+  const std::uint64_t tail = data.size() - aligned;
+  if (tail > 0) {
+    Bytes last(bs, 0);
+    std::memcpy(last.data(), data.data() + aligned, tail);
+    BULLET_RETURN_IF_ERROR(disk_->write_remaining(first_block + aligned / bs,
+                                                  last, already_written));
+  }
+  return Status::success();
+}
+
+Bytes BulletServer::serialize_inode_block(std::uint64_t device_block) const {
+  const std::uint64_t bs = layout_.block_size();
+  Bytes block(bs, 0);
+  const std::uint64_t per_block = bs / Inode::kDiskSize;
+  const std::uint64_t first_slot = device_block * per_block;
+  for (std::uint64_t s = 0; s < per_block; ++s) {
+    const std::uint64_t slot = first_slot + s;
+    MutableByteSpan out(block.data() + s * Inode::kDiskSize, Inode::kDiskSize);
+    if (slot == 0) {
+      layout_.descriptor().encode(out);
+    } else if (slot < inodes_.size()) {
+      // "The index has no significance on disk": persist it as zero.
+      Inode persisted = inodes_[slot];
+      persisted.cache_index = 0;
+      persisted.encode(out);
+    }
+  }
+  return block;
+}
+
+Result<int> BulletServer::write_inode_block(std::uint32_t index,
+                                            int max_replicas) {
+  const std::uint64_t device_block = layout_.inode_device_block(index);
+  return disk_->write_partial(device_block, serialize_inode_block(device_block),
+                              max_replicas);
+}
+
+Status BulletServer::write_inode_block_remaining(std::uint32_t index,
+                                                 int already_written) {
+  const std::uint64_t device_block = layout_.inode_device_block(index);
+  return disk_->write_remaining(device_block,
+                                serialize_inode_block(device_block),
+                                already_written);
+}
+
+void BulletServer::clear_cache_index(std::uint32_t inode_index) {
+  if (inode_index < inodes_.size()) {
+    inodes_[inode_index].cache_index = 0;
+  }
+}
+
+void BulletServer::drop_evicted(const std::vector<std::uint32_t>& evicted) {
+  for (const std::uint32_t index : evicted) clear_cache_index(index);
+}
+
+Result<std::uint64_t> BulletServer::compact_disk() {
+  // Slide every live file toward the start of the data region, in block
+  // order ("disk fragmentation can be relieved by compaction every morning
+  // at say 3 am when the system is lightly loaded").
+  struct Entry {
+    std::uint64_t first;
+    std::uint64_t blocks;
+    std::uint32_t index;
+  };
+  std::vector<Entry> files;
+  for (std::uint32_t i = 1; i < inodes_.size(); ++i) {
+    if (inodes_[i].is_free()) continue;
+    const std::uint64_t blocks = layout_.blocks_for(inodes_[i].size_bytes);
+    if (blocks > 0) files.push_back({inodes_[i].first_block, blocks, i});
+  }
+  std::sort(files.begin(), files.end(),
+            [](const Entry& a, const Entry& b) { return a.first < b.first; });
+
+  const std::uint64_t bs = layout_.block_size();
+  std::uint64_t cursor = layout_.data_start_block();
+  std::uint64_t moved = 0;
+  for (const Entry& f : files) {
+    if (f.first != cursor) {
+      // Bounce the file through RAM. Write data before the inode so a crash
+      // mid-move leaves the inode pointing at an intact (old) copy whenever
+      // the source and target extents do not overlap.
+      Bytes buf(f.blocks * bs);
+      BULLET_RETURN_IF_ERROR(disk_->read(f.first, buf));
+      BULLET_RETURN_IF_ERROR(disk_->write(cursor, buf));
+      inodes_[f.index].first_block = static_cast<std::uint32_t>(cursor);
+      BULLET_ASSIGN_OR_RETURN(
+          const int w, write_inode_block(f.index, disk_->replica_count()));
+      (void)w;
+      moved += f.blocks;
+    }
+    cursor += f.blocks;
+  }
+
+  // Rebuild the free list: everything past the cursor is one hole.
+  disk_free_ = ExtentAllocator(layout_.data_start_block(), layout_.data_blocks());
+  if (cursor > layout_.data_start_block()) {
+    const Status st = disk_free_.reserve(layout_.data_start_block(),
+                                         cursor - layout_.data_start_block());
+    assert(st.ok());
+    (void)st;
+  }
+  return moved;
+}
+
+wire::FsckReport BulletServer::check_consistency() const {
+  wire::FsckReport report;
+  report.inodes_scanned = inodes_.size() > 0 ? inodes_.size() - 1 : 0;
+  struct Extent {
+    std::uint64_t first;
+    std::uint64_t blocks;
+  };
+  std::vector<Extent> extents;
+  const std::uint64_t data_lo = layout_.data_start_block();
+  const std::uint64_t data_hi = data_lo + layout_.data_blocks();
+  for (std::uint32_t i = 1; i < inodes_.size(); ++i) {
+    const Inode& inode = inodes_[i];
+    if (inode.is_free()) continue;
+    ++report.files;
+    const std::uint64_t blocks = layout_.blocks_for(inode.size_bytes);
+    if (blocks == 0) continue;
+    if (inode.first_block < data_lo || inode.first_block + blocks > data_hi) {
+      ++report.cleared_bad_bounds;
+      continue;
+    }
+    extents.push_back({inode.first_block, blocks});
+  }
+  std::sort(extents.begin(), extents.end(),
+            [](const Extent& a, const Extent& b) { return a.first < b.first; });
+  std::uint64_t prev_end = 0;
+  for (const Extent& e : extents) {
+    if (e.first < prev_end) {
+      ++report.cleared_overlaps;
+    } else {
+      prev_end = e.first + e.blocks;
+    }
+  }
+  return report;
+}
+
+Result<Capability> BulletServer::restrict(const Capability& cap,
+                                          std::uint8_t new_rights) {
+  // Holding a valid capability is the precondition; no specific right is
+  // needed to give away less than you have.
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t index, verify(cap, 0));
+  if ((new_rights & cap.rights) != new_rights) {
+    return Error(ErrorCode::permission, "cannot add rights");
+  }
+  const std::uint64_t random =
+      index == 0 ? super_random_ : inodes_[index].random;
+  Capability out;
+  out.port = public_port_;
+  out.object = index;
+  out.rights = new_rights;
+  out.check = sealer_.seal(new_rights, random);
+  return out;
+}
+
+Status BulletServer::sync() { return disk_->flush(); }
+
+std::vector<BulletServer::ObjectInfo> BulletServer::list_objects() const {
+  std::vector<ObjectInfo> out;
+  for (std::uint32_t i = 1; i < inodes_.size(); ++i) {
+    const Inode& inode = inodes_[i];
+    if (inode.is_free()) continue;
+    out.push_back(ObjectInfo{i, inode.size_bytes, inode.first_block,
+                             inode.cache_index != 0});
+  }
+  return out;
+}
+
+wire::ServerStats BulletServer::stats() const {
+  wire::ServerStats s;
+  s.creates = creates_;
+  s.reads = reads_;
+  s.deletes = deletes_;
+  s.cache_hits = cache_hits_;
+  s.cache_misses = cache_misses_;
+  s.cache_evictions = cache_.stats().evictions;
+  s.bytes_stored = bytes_stored_;
+  s.bytes_served = bytes_served_;
+  s.files_live = live_files_;
+  s.disk_free_bytes = disk_free_.total_free() * layout_.block_size();
+  s.disk_largest_hole_bytes = disk_free_.largest_hole() * layout_.block_size();
+  s.disk_holes = disk_free_.hole_count();
+  s.cache_free_bytes = cache_.free_bytes();
+  s.healthy_replicas = static_cast<std::uint64_t>(disk_->healthy_count());
+  return s;
+}
+
+}  // namespace bullet

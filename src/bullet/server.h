@@ -1,0 +1,181 @@
+// The Bullet file server.
+//
+// Implements the paper's architecture end to end: immutable whole files,
+// stored contiguously on disk and in the RAM cache, protected by sealed
+// capabilities, with write-through replication to N mirrored disks and the
+// P-FACTOR durability knob on create. The same object serves requests both
+// as a plain C++ API (create/read/size/erase) and as an rpc::Service.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bullet/extent_allocator.h"
+#include "bullet/file_cache.h"
+#include "bullet/layout.h"
+#include "bullet/wire.h"
+#include "cap/capability.h"
+#include "common/rng.h"
+#include "crypto/oneway.h"
+#include "disk/mirrored_disk.h"
+#include "rpc/transport.h"
+#include "sim/clock.h"
+
+namespace bullet {
+
+struct BulletConfig {
+  // The server's private port; clients address derive_public_port(private).
+  std::uint64_t private_port = 0x1B55;
+  // Secret sealing key for capability check fields.
+  Speck64::Key secret{0x10, 0x32, 0x54, 0x76, 0x98, 0xBA, 0xDC, 0xFE,
+                      0x01, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF};
+  // RAM file cache size ("All of the server's remaining memory will be
+  // used for file caching").
+  std::uint64_t cache_bytes = 8ull << 20;
+  // Seed for per-file random numbers.
+  std::uint64_t rng_seed = 0xB0117E7;
+  // Optional virtual clock. Only used to account P-FACTOR semantics: work
+  // the server performs after replying (replica writes beyond the
+  // requested paranoia) is charged as background time.
+  sim::Clock* clock = nullptr;
+};
+
+class BulletServer final : public rpc::Service {
+ public:
+  // Initialize a raw device as an empty Bullet disk with `inode_slots`
+  // inode-table entries (slot 0 becomes the disk descriptor).
+  static Status format(BlockDevice& device, std::uint32_t inode_slots);
+
+  // Boot a server from a formatted (possibly dirty) mirror: reads the
+  // complete inode table into RAM, runs the startup consistency checks, and
+  // builds the free lists. `disk` must outlive the server.
+  static Result<std::unique_ptr<BulletServer>> start(MirroredDisk* disk,
+                                                     BulletConfig config);
+
+  // --- the four paper operations --------------------------------------
+
+  // BULLET.CREATE: store an immutable file; reply after `pfactor` replicas
+  // hold it (0 = as soon as it is in the RAM cache).
+  Result<Capability> create(ByteSpan data, int pfactor);
+
+  // BULLET.READ: the whole file. The returned span views the RAM cache and
+  // is valid until the next server operation.
+  Result<ByteSpan> read(const Capability& cap);
+
+  // BULLET.SIZE.
+  Result<std::uint32_t> size(const Capability& cap);
+
+  // BULLET.DELETE.
+  Status erase(const Capability& cap);
+
+  // --- §5 extensions ----------------------------------------------------
+
+  // Create a new file as an edited copy of an existing one, so a small
+  // change does not ship the whole file over the network.
+  Result<Capability> create_from(const Capability& source,
+                                 std::span<const wire::FileEdit> edits,
+                                 int pfactor);
+
+  // Read a byte range, for clients whose memory cannot hold the file.
+  Result<ByteSpan> read_range(const Capability& cap, std::uint32_t offset,
+                              std::uint32_t length);
+
+  // Mint a capability for the same object with a subset of the rights
+  // (Amoeba's std_restrict): the only way to weaken a capability, since
+  // the check field seals the rights bits.
+  Result<Capability> restrict(const Capability& cap, std::uint8_t new_rights);
+
+  // --- administration ---------------------------------------------------
+
+  wire::ServerStats stats() const;
+  Status sync();
+  // Slide files together to squeeze out the holes; returns blocks moved.
+  Result<std::uint64_t> compact_disk();
+  // Re-run the consistency checks against the in-RAM state.
+  wire::FsckReport check_consistency() const;
+  // Report from the startup scan.
+  const wire::FsckReport& boot_report() const noexcept { return boot_report_; }
+
+  // Capability for the server object itself (object number 0), needed for
+  // CREATE and the admin operations.
+  Capability super_capability(std::uint8_t rights = rights::kAll) const;
+
+  // --- rpc::Service -----------------------------------------------------
+  Port public_port() const noexcept override { return public_port_; }
+  rpc::Reply handle(const rpc::Request& request) override;
+
+  // --- introspection (tests, offline tools) -------------------------------
+  struct ObjectInfo {
+    std::uint32_t object = 0;
+    std::uint32_t size_bytes = 0;
+    std::uint32_t first_block = 0;
+    bool cached = false;
+  };
+  // Every live file, in object order (what an offline `ls` of the disk
+  // image shows; does not expose the capability randoms).
+  std::vector<ObjectInfo> list_objects() const;
+
+  const DiskLayout& layout() const noexcept { return layout_; }
+  const ExtentAllocator& disk_free() const noexcept { return disk_free_; }
+  const FileCache& cache() const noexcept { return cache_; }
+  std::uint64_t live_files() const noexcept { return live_files_; }
+
+ private:
+  BulletServer(MirroredDisk* disk, BulletConfig config, DiskLayout layout);
+
+  // Startup: scan inodes, repair, build free lists.
+  Status boot();
+
+  // Capability checking: map cap -> inode, verifying the seal and rights.
+  Result<std::uint32_t> verify(const Capability& cap,
+                               std::uint8_t required) const;
+
+  // Ensure the file behind `index` is cached; returns its rnode.
+  Result<RnodeIndex> ensure_cached(std::uint32_t index);
+
+  // Write `data` (file contents, padded to whole blocks) at `first_block`
+  // on up to `max_replicas` replicas; returns replicas written.
+  Result<int> write_file_data(std::uint64_t first_block, ByteSpan data,
+                              int max_replicas);
+  Status write_file_data_remaining(std::uint64_t first_block, ByteSpan data,
+                                   int already_written);
+
+  // Write-through of the device block holding inode `index`, serialized
+  // from the RAM inode table.
+  Result<int> write_inode_block(std::uint32_t index, int max_replicas);
+  Status write_inode_block_remaining(std::uint32_t index, int already_written);
+  Bytes serialize_inode_block(std::uint64_t device_block) const;
+
+  // Read a file's bytes from disk into `out` (exactly size bytes).
+  Status read_file_from_disk(const Inode& inode, MutableByteSpan out);
+
+  void clear_cache_index(std::uint32_t inode_index);
+  void drop_evicted(const std::vector<std::uint32_t>& evicted);
+
+  MirroredDisk* disk_;
+  BulletConfig config_;
+  DiskLayout layout_;
+  Port public_port_;
+  CheckSealer sealer_;
+  Rng rng_;
+  std::uint64_t super_random_ = 0;
+
+  std::vector<Inode> inodes_;            // the RAM inode table (slot 0 unused)
+  std::vector<std::uint32_t> free_inodes_;
+  ExtentAllocator disk_free_;            // device blocks in the data region
+  FileCache cache_;
+
+  wire::FsckReport boot_report_;
+  std::uint64_t live_files_ = 0;
+
+  // Counters surfaced via stats().
+  mutable std::uint64_t creates_ = 0;
+  mutable std::uint64_t reads_ = 0;
+  mutable std::uint64_t deletes_ = 0;
+  mutable std::uint64_t cache_hits_ = 0;
+  mutable std::uint64_t cache_misses_ = 0;
+  mutable std::uint64_t bytes_stored_ = 0;
+  mutable std::uint64_t bytes_served_ = 0;
+};
+
+}  // namespace bullet

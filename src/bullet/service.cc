@@ -1,0 +1,132 @@
+// RPC surface of the BulletServer: opcode dispatch and payload codecs.
+#include "bullet/server.h"
+
+namespace bullet {
+namespace {
+
+rpc::Reply to_reply(const Status& status) {
+  return status.ok() ? rpc::Reply::success() : rpc::Reply::error(status.code());
+}
+
+}  // namespace
+
+rpc::Reply BulletServer::handle(const rpc::Request& request) {
+  Reader body(request.body);
+  switch (request.opcode) {
+    case wire::kCreate: {
+      auto pfactor = body.u8();
+      auto data = pfactor.ok() ? body.blob() : Result<ByteSpan>(pfactor.error());
+      if (!data.ok() || !body.done()) {
+        return rpc::Reply::error(ErrorCode::bad_argument);
+      }
+      // CREATE addresses the server object; require the write right on it.
+      const auto verified = verify(request.target, rights::kWrite);
+      if (!verified.ok()) return rpc::Reply::error(verified.code());
+      if (verified.value() != 0) {
+        return rpc::Reply::error(ErrorCode::bad_argument);
+      }
+      auto cap = create(data.value(), pfactor.value());
+      if (!cap.ok()) return rpc::Reply::error(cap.code());
+      Writer w(Capability::kWireSize);
+      cap.value().encode(w);
+      return rpc::Reply::success(std::move(w).take());
+    }
+    case wire::kRead: {
+      if (!body.done()) return rpc::Reply::error(ErrorCode::bad_argument);
+      auto data = read(request.target);
+      if (!data.ok()) return rpc::Reply::error(data.code());
+      Writer w(4 + data.value().size());
+      w.blob(data.value());
+      return rpc::Reply::success(std::move(w).take());
+    }
+    case wire::kReadRange: {
+      auto offset = body.u32();
+      auto length = offset.ok() ? body.u32() : offset;
+      if (!length.ok() || !body.done()) {
+        return rpc::Reply::error(ErrorCode::bad_argument);
+      }
+      auto data = read_range(request.target, offset.value(), length.value());
+      if (!data.ok()) return rpc::Reply::error(data.code());
+      Writer w(4 + data.value().size());
+      w.blob(data.value());
+      return rpc::Reply::success(std::move(w).take());
+    }
+    case wire::kSize: {
+      if (!body.done()) return rpc::Reply::error(ErrorCode::bad_argument);
+      auto n = size(request.target);
+      if (!n.ok()) return rpc::Reply::error(n.code());
+      Writer w(4);
+      w.u32(n.value());
+      return rpc::Reply::success(std::move(w).take());
+    }
+    case wire::kDelete: {
+      if (!body.done()) return rpc::Reply::error(ErrorCode::bad_argument);
+      return to_reply(erase(request.target));
+    }
+    case wire::kCreateFrom: {
+      auto pfactor = body.u8();
+      auto count = pfactor.ok() ? body.u32() : Result<std::uint32_t>(pfactor.error());
+      if (!count.ok()) return rpc::Reply::error(ErrorCode::bad_argument);
+      // Untrusted count: each edit occupies at least 13 bytes on the wire.
+      if (count.value() > body.remaining() / 13) {
+        return rpc::Reply::error(ErrorCode::bad_argument);
+      }
+      std::vector<wire::FileEdit> edits;
+      edits.reserve(count.value());
+      for (std::uint32_t i = 0; i < count.value(); ++i) {
+        auto edit = wire::FileEdit::decode(body);
+        if (!edit.ok()) return rpc::Reply::error(ErrorCode::bad_argument);
+        edits.push_back(std::move(edit).value());
+      }
+      if (!body.done()) return rpc::Reply::error(ErrorCode::bad_argument);
+      auto cap = create_from(request.target, edits, pfactor.value());
+      if (!cap.ok()) return rpc::Reply::error(cap.code());
+      Writer w(Capability::kWireSize);
+      cap.value().encode(w);
+      return rpc::Reply::success(std::move(w).take());
+    }
+    case wire::kStats: {
+      const auto verified = verify(request.target, rights::kAdmin);
+      if (!verified.ok()) return rpc::Reply::error(verified.code());
+      Writer w(14 * 8);
+      stats().encode(w);
+      return rpc::Reply::success(std::move(w).take());
+    }
+    case wire::kSync: {
+      const auto verified = verify(request.target, rights::kAdmin);
+      if (!verified.ok()) return rpc::Reply::error(verified.code());
+      return to_reply(sync());
+    }
+    case wire::kCompactDisk: {
+      const auto verified = verify(request.target, rights::kAdmin);
+      if (!verified.ok()) return rpc::Reply::error(verified.code());
+      auto moved = compact_disk();
+      if (!moved.ok()) return rpc::Reply::error(moved.code());
+      Writer w(8);
+      w.u64(moved.value());
+      return rpc::Reply::success(std::move(w).take());
+    }
+    case wire::kFsck: {
+      const auto verified = verify(request.target, rights::kAdmin);
+      if (!verified.ok()) return rpc::Reply::error(verified.code());
+      Writer w(5 * 8);
+      check_consistency().encode(w);
+      return rpc::Reply::success(std::move(w).take());
+    }
+    case wire::kRestrict: {
+      auto new_rights = body.u8();
+      if (!new_rights.ok() || !body.done()) {
+        return rpc::Reply::error(ErrorCode::bad_argument);
+      }
+      auto cap = restrict(request.target, new_rights.value());
+      if (!cap.ok()) return rpc::Reply::error(cap.code());
+      Writer w(Capability::kWireSize);
+      cap.value().encode(w);
+      return rpc::Reply::success(std::move(w).take());
+    }
+    default:
+      return rpc::Reply::error(ErrorCode::not_supported);
+  }
+}
+
+}  // namespace bullet

@@ -1,0 +1,166 @@
+#include "bullet/wire.h"
+
+namespace bullet::wire {
+
+FileEdit FileEdit::make_overwrite(std::uint32_t offset, Bytes data) {
+  FileEdit e;
+  e.kind = Kind::overwrite;
+  e.offset = offset;
+  e.length = static_cast<std::uint32_t>(data.size());
+  e.data = std::move(data);
+  return e;
+}
+
+FileEdit FileEdit::make_insert(std::uint32_t offset, Bytes data) {
+  FileEdit e;
+  e.kind = Kind::insert;
+  e.offset = offset;
+  e.length = static_cast<std::uint32_t>(data.size());
+  e.data = std::move(data);
+  return e;
+}
+
+FileEdit FileEdit::make_erase(std::uint32_t offset, std::uint32_t length) {
+  FileEdit e;
+  e.kind = Kind::erase;
+  e.offset = offset;
+  e.length = length;
+  return e;
+}
+
+FileEdit FileEdit::make_append(Bytes data) {
+  FileEdit e;
+  e.kind = Kind::append;
+  e.length = static_cast<std::uint32_t>(data.size());
+  e.data = std::move(data);
+  return e;
+}
+
+FileEdit FileEdit::make_truncate(std::uint32_t length) {
+  FileEdit e;
+  e.kind = Kind::truncate;
+  e.length = length;
+  return e;
+}
+
+void FileEdit::encode(Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u32(offset);
+  w.u32(length);
+  w.blob(data);
+}
+
+Result<FileEdit> FileEdit::decode(Reader& r) {
+  FileEdit e;
+  BULLET_ASSIGN_OR_RETURN(const std::uint8_t kind, r.u8());
+  if (kind > static_cast<std::uint8_t>(Kind::truncate)) {
+    return Error(ErrorCode::bad_argument, "unknown edit kind");
+  }
+  e.kind = static_cast<Kind>(kind);
+  BULLET_ASSIGN_OR_RETURN(e.offset, r.u32());
+  BULLET_ASSIGN_OR_RETURN(e.length, r.u32());
+  BULLET_ASSIGN_OR_RETURN(ByteSpan data, r.blob());
+  e.data.assign(data.begin(), data.end());
+  return e;
+}
+
+Result<Bytes> apply_edits(ByteSpan base, std::span<const FileEdit> edits) {
+  Bytes out(base.begin(), base.end());
+  for (const FileEdit& e : edits) {
+    switch (e.kind) {
+      case FileEdit::Kind::overwrite: {
+        if (e.offset > out.size() || e.data.size() > out.size() - e.offset) {
+          return Error(ErrorCode::bad_argument, "overwrite out of range");
+        }
+        std::copy(e.data.begin(), e.data.end(),
+                  out.begin() + static_cast<std::ptrdiff_t>(e.offset));
+        break;
+      }
+      case FileEdit::Kind::insert: {
+        if (e.offset > out.size()) {
+          return Error(ErrorCode::bad_argument, "insert out of range");
+        }
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(e.offset),
+                   e.data.begin(), e.data.end());
+        break;
+      }
+      case FileEdit::Kind::erase: {
+        if (e.offset > out.size() || e.length > out.size() - e.offset) {
+          return Error(ErrorCode::bad_argument, "erase out of range");
+        }
+        out.erase(out.begin() + static_cast<std::ptrdiff_t>(e.offset),
+                  out.begin() + static_cast<std::ptrdiff_t>(e.offset) +
+                      static_cast<std::ptrdiff_t>(e.length));
+        break;
+      }
+      case FileEdit::Kind::append: {
+        append(out, e.data);
+        break;
+      }
+      case FileEdit::Kind::truncate: {
+        if (e.length > out.size()) {
+          return Error(ErrorCode::bad_argument, "truncate beyond end");
+        }
+        out.resize(e.length);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void ServerStats::encode(Writer& w) const {
+  w.u64(creates);
+  w.u64(reads);
+  w.u64(deletes);
+  w.u64(cache_hits);
+  w.u64(cache_misses);
+  w.u64(cache_evictions);
+  w.u64(bytes_stored);
+  w.u64(bytes_served);
+  w.u64(files_live);
+  w.u64(disk_free_bytes);
+  w.u64(disk_largest_hole_bytes);
+  w.u64(disk_holes);
+  w.u64(cache_free_bytes);
+  w.u64(healthy_replicas);
+}
+
+Result<ServerStats> ServerStats::decode(Reader& r) {
+  ServerStats s;
+  BULLET_ASSIGN_OR_RETURN(s.creates, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.reads, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.deletes, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.cache_hits, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.cache_misses, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.cache_evictions, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.bytes_stored, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.bytes_served, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.files_live, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.disk_free_bytes, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.disk_largest_hole_bytes, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.disk_holes, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.cache_free_bytes, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.healthy_replicas, r.u64());
+  return s;
+}
+
+void FsckReport::encode(Writer& w) const {
+  w.u64(inodes_scanned);
+  w.u64(files);
+  w.u64(cleared_bad_bounds);
+  w.u64(cleared_overlaps);
+  w.u64(cleared_cache_fields);
+}
+
+Result<FsckReport> FsckReport::decode(Reader& r) {
+  FsckReport f;
+  BULLET_ASSIGN_OR_RETURN(f.inodes_scanned, r.u64());
+  BULLET_ASSIGN_OR_RETURN(f.files, r.u64());
+  BULLET_ASSIGN_OR_RETURN(f.cleared_bad_bounds, r.u64());
+  BULLET_ASSIGN_OR_RETURN(f.cleared_overlaps, r.u64());
+  BULLET_ASSIGN_OR_RETURN(f.cleared_cache_fields, r.u64());
+  return f;
+}
+
+}  // namespace bullet::wire

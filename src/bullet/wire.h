@@ -1,0 +1,96 @@
+// Bullet service wire protocol: opcodes and shared request/reply payload
+// types. The four paper operations (CREATE, SIZE, READ, DELETE) plus the
+// extension the paper's §5 describes (creating a new file from an existing
+// one, and partial reads for small-memory clients) and administrative
+// operations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/serde.h"
+
+namespace bullet::wire {
+
+// Opcodes. Wire-stable; append only.
+inline constexpr std::uint16_t kCreate = 1;      // BULLET.CREATE
+inline constexpr std::uint16_t kRead = 2;        // BULLET.READ
+inline constexpr std::uint16_t kSize = 3;        // BULLET.SIZE
+inline constexpr std::uint16_t kDelete = 4;      // BULLET.DELETE
+inline constexpr std::uint16_t kCreateFrom = 5;  // §5 extension
+inline constexpr std::uint16_t kReadRange = 6;   // §5 extension
+inline constexpr std::uint16_t kStats = 7;       // admin
+inline constexpr std::uint16_t kSync = 8;        // admin
+inline constexpr std::uint16_t kCompactDisk = 9; // admin ("3 am" compaction)
+inline constexpr std::uint16_t kFsck = 10;       // admin
+inline constexpr std::uint16_t kRestrict = 11;   // mint a sub-rights cap
+
+// One step of a CREATE-FROM edit script, applied in order to a copy of the
+// source file. Offsets refer to the file as it stands when the edit runs.
+struct FileEdit {
+  enum class Kind : std::uint8_t {
+    overwrite = 0,  // replace length bytes at offset with `data`
+    insert = 1,     // splice `data` in at offset
+    erase = 2,      // remove [offset, offset+length)
+    append = 3,     // add `data` at the end
+    truncate = 4,   // cut the file to `length` bytes
+  };
+
+  Kind kind = Kind::append;
+  std::uint32_t offset = 0;
+  std::uint32_t length = 0;
+  Bytes data;
+
+  static FileEdit make_overwrite(std::uint32_t offset, Bytes data);
+  static FileEdit make_insert(std::uint32_t offset, Bytes data);
+  static FileEdit make_erase(std::uint32_t offset, std::uint32_t length);
+  static FileEdit make_append(Bytes data);
+  static FileEdit make_truncate(std::uint32_t length);
+
+  void encode(Writer& w) const;
+  static Result<FileEdit> decode(Reader& r);
+};
+
+// Apply an edit script to `base`; fails on out-of-range offsets.
+Result<Bytes> apply_edits(ByteSpan base, std::span<const FileEdit> edits);
+
+// Server statistics (kStats reply payload).
+struct ServerStats {
+  std::uint64_t creates = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t bytes_stored = 0;
+  std::uint64_t bytes_served = 0;
+  std::uint64_t files_live = 0;
+  std::uint64_t disk_free_bytes = 0;
+  std::uint64_t disk_largest_hole_bytes = 0;
+  std::uint64_t disk_holes = 0;
+  std::uint64_t cache_free_bytes = 0;
+  std::uint64_t healthy_replicas = 0;
+
+  void encode(Writer& w) const;
+  static Result<ServerStats> decode(Reader& r);
+};
+
+// Startup / on-demand consistency-check report (kFsck reply payload).
+struct FsckReport {
+  std::uint64_t inodes_scanned = 0;
+  std::uint64_t files = 0;
+  std::uint64_t cleared_bad_bounds = 0;   // inode pointed outside the disk
+  std::uint64_t cleared_overlaps = 0;     // two files shared blocks
+  std::uint64_t cleared_cache_fields = 0; // stale cache_index on disk
+
+  std::uint64_t repairs() const noexcept {
+    return cleared_bad_bounds + cleared_overlaps;
+  }
+
+  void encode(Writer& w) const;
+  static Result<FsckReport> decode(Reader& r);
+};
+
+}  // namespace bullet::wire

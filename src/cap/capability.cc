@@ -1,0 +1,80 @@
+#include "cap/capability.h"
+
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+
+namespace bullet {
+namespace {
+
+std::optional<std::uint64_t> parse_hex(std::string_view s) {
+  if (s.empty() || s.size() > 16) return std::nullopt;
+  std::uint64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), v, 16);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+std::string Port::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%012" PRIx64, value_);
+  return buf;
+}
+
+void Capability::encode(Writer& w) const {
+  w.u48(port.value());
+  w.u32(object);
+  w.u8(rights);
+  w.u48(check);
+}
+
+Result<Capability> Capability::decode(Reader& r) {
+  Capability cap;
+  BULLET_ASSIGN_OR_RETURN(const std::uint64_t port48, r.u48());
+  cap.port = Port(port48);
+  BULLET_ASSIGN_OR_RETURN(cap.object, r.u32());
+  BULLET_ASSIGN_OR_RETURN(cap.rights, r.u8());
+  BULLET_ASSIGN_OR_RETURN(cap.check, r.u48());
+  return cap;
+}
+
+std::string Capability::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%012" PRIx64 ":%x:%x:%012" PRIx64,
+                port.value(), object, rights, check);
+  return buf;
+}
+
+std::optional<Capability> Capability::from_string(std::string_view text) {
+  // Split on ':' into exactly four fields.
+  std::string_view fields[4];
+  std::size_t start = 0;
+  for (int i = 0; i < 4; ++i) {
+    const std::size_t colon = text.find(':', start);
+    if (i < 3) {
+      if (colon == std::string_view::npos) return std::nullopt;
+      fields[i] = text.substr(start, colon - start);
+      start = colon + 1;
+    } else {
+      if (colon != std::string_view::npos) return std::nullopt;
+      fields[i] = text.substr(start);
+    }
+  }
+  const auto port = parse_hex(fields[0]);
+  const auto object = parse_hex(fields[1]);
+  const auto rights_field = parse_hex(fields[2]);
+  const auto check = parse_hex(fields[3]);
+  if (!port || !object || !rights_field || !check) return std::nullopt;
+  if (*object > 0xFFFF'FFFFULL || *rights_field > 0xFF) return std::nullopt;
+  Capability cap;
+  cap.port = Port(*port);
+  cap.object = static_cast<std::uint32_t>(*object);
+  cap.rights = static_cast<std::uint8_t>(*rights_field);
+  cap.check = *check & kMask48;
+  return cap;
+}
+
+}  // namespace bullet

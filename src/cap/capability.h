@@ -1,0 +1,75 @@
+// Amoeba capabilities (section 2.1 of the paper).
+//
+// A capability names and protects one object:
+//   1) server port  — 48-bit location-independent service address,
+//   2) object number — index into the server's object (inode) table,
+//   3) rights field  — bitmap of permitted operations,
+//   4) check field   — 48-bit seal binding the rights to the per-object
+//      random number held in the server's inode.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/error.h"
+#include "common/serde.h"
+#include "crypto/oneway.h"
+
+namespace bullet {
+
+// A 48-bit service port. Stored in the low 48 bits.
+class Port {
+ public:
+  constexpr Port() = default;
+  constexpr explicit Port(std::uint64_t value48) : value_(value48 & kMask48) {}
+
+  constexpr std::uint64_t value() const noexcept { return value_; }
+  constexpr bool is_null() const noexcept { return value_ == 0; }
+
+  friend constexpr auto operator<=>(const Port&, const Port&) = default;
+
+  std::string to_string() const;
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Rights bits. The meaning of each bit is service-specific; these aliases
+// cover the Bullet server, the directory server, and the other services in
+// this repository.
+namespace rights {
+inline constexpr std::uint8_t kRead = 0x01;    // read / lookup
+inline constexpr std::uint8_t kWrite = 0x02;   // create-from / enter / append
+inline constexpr std::uint8_t kDelete = 0x04;  // delete / remove
+inline constexpr std::uint8_t kAdmin = 0x08;   // fsck, compact, stats
+inline constexpr std::uint8_t kAll = 0xFF;
+}  // namespace rights
+
+struct Capability {
+  Port port;                   // which server
+  std::uint32_t object = 0;    // which object within the server
+  std::uint8_t rights = 0;     // what the holder may do
+  std::uint64_t check = 0;     // 48-bit seal
+
+  bool is_null() const noexcept { return port.is_null() && object == 0; }
+  bool has_rights(std::uint8_t required) const noexcept {
+    return (rights & required) == required;
+  }
+
+  friend bool operator==(const Capability&, const Capability&) = default;
+
+  // Wire encoding: 6 + 4 + 1 + 6 = 17 bytes.
+  static constexpr std::size_t kWireSize = 17;
+  void encode(Writer& w) const;
+  static Result<Capability> decode(Reader& r);
+
+  // Textual form "port:object:rights:check" (hex fields), for examples and
+  // human-facing tools.
+  std::string to_string() const;
+  static std::optional<Capability> from_string(std::string_view text);
+};
+
+}  // namespace bullet

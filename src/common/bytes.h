@@ -1,0 +1,42 @@
+// Byte-buffer conveniences. Files in Bullet are contiguous byte vectors end
+// to end — on disk, in the server cache, and in client memory — so the whole
+// codebase trades in `Bytes` (owning) and `std::span<const std::uint8_t>`
+// (viewing).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bullet {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+using MutableByteSpan = std::span<std::uint8_t>;
+
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string to_string(ByteSpan b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+inline ByteSpan as_span(std::string_view s) {
+  return ByteSpan(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+inline bool equal(ByteSpan a, ByteSpan b) noexcept {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+// Append a span to an owning buffer.
+inline void append(Bytes& out, ByteSpan extra) {
+  out.insert(out.end(), extra.begin(), extra.end());
+}
+
+}  // namespace bullet

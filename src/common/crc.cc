@@ -1,0 +1,55 @@
+#include "common/crc.h"
+
+#include <array>
+
+namespace bullet {
+namespace {
+
+constexpr std::uint32_t kCrc32cPoly = 0x82F63B78u;  // reflected Castagnoli
+constexpr std::uint64_t kCrc64Poly = 0xC96C5795D7870F42ULL;  // reflected ECMA
+
+std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc & 1) ? (crc >> 1) ^ kCrc32cPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+std::array<std::uint64_t, 256> make_crc64_table() {
+  std::array<std::uint64_t, 256> table{};
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    std::uint64_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc & 1) ? (crc >> 1) ^ kCrc64Poly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(ByteSpan data, std::uint32_t seed) noexcept {
+  static const auto table = make_crc32c_table();
+  std::uint32_t crc = ~seed;
+  for (std::uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint64_t crc64(ByteSpan data, std::uint64_t seed) noexcept {
+  static const auto table = make_crc64_table();
+  std::uint64_t crc = ~seed;
+  for (std::uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace bullet

@@ -1,0 +1,20 @@
+// CRC32 (Castagnoli polynomial) and CRC64 checksums.
+//
+// Used for end-to-end data-integrity assertions in tests and for the
+// optional per-file checksum the crash-recovery tests rely on. Table-driven
+// software implementation; no hardware dependency.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace bullet {
+
+// CRC32-C over `data`, seeded with `seed` (chainable).
+std::uint32_t crc32c(ByteSpan data, std::uint32_t seed = 0) noexcept;
+
+// CRC64 (ECMA-182 reflected) over `data`, seeded with `seed` (chainable).
+std::uint64_t crc64(ByteSpan data, std::uint64_t seed = 0) noexcept;
+
+}  // namespace bullet

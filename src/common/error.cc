@@ -1,0 +1,35 @@
+#include "common/error.h"
+
+namespace bullet {
+
+std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::ok: return "ok";
+    case ErrorCode::bad_capability: return "bad capability";
+    case ErrorCode::no_such_object: return "no such object";
+    case ErrorCode::no_space: return "no space";
+    case ErrorCode::bad_argument: return "bad argument";
+    case ErrorCode::io_error: return "i/o error";
+    case ErrorCode::not_found: return "not found";
+    case ErrorCode::already_exists: return "already exists";
+    case ErrorCode::permission: return "permission denied";
+    case ErrorCode::corrupt: return "corrupt";
+    case ErrorCode::unreachable: return "unreachable";
+    case ErrorCode::conflict: return "conflict";
+    case ErrorCode::too_large: return "too large";
+    case ErrorCode::not_supported: return "not supported";
+    case ErrorCode::bad_state: return "bad state";
+  }
+  return "unknown error";
+}
+
+std::string Error::to_string() const {
+  std::string out(bullet::to_string(code));
+  if (!message.empty() && message != bullet::to_string(code)) {
+    out += ": ";
+    out += message;
+  }
+  return out;
+}
+
+}  // namespace bullet

@@ -1,0 +1,144 @@
+// Error codes and a lightweight Result<T> used across the Bullet codebase.
+//
+// The Amoeba kernel used small integer status codes in RPC replies; we mirror
+// that with a typed enum so the wire protocol (rpc/message.h) can carry the
+// code verbatim while C++ callers get a checked Result<T>.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace bullet {
+
+// Wire-stable status codes. Values are part of the RPC protocol; append only.
+enum class ErrorCode : std::uint16_t {
+  ok = 0,
+  bad_capability = 1,   // check field does not verify, or object unknown
+  no_such_object = 2,   // inode free / out of range
+  no_space = 3,         // disk or cache exhausted
+  bad_argument = 4,     // malformed request
+  io_error = 5,         // device-level failure
+  not_found = 6,        // directory: name absent
+  already_exists = 7,   // directory: name present
+  permission = 8,       // rights field lacks the required bit
+  corrupt = 9,          // on-disk structure failed a consistency check
+  unreachable = 10,     // transport could not deliver the request
+  conflict = 11,        // atomic replace lost a race (version mismatch)
+  too_large = 12,       // file exceeds server memory / addressable size
+  not_supported = 13,   // opcode unknown to this server
+  bad_state = 14,       // e.g. operating on a closed fd / failed disk
+};
+
+std::string_view to_string(ErrorCode code) noexcept;
+
+// An error: a code plus human-readable context.
+struct Error {
+  ErrorCode code = ErrorCode::io_error;
+  std::string message;
+
+  Error() = default;
+  Error(ErrorCode c, std::string msg) : code(c), message(std::move(msg)) {}
+  explicit Error(ErrorCode c)
+      : code(c), message(std::string(bullet::to_string(c))) {}
+
+  std::string to_string() const;
+};
+
+// Result<T>: holds either a T or an Error. Intentionally minimal — the
+// project predates std::expected availability in this toolchain.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}
+  Result(Error error) : data_(std::in_place_index<1>, std::move(error)) {}
+  Result(ErrorCode code) : data_(std::in_place_index<1>, Error(code)) {}
+
+  bool ok() const noexcept { return data_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<0>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<0>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(data_));
+  }
+
+  const Error& error() const& {
+    assert(!ok());
+    return std::get<1>(data_);
+  }
+
+  ErrorCode code() const noexcept {
+    return ok() ? ErrorCode::ok : std::get<1>(data_).code;
+  }
+
+  const T& value_or(const T& fallback) const& {
+    return ok() ? std::get<0>(data_) : fallback;
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+// Status: Result with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // success
+  Status(Error error) : error_(std::move(error)) {}
+  Status(ErrorCode code) {
+    if (code != ErrorCode::ok) error_.emplace(code);
+  }
+
+  static Status success() { return Status(); }
+
+  bool ok() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  ErrorCode code() const noexcept {
+    return ok() ? ErrorCode::ok : error_->code;
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+  std::string to_string() const {
+    return ok() ? "ok" : error_->to_string();
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+// Propagate-on-error helpers, in the style the Core Guidelines tolerate for
+// error-code plumbing where exceptions are not used.
+#define BULLET_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::bullet::Status _st = (expr);                  \
+    if (!_st.ok()) return _st.error();              \
+  } while (0)
+
+#define BULLET_CONCAT_INNER(a, b) a##b
+#define BULLET_CONCAT(a, b) BULLET_CONCAT_INNER(a, b)
+
+#define BULLET_ASSIGN_OR_RETURN_IMPL(tmp, decl, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.error();                  \
+  decl = std::move(tmp).value()
+
+#define BULLET_ASSIGN_OR_RETURN(decl, expr) \
+  BULLET_ASSIGN_OR_RETURN_IMPL(BULLET_CONCAT(_res_, __LINE__), decl, expr)
+
+}  // namespace bullet

@@ -1,0 +1,17 @@
+// Hex encoding/decoding, used for the textual form of capabilities.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace bullet {
+
+std::string hex_encode(ByteSpan data);
+
+// Returns nullopt on odd length or non-hex characters.
+std::optional<Bytes> hex_decode(std::string_view text);
+
+}  // namespace bullet

@@ -1,0 +1,52 @@
+// Minimal leveled logger. Servers log to stderr; tests silence it.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace bullet {
+
+enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+namespace detail {
+void log_write(LogLevel level, std::string_view component,
+               std::string_view message);
+}  // namespace detail
+
+// Stream-style log statement:
+//   BULLET_LOG(info, "bullet") << "created file " << object;
+#define BULLET_LOG(level, component)                                       \
+  for (bool _done = ::bullet::log_level() > ::bullet::LogLevel::level;     \
+       !_done; _done = true)                                               \
+  ::bullet::detail::LogLine(::bullet::LogLevel::level, component)
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() { log_write(level_, component_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace bullet

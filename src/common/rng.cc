@@ -1,0 +1,79 @@
+#include "common/rng.h"
+
+namespace bullet {
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+// SplitMix64, used only to expand the seed into xoshiro state.
+inline std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97f4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) noexcept {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+  // All-zero state is invalid for xoshiro; splitmix cannot produce four
+  // zeros from any seed, but keep the guard for clarity.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::uint64_t Rng::next_range(std::uint64_t lo, std::uint64_t hi) noexcept {
+  if (hi <= lo) return lo;
+  return lo + next_below(hi - lo + 1);
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+Bytes Rng::next_bytes(std::size_t n) {
+  Bytes out(n);
+  fill(out);
+  return out;
+}
+
+void Rng::fill(MutableByteSpan out) noexcept {
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    const std::uint64_t v = next();
+    for (int b = 0; b < 8; ++b) out[i + b] = static_cast<std::uint8_t>(v >> (8 * b));
+    i += 8;
+  }
+  if (i < out.size()) {
+    const std::uint64_t v = next();
+    for (int b = 0; i < out.size(); ++i, ++b) out[i] = static_cast<std::uint8_t>(v >> (8 * b));
+  }
+}
+
+}  // namespace bullet

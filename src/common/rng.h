@@ -1,0 +1,44 @@
+// Deterministic pseudo-random generator (xoshiro256**).
+//
+// Used for (a) per-file random numbers that seal capabilities — the paper's
+// "large random number ... stored in the inode" — and (b) reproducible
+// workload generation in tests and benchmarks. Determinism given a seed is a
+// hard requirement for the simulation benches; std::mt19937_64 would also do
+// but its state is bulky and its distributions are not portable.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace bullet {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x42D) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  // Uniform 64-bit value.
+  std::uint64_t next() noexcept;
+
+  // Uniform in [0, bound) for bound > 0 (unbiased via rejection).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  // Uniform in [lo, hi] inclusive.
+  std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  // Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  // `n` random bytes.
+  Bytes next_bytes(std::size_t n);
+
+  // Fill a span with random bytes.
+  void fill(MutableByteSpan out) noexcept;
+
+ private:
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace bullet

@@ -1,0 +1,124 @@
+// Little-endian wire (de)serialization for RPC messages and on-disk
+// structures. Explicit-width, endian-stable encodings keep disk images and
+// messages portable between hosts, which Amoeba's heterogeneous processor
+// pool required and our FileDisk images still want.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace bullet {
+
+// Appends fixed-width little-endian values to an owning buffer.
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(std::size_t reserve_bytes) { buf_.reserve(reserve_bytes); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { put_le(v, 2); }
+  void u32(std::uint32_t v) { put_le(v, 4); }
+  void u48(std::uint64_t v) { put_le(v, 6); }
+  void u64(std::uint64_t v) { put_le(v, 8); }
+  void i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v), 8); }
+
+  void bytes(ByteSpan data) { append(buf_, data); }
+
+  // Length-prefixed (u32) blob / string.
+  void blob(ByteSpan data) {
+    u32(static_cast<std::uint32_t>(data.size()));
+    bytes(data);
+  }
+  void str(std::string_view s) { blob(as_span(s)); }
+
+  const Bytes& data() const& noexcept { return buf_; }
+  Bytes&& take() && noexcept { return std::move(buf_); }
+  std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  void put_le(std::uint64_t v, int nbytes) {
+    for (int i = 0; i < nbytes; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes buf_;
+};
+
+// Reads fixed-width little-endian values from a span; all accessors return
+// an error Result once the input is exhausted or malformed.
+class Reader {
+ public:
+  explicit Reader(ByteSpan data) noexcept : data_(data) {}
+
+  Result<std::uint8_t> u8() {
+    if (!has(1)) return underflow();
+    return static_cast<std::uint8_t>(take_le(1, 0));
+  }
+  Result<std::uint16_t> u16() {
+    if (!has(2)) return underflow();
+    return static_cast<std::uint16_t>(take_le(2, 0));
+  }
+  Result<std::uint32_t> u32() {
+    if (!has(4)) return underflow();
+    return static_cast<std::uint32_t>(take_le(4, 0));
+  }
+  Result<std::uint64_t> u48() {
+    if (!has(6)) return underflow();
+    return take_le(6, 0);
+  }
+  Result<std::uint64_t> u64() {
+    if (!has(8)) return underflow();
+    return take_le(8, 0);
+  }
+  Result<std::int64_t> i64() {
+    if (!has(8)) return underflow();
+    return static_cast<std::int64_t>(take_le(8, 0));
+  }
+
+  // Raw bytes of known size (view into the underlying buffer).
+  Result<ByteSpan> bytes(std::size_t n) {
+    if (!has(n)) return underflow();
+    ByteSpan out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  // Length-prefixed blob / string.
+  Result<ByteSpan> blob() {
+    BULLET_ASSIGN_OR_RETURN(const std::uint32_t n, u32());
+    return bytes(n);
+  }
+  Result<std::string> str() {
+    BULLET_ASSIGN_OR_RETURN(ByteSpan b, blob());
+    return to_string(b);
+  }
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool done() const noexcept { return remaining() == 0; }
+  ByteSpan rest() const noexcept { return data_.subspan(pos_); }
+
+ private:
+  bool has(std::size_t n) const noexcept { return remaining() >= n; }
+
+  static Error underflow() {
+    return Error(ErrorCode::bad_argument, "message truncated");
+  }
+
+  std::uint64_t take_le(int nbytes, std::uint64_t acc) noexcept {
+    for (int i = 0; i < nbytes; ++i) {
+      acc |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += static_cast<std::size_t>(nbytes);
+    return acc;
+  }
+
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace bullet

@@ -1,0 +1,16 @@
+#include "crypto/oneway.h"
+
+namespace bullet {
+
+std::uint64_t derive_public_port(std::uint64_t private_port48) noexcept {
+  // Fixed, public system key: the transformation must be one-way, not
+  // secret. Davies-Meyer-style feedforward makes inversion infeasible even
+  // with the key known.
+  static const Speck64 cipher(Speck64::Key{
+      0x42, 0x55, 0x4C, 0x4C, 0x45, 0x54, 0x2D, 0x50,   // "BULLET-P"
+      0x4F, 0x52, 0x54, 0x2D, 0x4B, 0x45, 0x59, 0x31}); // "ORT-KEY1"
+  const std::uint64_t p = private_port48 & kMask48;
+  return (cipher.encrypt(p) ^ p) & kMask48;
+}
+
+}  // namespace bullet

@@ -1,0 +1,79 @@
+#include "crypto/speck.h"
+
+namespace bullet {
+namespace {
+
+// Speck64 rotation constants.
+constexpr int kAlpha = 8;
+constexpr int kBeta = 3;
+
+inline std::uint32_t rotr(std::uint32_t x, int r) noexcept {
+  return (x >> r) | (x << (32 - r));
+}
+inline std::uint32_t rotl(std::uint32_t x, int r) noexcept {
+  return (x << r) | (x >> (32 - r));
+}
+
+inline void round_forward(std::uint32_t& x, std::uint32_t& y,
+                          std::uint32_t k) noexcept {
+  x = rotr(x, kAlpha);
+  x += y;
+  x ^= k;
+  y = rotl(y, kBeta);
+  y ^= x;
+}
+
+inline void round_backward(std::uint32_t& x, std::uint32_t& y,
+                           std::uint32_t k) noexcept {
+  y ^= x;
+  y = rotr(y, kBeta);
+  x ^= k;
+  x -= y;
+  x = rotl(x, kAlpha);
+}
+
+}  // namespace
+
+Speck64::Speck64(const Key& key) noexcept {
+  // Load the 128-bit key as four little-endian 32-bit words.
+  std::uint32_t l[3 + kRounds]{};
+  std::uint32_t k = 0;
+  auto word = [&key](int i) {
+    std::uint32_t w = 0;
+    for (int b = 3; b >= 0; --b) w = (w << 8) | key[static_cast<std::size_t>(i * 4 + b)];
+    return w;
+  };
+  k = word(0);
+  l[0] = word(1);
+  l[1] = word(2);
+  l[2] = word(3);
+
+  for (int i = 0; i < kRounds; ++i) {
+    round_keys_[static_cast<std::size_t>(i)] = k;
+    std::uint32_t li = l[i];
+    std::uint32_t ki = k;
+    round_forward(li, ki, static_cast<std::uint32_t>(i));
+    l[i + 3] = li;
+    k = ki;
+  }
+}
+
+Speck64::Block Speck64::encrypt(Block plaintext) const noexcept {
+  std::uint32_t y = static_cast<std::uint32_t>(plaintext);
+  std::uint32_t x = static_cast<std::uint32_t>(plaintext >> 32);
+  for (int i = 0; i < kRounds; ++i) {
+    round_forward(x, y, round_keys_[static_cast<std::size_t>(i)]);
+  }
+  return (static_cast<Block>(x) << 32) | y;
+}
+
+Speck64::Block Speck64::decrypt(Block ciphertext) const noexcept {
+  std::uint32_t y = static_cast<std::uint32_t>(ciphertext);
+  std::uint32_t x = static_cast<std::uint32_t>(ciphertext >> 32);
+  for (int i = kRounds - 1; i >= 0; --i) {
+    round_backward(x, y, round_keys_[static_cast<std::size_t>(i)]);
+  }
+  return (static_cast<Block>(x) << 32) | y;
+}
+
+}  // namespace bullet

@@ -1,0 +1,31 @@
+// Speck64/128 block cipher (Beaulieu et al., 2013), implemented from
+// scratch: 64-bit blocks, 128-bit keys, 27 rounds.
+//
+// The 1989 paper leaves the cipher abstract ("encrypting both"; "other
+// schemes are described in [12]"). Amoeba historically used a custom F-box /
+// one-way function over 48-bit ports. We use a small modern ARX cipher with
+// the same role: a keyed permutation cheap enough to run on every request.
+// This is capability *sealing*, not confidentiality of user data.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace bullet {
+
+class Speck64 {
+ public:
+  static constexpr int kRounds = 27;
+  using Key = std::array<std::uint8_t, 16>;   // 128-bit key
+  using Block = std::uint64_t;                // 64-bit block
+
+  explicit Speck64(const Key& key) noexcept;
+
+  Block encrypt(Block plaintext) const noexcept;
+  Block decrypt(Block ciphertext) const noexcept;
+
+ private:
+  std::array<std::uint32_t, kRounds> round_keys_{};
+};
+
+}  // namespace bullet

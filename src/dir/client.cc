@@ -1,0 +1,153 @@
+#include "dir/client.h"
+
+namespace bullet::dir {
+
+std::vector<std::string> split_path(std::string_view path) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    const std::size_t slash = path.find('/', start);
+    const std::size_t end = slash == std::string_view::npos ? path.size() : slash;
+    if (end > start) parts.emplace_back(path.substr(start, end - start));
+    if (slash == std::string_view::npos) break;
+    start = slash + 1;
+  }
+  return parts;
+}
+
+Result<Bytes> DirClient::call(const Capability& target, std::uint16_t opcode,
+                              Bytes body) {
+  rpc::Request request;
+  request.target = target;
+  request.opcode = opcode;
+  request.body = std::move(body);
+  BULLET_ASSIGN_OR_RETURN(rpc::Reply reply, transport_->call(request));
+  if (reply.status != ErrorCode::ok) return Error(reply.status);
+  return std::move(reply.body);
+}
+
+Result<Capability> DirClient::create_dir() {
+  BULLET_ASSIGN_OR_RETURN(Bytes body, call(server_, kCreateDir, {}));
+  Reader r(body);
+  return Capability::decode(r);
+}
+
+Status DirClient::delete_dir(const Capability& dir) {
+  auto result = call(dir, kDeleteDir, {});
+  if (!result.ok()) return result.error();
+  return Status::success();
+}
+
+Result<Capability> DirClient::lookup(const Capability& dir,
+                                     const std::string& name) {
+  Writer w;
+  w.str(name);
+  BULLET_ASSIGN_OR_RETURN(Bytes body, call(dir, kLookup, std::move(w).take()));
+  Reader r(body);
+  return Capability::decode(r);
+}
+
+Status DirClient::enter(const Capability& dir, const std::string& name,
+                        const Capability& target) {
+  Writer w;
+  w.str(name);
+  target.encode(w);
+  auto result = call(dir, kEnter, std::move(w).take());
+  if (!result.ok()) return result.error();
+  return Status::success();
+}
+
+Result<Capability> DirClient::replace(const Capability& dir,
+                                      const std::string& name,
+                                      const Capability& target) {
+  Writer w;
+  w.str(name);
+  target.encode(w);
+  BULLET_ASSIGN_OR_RETURN(Bytes body, call(dir, kReplace, std::move(w).take()));
+  Reader r(body);
+  return Capability::decode(r);
+}
+
+Result<Capability> DirClient::cas_replace(const Capability& dir,
+                                          const std::string& name,
+                                          const Capability& expected,
+                                          const Capability& target) {
+  Writer w;
+  w.str(name);
+  expected.encode(w);
+  target.encode(w);
+  BULLET_ASSIGN_OR_RETURN(Bytes body,
+                          call(dir, kCasReplace, std::move(w).take()));
+  Reader r(body);
+  return Capability::decode(r);
+}
+
+Status DirClient::remove(const Capability& dir, const std::string& name) {
+  Writer w;
+  w.str(name);
+  auto result = call(dir, kRemove, std::move(w).take());
+  if (!result.ok()) return result.error();
+  return Status::success();
+}
+
+Result<std::vector<DirEntry>> DirClient::list(const Capability& dir) {
+  BULLET_ASSIGN_OR_RETURN(Bytes body, call(dir, kList, {}));
+  Reader r(body);
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t count, r.u32());
+  // Bound the reserve by what the reply could physically hold.
+  const std::uint64_t min_entry = 4 + Capability::kWireSize;
+  if (count > r.remaining() / min_entry) {
+    return Error(ErrorCode::corrupt, "entry count exceeds reply");
+  }
+  std::vector<DirEntry> entries;
+  entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    BULLET_ASSIGN_OR_RETURN(DirEntry e, DirEntry::decode(r));
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+Result<Capability> DirClient::checkpoint() {
+  BULLET_ASSIGN_OR_RETURN(Bytes body, call(server_, kCheckpoint, {}));
+  Reader r(body);
+  return Capability::decode(r);
+}
+
+Result<Capability> DirClient::restrict(const Capability& dir,
+                                       std::uint8_t new_rights) {
+  Writer w(1);
+  w.u8(new_rights);
+  BULLET_ASSIGN_OR_RETURN(Bytes body,
+                          call(dir, kRestrict, std::move(w).take()));
+  Reader r(body);
+  return Capability::decode(r);
+}
+
+Result<Capability> DirClient::resolve(const Capability& root,
+                                      std::string_view path) {
+  Capability current = root;
+  for (const std::string& part : split_path(path)) {
+    BULLET_ASSIGN_OR_RETURN(current, lookup(current, part));
+  }
+  return current;
+}
+
+Result<Capability> DirClient::make_path(const Capability& root,
+                                        std::string_view path) {
+  Capability current = root;
+  for (const std::string& part : split_path(path)) {
+    auto next = lookup(current, part);
+    if (next.ok()) {
+      current = next.value();
+      continue;
+    }
+    if (next.code() != ErrorCode::not_found) return next.error();
+    BULLET_ASSIGN_OR_RETURN(const Capability fresh, create_dir());
+    BULLET_RETURN_IF_ERROR(enter(current, part, fresh));
+    current = fresh;
+  }
+  return current;
+}
+
+}  // namespace bullet::dir

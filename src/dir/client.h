@@ -1,0 +1,60 @@
+// Typed client stub for the directory service, plus path resolution built
+// on top of it ("By placing directory capabilities in directories an
+// arbitrary naming structure can be built").
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cap/capability.h"
+#include "dir/wire.h"
+#include "rpc/transport.h"
+
+namespace bullet::dir {
+
+class DirClient {
+ public:
+  // `server` is a capability for the directory server object (object 0).
+  DirClient(rpc::Transport* transport, Capability server)
+      : transport_(transport), server_(server) {}
+
+  Result<Capability> create_dir();
+  Status delete_dir(const Capability& dir);
+  Result<Capability> lookup(const Capability& dir, const std::string& name);
+  Status enter(const Capability& dir, const std::string& name,
+               const Capability& target);
+  Result<Capability> replace(const Capability& dir, const std::string& name,
+                             const Capability& target);
+  Result<Capability> cas_replace(const Capability& dir,
+                                 const std::string& name,
+                                 const Capability& expected,
+                                 const Capability& target);
+  Status remove(const Capability& dir, const std::string& name);
+  Result<std::vector<DirEntry>> list(const Capability& dir);
+  Result<Capability> checkpoint();
+  Result<Capability> restrict(const Capability& dir, std::uint8_t new_rights);
+
+  // Walk a '/'-separated path of directory entries from `root`; the final
+  // component may name any capability. Leading/duplicate slashes are
+  // tolerated ("a//b" == "a/b").
+  Result<Capability> resolve(const Capability& root, std::string_view path);
+
+  // mkdir -p: resolve `path` from `root`, creating missing intermediate
+  // directories; returns the final directory's capability.
+  Result<Capability> make_path(const Capability& root, std::string_view path);
+
+  const Capability& server_capability() const noexcept { return server_; }
+
+ private:
+  Result<Bytes> call(const Capability& target, std::uint16_t opcode,
+                     Bytes body);
+
+  rpc::Transport* transport_;
+  Capability server_;
+};
+
+// Split "a/b/c" into components, dropping empty ones.
+std::vector<std::string> split_path(std::string_view path);
+
+}  // namespace bullet::dir

@@ -1,0 +1,285 @@
+#include "dir/server.h"
+
+#include <utility>
+
+#include "common/log.h"
+
+namespace bullet::dir {
+namespace {
+
+constexpr char kLog[] = "dir";
+
+}  // namespace
+
+DirServer::DirServer(BulletClient storage, DirConfig config)
+    : storage_(std::move(storage)),
+      config_(config),
+      public_port_(derive_public_port(config.private_port)),
+      sealer_(config.secret),
+      rng_(config.rng_seed) {
+  super_random_ = Speck64(config_.secret).encrypt(config_.private_port) & kMask48;
+  if (super_random_ == 0) super_random_ = 1;
+}
+
+Capability DirServer::super_capability(std::uint8_t rights) const {
+  return make_capability(0, super_random_, rights);
+}
+
+Result<std::unique_ptr<DirServer>> DirServer::start(BulletClient storage,
+                                                    DirConfig config) {
+  auto server =
+      std::unique_ptr<DirServer>(new DirServer(std::move(storage), config));
+  if (!config.restore_from.is_null()) {
+    BULLET_RETURN_IF_ERROR(server->restore(config.restore_from));
+  }
+  return server;
+}
+
+Status DirServer::restore(const Capability& snapshot) {
+  BULLET_ASSIGN_OR_RETURN(Bytes image, storage_.read_whole(snapshot));
+  Reader r(image);
+  BULLET_ASSIGN_OR_RETURN(next_object_, r.u32());
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t count, r.u32());
+  objects_.clear();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    BULLET_ASSIGN_OR_RETURN(const std::uint32_t object, r.u32());
+    DirObject dir;
+    BULLET_ASSIGN_OR_RETURN(dir.random, r.u48());
+    BULLET_ASSIGN_OR_RETURN(dir.storage, Capability::decode(r));
+    // The entries live in the directory's own Bullet file.
+    BULLET_ASSIGN_OR_RETURN(Bytes contents, storage_.read_whole(dir.storage));
+    BULLET_ASSIGN_OR_RETURN(auto entries, decode_directory(contents));
+    for (DirEntry& e : entries) {
+      dir.entries.emplace(std::move(e.name), e.target);
+    }
+    objects_.emplace(object, std::move(dir));
+  }
+  if (!r.done()) return Error(ErrorCode::corrupt, "trailing snapshot bytes");
+  BULLET_LOG(info, kLog) << "restored " << objects_.size() << " directories";
+  return Status::success();
+}
+
+Result<Capability> DirServer::checkpoint() {
+  Writer w;
+  w.u32(next_object_);
+  w.u32(static_cast<std::uint32_t>(objects_.size()));
+  for (const auto& [object, dir] : objects_) {
+    w.u32(object);
+    w.u48(dir.random);
+    dir.storage.encode(w);
+  }
+  return storage_.create(w.data(), config_.pfactor);
+}
+
+Result<std::uint32_t> DirServer::verify(const Capability& cap,
+                                        std::uint8_t required) const {
+  if (cap.port != public_port_) {
+    return Error(ErrorCode::bad_capability, "wrong server port");
+  }
+  std::uint64_t random = 0;
+  if (cap.object == 0) {
+    random = super_random_;
+  } else {
+    const auto it = objects_.find(cap.object);
+    if (it == objects_.end()) {
+      return Error(ErrorCode::no_such_object, "no such directory");
+    }
+    random = it->second.random;
+  }
+  if (!sealer_.verify(cap.rights, random, cap.check)) {
+    return Error(ErrorCode::bad_capability, "check field invalid");
+  }
+  if (!cap.has_rights(required)) {
+    return Error(ErrorCode::permission, "insufficient rights");
+  }
+  return cap.object;
+}
+
+Result<std::uint32_t> DirServer::verify_dir(const Capability& cap,
+                                            std::uint8_t required) const {
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t object, verify(cap, required));
+  if (object == 0) {
+    return Error(ErrorCode::bad_argument, "server object is not a directory");
+  }
+  return object;
+}
+
+Capability DirServer::make_capability(std::uint32_t object,
+                                      std::uint64_t random,
+                                      std::uint8_t rights) const {
+  Capability cap;
+  cap.port = public_port_;
+  cap.object = object;
+  cap.rights = rights;
+  cap.check = sealer_.seal(rights, random);
+  return cap;
+}
+
+Status DirServer::persist(DirObject& dir) {
+  std::vector<DirEntry> entries;
+  entries.reserve(dir.entries.size());
+  for (const auto& [name, target] : dir.entries) {
+    entries.push_back(DirEntry{name, target});
+  }
+  // New immutable version first, then retire the old one.
+  BULLET_ASSIGN_OR_RETURN(
+      const Capability fresh,
+      storage_.create(encode_directory(entries), config_.pfactor));
+  if (!dir.storage.is_null()) {
+    const Status st = storage_.erase(dir.storage);
+    if (!st.ok()) {
+      BULLET_LOG(warn, kLog) << "stale directory version not deleted: "
+                             << st.to_string();
+    }
+  }
+  dir.storage = fresh;
+  return Status::success();
+}
+
+Result<Capability> DirServer::create_dir() {
+  const std::uint32_t object = next_object_++;
+  DirObject dir;
+  dir.random = rng_.next() & kMask48;
+  if (dir.random == 0) dir.random = 1;
+  BULLET_RETURN_IF_ERROR(persist(dir));
+  const std::uint64_t random = dir.random;
+  objects_.emplace(object, std::move(dir));
+  return make_capability(object, random, rights::kAll);
+}
+
+Status DirServer::delete_dir(const Capability& cap) {
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t object,
+                          verify_dir(cap, rights::kDelete));
+  auto it = objects_.find(object);
+  if (!it->second.entries.empty()) {
+    return Error(ErrorCode::bad_state, "directory not empty");
+  }
+  if (!it->second.storage.is_null()) {
+    const Status st = storage_.erase(it->second.storage);
+    if (!st.ok()) {
+      BULLET_LOG(warn, kLog) << "backing file not deleted: " << st.to_string();
+    }
+  }
+  objects_.erase(it);
+  return Status::success();
+}
+
+Result<Capability> DirServer::lookup(const Capability& cap,
+                                     const std::string& name) {
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t object,
+                          verify_dir(cap, rights::kRead));
+  const DirObject& dir = objects_.at(object);
+  const auto it = dir.entries.find(name);
+  if (it == dir.entries.end()) {
+    return Error(ErrorCode::not_found, "no entry '" + name + "'");
+  }
+  return it->second;
+}
+
+Status DirServer::enter(const Capability& cap, const std::string& name,
+                        const Capability& target) {
+  BULLET_RETURN_IF_ERROR(validate_name(name));
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t object,
+                          verify_dir(cap, rights::kWrite));
+  DirObject& dir = objects_.at(object);
+  if (dir.entries.contains(name)) {
+    return Error(ErrorCode::already_exists, "entry '" + name + "' exists");
+  }
+  dir.entries.emplace(name, target);
+  const Status st = persist(dir);
+  if (!st.ok()) {
+    dir.entries.erase(name);  // roll back; the mutation never took effect
+    return st;
+  }
+  return Status::success();
+}
+
+Result<Capability> DirServer::replace(const Capability& cap,
+                                      const std::string& name,
+                                      const Capability& target) {
+  BULLET_RETURN_IF_ERROR(validate_name(name));
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t object,
+                          verify_dir(cap, rights::kWrite));
+  DirObject& dir = objects_.at(object);
+  const auto it = dir.entries.find(name);
+  if (it == dir.entries.end()) {
+    return Error(ErrorCode::not_found, "no entry '" + name + "'");
+  }
+  const Capability old = it->second;
+  it->second = target;
+  const Status st = persist(dir);
+  if (!st.ok()) {
+    it->second = old;
+    return st.error();
+  }
+  return old;
+}
+
+Result<Capability> DirServer::cas_replace(const Capability& cap,
+                                          const std::string& name,
+                                          const Capability& expected,
+                                          const Capability& target) {
+  BULLET_RETURN_IF_ERROR(validate_name(name));
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t object,
+                          verify_dir(cap, rights::kWrite));
+  DirObject& dir = objects_.at(object);
+  const auto it = dir.entries.find(name);
+  if (it == dir.entries.end()) {
+    return Error(ErrorCode::not_found, "no entry '" + name + "'");
+  }
+  if (it->second != expected) {
+    return Error(ErrorCode::conflict, "entry was updated concurrently");
+  }
+  const Capability old = it->second;
+  it->second = target;
+  const Status st = persist(dir);
+  if (!st.ok()) {
+    it->second = old;
+    return st.error();
+  }
+  return old;
+}
+
+Status DirServer::remove(const Capability& cap, const std::string& name) {
+  BULLET_RETURN_IF_ERROR(validate_name(name));
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t object,
+                          verify_dir(cap, rights::kDelete));
+  DirObject& dir = objects_.at(object);
+  const auto it = dir.entries.find(name);
+  if (it == dir.entries.end()) {
+    return Error(ErrorCode::not_found, "no entry '" + name + "'");
+  }
+  const Capability old = it->second;
+  dir.entries.erase(it);
+  const Status st = persist(dir);
+  if (!st.ok()) {
+    dir.entries.emplace(name, old);
+    return st;
+  }
+  return Status::success();
+}
+
+Result<Capability> DirServer::restrict(const Capability& cap,
+                                       std::uint8_t new_rights) {
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t object, verify(cap, 0));
+  if ((new_rights & cap.rights) != new_rights) {
+    return Error(ErrorCode::permission, "cannot add rights");
+  }
+  const std::uint64_t random =
+      object == 0 ? super_random_ : objects_.at(object).random;
+  return make_capability(object, random, new_rights);
+}
+
+Result<std::vector<DirEntry>> DirServer::list(const Capability& cap) {
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t object,
+                          verify_dir(cap, rights::kRead));
+  const DirObject& dir = objects_.at(object);
+  std::vector<DirEntry> entries;
+  entries.reserve(dir.entries.size());
+  for (const auto& [name, target] : dir.entries) {
+    entries.push_back(DirEntry{name, target});
+  }
+  return entries;
+}
+
+}  // namespace bullet::dir

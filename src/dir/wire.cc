@@ -1,0 +1,47 @@
+#include "dir/wire.h"
+
+namespace bullet::dir {
+
+Bytes encode_directory(const std::vector<DirEntry>& entries) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const DirEntry& e : entries) e.encode(w);
+  return std::move(w).take();
+}
+
+Result<std::vector<DirEntry>> decode_directory(ByteSpan data) {
+  Reader r(data);
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t count, r.u32());
+  // The count is untrusted input: an entry needs at least a name-length
+  // prefix plus a capability, so anything claiming more entries than the
+  // remaining bytes could hold is corrupt (and must not drive a reserve).
+  const std::uint64_t min_entry = 4 + Capability::kWireSize;
+  if (count > r.remaining() / min_entry) {
+    return Error(ErrorCode::corrupt, "entry count exceeds payload");
+  }
+  std::vector<DirEntry> entries;
+  entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    BULLET_ASSIGN_OR_RETURN(DirEntry e, DirEntry::decode(r));
+    entries.push_back(std::move(e));
+  }
+  if (!r.done()) {
+    return Error(ErrorCode::corrupt, "trailing bytes in directory file");
+  }
+  return entries;
+}
+
+Status validate_name(const std::string& name) {
+  if (name.empty()) return Error(ErrorCode::bad_argument, "empty name");
+  if (name.size() > kMaxNameLength) {
+    return Error(ErrorCode::bad_argument, "name too long");
+  }
+  for (const char c : name) {
+    if (c == '/' || c == '\0') {
+      return Error(ErrorCode::bad_argument, "name contains '/' or NUL");
+    }
+  }
+  return Status::success();
+}
+
+}  // namespace bullet::dir

@@ -1,0 +1,63 @@
+// Directory service wire protocol.
+//
+//   "Directories are two-column tables, the first column containing names,
+//    and the second containing the corresponding capabilities. Directories
+//    are objects themselves, and can be addressed by capabilities."
+//
+// The directory service also owns version management for Bullet files
+// ("Version management is not part of the file server interface, since it
+// is done by the directory service"): REPLACE atomically swings a name from
+// one immutable file version to the next, and the compare-and-swap variant
+// rejects lost updates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cap/capability.h"
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/serde.h"
+
+namespace bullet::dir {
+
+inline constexpr std::uint16_t kCreateDir = 1;
+inline constexpr std::uint16_t kLookup = 2;
+inline constexpr std::uint16_t kEnter = 3;
+inline constexpr std::uint16_t kReplace = 4;   // returns the old capability
+inline constexpr std::uint16_t kRemove = 5;
+inline constexpr std::uint16_t kList = 6;
+inline constexpr std::uint16_t kDeleteDir = 7;
+inline constexpr std::uint16_t kCasReplace = 8; // conflict on version mismatch
+inline constexpr std::uint16_t kCheckpoint = 9; // admin: persist server state
+inline constexpr std::uint16_t kRestrict = 10;  // mint a sub-rights cap
+
+// Longest accepted entry name (keeps directory files small and bounded).
+inline constexpr std::size_t kMaxNameLength = 255;
+
+struct DirEntry {
+  std::string name;
+  Capability target;
+
+  void encode(Writer& w) const {
+    w.str(name);
+    target.encode(w);
+  }
+  static Result<DirEntry> decode(Reader& r) {
+    DirEntry e;
+    BULLET_ASSIGN_OR_RETURN(e.name, r.str());
+    BULLET_ASSIGN_OR_RETURN(e.target, Capability::decode(r));
+    return e;
+  }
+};
+
+// A whole directory, as serialized into its backing Bullet file.
+Bytes encode_directory(const std::vector<DirEntry>& entries);
+Result<std::vector<DirEntry>> decode_directory(ByteSpan data);
+
+// Validate a client-supplied name: nonempty, bounded, no '/' (the path
+// separator belongs to clients, not the server) and no NUL.
+Status validate_name(const std::string& name);
+
+}  // namespace bullet::dir

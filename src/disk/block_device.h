@@ -1,0 +1,51 @@
+// Block-device abstraction both file servers sit on.
+//
+// All transfers are runs of whole blocks; `read`/`write` spans must be a
+// multiple of the block size. Implementations: MemDisk (tests), FileDisk
+// (persistent images), SimDisk (adds modelled service time), MirroredDisk
+// (the paper's two-identical-replicas configuration).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace bullet {
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  virtual std::uint64_t block_size() const noexcept = 0;
+  virtual std::uint64_t num_blocks() const noexcept = 0;
+
+  // Read `out.size() / block_size()` blocks starting at `first_block`.
+  virtual Status read(std::uint64_t first_block, MutableByteSpan out) = 0;
+
+  // Write `data.size() / block_size()` blocks starting at `first_block`.
+  virtual Status write(std::uint64_t first_block, ByteSpan data) = 0;
+
+  // Push volatile buffers to stable storage.
+  virtual Status flush() = 0;
+
+  std::uint64_t capacity_bytes() const noexcept {
+    return block_size() * num_blocks();
+  }
+
+ protected:
+  // Shared argument validation for implementations.
+  Status check_range(std::uint64_t first_block, std::size_t nbytes) const {
+    if (block_size() == 0) return Error(ErrorCode::bad_state, "no geometry");
+    if (nbytes % block_size() != 0) {
+      return Error(ErrorCode::bad_argument, "transfer not block-aligned");
+    }
+    const std::uint64_t nblocks = nbytes / block_size();
+    if (first_block > num_blocks() || nblocks > num_blocks() - first_block) {
+      return Error(ErrorCode::bad_argument, "transfer beyond device end");
+    }
+    return Status::success();
+  }
+};
+
+}  // namespace bullet

@@ -1,0 +1,104 @@
+#include "disk/file_disk.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace bullet {
+namespace {
+
+Error errno_error(const char* what) {
+  return Error(ErrorCode::io_error,
+               std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<FileDisk> FileDisk::open(const std::string& path,
+                                std::uint64_t block_size,
+                                std::uint64_t num_blocks) {
+  if (block_size == 0 || num_blocks == 0) {
+    return Error(ErrorCode::bad_argument, "empty geometry");
+  }
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return errno_error("open");
+  // Grow the image if needed but never shrink an existing one: reopening a
+  // larger image with a smaller geometry (e.g. to probe its descriptor)
+  // must not destroy data.
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const Error e = errno_error("fstat");
+    ::close(fd);
+    return e;
+  }
+  const off_t want = static_cast<off_t>(block_size * num_blocks);
+  if (st.st_size < want && ::ftruncate(fd, want) != 0) {
+    const Error e = errno_error("ftruncate");
+    ::close(fd);
+    return e;
+  }
+  return FileDisk(fd, block_size, num_blocks);
+}
+
+FileDisk::FileDisk(FileDisk&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      block_size_(other.block_size_),
+      num_blocks_(other.num_blocks_) {}
+
+FileDisk& FileDisk::operator=(FileDisk&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    block_size_ = other.block_size_;
+    num_blocks_ = other.num_blocks_;
+  }
+  return *this;
+}
+
+FileDisk::~FileDisk() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileDisk::read(std::uint64_t first_block, MutableByteSpan out) {
+  BULLET_RETURN_IF_ERROR(check_range(first_block, out.size()));
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const ssize_t n =
+        ::pread(fd_, out.data() + done, out.size() - done,
+                static_cast<off_t>(first_block * block_size_ + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("pread");
+    }
+    if (n == 0) return Error(ErrorCode::io_error, "short read");
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::success();
+}
+
+Status FileDisk::write(std::uint64_t first_block, ByteSpan data) {
+  BULLET_RETURN_IF_ERROR(check_range(first_block, data.size()));
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n =
+        ::pwrite(fd_, data.data() + done, data.size() - done,
+                 static_cast<off_t>(first_block * block_size_ + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("pwrite");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::success();
+}
+
+Status FileDisk::flush() {
+  if (::fdatasync(fd_) != 0) return errno_error("fdatasync");
+  return Status::success();
+}
+
+}  // namespace bullet

@@ -1,0 +1,41 @@
+// File-backed block device: persists a disk image in a regular file so
+// examples and crash-recovery tests survive process restarts.
+#pragma once
+
+#include <string>
+
+#include "disk/block_device.h"
+
+namespace bullet {
+
+class FileDisk final : public BlockDevice {
+ public:
+  // Opens (creating and sizing if necessary) `path` as a disk of
+  // `num_blocks` blocks of `block_size` bytes.
+  static Result<FileDisk> open(const std::string& path,
+                               std::uint64_t block_size,
+                               std::uint64_t num_blocks);
+
+  FileDisk(FileDisk&& other) noexcept;
+  FileDisk& operator=(FileDisk&& other) noexcept;
+  FileDisk(const FileDisk&) = delete;
+  FileDisk& operator=(const FileDisk&) = delete;
+  ~FileDisk() override;
+
+  std::uint64_t block_size() const noexcept override { return block_size_; }
+  std::uint64_t num_blocks() const noexcept override { return num_blocks_; }
+
+  Status read(std::uint64_t first_block, MutableByteSpan out) override;
+  Status write(std::uint64_t first_block, ByteSpan data) override;
+  Status flush() override;
+
+ private:
+  FileDisk(int fd, std::uint64_t block_size, std::uint64_t num_blocks)
+      : fd_(fd), block_size_(block_size), num_blocks_(num_blocks) {}
+
+  int fd_ = -1;
+  std::uint64_t block_size_ = 0;
+  std::uint64_t num_blocks_ = 0;
+};
+
+}  // namespace bullet

@@ -1,0 +1,48 @@
+#include "disk/mem_disk.h"
+
+#include <cstring>
+
+namespace bullet {
+
+MemDisk::MemDisk(std::uint64_t block_size, std::uint64_t num_blocks)
+    : block_size_(block_size),
+      num_blocks_(num_blocks),
+      data_(block_size * num_blocks, 0) {}
+
+Status MemDisk::read(std::uint64_t first_block, MutableByteSpan out) {
+  if (failed_) return Error(ErrorCode::io_error, "device failed");
+  BULLET_RETURN_IF_ERROR(check_range(first_block, out.size()));
+  std::memcpy(out.data(), data_.data() + first_block * block_size_,
+              out.size());
+  ++reads_;
+  return Status::success();
+}
+
+Status MemDisk::write(std::uint64_t first_block, ByteSpan data) {
+  if (failed_) return Error(ErrorCode::io_error, "device failed");
+  if (writes_left_ == 0) {
+    failed_ = true;
+    return Error(ErrorCode::io_error, "device failed (injected)");
+  }
+  BULLET_RETURN_IF_ERROR(check_range(first_block, data.size()));
+  std::memcpy(data_.data() + first_block * block_size_, data.data(),
+              data.size());
+  --writes_left_;
+  ++writes_;
+  return Status::success();
+}
+
+Status MemDisk::flush() {
+  if (failed_) return Error(ErrorCode::io_error, "device failed");
+  return Status::success();
+}
+
+Status MemDisk::restore(ByteSpan image) {
+  if (image.size() != data_.size()) {
+    return Error(ErrorCode::bad_argument, "image size mismatch");
+  }
+  data_.assign(image.begin(), image.end());
+  return Status::success();
+}
+
+}  // namespace bullet

@@ -1,0 +1,54 @@
+// RAM-backed block device with fault injection, for tests and simulation.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "disk/block_device.h"
+
+namespace bullet {
+
+class MemDisk final : public BlockDevice {
+ public:
+  MemDisk(std::uint64_t block_size, std::uint64_t num_blocks);
+
+  std::uint64_t block_size() const noexcept override { return block_size_; }
+  std::uint64_t num_blocks() const noexcept override { return num_blocks_; }
+
+  Status read(std::uint64_t first_block, MutableByteSpan out) override;
+  Status write(std::uint64_t first_block, ByteSpan data) override;
+  Status flush() override;
+
+  // --- fault injection -----------------------------------------------
+  // Fail every subsequent operation (a dead drive).
+  void fail_device() noexcept { failed_ = true; }
+  bool has_failed() const noexcept { return failed_; }
+  // Allow `n` more successful writes, then fail the device. Models a crash
+  // part-way through a write sequence for recovery tests.
+  void fail_after_writes(std::uint64_t n) noexcept { writes_left_ = n; }
+  void clear_faults() noexcept {
+    failed_ = false;
+    writes_left_ = std::numeric_limits<std::uint64_t>::max();
+  }
+
+  // --- inspection ------------------------------------------------------
+  // Copy of the raw contents (e.g. to "reboot" a server from the image a
+  // crashed instance left behind).
+  Bytes snapshot() const { return data_; }
+  // Load raw contents (must match capacity).
+  Status restore(ByteSpan image);
+
+  std::uint64_t reads() const noexcept { return reads_; }
+  std::uint64_t writes() const noexcept { return writes_; }
+
+ private:
+  std::uint64_t block_size_;
+  std::uint64_t num_blocks_;
+  Bytes data_;
+  bool failed_ = false;
+  std::uint64_t writes_left_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace bullet

@@ -1,0 +1,76 @@
+// MirroredDisk: the paper's replication scheme.
+//
+//   "we have two disks that we use as identical replicas. One of the disks
+//    is the main disk on which the file server reads. Disk writes are
+//    performed on both disks. If the main disk fails, the file server can
+//    proceed uninterruptedly by using the other disk. Recovery is simply
+//    done by copying the complete disk."
+//
+// Reads come from the first healthy replica; writes go to every healthy
+// replica. A replica whose write fails is marked failed and stops
+// participating; `resilver` brings a replaced replica back by a full copy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "disk/block_device.h"
+
+namespace bullet {
+
+class MirroredDisk final : public BlockDevice {
+ public:
+  // All replicas must share one geometry; they must outlive the mirror.
+  static Result<MirroredDisk> create(std::vector<BlockDevice*> replicas);
+
+  std::uint64_t block_size() const noexcept override { return block_size_; }
+  std::uint64_t num_blocks() const noexcept override { return num_blocks_; }
+
+  Status read(std::uint64_t first_block, MutableByteSpan out) override;
+  Status write(std::uint64_t first_block, ByteSpan data) override;
+  Status flush() override;
+
+  // Write to at most the first `max_replicas` healthy replicas; the caller
+  // completes the remaining replicas later (P-FACTOR support). Returns the
+  // number of replicas written.
+  Result<int> write_partial(std::uint64_t first_block, ByteSpan data,
+                            int max_replicas);
+  // Write to the healthy replicas `write_partial` skipped.
+  Status write_remaining(std::uint64_t first_block, ByteSpan data,
+                         int already_written);
+
+  int replica_count() const noexcept {
+    return static_cast<int>(replicas_.size());
+  }
+  int healthy_count() const noexcept;
+  bool is_healthy(int replica) const { return healthy_.at(static_cast<std::size_t>(replica)); }
+
+  // Administratively fail a replica (e.g. the operator pulled the drive).
+  void mark_failed(int replica);
+
+  // Full-copy recovery of `replica` from the first healthy replica, then
+  // mark it healthy again.
+  Status resilver(int replica);
+
+  // Integrity scrub: compare every healthy replica against the main disk
+  // ("identical replicas" is the paper's invariant). Divergent blocks are
+  // counted and, when `repair` is set, overwritten from the main disk.
+  struct ScrubReport {
+    std::uint64_t blocks_checked = 0;
+    std::uint64_t mismatched_blocks = 0;
+    std::uint64_t repaired_blocks = 0;
+  };
+  Result<ScrubReport> scrub(bool repair);
+
+ private:
+  explicit MirroredDisk(std::vector<BlockDevice*> replicas);
+
+  Result<int> first_healthy() const;
+
+  std::vector<BlockDevice*> replicas_;
+  std::vector<bool> healthy_;
+  std::uint64_t block_size_ = 0;
+  std::uint64_t num_blocks_ = 0;
+};
+
+}  // namespace bullet

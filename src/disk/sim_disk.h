@@ -1,0 +1,45 @@
+// SimDisk: decorates any BlockDevice with modelled magnetic-disk service
+// time charged to a virtual clock. Data still lands in the wrapped device.
+#pragma once
+
+#include "disk/block_device.h"
+#include "sim/disk_model.h"
+
+namespace bullet {
+
+class SimDisk final : public BlockDevice {
+ public:
+  // `inner` must outlive the SimDisk and have the same block size the
+  // params describe.
+  SimDisk(BlockDevice* inner, sim::DiskParams params, sim::Clock* clock)
+      : inner_(inner), model_(params, clock) {}
+
+  std::uint64_t block_size() const noexcept override {
+    return inner_->block_size();
+  }
+  std::uint64_t num_blocks() const noexcept override {
+    return inner_->num_blocks();
+  }
+
+  Status read(std::uint64_t first_block, MutableByteSpan out) override {
+    BULLET_RETURN_IF_ERROR(inner_->read(first_block, out));
+    model_.access(first_block, out.size() / block_size());
+    return Status::success();
+  }
+
+  Status write(std::uint64_t first_block, ByteSpan data) override {
+    BULLET_RETURN_IF_ERROR(inner_->write(first_block, data));
+    model_.access(first_block, data.size() / block_size());
+    return Status::success();
+  }
+
+  Status flush() override { return inner_->flush(); }
+
+  const sim::DiskModel& model() const noexcept { return model_; }
+
+ private:
+  BlockDevice* inner_;
+  sim::DiskModel model_;
+};
+
+}  // namespace bullet

@@ -1,0 +1,58 @@
+#include "disk/worm_disk.h"
+
+namespace bullet {
+
+Status WormDisk::write(std::uint64_t first_block, ByteSpan data) {
+  BULLET_RETURN_IF_ERROR(check_range(first_block, data.size()));
+  const std::uint64_t nblocks = data.size() / block_size();
+  for (std::uint64_t b = first_block; b < first_block + nblocks; ++b) {
+    if (burned_[b]) {
+      return Error(ErrorCode::bad_state,
+                   "block " + std::to_string(b) + " already written (WORM)");
+    }
+  }
+  BULLET_RETURN_IF_ERROR(inner_->write(first_block, data));
+  for (std::uint64_t b = first_block; b < first_block + nblocks; ++b) {
+    burned_[b] = true;
+  }
+  blocks_burned_ += nblocks;
+  while (cursor_ < burned_.size() && burned_[cursor_]) ++cursor_;
+  return Status::success();
+}
+
+Result<std::uint64_t> WormDisk::append(ByteSpan data) {
+  const std::uint64_t bs = block_size();
+  const std::uint64_t nblocks = (data.size() + bs - 1) / bs;
+  if (nblocks > blocks_remaining()) {
+    return Error(ErrorCode::no_space, "medium full");
+  }
+  const std::uint64_t first = cursor_;
+  const std::uint64_t aligned = data.size() / bs * bs;
+  if (aligned > 0) {
+    BULLET_RETURN_IF_ERROR(write(first, data.first(aligned)));
+  }
+  if (aligned < data.size()) {
+    Bytes tail(bs, 0);
+    std::copy(data.begin() + static_cast<std::ptrdiff_t>(aligned), data.end(),
+              tail.begin());
+    BULLET_RETURN_IF_ERROR(write(first + aligned / bs, tail));
+  }
+  return first;
+}
+
+Status WormDisk::mark_burned(std::uint64_t first_block,
+                             std::uint64_t nblocks) {
+  if (first_block > num_blocks() || nblocks > num_blocks() - first_block) {
+    return Error(ErrorCode::bad_argument, "range beyond medium");
+  }
+  for (std::uint64_t b = first_block; b < first_block + nblocks; ++b) {
+    if (!burned_[b]) {
+      burned_[b] = true;
+      ++blocks_burned_;
+    }
+  }
+  while (cursor_ < burned_.size() && burned_[cursor_]) ++cursor_;
+  return Status::success();
+}
+
+}  // namespace bullet

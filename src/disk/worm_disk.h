@@ -1,0 +1,66 @@
+// Write-once (WORM) block device — the paper's optical-disk idea:
+//
+//   "It also presents the possibility of keeping versions on write-once
+//    storage such as optical disks."
+//
+// Wraps any BlockDevice and enforces write-once semantics per block: a
+// block may be written exactly once and never rewritten. Immutable whole
+// files are a perfect match — an archiver appends each version once and the
+// medium itself guarantees it can never change. An append cursor supports
+// the natural usage (sequential burning); random single-shot writes are
+// also allowed for pre-planned layouts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "disk/block_device.h"
+
+namespace bullet {
+
+class WormDisk final : public BlockDevice {
+ public:
+  // `inner` must outlive the WormDisk. Blocks already used on the medium
+  // can be declared via `mark_burned` (e.g. when reopening an archive).
+  explicit WormDisk(BlockDevice* inner)
+      : inner_(inner), burned_(inner->num_blocks(), false) {}
+
+  std::uint64_t block_size() const noexcept override {
+    return inner_->block_size();
+  }
+  std::uint64_t num_blocks() const noexcept override {
+    return inner_->num_blocks();
+  }
+
+  Status read(std::uint64_t first_block, MutableByteSpan out) override {
+    return inner_->read(first_block, out);
+  }
+
+  // Fails with bad_state if any block in the range was already written.
+  Status write(std::uint64_t first_block, ByteSpan data) override;
+
+  Status flush() override { return inner_->flush(); }
+
+  // Burn `data` at the append cursor; returns the first block used.
+  Result<std::uint64_t> append(ByteSpan data);
+
+  // Declare blocks as already burned (when reopening an existing medium).
+  Status mark_burned(std::uint64_t first_block, std::uint64_t nblocks);
+
+  bool is_burned(std::uint64_t block) const {
+    return block < burned_.size() && burned_[block];
+  }
+  std::uint64_t blocks_burned() const noexcept { return blocks_burned_; }
+  std::uint64_t append_cursor() const noexcept { return cursor_; }
+  std::uint64_t blocks_remaining() const noexcept {
+    return num_blocks() - cursor_;
+  }
+
+ private:
+  BlockDevice* inner_;
+  std::vector<bool> burned_;
+  std::uint64_t blocks_burned_ = 0;
+  std::uint64_t cursor_ = 0;  // first never-burned block for append()
+};
+
+}  // namespace bullet

@@ -1,0 +1,188 @@
+#include "kvstore/kv_store.h"
+
+#include <algorithm>
+
+#include "common/crc.h"
+#include "common/serde.h"
+
+namespace bullet::kvstore {
+namespace {
+
+constexpr std::uint32_t kTableMagic = 0x4B563142;  // "KV1B"
+
+}  // namespace
+
+std::uint32_t KvStore::bucket_of(const std::string& key) const {
+  // Stable hash (CRC32C) so the layout survives process restarts.
+  return crc32c(as_span(key)) % config_.buckets;
+}
+
+std::string KvStore::bucket_name(std::uint32_t bucket) {
+  return "bucket-" + std::to_string(bucket);
+}
+
+Bytes KvStore::encode_table(const Table& table) {
+  Writer w;
+  w.u32(kTableMagic);
+  w.u32(static_cast<std::uint32_t>(table.size()));
+  for (const auto& [key, value] : table) {
+    w.str(key);
+    w.blob(value);
+  }
+  return std::move(w).take();
+}
+
+Result<KvStore::Table> KvStore::decode_table(ByteSpan data) {
+  Reader r(data);
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t magic, r.u32());
+  if (magic != kTableMagic) {
+    return Error(ErrorCode::corrupt, "not a kv bucket");
+  }
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t count, r.u32());
+  if (count > r.remaining() / 8) {  // each entry needs two length prefixes
+    return Error(ErrorCode::corrupt, "entry count exceeds payload");
+  }
+  Table table;
+  table.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    BULLET_ASSIGN_OR_RETURN(std::string key, r.str());
+    BULLET_ASSIGN_OR_RETURN(ByteSpan value, r.blob());
+    table.emplace_back(std::move(key), Bytes(value.begin(), value.end()));
+  }
+  if (!r.done()) return Error(ErrorCode::corrupt, "trailing bucket bytes");
+  return table;
+}
+
+Result<KvStore> KvStore::create(BulletClient files, dir::DirClient names,
+                                const Capability& directory,
+                                KvConfig config) {
+  if (config.buckets == 0 || config.buckets > 4096) {
+    return Error(ErrorCode::bad_argument, "bucket count out of range");
+  }
+  KvStore store(std::move(files), std::move(names), directory, config);
+  const Bytes empty = encode_table({});
+  for (std::uint32_t b = 0; b < config.buckets; ++b) {
+    BULLET_ASSIGN_OR_RETURN(const Capability cap,
+                            store.files_.create(empty, config.pfactor));
+    BULLET_RETURN_IF_ERROR(
+        store.names_.enter(directory, bucket_name(b), cap));
+  }
+  return store;
+}
+
+Result<KvStore> KvStore::open(BulletClient files, dir::DirClient names,
+                              const Capability& directory, KvConfig config) {
+  // Rediscover the bucket count from the directory.
+  BULLET_ASSIGN_OR_RETURN(const auto entries, names.list(directory));
+  std::uint32_t buckets = 0;
+  for (const auto& entry : entries) {
+    if (entry.name.rfind("bucket-", 0) == 0) ++buckets;
+  }
+  if (buckets == 0) {
+    return Error(ErrorCode::not_found, "no kv store in this directory");
+  }
+  config.buckets = buckets;
+  return KvStore(std::move(files), std::move(names), directory, config);
+}
+
+Result<std::pair<Capability, KvStore::Table>> KvStore::load_bucket(
+    std::uint32_t bucket) {
+  BULLET_ASSIGN_OR_RETURN(const Capability version,
+                          names_.lookup(directory_, bucket_name(bucket)));
+  BULLET_ASSIGN_OR_RETURN(Bytes data, files_.read_whole(version));
+  BULLET_ASSIGN_OR_RETURN(Table table, decode_table(data));
+  return std::make_pair(version, std::move(table));
+}
+
+Status KvStore::update_bucket(std::uint32_t bucket,
+                              const std::function<bool(Table&)>& mutate) {
+  for (int attempt = 0; attempt < config_.max_retries; ++attempt) {
+    BULLET_ASSIGN_OR_RETURN(auto loaded, load_bucket(bucket));
+    auto& [version, table] = loaded;
+    if (!mutate(table)) {
+      return Error(ErrorCode::not_found, "key not present");
+    }
+    if (config_.before_publish) config_.before_publish();
+    BULLET_ASSIGN_OR_RETURN(
+        const Capability fresh,
+        files_.create(encode_table(table), config_.pfactor));
+    auto swapped = names_.cas_replace(directory_, bucket_name(bucket),
+                                      version, fresh);
+    if (swapped.ok()) {
+      // Retire the superseded version (best effort: a concurrent reader
+      // may still be fetching it, in which case Bullet returns an error we
+      // can ignore — immutability means it read a consistent snapshot).
+      (void)files_.erase(swapped.value());
+      return Status::success();
+    }
+    (void)files_.erase(fresh);  // our attempt lost; drop the orphan
+    if (swapped.code() != ErrorCode::conflict) return swapped.error();
+    ++cas_conflicts_;
+  }
+  return Error(ErrorCode::conflict, "too many concurrent updates");
+}
+
+Result<std::optional<Bytes>> KvStore::get(const std::string& key) {
+  BULLET_ASSIGN_OR_RETURN(auto loaded, load_bucket(bucket_of(key)));
+  for (auto& [k, v] : loaded.second) {
+    if (k == key) return std::optional<Bytes>(std::move(v));
+  }
+  return std::optional<Bytes>(std::nullopt);
+}
+
+Status KvStore::put(const std::string& key, ByteSpan value) {
+  if (key.empty()) return Error(ErrorCode::bad_argument, "empty key");
+  Bytes copy(value.begin(), value.end());
+  return update_bucket(bucket_of(key), [&](Table& table) {
+    for (auto& [k, v] : table) {
+      if (k == key) {
+        v = copy;
+        return true;
+      }
+    }
+    // Keep the table sorted so `keys()` needs no extra sort.
+    const auto at = std::lower_bound(
+        table.begin(), table.end(), key,
+        [](const auto& entry, const std::string& target) {
+          return entry.first < target;
+        });
+    table.emplace(at, key, copy);
+    return true;
+  });
+}
+
+Status KvStore::erase(const std::string& key) {
+  return update_bucket(bucket_of(key), [&](Table& table) {
+    const auto before = table.size();
+    table.erase(std::remove_if(table.begin(), table.end(),
+                               [&](const auto& entry) {
+                                 return entry.first == key;
+                               }),
+                table.end());
+    return table.size() != before;
+  });
+}
+
+Result<std::vector<std::string>> KvStore::keys() {
+  std::vector<std::string> out;
+  for (std::uint32_t b = 0; b < config_.buckets; ++b) {
+    BULLET_ASSIGN_OR_RETURN(auto loaded, load_bucket(b));
+    for (const auto& [k, v] : loaded.second) {
+      (void)v;
+      out.push_back(k);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::uint64_t> KvStore::size() {
+  std::uint64_t total = 0;
+  for (std::uint32_t b = 0; b < config_.buckets; ++b) {
+    BULLET_ASSIGN_OR_RETURN(auto loaded, load_bucket(b));
+    total += loaded.second.size();
+  }
+  return total;
+}
+
+}  // namespace bullet::kvstore

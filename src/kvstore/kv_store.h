@@ -1,0 +1,93 @@
+// A key-value database over immutable Bullet files — the paper's answer to
+// "what about databases?":
+//
+//   "Similarly, for data bases, a small update might incur a large
+//    overhead. ... Data bases can be subdivided over many smaller Bullet
+//    files, for example based on the identifying keys."
+//
+// Keys are hashed into a fixed number of *buckets*; each bucket is one
+// Bullet file holding a sorted key->value table, named "bucket-<i>" in a
+// dedicated directory. An update rewrites only its (small) bucket: read the
+// current version, apply the change, CREATE the new immutable version, and
+// swing the directory entry with compare-and-swap. A concurrent writer to
+// the same bucket loses the CAS and transparently retries against the new
+// version — optimistic concurrency built from the paper's two primitives
+// (immutable files + atomic replace).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bullet/client.h"
+#include "dir/client.h"
+
+namespace bullet::kvstore {
+
+struct KvConfig {
+  std::uint32_t buckets = 16;
+  int pfactor = 1;       // durability of bucket versions
+  int max_retries = 8;   // CAS retries before giving up
+  // Test instrumentation: runs between loading a bucket and publishing its
+  // replacement, i.e. exactly where a concurrent writer would interleave.
+  std::function<void()> before_publish;
+};
+
+class KvStore {
+ public:
+  // Create a fresh store under `directory` (a directory-server capability
+  // the caller owns): allocates the bucket files and name bindings.
+  static Result<KvStore> create(BulletClient files, dir::DirClient names,
+                                const Capability& directory, KvConfig config);
+
+  // Open a store previously created in `directory` (bucket count is
+  // rediscovered from the directory contents).
+  static Result<KvStore> open(BulletClient files, dir::DirClient names,
+                              const Capability& directory, KvConfig config);
+
+  // Point operations.
+  Result<std::optional<Bytes>> get(const std::string& key);
+  Status put(const std::string& key, ByteSpan value);
+  // Removes the key; not_found if absent.
+  Status erase(const std::string& key);
+
+  // All keys, in sorted order (scans every bucket).
+  Result<std::vector<std::string>> keys();
+  Result<std::uint64_t> size();
+
+  std::uint32_t bucket_count() const noexcept { return config_.buckets; }
+  std::uint64_t cas_conflicts() const noexcept { return cas_conflicts_; }
+
+ private:
+  KvStore(BulletClient files, dir::DirClient names, Capability directory,
+          KvConfig config)
+      : files_(std::move(files)),
+        names_(std::move(names)),
+        directory_(directory),
+        config_(config) {}
+
+  std::uint32_t bucket_of(const std::string& key) const;
+  static std::string bucket_name(std::uint32_t bucket);
+
+  using Table = std::vector<std::pair<std::string, Bytes>>;
+
+  // One optimistic read-modify-publish cycle on a bucket (with CAS retry).
+  // `mutate` edits the decoded table in place and returns false to signal
+  // "no change" (e.g. erasing an absent key), which surfaces as not_found.
+  Status update_bucket(std::uint32_t bucket,
+                       const std::function<bool(Table&)>& mutate);
+
+  static Bytes encode_table(const Table& table);
+  static Result<Table> decode_table(ByteSpan data);
+  Result<std::pair<Capability, Table>> load_bucket(std::uint32_t bucket);
+
+  BulletClient files_;
+  dir::DirClient names_;
+  Capability directory_;
+  KvConfig config_;
+  std::uint64_t cas_conflicts_ = 0;
+};
+
+}  // namespace bullet::kvstore

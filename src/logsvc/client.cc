@@ -1,0 +1,77 @@
+#include "logsvc/client.h"
+
+#include "logsvc/server.h"
+
+namespace bullet::logsvc {
+
+Result<Bytes> LogClient::call(const Capability& target, std::uint16_t opcode,
+                              Bytes body) {
+  rpc::Request request;
+  request.target = target;
+  request.opcode = opcode;
+  request.body = std::move(body);
+  BULLET_ASSIGN_OR_RETURN(rpc::Reply reply, transport_->call(request));
+  if (reply.status != ErrorCode::ok) return Error(reply.status);
+  return std::move(reply.body);
+}
+
+Result<Capability> LogClient::create_log() {
+  BULLET_ASSIGN_OR_RETURN(Bytes body, call(server_, kCreateLog, {}));
+  Reader r(body);
+  return Capability::decode(r);
+}
+
+Result<std::uint64_t> LogClient::append(const Capability& log, ByteSpan data) {
+  Writer w(4 + data.size());
+  w.blob(data);
+  BULLET_ASSIGN_OR_RETURN(Bytes body, call(log, kAppend, std::move(w).take()));
+  Reader r(body);
+  return r.u64();
+}
+
+Result<Bytes> LogClient::read_range(const Capability& log,
+                                    std::uint64_t offset,
+                                    std::uint64_t length) {
+  Writer w(16);
+  w.u64(offset);
+  w.u64(length);
+  BULLET_ASSIGN_OR_RETURN(Bytes body,
+                          call(log, kReadRange, std::move(w).take()));
+  Reader r(body);
+  BULLET_ASSIGN_OR_RETURN(ByteSpan data, r.blob());
+  return Bytes(data.begin(), data.end());
+}
+
+Result<std::uint64_t> LogClient::size(const Capability& log) {
+  BULLET_ASSIGN_OR_RETURN(Bytes body, call(log, kLogSize, {}));
+  Reader r(body);
+  return r.u64();
+}
+
+Result<Bytes> LogClient::read_all(const Capability& log) {
+  BULLET_ASSIGN_OR_RETURN(const std::uint64_t n, size(log));
+  return read_range(log, 0, n);
+}
+
+Status LogClient::delete_log(const Capability& log) {
+  auto result = call(log, kDeleteLog, {});
+  if (!result.ok()) return result.error();
+  return Status::success();
+}
+
+Status LogClient::sync() {
+  auto result = call(server_, kSync, {});
+  if (!result.ok()) return result.error();
+  return Status::success();
+}
+
+Result<Capability> LogClient::snapshot(const Capability& log,
+                                       BulletClient& storage, int pfactor,
+                                       std::uint64_t length) {
+  BULLET_ASSIGN_OR_RETURN(const std::uint64_t n, size(log));
+  const std::uint64_t want = length == 0 ? n : std::min(length, n);
+  BULLET_ASSIGN_OR_RETURN(Bytes data, read_range(log, 0, want));
+  return storage.create(data, pfactor);
+}
+
+}  // namespace bullet::logsvc

@@ -1,0 +1,43 @@
+// Client stub for the log server, including the snapshot helper that turns
+// a log prefix into an immutable Bullet file (cheap archival of a live
+// log).
+#pragma once
+
+#include <cstdint>
+
+#include "bullet/client.h"
+#include "cap/capability.h"
+#include "rpc/transport.h"
+
+namespace bullet::logsvc {
+
+class LogClient {
+ public:
+  LogClient(rpc::Transport* transport, Capability server)
+      : transport_(transport), server_(server) {}
+
+  Result<Capability> create_log();
+  Result<std::uint64_t> append(const Capability& log, ByteSpan data);
+  Result<Bytes> read_range(const Capability& log, std::uint64_t offset,
+                           std::uint64_t length);
+  Result<std::uint64_t> size(const Capability& log);
+  Result<Bytes> read_all(const Capability& log);
+  Status delete_log(const Capability& log);
+  Status sync();
+
+  // Archive the first `length` bytes (whole log when length is 0) into an
+  // immutable Bullet file via `storage`.
+  Result<Capability> snapshot(const Capability& log, BulletClient& storage,
+                              int pfactor, std::uint64_t length = 0);
+
+  const Capability& server_capability() const noexcept { return server_; }
+
+ private:
+  Result<Bytes> call(const Capability& target, std::uint16_t opcode,
+                     Bytes body);
+
+  rpc::Transport* transport_;
+  Capability server_;
+};
+
+}  // namespace bullet::logsvc

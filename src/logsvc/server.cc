@@ -1,0 +1,444 @@
+#include "logsvc/server.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.h"
+#include "common/serde.h"
+
+namespace bullet::logsvc {
+namespace {
+
+constexpr char kLog[] = "logsvc";
+constexpr std::uint32_t kDescriptorMagic = 0x4C4F4731;  // "LOG1"
+constexpr std::uint32_t kExtentMagic = 0x4C455854;      // "LEXT"
+constexpr std::uint32_t kNoSlot = 0xFFFFFFFF;
+
+void put_le(MutableByteSpan out, std::size_t at, std::uint64_t v,
+            int nbytes) noexcept {
+  for (int i = 0; i < nbytes; ++i) {
+    out[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+std::uint64_t get_le(ByteSpan in, std::size_t at, int nbytes) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < nbytes; ++i) {
+    v |= static_cast<std::uint64_t>(in[at + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+Status LogServer::format(BlockDevice& device, std::uint32_t log_slots) {
+  const std::uint64_t bs = device.block_size();
+  if (bs < 64 || bs % LogNode::kDiskSize != 0) {
+    return Error(ErrorCode::bad_argument, "block size must be a multiple of 32");
+  }
+  if (log_slots < 2) {
+    return Error(ErrorCode::bad_argument, "need at least one log slot");
+  }
+  const std::uint64_t table_blocks =
+      (static_cast<std::uint64_t>(log_slots) * LogNode::kDiskSize + bs - 1) / bs;
+  if (1 + table_blocks + (kExtentDataBlocks + 1) > device.num_blocks()) {
+    return Error(ErrorCode::bad_argument, "device too small for one extent");
+  }
+  Bytes block(bs, 0);
+  put_le(block, 0, kDescriptorMagic, 4);
+  put_le(block, 4, bs, 4);
+  put_le(block, 8, table_blocks, 4);
+  BULLET_RETURN_IF_ERROR(device.write(0, block));
+  Bytes table(table_blocks * bs, 0);
+  BULLET_RETURN_IF_ERROR(device.write(1, table));
+  return device.flush();
+}
+
+LogServer::LogServer(BlockDevice* device, LogConfig config,
+                     std::uint32_t table_blocks)
+    : device_(device),
+      config_(config),
+      public_port_(derive_public_port(config.private_port)),
+      sealer_(config.secret),
+      rng_(config.rng_seed),
+      table_blocks_(table_blocks) {
+  super_random_ = Speck64(config_.secret).encrypt(config_.private_port) & kMask48;
+  if (super_random_ == 0) super_random_ = 1;
+}
+
+Result<std::unique_ptr<LogServer>> LogServer::start(BlockDevice* device,
+                                                    LogConfig config) {
+  if (device == nullptr) return Error(ErrorCode::bad_argument, "null device");
+  Bytes block0(device->block_size());
+  BULLET_RETURN_IF_ERROR(device->read(0, block0));
+  if (get_le(block0, 0, 4) != kDescriptorMagic) {
+    return Error(ErrorCode::corrupt, "bad magic (not a log disk)");
+  }
+  if (get_le(block0, 4, 4) != device->block_size()) {
+    return Error(ErrorCode::corrupt, "descriptor block size mismatch");
+  }
+  const auto table_blocks = static_cast<std::uint32_t>(get_le(block0, 8, 4));
+  auto server = std::unique_ptr<LogServer>(
+      new LogServer(device, config, table_blocks));
+  BULLET_RETURN_IF_ERROR(server->boot());
+  return server;
+}
+
+std::uint64_t LogServer::extent_capacity_bytes() const noexcept {
+  return static_cast<std::uint64_t>(kExtentDataBlocks) * device_->block_size();
+}
+
+std::uint32_t LogServer::total_slots() const noexcept {
+  const std::uint64_t usable = device_->num_blocks() - 1 - table_blocks_;
+  return static_cast<std::uint32_t>(usable / (kExtentDataBlocks + 1));
+}
+
+std::uint32_t LogServer::slot_first_block(std::uint32_t slot) const noexcept {
+  return 1 + table_blocks_ + slot * (kExtentDataBlocks + 1);
+}
+
+Status LogServer::boot() {
+  const std::uint64_t bs = device_->block_size();
+  Bytes table(static_cast<std::size_t>(table_blocks_) * bs);
+  BULLET_RETURN_IF_ERROR(device_->read(1, table));
+
+  const std::uint32_t slots =
+      static_cast<std::uint32_t>(table.size() / LogNode::kDiskSize);
+  nodes_.assign(slots, LogNode{});
+  std::vector<bool> slot_used(total_slots(), false);
+  logs_live_ = 0;
+
+  for (std::uint32_t i = 1; i < slots; ++i) {
+    ByteSpan raw(table.data() + static_cast<std::size_t>(i) * LogNode::kDiskSize,
+                 LogNode::kDiskSize);
+    LogNode node;
+    node.random = get_le(raw, 0, 6);
+    const auto head = static_cast<std::uint32_t>(get_le(raw, 8, 4));
+    node.size = get_le(raw, 16, 8);
+    if (node.random == 0) continue;
+    // Rebuild the extent chain by walking headers.
+    std::uint32_t slot = head;
+    bool ok = true;
+    while (slot != kNoSlot) {
+      if (slot >= total_slots() || slot_used[slot]) {
+        ok = false;
+        break;
+      }
+      slot_used[slot] = true;
+      node.extents.push_back(slot);
+      auto next = read_extent_header(slot);
+      if (!next.ok()) {
+        ok = false;
+        break;
+      }
+      slot = next.value();
+    }
+    const std::uint64_t capacity =
+        node.extents.size() * extent_capacity_bytes();
+    if (!ok || node.size > capacity) {
+      BULLET_LOG(warn, kLog) << "log " << i << " chain damaged, cleared";
+      for (const std::uint32_t s : node.extents) slot_used[s] = false;
+      continue;
+    }
+    nodes_[i] = std::move(node);
+    ++logs_live_;
+  }
+
+  free_nodes_.clear();
+  for (std::uint32_t i = slots; i-- > 1;) {
+    if (nodes_[i].random == 0) free_nodes_.push_back(i);
+  }
+  free_slots_.clear();
+  for (std::uint32_t s = total_slots(); s-- > 0;) {
+    if (!slot_used[s]) free_slots_.push_back(s);
+  }
+  return Status::success();
+}
+
+Result<std::uint32_t> LogServer::verify(const Capability& cap,
+                                        std::uint8_t required) const {
+  if (cap.port != public_port_) {
+    return Error(ErrorCode::bad_capability, "wrong server port");
+  }
+  std::uint64_t random = 0;
+  if (cap.object == 0) {
+    random = super_random_;
+  } else {
+    if (cap.object >= nodes_.size() || nodes_[cap.object].random == 0) {
+      return Error(ErrorCode::no_such_object, "no such log");
+    }
+    random = nodes_[cap.object].random;
+  }
+  if (!sealer_.verify(cap.rights, random, cap.check)) {
+    return Error(ErrorCode::bad_capability, "check field invalid");
+  }
+  if (!cap.has_rights(required)) {
+    return Error(ErrorCode::permission, "insufficient rights");
+  }
+  return cap.object;
+}
+
+Capability LogServer::super_capability(std::uint8_t rights) const {
+  Capability cap;
+  cap.port = public_port_;
+  cap.object = 0;
+  cap.rights = rights;
+  cap.check = sealer_.seal(rights, super_random_);
+  return cap;
+}
+
+Status LogServer::persist_log_node(std::uint32_t index) {
+  const std::uint64_t bs = device_->block_size();
+  const std::uint32_t per_block =
+      static_cast<std::uint32_t>(bs / LogNode::kDiskSize);
+  const std::uint32_t block = 1 + index / per_block;
+  const std::uint32_t base = (index / per_block) * per_block;
+  Bytes data(bs, 0);
+  for (std::uint32_t i = 0; i < per_block && base + i < nodes_.size(); ++i) {
+    if (base + i == 0) continue;  // slot 0 reserved
+    const LogNode& node = nodes_[base + i];
+    MutableByteSpan out(data.data() + static_cast<std::size_t>(i) * LogNode::kDiskSize,
+                        LogNode::kDiskSize);
+    put_le(out, 0, node.random, 6);
+    put_le(out, 8, node.extents.empty() ? kNoSlot : node.extents.front(), 4);
+    put_le(out, 16, node.size, 8);
+  }
+  return device_->write(block, data);
+}
+
+Status LogServer::write_extent_header(std::uint32_t slot,
+                                      std::uint32_t next_slot) {
+  Bytes header(device_->block_size(), 0);
+  put_le(header, 0, kExtentMagic, 4);
+  put_le(header, 4, next_slot, 4);
+  return device_->write(slot_first_block(slot), header);
+}
+
+Result<std::uint32_t> LogServer::read_extent_header(std::uint32_t slot) {
+  Bytes header(device_->block_size());
+  BULLET_RETURN_IF_ERROR(device_->read(slot_first_block(slot), header));
+  if (get_le(header, 0, 4) != kExtentMagic) {
+    return Error(ErrorCode::corrupt, "bad extent header");
+  }
+  return static_cast<std::uint32_t>(get_le(header, 4, 4));
+}
+
+Result<std::uint32_t> LogServer::alloc_extent(std::uint32_t prev_slot) {
+  if (free_slots_.empty()) {
+    return Error(ErrorCode::no_space, "no free extents");
+  }
+  const std::uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  // New extent's header first (terminates the chain), then link it in.
+  const Status st = write_extent_header(slot, kNoSlot);
+  if (!st.ok()) {
+    free_slots_.push_back(slot);
+    return st.error();
+  }
+  if (prev_slot != kNoSlot) {
+    BULLET_RETURN_IF_ERROR(write_extent_header(prev_slot, slot));
+  }
+  return slot;
+}
+
+Result<Capability> LogServer::create_log() {
+  if (free_nodes_.empty()) {
+    return Error(ErrorCode::no_space, "log table full");
+  }
+  const std::uint32_t index = free_nodes_.back();
+  LogNode& node = nodes_[index];
+  node.random = rng_.next() & kMask48;
+  if (node.random == 0) node.random = 1;
+  node.size = 0;
+  node.extents.clear();
+  const Status st = persist_log_node(index);
+  if (!st.ok()) {
+    node = LogNode{};
+    return st.error();
+  }
+  free_nodes_.pop_back();
+  ++logs_live_;
+  Capability cap;
+  cap.port = public_port_;
+  cap.object = index;
+  cap.rights = rights::kAll;
+  cap.check = sealer_.seal(rights::kAll, node.random);
+  return cap;
+}
+
+Result<std::uint64_t> LogServer::append(const Capability& cap, ByteSpan data) {
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t index,
+                          verify(cap, rights::kWrite));
+  if (index == 0) {
+    return Error(ErrorCode::bad_argument, "server object is not a log");
+  }
+  LogNode& node = nodes_[index];
+  const std::uint64_t bs = device_->block_size();
+  const std::uint64_t ecap = extent_capacity_bytes();
+
+  // Grow the chain to cover the new size.
+  const std::uint64_t needed_extents =
+      (node.size + data.size() + ecap - 1) / ecap;
+  while (node.extents.size() < needed_extents) {
+    const std::uint32_t prev =
+        node.extents.empty() ? kNoSlot : node.extents.back();
+    BULLET_ASSIGN_OR_RETURN(const std::uint32_t slot, alloc_extent(prev));
+    node.extents.push_back(slot);
+  }
+
+  // Write the data blocks (before the size — the commit point).
+  std::uint64_t done = 0;
+  while (done < data.size()) {
+    const std::uint64_t pos = node.size + done;
+    const std::uint32_t slot = node.extents[pos / ecap];
+    const std::uint64_t in_extent = pos % ecap;
+    const std::uint64_t block_index = in_extent / bs;
+    const std::uint64_t in_block = in_extent % bs;
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(bs - in_block, data.size() - done);
+    const std::uint64_t device_block =
+        slot_first_block(slot) + 1 + block_index;
+    Bytes block(bs, 0);
+    if (in_block != 0 || chunk < bs) {
+      // Partial block: only the tail block of the log can be partial.
+      BULLET_RETURN_IF_ERROR(device_->read(device_block, block));
+    }
+    std::memcpy(block.data() + in_block, data.data() + done, chunk);
+    BULLET_RETURN_IF_ERROR(device_->write(device_block, block));
+    done += chunk;
+  }
+
+  node.size += data.size();
+  const Status persisted = persist_log_node(index);
+  if (!persisted.ok()) {
+    // The size on disk is the commit point; keep RAM consistent with it.
+    node.size -= data.size();
+    return persisted.error();
+  }
+  return node.size;
+}
+
+Result<Bytes> LogServer::read_range(const Capability& cap,
+                                    std::uint64_t offset,
+                                    std::uint64_t length) {
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t index,
+                          verify(cap, rights::kRead));
+  if (index == 0) {
+    return Error(ErrorCode::bad_argument, "server object is not a log");
+  }
+  const LogNode& node = nodes_[index];
+  if (offset >= node.size) return Bytes{};
+  const std::uint64_t want = std::min(length, node.size - offset);
+  const std::uint64_t bs = device_->block_size();
+  const std::uint64_t ecap = extent_capacity_bytes();
+  Bytes out(want);
+  std::uint64_t done = 0;
+  Bytes block(bs);
+  while (done < want) {
+    const std::uint64_t pos = offset + done;
+    const std::uint32_t slot = node.extents[pos / ecap];
+    const std::uint64_t in_extent = pos % ecap;
+    const std::uint64_t block_index = in_extent / bs;
+    const std::uint64_t in_block = in_extent % bs;
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(bs - in_block, want - done);
+    BULLET_RETURN_IF_ERROR(
+        device_->read(slot_first_block(slot) + 1 + block_index, block));
+    std::memcpy(out.data() + done, block.data() + in_block, chunk);
+    done += chunk;
+  }
+  return out;
+}
+
+Result<std::uint64_t> LogServer::log_size(const Capability& cap) const {
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t index,
+                          verify(cap, rights::kRead));
+  if (index == 0) {
+    return Error(ErrorCode::bad_argument, "server object is not a log");
+  }
+  return nodes_[index].size;
+}
+
+Status LogServer::delete_log(const Capability& cap) {
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t index,
+                          verify(cap, rights::kDelete));
+  if (index == 0) {
+    return Error(ErrorCode::bad_argument, "server object is not a log");
+  }
+  LogNode& node = nodes_[index];
+  for (const std::uint32_t slot : node.extents) free_slots_.push_back(slot);
+  node = LogNode{};
+  BULLET_RETURN_IF_ERROR(persist_log_node(index));
+  free_nodes_.push_back(index);
+  --logs_live_;
+  return Status::success();
+}
+
+Status LogServer::sync() { return device_->flush(); }
+
+rpc::Reply LogServer::handle(const rpc::Request& request) {
+  Reader body(request.body);
+  switch (request.opcode) {
+    case kCreateLog: {
+      if (!body.done()) return rpc::Reply::error(ErrorCode::bad_argument);
+      const auto verified = verify(request.target, rights::kWrite);
+      if (!verified.ok()) return rpc::Reply::error(verified.code());
+      if (verified.value() != 0) {
+        return rpc::Reply::error(ErrorCode::bad_argument);
+      }
+      auto cap = create_log();
+      if (!cap.ok()) return rpc::Reply::error(cap.code());
+      Writer w(Capability::kWireSize);
+      cap.value().encode(w);
+      return rpc::Reply::success(std::move(w).take());
+    }
+    case kAppend: {
+      auto data = body.blob();
+      if (!data.ok() || !body.done()) {
+        return rpc::Reply::error(ErrorCode::bad_argument);
+      }
+      auto new_size = append(request.target, data.value());
+      if (!new_size.ok()) return rpc::Reply::error(new_size.code());
+      Writer w(8);
+      w.u64(new_size.value());
+      return rpc::Reply::success(std::move(w).take());
+    }
+    case kReadRange: {
+      auto offset = body.u64();
+      auto length = offset.ok() ? body.u64() : offset;
+      if (!length.ok() || !body.done()) {
+        return rpc::Reply::error(ErrorCode::bad_argument);
+      }
+      auto data = read_range(request.target, offset.value(), length.value());
+      if (!data.ok()) return rpc::Reply::error(data.code());
+      Writer w(4 + data.value().size());
+      w.blob(data.value());
+      return rpc::Reply::success(std::move(w).take());
+    }
+    case kLogSize: {
+      if (!body.done()) return rpc::Reply::error(ErrorCode::bad_argument);
+      auto n = log_size(request.target);
+      if (!n.ok()) return rpc::Reply::error(n.code());
+      Writer w(8);
+      w.u64(n.value());
+      return rpc::Reply::success(std::move(w).take());
+    }
+    case kDeleteLog: {
+      if (!body.done()) return rpc::Reply::error(ErrorCode::bad_argument);
+      const Status st = delete_log(request.target);
+      return st.ok() ? rpc::Reply::success() : rpc::Reply::error(st.code());
+    }
+    case kSync: {
+      const auto verified = verify(request.target, rights::kAdmin);
+      if (!verified.ok()) return rpc::Reply::error(verified.code());
+      const Status st = sync();
+      return st.ok() ? rpc::Reply::success() : rpc::Reply::error(st.code());
+    }
+    default:
+      return rpc::Reply::error(ErrorCode::not_supported);
+  }
+}
+
+}  // namespace bullet::logsvc

@@ -1,0 +1,113 @@
+// The log server.
+//
+//   "Each append to a log file, for example, would require the whole file
+//    to be copied. ... For log files we have implemented a separate
+//    server."
+//
+// Logs are append-only objects stored as chains of fixed-size extents on
+// the server's own disk, so APPEND is O(appended bytes): it writes only the
+// tail blocks and the log-table entry, never the whole log. The size field
+// in the log table is the commit point — data blocks are written before it,
+// so a crash mid-append loses at most the un-committed tail.
+//
+// Disk layout:
+//   block 0:             descriptor {magic, block size, table blocks}
+//   blocks 1..T:         log table (32-byte entries)
+//   rest, in slots of kExtentBlocks blocks:
+//       extent = 1 header block {magic, next slot} + data blocks
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cap/capability.h"
+#include "common/rng.h"
+#include "crypto/oneway.h"
+#include "disk/block_device.h"
+#include "rpc/transport.h"
+
+namespace bullet::logsvc {
+
+// Opcodes.
+inline constexpr std::uint16_t kCreateLog = 1;
+inline constexpr std::uint16_t kAppend = 2;    // (data) -> new size
+inline constexpr std::uint16_t kReadRange = 3; // (offset, length) -> data
+inline constexpr std::uint16_t kLogSize = 4;   // () -> size
+inline constexpr std::uint16_t kDeleteLog = 5;
+inline constexpr std::uint16_t kSync = 6;      // admin
+
+// Data blocks per extent (plus one header block per extent).
+inline constexpr std::uint32_t kExtentDataBlocks = 63;
+
+struct LogConfig {
+  std::uint64_t private_port = 0x10C;
+  Speck64::Key secret{0x7C, 0x09, 0x5A, 0x33, 0x91, 0xE4, 0x2B, 0xC8,
+                      0x0F, 0x6D, 0xA7, 0x44, 0xDE, 0x12, 0x88, 0x3B};
+  std::uint64_t rng_seed = 0x10C5EED;
+};
+
+class LogServer final : public rpc::Service {
+ public:
+  static Status format(BlockDevice& device, std::uint32_t log_slots);
+  static Result<std::unique_ptr<LogServer>> start(BlockDevice* device,
+                                                  LogConfig config);
+
+  Result<Capability> create_log();
+  // Returns the log size after the append.
+  Result<std::uint64_t> append(const Capability& cap, ByteSpan data);
+  Result<Bytes> read_range(const Capability& cap, std::uint64_t offset,
+                           std::uint64_t length);
+  Result<std::uint64_t> log_size(const Capability& cap) const;
+  Status delete_log(const Capability& cap);
+  Status sync();
+
+  Capability super_capability(std::uint8_t rights = rights::kAll) const;
+
+  Port public_port() const noexcept override { return public_port_; }
+  rpc::Reply handle(const rpc::Request& request) override;
+
+  std::uint32_t free_extents() const noexcept {
+    return static_cast<std::uint32_t>(free_slots_.size());
+  }
+  std::uint64_t logs_live() const noexcept { return logs_live_; }
+
+ private:
+  struct LogNode {
+    std::uint64_t random = 0;  // 0 = slot free
+    std::uint64_t size = 0;
+    std::vector<std::uint32_t> extents;  // slot chain, rebuilt at boot
+
+    static constexpr std::size_t kDiskSize = 32;
+  };
+
+  LogServer(BlockDevice* device, LogConfig config, std::uint32_t table_blocks);
+
+  Status boot();
+  Result<std::uint32_t> verify(const Capability& cap,
+                               std::uint8_t required) const;
+
+  std::uint64_t extent_capacity_bytes() const noexcept;
+  std::uint32_t slot_first_block(std::uint32_t slot) const noexcept;
+  std::uint32_t total_slots() const noexcept;
+
+  Result<std::uint32_t> alloc_extent(std::uint32_t prev_slot);
+  Status persist_log_node(std::uint32_t index);
+  Status write_extent_header(std::uint32_t slot, std::uint32_t next_slot);
+  Result<std::uint32_t> read_extent_header(std::uint32_t slot);
+
+  BlockDevice* device_;
+  LogConfig config_;
+  Port public_port_;
+  CheckSealer sealer_;
+  Rng rng_;
+  std::uint64_t super_random_ = 0;
+
+  std::uint32_t table_blocks_ = 0;
+  std::vector<LogNode> nodes_;
+  std::vector<std::uint32_t> free_nodes_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t logs_live_ = 0;
+};
+
+}  // namespace bullet::logsvc

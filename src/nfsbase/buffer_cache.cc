@@ -1,0 +1,118 @@
+#include "nfsbase/buffer_cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bullet::nfsbase {
+
+BufferCache::BufferCache(BlockDevice* device, std::uint64_t capacity_bytes)
+    : device_(device),
+      capacity_buffers_(std::max<std::uint64_t>(
+          1, capacity_bytes / device->block_size())) {}
+
+void BufferCache::touch(std::uint64_t block, Buffer& buf) {
+  lru_.erase(buf.lru_pos);
+  lru_.push_front(block);
+  buf.lru_pos = lru_.begin();
+}
+
+Status BufferCache::evict_one() {
+  assert(!lru_.empty());
+  const std::uint64_t victim = lru_.back();
+  auto it = map_.find(victim);
+  assert(it != map_.end());
+  if (it->second.dirty) {
+    BULLET_RETURN_IF_ERROR(device_->write(victim, it->second.data));
+    ++stats_.writebacks;
+  }
+  lru_.pop_back();
+  map_.erase(it);
+  ++stats_.evictions;
+  return Status::success();
+}
+
+Result<BufferCache::Buffer*> BufferCache::fetch(std::uint64_t block,
+                                                bool load_from_disk) {
+  auto it = map_.find(block);
+  if (it != map_.end()) {
+    ++stats_.hits;
+    touch(block, it->second);
+    return &it->second;
+  }
+  ++stats_.misses;
+  while (map_.size() >= capacity_buffers_) {
+    BULLET_RETURN_IF_ERROR(evict_one());
+  }
+  Buffer buf;
+  buf.data.resize(device_->block_size());
+  if (load_from_disk) {
+    BULLET_RETURN_IF_ERROR(device_->read(block, buf.data));
+  }
+  lru_.push_front(block);
+  buf.lru_pos = lru_.begin();
+  auto [pos, inserted] = map_.emplace(block, std::move(buf));
+  assert(inserted);
+  (void)inserted;
+  return &pos->second;
+}
+
+Result<ByteSpan> BufferCache::read(std::uint64_t block) {
+  BULLET_ASSIGN_OR_RETURN(Buffer * buf, fetch(block, /*load_from_disk=*/true));
+  return ByteSpan(buf->data);
+}
+
+Status BufferCache::read_bypass(std::uint64_t block, MutableByteSpan out) {
+  // Serve from cache if present (coherence), but never populate it.
+  auto it = map_.find(block);
+  if (it != map_.end()) {
+    ++stats_.hits;
+    std::copy(it->second.data.begin(), it->second.data.end(), out.begin());
+    return Status::success();
+  }
+  ++stats_.misses;
+  return device_->read(block, out);
+}
+
+Status BufferCache::write_through(std::uint64_t block, ByteSpan data) {
+  if (data.size() != device_->block_size()) {
+    return Error(ErrorCode::bad_argument, "cache writes are whole blocks");
+  }
+  BULLET_ASSIGN_OR_RETURN(Buffer * buf, fetch(block, /*load_from_disk=*/false));
+  buf->data.assign(data.begin(), data.end());
+  buf->dirty = false;
+  return device_->write(block, data);
+}
+
+Status BufferCache::write_back(std::uint64_t block, ByteSpan data) {
+  if (data.size() != device_->block_size()) {
+    return Error(ErrorCode::bad_argument, "cache writes are whole blocks");
+  }
+  BULLET_ASSIGN_OR_RETURN(Buffer * buf, fetch(block, /*load_from_disk=*/false));
+  buf->data.assign(data.begin(), data.end());
+  buf->dirty = true;
+  return Status::success();
+}
+
+Status BufferCache::write_bypass(std::uint64_t block, ByteSpan data) {
+  invalidate(block);
+  return device_->write(block, data);
+}
+
+Status BufferCache::flush() {
+  for (auto& [block, buf] : map_) {
+    if (!buf.dirty) continue;
+    BULLET_RETURN_IF_ERROR(device_->write(block, buf.data));
+    buf.dirty = false;
+    ++stats_.writebacks;
+  }
+  return device_->flush();
+}
+
+void BufferCache::invalidate(std::uint64_t block) {
+  auto it = map_.find(block);
+  if (it == map_.end()) return;
+  lru_.erase(it->second.lru_pos);
+  map_.erase(it);
+}
+
+}  // namespace bullet::nfsbase

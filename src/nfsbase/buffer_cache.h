@@ -1,0 +1,77 @@
+// Block buffer cache for the baseline server: fixed number of block-sized
+// buffers, LRU replacement, explicit write-through vs. write-back per
+// update (SunOS wrote file data and inodes synchronously for NFS but
+// deferred allocation-bitmap updates), plus a bypass path used for the
+// free-behind policy on large sequential files.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "disk/block_device.h"
+
+namespace bullet::nfsbase {
+
+class BufferCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
+  };
+
+  // `device` must outlive the cache. `capacity_bytes` is rounded down to
+  // whole buffers (the paper's NFS server had a 3 MB buffer cache).
+  BufferCache(BlockDevice* device, std::uint64_t capacity_bytes);
+
+  // Read through the cache; the returned span is valid until the next
+  // cache operation.
+  Result<ByteSpan> read(std::uint64_t block);
+
+  // Read directly from disk into `out`, leaving the cache untouched
+  // (free-behind: large sequential files must not wipe the cache).
+  Status read_bypass(std::uint64_t block, MutableByteSpan out);
+
+  // Update a block in cache and on disk now.
+  Status write_through(std::uint64_t block, ByteSpan data);
+
+  // Update a block in cache only; flushed by flush() or on eviction.
+  Status write_back(std::uint64_t block, ByteSpan data);
+
+  // Write directly to disk, dropping any cached copy (free-behind writes).
+  Status write_bypass(std::uint64_t block, ByteSpan data);
+
+  // Push all dirty buffers out.
+  Status flush();
+
+  // Drop a clean/dirty buffer without writing (file deleted).
+  void invalidate(std::uint64_t block);
+
+  const Stats& stats() const noexcept { return stats_; }
+  std::size_t buffers_in_use() const noexcept { return map_.size(); }
+  std::size_t capacity_buffers() const noexcept { return capacity_buffers_; }
+
+ private:
+  struct Buffer {
+    Bytes data;
+    bool dirty = false;
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
+
+  // Get-or-load the buffer for `block`; evicts LRU as needed.
+  Result<Buffer*> fetch(std::uint64_t block, bool load_from_disk);
+  Status evict_one();
+  void touch(std::uint64_t block, Buffer& buf);
+
+  BlockDevice* device_;
+  std::size_t capacity_buffers_;
+  std::unordered_map<std::uint64_t, Buffer> map_;
+  std::list<std::uint64_t> lru_;  // front = most recent
+  Stats stats_;
+};
+
+}  // namespace bullet::nfsbase

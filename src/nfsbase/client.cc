@@ -1,0 +1,134 @@
+#include "nfsbase/client.h"
+
+#include <algorithm>
+
+namespace bullet::nfsbase {
+
+Result<Bytes> NfsClient::call(const Capability& target, std::uint16_t opcode,
+                              Bytes body) {
+  rpc::Request request;
+  request.target = target;
+  request.opcode = opcode;
+  request.body = std::move(body);
+  BULLET_ASSIGN_OR_RETURN(rpc::Reply reply, transport_->call(request));
+  if (reply.status != ErrorCode::ok) return Error(reply.status);
+  return std::move(reply.body);
+}
+
+Result<Capability> NfsClient::create(const std::string& name) {
+  Writer w;
+  w.str(name);
+  BULLET_ASSIGN_OR_RETURN(Bytes body,
+                          call(server_, kCreate, std::move(w).take()));
+  Reader r(body);
+  return Capability::decode(r);
+}
+
+Result<Capability> NfsClient::lookup(const std::string& name) {
+  Writer w;
+  w.str(name);
+  BULLET_ASSIGN_OR_RETURN(Bytes body,
+                          call(server_, kLookup, std::move(w).take()));
+  Reader r(body);
+  return Capability::decode(r);
+}
+
+Result<Bytes> NfsClient::read(const Capability& handle, std::uint64_t offset,
+                              std::uint32_t length) {
+  Writer w(12);
+  w.u64(offset);
+  w.u32(length);
+  BULLET_ASSIGN_OR_RETURN(Bytes body,
+                          call(handle, kRead, std::move(w).take()));
+  Reader r(body);
+  BULLET_ASSIGN_OR_RETURN(ByteSpan data, r.blob());
+  return Bytes(data.begin(), data.end());
+}
+
+Result<std::uint64_t> NfsClient::write(const Capability& handle,
+                                       std::uint64_t offset, ByteSpan data) {
+  Writer w(12 + data.size());
+  w.u64(offset);
+  w.blob(data);
+  BULLET_ASSIGN_OR_RETURN(Bytes body,
+                          call(handle, kWrite, std::move(w).take()));
+  Reader r(body);
+  return r.u64();
+}
+
+Result<Attr> NfsClient::getattr(const Capability& handle) {
+  BULLET_ASSIGN_OR_RETURN(Bytes body, call(handle, kGetattr, {}));
+  Reader r(body);
+  return Attr::decode(r);
+}
+
+Status NfsClient::remove(const std::string& name) {
+  Writer w;
+  w.str(name);
+  auto result = call(server_, kRemove, std::move(w).take());
+  if (!result.ok()) return result.error();
+  return Status::success();
+}
+
+Status NfsClient::truncate(const Capability& handle, std::uint64_t length) {
+  Writer w(8);
+  w.u64(length);
+  auto result = call(handle, kTruncate, std::move(w).take());
+  if (!result.ok()) return result.error();
+  return Status::success();
+}
+
+Result<NfsStats> NfsClient::stats() {
+  BULLET_ASSIGN_OR_RETURN(Bytes body, call(server_, kStats, {}));
+  Reader r(body);
+  return NfsStats::decode(r);
+}
+
+Status NfsClient::sync() {
+  auto result = call(server_, kSync, {});
+  if (!result.ok()) return result.error();
+  return Status::success();
+}
+
+Result<Bytes> NfsClient::read_file(const Capability& handle) {
+  // open() fetches attributes, then the read loop issues sequential 8 KB
+  // READs — the NFS client path with caching disabled.
+  BULLET_ASSIGN_OR_RETURN(const Attr attr, getattr(handle));
+  return read_file_body(handle, attr.size);
+}
+
+Result<Bytes> NfsClient::read_file_body(const Capability& handle,
+                                        std::uint64_t size) {
+  Bytes out;
+  out.reserve(size);
+  std::uint64_t offset = 0;
+  while (offset < size) {
+    const std::uint32_t chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(kTransferSize, size - offset));
+    BULLET_ASSIGN_OR_RETURN(Bytes piece, read(handle, offset, chunk));
+    if (piece.empty()) break;  // concurrent truncate
+    append(out, piece);
+    offset += piece.size();
+  }
+  return out;
+}
+
+Result<Capability> NfsClient::write_file(const std::string& name,
+                                         ByteSpan data) {
+  // creat + sequential 8 KB WRITEs; close is a no-op in the protocol
+  // because NFSv2 writes are already synchronous.
+  BULLET_ASSIGN_OR_RETURN(const Capability handle, create(name));
+  std::uint64_t offset = 0;
+  while (offset < data.size()) {
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(kTransferSize, data.size() - offset);
+    BULLET_ASSIGN_OR_RETURN(
+        const std::uint64_t new_size,
+        write(handle, offset, data.subspan(offset, chunk)));
+    (void)new_size;
+    offset += chunk;
+  }
+  return handle;
+}
+
+}  // namespace bullet::nfsbase

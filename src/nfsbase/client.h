@@ -1,0 +1,53 @@
+// Client stub for the baseline server, including the chunked whole-file
+// helpers the benchmark uses. Structurally this client behaves like an NFS
+// client with caching disabled (the paper locked files with lockf to force
+// that): every read and write of a large file becomes a sequence of
+// synchronous 8 KB RPCs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cap/capability.h"
+#include "nfsbase/wire.h"
+#include "rpc/transport.h"
+
+namespace bullet::nfsbase {
+
+class NfsClient {
+ public:
+  NfsClient(rpc::Transport* transport, Capability server)
+      : transport_(transport), server_(server) {}
+
+  Result<Capability> create(const std::string& name);
+  Result<Capability> lookup(const std::string& name);
+  Result<Bytes> read(const Capability& handle, std::uint64_t offset,
+                     std::uint32_t length);
+  Result<std::uint64_t> write(const Capability& handle, std::uint64_t offset,
+                              ByteSpan data);
+  Result<Attr> getattr(const Capability& handle);
+  Status remove(const std::string& name);
+  Status truncate(const Capability& handle, std::uint64_t length);
+  Result<NfsStats> stats();
+  Status sync();
+
+  // The measured paths: lseek+read / creat+write+close equivalents, moving
+  // the file in kTransferSize chunks. read_file fetches attributes first
+  // (the open() path); read_file_body is the bare read loop for a size the
+  // caller already knows (the paper timed lseek+read with the file already
+  // open).
+  Result<Bytes> read_file(const Capability& handle);
+  Result<Bytes> read_file_body(const Capability& handle, std::uint64_t size);
+  Result<Capability> write_file(const std::string& name, ByteSpan data);
+
+  const Capability& server_capability() const noexcept { return server_; }
+
+ private:
+  Result<Bytes> call(const Capability& target, std::uint16_t opcode,
+                     Bytes body);
+
+  rpc::Transport* transport_;
+  Capability server_;
+};
+
+}  // namespace bullet::nfsbase

@@ -1,0 +1,85 @@
+#include "nfsbase/layout.h"
+
+namespace bullet::nfsbase {
+namespace {
+
+void put_le(MutableByteSpan out, std::size_t at, std::uint64_t v,
+            int nbytes) noexcept {
+  for (int i = 0; i < nbytes; ++i) {
+    out[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+std::uint64_t get_le(ByteSpan in, std::size_t at, int nbytes) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < nbytes; ++i) {
+    v |= static_cast<std::uint64_t>(in[at + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void Superblock::encode(MutableByteSpan out) const noexcept {
+  put_le(out, 0, kMagic, 4);
+  put_le(out, 4, block_size, 4);
+  put_le(out, 8, total_blocks, 4);
+  put_le(out, 12, bitmap_blocks, 4);
+  put_le(out, 16, inode_blocks, 4);
+  put_le(out, 20, inode_count, 4);
+  put_le(out, 24, data_start, 4);
+}
+
+Result<Superblock> Superblock::decode(ByteSpan in) noexcept {
+  if (in.size() < kDiskSize) {
+    return Error(ErrorCode::corrupt, "superblock truncated");
+  }
+  if (get_le(in, 0, 4) != kMagic) {
+    return Error(ErrorCode::corrupt, "bad magic (not an nfsbase disk)");
+  }
+  Superblock sb;
+  sb.block_size = static_cast<std::uint32_t>(get_le(in, 4, 4));
+  sb.total_blocks = static_cast<std::uint32_t>(get_le(in, 8, 4));
+  sb.bitmap_blocks = static_cast<std::uint32_t>(get_le(in, 12, 4));
+  sb.inode_blocks = static_cast<std::uint32_t>(get_le(in, 16, 4));
+  sb.inode_count = static_cast<std::uint32_t>(get_le(in, 20, 4));
+  sb.data_start = static_cast<std::uint32_t>(get_le(in, 24, 4));
+  if (sb.block_size == 0 || sb.data_start == 0 ||
+      sb.data_start > sb.total_blocks) {
+    return Error(ErrorCode::corrupt, "implausible superblock");
+  }
+  return sb;
+}
+
+void DInode::encode(MutableByteSpan out) const noexcept {
+  for (std::size_t i = 0; i < kDiskSize; ++i) out[i] = 0;
+  put_le(out, 0, static_cast<std::uint8_t>(type), 1);
+  put_le(out, 8, size, 8);
+  put_le(out, 16, random, 6);
+  put_le(out, 24, mtime, 8);
+  for (std::uint32_t i = 0; i < kDirectBlocks; ++i) {
+    put_le(out, 32 + i * 4, direct[i], 4);
+  }
+  put_le(out, 32 + kDirectBlocks * 4, indirect, 4);
+  put_le(out, 36 + kDirectBlocks * 4, double_indirect, 4);
+}
+
+DInode DInode::decode(ByteSpan in) noexcept {
+  DInode ino;
+  ino.type = static_cast<Type>(get_le(in, 0, 1));
+  ino.size = get_le(in, 8, 8);
+  ino.random = get_le(in, 16, 6);
+  ino.mtime = get_le(in, 24, 8);
+  for (std::uint32_t i = 0; i < kDirectBlocks; ++i) {
+    ino.direct[i] = static_cast<std::uint32_t>(get_le(in, 32 + i * 4, 4));
+  }
+  ino.indirect =
+      static_cast<std::uint32_t>(get_le(in, 32 + kDirectBlocks * 4, 4));
+  ino.double_indirect =
+      static_cast<std::uint32_t>(get_le(in, 36 + kDirectBlocks * 4, 4));
+  return ino;
+}
+
+}  // namespace bullet::nfsbase

@@ -1,0 +1,100 @@
+// On-disk layout of the baseline block file server.
+//
+// This is the "traditional file system" of the paper's introduction, built
+// the way SunOS-era UFS + NFS actually worked: files are split into fixed
+// 8 KB blocks scattered over the disk, administered through inodes with
+// direct and indirect block pointers, with a block-allocation bitmap and a
+// (write-through) buffer cache in front of the disk.
+//
+//   block 0:                superblock
+//   blocks 1..B:            allocation bitmap (1 bit per block)
+//   blocks B+1..B+I:        inode table (128-byte inodes)
+//   remaining blocks:       data + indirect blocks
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace bullet::nfsbase {
+
+inline constexpr std::uint32_t kDirectBlocks = 10;
+
+struct Superblock {
+  static constexpr std::uint32_t kMagic = 0x4E465331;  // "NFS1"
+  static constexpr std::size_t kDiskSize = 32;
+
+  std::uint32_t block_size = 0;
+  std::uint32_t total_blocks = 0;
+  std::uint32_t bitmap_blocks = 0;
+  std::uint32_t inode_blocks = 0;
+  std::uint32_t inode_count = 0;
+  std::uint32_t data_start = 0;  // first block after the inode table
+
+  void encode(MutableByteSpan out) const noexcept;
+  static Result<Superblock> decode(ByteSpan in) noexcept;
+};
+
+// 128 bytes on disk; 64 inodes per 8 KB block.
+struct DInode {
+  static constexpr std::size_t kDiskSize = 128;
+
+  enum class Type : std::uint8_t { free = 0, file = 1 };
+
+  Type type = Type::free;
+  std::uint64_t size = 0;
+  std::uint64_t random = 0;  // capability key (low 48 bits)
+  std::uint64_t mtime = 0;   // logical modification counter
+  std::array<std::uint32_t, kDirectBlocks> direct{};
+  std::uint32_t indirect = 0;         // block of u32 pointers
+  std::uint32_t double_indirect = 0;  // block of pointers to pointer blocks
+
+  void encode(MutableByteSpan out) const noexcept;
+  static DInode decode(ByteSpan in) noexcept;
+};
+
+// Geometry helpers.
+class FsLayout {
+ public:
+  FsLayout() = default;
+  explicit FsLayout(Superblock sb) noexcept : sb_(sb) {}
+
+  const Superblock& superblock() const noexcept { return sb_; }
+  std::uint32_t block_size() const noexcept { return sb_.block_size; }
+  std::uint32_t pointers_per_block() const noexcept {
+    return sb_.block_size / 4;
+  }
+
+  std::uint32_t bitmap_start() const noexcept { return 1; }
+  std::uint32_t inode_start() const noexcept { return 1 + sb_.bitmap_blocks; }
+  std::uint32_t data_start() const noexcept { return sb_.data_start; }
+
+  std::uint32_t inodes_per_block() const noexcept {
+    return sb_.block_size / static_cast<std::uint32_t>(DInode::kDiskSize);
+  }
+  std::uint32_t inode_block(std::uint32_t ino) const noexcept {
+    return inode_start() + ino / inodes_per_block();
+  }
+  std::uint32_t inode_offset(std::uint32_t ino) const noexcept {
+    return (ino % inodes_per_block()) *
+           static_cast<std::uint32_t>(DInode::kDiskSize);
+  }
+
+  std::uint32_t bitmap_block_of(std::uint32_t block) const noexcept {
+    return bitmap_start() + block / (sb_.block_size * 8);
+  }
+
+  // Largest file addressable through direct + single + double indirection.
+  std::uint64_t max_file_bytes() const noexcept {
+    const std::uint64_t ppb = pointers_per_block();
+    return (kDirectBlocks + ppb + ppb * ppb) *
+           static_cast<std::uint64_t>(sb_.block_size);
+  }
+
+ private:
+  Superblock sb_;
+};
+
+}  // namespace bullet::nfsbase

@@ -1,0 +1,708 @@
+#include "nfsbase/server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace bullet::nfsbase {
+namespace {
+
+constexpr char kLog[] = "nfsbase";
+
+}  // namespace
+
+Status NfsServer::format(BlockDevice& device, std::uint32_t inode_count) {
+  const std::uint64_t bs = device.block_size();
+  if (bs < DInode::kDiskSize || bs % DInode::kDiskSize != 0) {
+    return Error(ErrorCode::bad_argument, "block size must be a multiple of 128");
+  }
+  if (inode_count < 2) {
+    return Error(ErrorCode::bad_argument, "need at least two inodes");
+  }
+  const std::uint64_t total = device.num_blocks();
+  const std::uint64_t bitmap_blocks = (total + bs * 8 - 1) / (bs * 8);
+  const std::uint64_t inode_blocks =
+      (static_cast<std::uint64_t>(inode_count) * DInode::kDiskSize + bs - 1) / bs;
+  const std::uint64_t data_start = 1 + bitmap_blocks + inode_blocks;
+  if (data_start >= total) {
+    return Error(ErrorCode::bad_argument, "metadata exceeds device");
+  }
+
+  Superblock sb;
+  sb.block_size = static_cast<std::uint32_t>(bs);
+  sb.total_blocks = static_cast<std::uint32_t>(total);
+  sb.bitmap_blocks = static_cast<std::uint32_t>(bitmap_blocks);
+  sb.inode_blocks = static_cast<std::uint32_t>(inode_blocks);
+  sb.inode_count = inode_count;
+  sb.data_start = static_cast<std::uint32_t>(data_start);
+
+  Bytes block(bs, 0);
+  sb.encode(MutableByteSpan(block.data(), Superblock::kDiskSize));
+  BULLET_RETURN_IF_ERROR(device.write(0, block));
+
+  // Bitmap: metadata blocks [0, data_start) are in use.
+  Bytes bitmap(bitmap_blocks * bs, 0);
+  for (std::uint64_t b = 0; b < data_start; ++b) {
+    bitmap[b / 8] |= static_cast<std::uint8_t>(1u << (b % 8));
+  }
+  BULLET_RETURN_IF_ERROR(device.write(1, bitmap));
+
+  // Zeroed inode table (all inodes free; inode 1 stays type-free until the
+  // root directory first persists).
+  Bytes itable(inode_blocks * bs, 0);
+  BULLET_RETURN_IF_ERROR(device.write(1 + bitmap_blocks, itable));
+  return device.flush();
+}
+
+NfsServer::NfsServer(BlockDevice* device, NfsConfig config, FsLayout layout)
+    : device_(device),
+      config_(config),
+      layout_(layout),
+      public_port_(derive_public_port(config.private_port)),
+      sealer_(config.secret),
+      rng_(config.rng_seed),
+      cache_(device, config.cache_bytes) {
+  super_random_ = Speck64(config_.secret).encrypt(config_.private_port) & kMask48;
+  if (super_random_ == 0) super_random_ = 1;
+}
+
+Result<std::unique_ptr<NfsServer>> NfsServer::start(BlockDevice* device,
+                                                    NfsConfig config) {
+  if (device == nullptr) return Error(ErrorCode::bad_argument, "null device");
+  Bytes block0(device->block_size());
+  BULLET_RETURN_IF_ERROR(device->read(0, block0));
+  BULLET_ASSIGN_OR_RETURN(
+      const Superblock sb,
+      Superblock::decode(ByteSpan(block0.data(), Superblock::kDiskSize)));
+  if (sb.block_size != device->block_size() ||
+      sb.total_blocks != device->num_blocks()) {
+    return Error(ErrorCode::corrupt, "superblock geometry mismatch");
+  }
+  auto server = std::unique_ptr<NfsServer>(
+      new NfsServer(device, config, FsLayout(sb)));
+  BULLET_RETURN_IF_ERROR(server->boot());
+  return server;
+}
+
+Status NfsServer::boot() {
+  const Superblock& sb = layout_.superblock();
+  const std::uint64_t bs = layout_.block_size();
+
+  bitmap_.assign(static_cast<std::size_t>(sb.bitmap_blocks) * bs, 0);
+  BULLET_RETURN_IF_ERROR(
+      device_->read(layout_.bitmap_start(), MutableByteSpan(bitmap_)));
+
+  Bytes itable(static_cast<std::size_t>(sb.inode_blocks) * bs);
+  BULLET_RETURN_IF_ERROR(device_->read(layout_.inode_start(), itable));
+  inodes_.assign(sb.inode_count, DInode{});
+  for (std::uint32_t i = 0; i < sb.inode_count; ++i) {
+    inodes_[i] = DInode::decode(
+        ByteSpan(itable.data() + static_cast<std::size_t>(i) * DInode::kDiskSize,
+                 DInode::kDiskSize));
+  }
+
+  free_inodes_.clear();
+  for (std::uint32_t i = sb.inode_count; i-- > 2;) {
+    if (inodes_[i].type == DInode::Type::free) free_inodes_.push_back(i);
+  }
+
+  free_blocks_ = 0;
+  for (std::uint32_t b = sb.data_start; b < sb.total_blocks; ++b) {
+    if ((bitmap_[b / 8] & (1u << (b % 8))) == 0) ++free_blocks_;
+  }
+  rotor_ = sb.data_start;
+
+  BULLET_RETURN_IF_ERROR(load_root_directory());
+  BULLET_LOG(info, kLog) << "mounted: " << root_.size() << " files, "
+                         << free_blocks_ << " free blocks";
+  return Status::success();
+}
+
+// --- allocation ----------------------------------------------------------
+
+Result<std::uint32_t> NfsServer::alloc_block() {
+  const Superblock& sb = layout_.superblock();
+  if (free_blocks_ == 0) return Error(ErrorCode::no_space, "disk full");
+  const std::uint32_t span = sb.total_blocks - sb.data_start;
+  std::uint32_t candidate = std::max(rotor_, sb.data_start);
+  for (std::uint32_t step = 0; step < span; ++step) {
+    if (candidate >= sb.total_blocks) candidate = sb.data_start;
+    if ((bitmap_[candidate / 8] & (1u << (candidate % 8))) == 0) {
+      bitmap_[candidate / 8] |= static_cast<std::uint8_t>(1u << (candidate % 8));
+      --free_blocks_;
+      // UFS-style rotational interleave: skip ahead so consecutive
+      // allocations of one file are not physically adjacent.
+      rotor_ = candidate + 1 + config_.allocation_interleave;
+      BULLET_RETURN_IF_ERROR(
+          persist_bitmap_block(layout_.bitmap_block_of(candidate)));
+      return candidate;
+    }
+    ++candidate;
+  }
+  return Error(ErrorCode::no_space, "disk full");
+}
+
+Status NfsServer::free_block(std::uint32_t block) {
+  const Superblock& sb = layout_.superblock();
+  if (block < sb.data_start || block >= sb.total_blocks) {
+    return Error(ErrorCode::bad_state, "freeing metadata block");
+  }
+  if ((bitmap_[block / 8] & (1u << (block % 8))) == 0) {
+    return Error(ErrorCode::bad_state, "double free");
+  }
+  bitmap_[block / 8] &= static_cast<std::uint8_t>(~(1u << (block % 8)));
+  ++free_blocks_;
+  cache_.invalidate(block);
+  return persist_bitmap_block(layout_.bitmap_block_of(block));
+}
+
+Status NfsServer::persist_bitmap_block(std::uint32_t bitmap_block) {
+  const std::uint64_t bs = layout_.block_size();
+  const std::size_t offset =
+      static_cast<std::size_t>(bitmap_block - layout_.bitmap_start()) * bs;
+  // Deferred like SunOS: bitmap updates are write-back, flushed on sync.
+  return cache_.write_back(bitmap_block,
+                           ByteSpan(bitmap_.data() + offset, bs));
+}
+
+Result<std::uint32_t> NfsServer::alloc_inode() {
+  if (free_inodes_.empty()) {
+    return Error(ErrorCode::no_space, "inode table full");
+  }
+  const std::uint32_t ino = free_inodes_.back();
+  free_inodes_.pop_back();
+  return ino;
+}
+
+Status NfsServer::persist_inode(std::uint32_t ino) {
+  // Synchronous metadata, as NFSv2 required: rewrite the whole block
+  // holding this inode.
+  const std::uint64_t bs = layout_.block_size();
+  const std::uint32_t block = layout_.inode_block(ino);
+  const std::uint32_t base =
+      (ino / layout_.inodes_per_block()) * layout_.inodes_per_block();
+  Bytes data(bs, 0);
+  for (std::uint32_t i = 0;
+       i < layout_.inodes_per_block() && base + i < inodes_.size(); ++i) {
+    inodes_[base + i].encode(MutableByteSpan(
+        data.data() + static_cast<std::size_t>(i) * DInode::kDiskSize,
+        DInode::kDiskSize));
+  }
+  return cache_.write_through(block, data);
+}
+
+// --- block mapping ---------------------------------------------------------
+
+Result<std::uint32_t> NfsServer::ptr_get(std::uint32_t block,
+                                         std::uint32_t idx) {
+  BULLET_ASSIGN_OR_RETURN(ByteSpan data, cache_.read(block));
+  std::uint32_t v = 0;
+  std::memcpy(&v, data.data() + static_cast<std::size_t>(idx) * 4, 4);
+  return v;
+}
+
+Status NfsServer::ptr_set(std::uint32_t block, std::uint32_t idx,
+                          std::uint32_t value) {
+  BULLET_ASSIGN_OR_RETURN(ByteSpan data, cache_.read(block));
+  Bytes copy(data.begin(), data.end());
+  std::memcpy(copy.data() + static_cast<std::size_t>(idx) * 4, &value, 4);
+  // Indirect blocks are metadata: synchronous, like the inode itself.
+  return cache_.write_through(block, copy);
+}
+
+Result<std::uint32_t> NfsServer::bmap(std::uint32_t ino,
+                                      std::uint64_t file_block, bool alloc) {
+  DInode& inode = inodes_[ino];
+  const std::uint32_t ppb = layout_.pointers_per_block();
+  const std::uint64_t bs = layout_.block_size();
+
+  auto alloc_zeroed = [&]() -> Result<std::uint32_t> {
+    BULLET_ASSIGN_OR_RETURN(const std::uint32_t block, alloc_block());
+    BULLET_RETURN_IF_ERROR(cache_.write_through(block, Bytes(bs, 0)));
+    return block;
+  };
+
+  if (file_block < kDirectBlocks) {
+    const auto idx = static_cast<std::size_t>(file_block);
+    if (inode.direct[idx] == 0 && alloc) {
+      BULLET_ASSIGN_OR_RETURN(inode.direct[idx], alloc_block());
+    }
+    return inode.direct[idx];
+  }
+  file_block -= kDirectBlocks;
+
+  if (file_block < ppb) {
+    if (inode.indirect == 0) {
+      if (!alloc) return 0u;
+      BULLET_ASSIGN_OR_RETURN(inode.indirect, alloc_zeroed());
+    }
+    BULLET_ASSIGN_OR_RETURN(
+        std::uint32_t ptr,
+        ptr_get(inode.indirect, static_cast<std::uint32_t>(file_block)));
+    if (ptr == 0 && alloc) {
+      BULLET_ASSIGN_OR_RETURN(ptr, alloc_block());
+      BULLET_RETURN_IF_ERROR(
+          ptr_set(inode.indirect, static_cast<std::uint32_t>(file_block), ptr));
+    }
+    return ptr;
+  }
+  file_block -= ppb;
+
+  if (file_block < static_cast<std::uint64_t>(ppb) * ppb) {
+    const auto outer = static_cast<std::uint32_t>(file_block / ppb);
+    const auto inner = static_cast<std::uint32_t>(file_block % ppb);
+    if (inode.double_indirect == 0) {
+      if (!alloc) return 0u;
+      BULLET_ASSIGN_OR_RETURN(inode.double_indirect, alloc_zeroed());
+    }
+    BULLET_ASSIGN_OR_RETURN(std::uint32_t level1,
+                            ptr_get(inode.double_indirect, outer));
+    if (level1 == 0) {
+      if (!alloc) return 0u;
+      BULLET_ASSIGN_OR_RETURN(level1, alloc_zeroed());
+      BULLET_RETURN_IF_ERROR(ptr_set(inode.double_indirect, outer, level1));
+    }
+    BULLET_ASSIGN_OR_RETURN(std::uint32_t ptr, ptr_get(level1, inner));
+    if (ptr == 0 && alloc) {
+      BULLET_ASSIGN_OR_RETURN(ptr, alloc_block());
+      BULLET_RETURN_IF_ERROR(ptr_set(level1, inner, ptr));
+    }
+    return ptr;
+  }
+  return Error(ErrorCode::too_large, "file exceeds double indirection");
+}
+
+Status NfsServer::clear_mapping(std::uint32_t ino, std::uint64_t file_block) {
+  DInode& inode = inodes_[ino];
+  const std::uint32_t ppb = layout_.pointers_per_block();
+  if (file_block < kDirectBlocks) {
+    inode.direct[static_cast<std::size_t>(file_block)] = 0;
+    return Status::success();
+  }
+  file_block -= kDirectBlocks;
+  if (file_block < ppb) {
+    if (inode.indirect == 0) return Status::success();
+    return ptr_set(inode.indirect, static_cast<std::uint32_t>(file_block), 0);
+  }
+  file_block -= ppb;
+  const auto outer = static_cast<std::uint32_t>(file_block / ppb);
+  const auto inner = static_cast<std::uint32_t>(file_block % ppb);
+  if (inode.double_indirect == 0) return Status::success();
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t level1,
+                          ptr_get(inode.double_indirect, outer));
+  if (level1 == 0) return Status::success();
+  return ptr_set(level1, inner, 0);
+}
+
+// --- data I/O with the free-behind policy ---------------------------------
+
+Result<Bytes> NfsServer::read_block(std::uint32_t device_block,
+                                    std::uint64_t file_size) {
+  const std::uint64_t bs = layout_.block_size();
+  if (file_size > config_.free_behind_bytes) {
+    Bytes out(bs);
+    BULLET_RETURN_IF_ERROR(cache_.read_bypass(device_block, out));
+    return out;
+  }
+  BULLET_ASSIGN_OR_RETURN(ByteSpan data, cache_.read(device_block));
+  return Bytes(data.begin(), data.end());
+}
+
+Status NfsServer::write_block(std::uint32_t device_block, ByteSpan data,
+                              std::uint64_t file_size) {
+  if (file_size > config_.free_behind_bytes) {
+    return cache_.write_bypass(device_block, data);
+  }
+  return cache_.write_through(device_block, data);
+}
+
+// --- internal whole-file helpers -------------------------------------------
+
+namespace {
+
+// Read `length` bytes at `offset` of inode `ino` via the supplied
+// per-block reader.
+template <typename ReadBlockFn>
+Result<Bytes> read_span(std::uint64_t file_size, std::uint64_t block_size,
+                        std::uint64_t offset, std::uint32_t length,
+                        ReadBlockFn&& read_one) {
+  if (offset >= file_size) return Bytes{};
+  const std::uint64_t want =
+      std::min<std::uint64_t>(length, file_size - offset);
+  Bytes out(want);
+  std::uint64_t done = 0;
+  while (done < want) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t fblock = pos / block_size;
+    const std::uint64_t in_block = pos % block_size;
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(block_size - in_block, want - done);
+    BULLET_ASSIGN_OR_RETURN(Bytes block, read_one(fblock));
+    std::memcpy(out.data() + done, block.data() + in_block, chunk);
+    done += chunk;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Bytes> NfsServer::read(const Capability& cap, std::uint64_t offset,
+                              std::uint32_t length) {
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t ino,
+                          verify_file(cap, rights::kRead));
+  ++reads_;
+  DInode& inode = inodes_[ino];
+  const std::uint64_t bs = layout_.block_size();
+  return read_span(inode.size, bs, offset, length,
+                   [&](std::uint64_t fblock) -> Result<Bytes> {
+                     BULLET_ASSIGN_OR_RETURN(const std::uint32_t dev,
+                                             bmap(ino, fblock, false));
+                     if (dev == 0) return Bytes(bs, 0);  // hole
+                     return read_block(dev, inode.size);
+                   });
+}
+
+Result<std::uint64_t> NfsServer::write(const Capability& cap,
+                                       std::uint64_t offset, ByteSpan data) {
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t ino,
+                          verify_file(cap, rights::kWrite));
+  ++writes_;
+  DInode& inode = inodes_[ino];
+  const std::uint64_t bs = layout_.block_size();
+  const std::uint64_t final_size =
+      std::max<std::uint64_t>(inode.size, offset + data.size());
+  if (final_size > layout_.max_file_bytes()) {
+    return Error(ErrorCode::too_large, "exceeds maximum file size");
+  }
+
+  std::uint64_t done = 0;
+  while (done < data.size()) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t fblock = pos / bs;
+    const std::uint64_t in_block = pos % bs;
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(bs - in_block, data.size() - done);
+    BULLET_ASSIGN_OR_RETURN(const std::uint32_t existing,
+                            bmap(ino, fblock, false));
+    BULLET_ASSIGN_OR_RETURN(const std::uint32_t dev, bmap(ino, fblock, true));
+    Bytes block;
+    if (chunk == bs) {
+      block.assign(data.begin() + static_cast<std::ptrdiff_t>(done),
+                   data.begin() + static_cast<std::ptrdiff_t>(done + chunk));
+    } else {
+      // Partial block: read-modify-write; a hole reads as zeros.
+      if (existing != 0) {
+        BULLET_ASSIGN_OR_RETURN(block, read_block(existing, inode.size));
+      } else {
+        block.assign(bs, 0);
+      }
+      std::memcpy(block.data() + in_block, data.data() + done, chunk);
+    }
+    BULLET_RETURN_IF_ERROR(write_block(dev, block, final_size));
+    done += chunk;
+  }
+
+  inode.size = final_size;
+  inode.mtime = ++mtime_counter_;
+  // NFSv2: the inode goes to disk before the reply.
+  BULLET_RETURN_IF_ERROR(persist_inode(ino));
+  return inode.size;
+}
+
+Result<Attr> NfsServer::getattr(const Capability& cap) {
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t ino,
+                          verify_file(cap, rights::kRead));
+  return Attr{inodes_[ino].size, inodes_[ino].mtime};
+}
+
+Status NfsServer::truncate(const Capability& cap, std::uint64_t length) {
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t ino,
+                          verify_file(cap, rights::kWrite));
+  DInode& inode = inodes_[ino];
+  if (length > inode.size) {
+    return Error(ErrorCode::bad_argument, "truncate cannot grow");
+  }
+  const std::uint64_t bs = layout_.block_size();
+  const std::uint64_t keep = (length + bs - 1) / bs;
+  const std::uint64_t had = (inode.size + bs - 1) / bs;
+  for (std::uint64_t fb = keep; fb < had; ++fb) {
+    BULLET_ASSIGN_OR_RETURN(const std::uint32_t dev, bmap(ino, fb, false));
+    if (dev == 0) continue;
+    BULLET_RETURN_IF_ERROR(free_block(dev));
+    BULLET_RETURN_IF_ERROR(clear_mapping(ino, fb));
+  }
+  // Zero the kept tail block beyond the new length: a later extension must
+  // read zeros there, not the truncated-away bytes.
+  if (length % bs != 0) {
+    BULLET_ASSIGN_OR_RETURN(const std::uint32_t tail_dev,
+                            bmap(ino, length / bs, false));
+    if (tail_dev != 0) {
+      BULLET_ASSIGN_OR_RETURN(Bytes tail, read_block(tail_dev, inode.size));
+      std::fill(tail.begin() + static_cast<std::ptrdiff_t>(length % bs),
+                tail.end(), 0);
+      BULLET_RETURN_IF_ERROR(write_block(tail_dev, tail, length));
+    }
+  }
+  inode.size = length;
+  inode.mtime = ++mtime_counter_;
+  return persist_inode(ino);
+}
+
+Status NfsServer::free_file_blocks(DInode& inode) {
+  const std::uint32_t ppb = layout_.pointers_per_block();
+  auto free_ptr_block = [&](std::uint32_t block, bool recurse) -> Status {
+    BULLET_ASSIGN_OR_RETURN(ByteSpan data, cache_.read(block));
+    std::vector<std::uint32_t> ptrs(ppb);
+    std::memcpy(ptrs.data(), data.data(), static_cast<std::size_t>(ppb) * 4);
+    for (const std::uint32_t p : ptrs) {
+      if (p == 0) continue;
+      if (recurse) {
+        BULLET_ASSIGN_OR_RETURN(ByteSpan inner, cache_.read(p));
+        std::vector<std::uint32_t> ip(ppb);
+        std::memcpy(ip.data(), inner.data(), static_cast<std::size_t>(ppb) * 4);
+        for (const std::uint32_t q : ip) {
+          if (q != 0) BULLET_RETURN_IF_ERROR(free_block(q));
+        }
+      }
+      BULLET_RETURN_IF_ERROR(free_block(p));
+    }
+    return free_block(block);
+  };
+
+  for (std::uint32_t& d : inode.direct) {
+    if (d != 0) {
+      BULLET_RETURN_IF_ERROR(free_block(d));
+      d = 0;
+    }
+  }
+  if (inode.indirect != 0) {
+    BULLET_RETURN_IF_ERROR(free_ptr_block(inode.indirect, false));
+    inode.indirect = 0;
+  }
+  if (inode.double_indirect != 0) {
+    BULLET_RETURN_IF_ERROR(free_ptr_block(inode.double_indirect, true));
+    inode.double_indirect = 0;
+  }
+  return Status::success();
+}
+
+// --- namespace --------------------------------------------------------------
+
+Result<Capability> NfsServer::create(const std::string& name) {
+  if (name.empty() || name.size() > 255 ||
+      name.find('/') != std::string::npos) {
+    return Error(ErrorCode::bad_argument, "bad name");
+  }
+  if (root_.contains(name)) {
+    return Error(ErrorCode::already_exists, "file exists");
+  }
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t ino, alloc_inode());
+  DInode& inode = inodes_[ino];
+  inode = DInode{};
+  inode.type = DInode::Type::file;
+  inode.random = rng_.next() & kMask48;
+  if (inode.random == 0) inode.random = 1;
+  inode.mtime = ++mtime_counter_;
+  BULLET_RETURN_IF_ERROR(persist_inode(ino));
+  root_.emplace(name, ino);
+  const Status st = persist_root_directory();
+  if (!st.ok()) {
+    root_.erase(name);
+    inodes_[ino] = DInode{};
+    free_inodes_.push_back(ino);
+    return st.error();
+  }
+  ++creates_;
+  Capability cap;
+  cap.port = public_port_;
+  cap.object = ino;
+  cap.rights = rights::kAll;
+  cap.check = sealer_.seal(rights::kAll, inode.random);
+  return cap;
+}
+
+Result<Capability> NfsServer::lookup(const std::string& name) const {
+  const auto it = root_.find(name);
+  if (it == root_.end()) {
+    return Error(ErrorCode::not_found, "no file '" + name + "'");
+  }
+  const DInode& inode = inodes_[it->second];
+  Capability cap;
+  cap.port = public_port_;
+  cap.object = it->second;
+  cap.rights = rights::kAll;
+  cap.check = sealer_.seal(rights::kAll, inode.random);
+  return cap;
+}
+
+Status NfsServer::remove(const std::string& name) {
+  const auto it = root_.find(name);
+  if (it == root_.end()) {
+    return Error(ErrorCode::not_found, "no file '" + name + "'");
+  }
+  const std::uint32_t ino = it->second;
+  BULLET_RETURN_IF_ERROR(free_file_blocks(inodes_[ino]));
+  inodes_[ino] = DInode{};
+  BULLET_RETURN_IF_ERROR(persist_inode(ino));
+  free_inodes_.push_back(ino);
+  root_.erase(it);
+  BULLET_RETURN_IF_ERROR(persist_root_directory());
+  ++removes_;
+  return Status::success();
+}
+
+Status NfsServer::load_root_directory() {
+  root_.clear();
+  DInode& inode = inodes_[kRootDirInode];
+  if (inode.type != DInode::Type::file || inode.size == 0) {
+    return Status::success();
+  }
+  const std::uint64_t bs = layout_.block_size();
+  BULLET_ASSIGN_OR_RETURN(
+      Bytes data,
+      read_span(inode.size, bs, 0, static_cast<std::uint32_t>(inode.size),
+                [&](std::uint64_t fblock) -> Result<Bytes> {
+                  BULLET_ASSIGN_OR_RETURN(
+                      const std::uint32_t dev,
+                      bmap(kRootDirInode, fblock, false));
+                  if (dev == 0) return Bytes(bs, 0);
+                  return read_block(dev, inode.size);
+                }));
+  Reader r(data);
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t count, r.u32());
+  for (std::uint32_t i = 0; i < count; ++i) {
+    BULLET_ASSIGN_OR_RETURN(std::string name, r.str());
+    BULLET_ASSIGN_OR_RETURN(const std::uint32_t ino, r.u32());
+    if (ino >= inodes_.size() || inodes_[ino].type != DInode::Type::file) {
+      return Error(ErrorCode::corrupt, "root directory references bad inode");
+    }
+    root_.emplace(std::move(name), ino);
+  }
+  return Status::success();
+}
+
+Status NfsServer::persist_root_directory() {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(root_.size()));
+  for (const auto& [name, ino] : root_) {
+    w.str(name);
+    w.u32(ino);
+  }
+  const Bytes& data = w.data();
+
+  DInode& inode = inodes_[kRootDirInode];
+  if (inode.type != DInode::Type::file) {
+    inode = DInode{};
+    inode.type = DInode::Type::file;
+    inode.random = 0;  // never exposed through a capability
+  }
+  const std::uint64_t bs = layout_.block_size();
+  // Rewrite in place block by block, then free any surplus blocks.
+  std::uint64_t done = 0;
+  std::uint64_t fblock = 0;
+  while (done < data.size()) {
+    const std::uint64_t chunk = std::min<std::uint64_t>(bs, data.size() - done);
+    BULLET_ASSIGN_OR_RETURN(const std::uint32_t dev,
+                            bmap(kRootDirInode, fblock, true));
+    Bytes block(bs, 0);
+    std::memcpy(block.data(), data.data() + done, chunk);
+    // Directory data is metadata: synchronous write-through.
+    BULLET_RETURN_IF_ERROR(cache_.write_through(dev, block));
+    done += chunk;
+    ++fblock;
+  }
+  const std::uint64_t had = (inode.size + bs - 1) / bs;
+  for (std::uint64_t fb = fblock; fb < had; ++fb) {
+    BULLET_ASSIGN_OR_RETURN(const std::uint32_t dev,
+                            bmap(kRootDirInode, fb, false));
+    if (dev != 0) {
+      BULLET_RETURN_IF_ERROR(free_block(dev));
+      if (fb < kDirectBlocks) inode.direct[fb] = 0;
+    }
+  }
+  inode.size = data.size();
+  inode.mtime = ++mtime_counter_;
+  return persist_inode(kRootDirInode);
+}
+
+// --- capability plumbing ----------------------------------------------------
+
+Result<std::uint32_t> NfsServer::verify(const Capability& cap,
+                                        std::uint8_t required) const {
+  if (cap.port != public_port_) {
+    return Error(ErrorCode::bad_capability, "wrong server port");
+  }
+  std::uint64_t random = 0;
+  if (cap.object == 0) {
+    random = super_random_;
+  } else {
+    if (cap.object >= inodes_.size() || cap.object == kRootDirInode) {
+      return Error(ErrorCode::no_such_object, "no such file");
+    }
+    const DInode& inode = inodes_[cap.object];
+    if (inode.type != DInode::Type::file || inode.random == 0) {
+      return Error(ErrorCode::no_such_object, "no such file");
+    }
+    random = inode.random;
+  }
+  if (!sealer_.verify(cap.rights, random, cap.check)) {
+    return Error(ErrorCode::bad_capability, "check field invalid");
+  }
+  if (!cap.has_rights(required)) {
+    return Error(ErrorCode::permission, "insufficient rights");
+  }
+  return cap.object;
+}
+
+Result<std::uint32_t> NfsServer::verify_file(const Capability& cap,
+                                             std::uint8_t required) const {
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t ino, verify(cap, required));
+  if (ino == 0) {
+    return Error(ErrorCode::bad_argument, "server object is not a file");
+  }
+  return ino;
+}
+
+Capability NfsServer::super_capability(std::uint8_t rights) const {
+  Capability cap;
+  cap.port = public_port_;
+  cap.object = 0;
+  cap.rights = rights;
+  cap.check = sealer_.seal(rights, super_random_);
+  return cap;
+}
+
+Status NfsServer::sync() { return cache_.flush(); }
+
+NfsStats NfsServer::stats() const {
+  NfsStats s;
+  s.creates = creates_;
+  s.reads = reads_;
+  s.writes = writes_;
+  s.removes = removes_;
+  s.cache_hits = cache_.stats().hits;
+  s.cache_misses = cache_.stats().misses;
+  s.files_live = root_.size();
+  s.blocks_free = free_blocks_;
+  return s;
+}
+
+Result<std::vector<std::uint32_t>> NfsServer::file_blocks(
+    const Capability& cap) {
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t ino,
+                          verify_file(cap, rights::kRead));
+  const DInode& inode = inodes_[ino];
+  const std::uint64_t bs = layout_.block_size();
+  const std::uint64_t nblocks = (inode.size + bs - 1) / bs;
+  std::vector<std::uint32_t> blocks;
+  blocks.reserve(nblocks);
+  for (std::uint64_t fb = 0; fb < nblocks; ++fb) {
+    BULLET_ASSIGN_OR_RETURN(const std::uint32_t dev, bmap(ino, fb, false));
+    blocks.push_back(dev);
+  }
+  return blocks;
+}
+
+}  // namespace bullet::nfsbase

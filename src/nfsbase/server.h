@@ -1,0 +1,137 @@
+// The baseline block file server ("SUN NFS" stand-in).
+//
+// A faithful model of the traditional design the paper argues against:
+// files split into 8 KB blocks scattered over the disk (allocation uses a
+// rotor with an interleave gap, like UFS rotdelay placement), direct +
+// indirect + double-indirect block pointers, a 3 MB LRU buffer cache, and
+// NFSv2 write semantics — every WRITE RPC synchronously pushes the data
+// block, any touched indirect block, and the inode to disk. Files larger
+// than the free-behind threshold bypass the buffer cache (the SunOS policy
+// that keeps one big sequential file from wiping the cache).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cap/capability.h"
+#include "common/rng.h"
+#include "crypto/oneway.h"
+#include "disk/block_device.h"
+#include "nfsbase/buffer_cache.h"
+#include "nfsbase/layout.h"
+#include "nfsbase/wire.h"
+#include "rpc/transport.h"
+
+namespace bullet::nfsbase {
+
+struct NfsConfig {
+  std::uint64_t private_port = 0x4E5;
+  Speck64::Key secret{0x5E, 0xC4, 0xE7, 0x5E, 0xC4, 0xE7, 0x5E, 0xC4,
+                      0xE7, 0x5E, 0xC4, 0xE7, 0x5E, 0xC4, 0xE7, 0x5E};
+  std::uint64_t cache_bytes = 3ull << 20;        // the paper's 3 MB
+  std::uint64_t free_behind_bytes = 256ull << 10; // larger files bypass cache
+  std::uint32_t allocation_interleave = 1;        // blocks skipped per alloc
+  std::uint64_t rng_seed = 0x4E5D;
+};
+
+class NfsServer final : public rpc::Service {
+ public:
+  static Status format(BlockDevice& device, std::uint32_t inode_count);
+  static Result<std::unique_ptr<NfsServer>> start(BlockDevice* device,
+                                                  NfsConfig config);
+
+  // --- file operations ---------------------------------------------------
+
+  Result<Capability> create(const std::string& name);
+  Result<Capability> lookup(const std::string& name) const;
+  Result<Bytes> read(const Capability& cap, std::uint64_t offset,
+                     std::uint32_t length);
+  // Returns the file size after the write.
+  Result<std::uint64_t> write(const Capability& cap, std::uint64_t offset,
+                              ByteSpan data);
+  Result<Attr> getattr(const Capability& cap);
+  Status truncate(const Capability& cap, std::uint64_t length);
+  Status remove(const std::string& name);
+  Status sync();
+
+  NfsStats stats() const;
+  Capability super_capability(std::uint8_t rights = rights::kAll) const;
+
+  // --- rpc::Service -------------------------------------------------------
+  Port public_port() const noexcept override { return public_port_; }
+  rpc::Reply handle(const rpc::Request& request) override;
+
+  // --- introspection (tests) ---------------------------------------------
+  const FsLayout& layout() const noexcept { return layout_; }
+  std::uint32_t free_blocks() const noexcept { return free_blocks_; }
+  const BufferCache& buffer_cache() const noexcept { return cache_; }
+  // Device blocks of a file, in file order (to verify scatter).
+  Result<std::vector<std::uint32_t>> file_blocks(const Capability& cap);
+
+ private:
+  NfsServer(BlockDevice* device, NfsConfig config, FsLayout layout);
+
+  Status boot();
+  Result<std::uint32_t> verify(const Capability& cap,
+                               std::uint8_t required) const;
+  // verify() plus rejection of the super object (0), which is not a file.
+  Result<std::uint32_t> verify_file(const Capability& cap,
+                                    std::uint8_t required) const;
+
+  Result<std::uint32_t> alloc_block();
+  Status free_block(std::uint32_t block);
+  Status persist_bitmap_block(std::uint32_t bitmap_block);
+
+  Result<std::uint32_t> alloc_inode();
+  Status persist_inode(std::uint32_t ino);
+
+  // Map file block -> device block; allocates missing blocks (and indirect
+  // blocks) when `alloc` is set. Returns 0 for an unallocated hole.
+  Result<std::uint32_t> bmap(std::uint32_t ino, std::uint64_t file_block,
+                             bool alloc);
+  // Zero the mapping for one file block (truncate support); the data block
+  // itself must already have been freed by the caller.
+  Status clear_mapping(std::uint32_t ino, std::uint64_t file_block);
+  Result<std::uint32_t> ptr_get(std::uint32_t block, std::uint32_t idx);
+  Status ptr_set(std::uint32_t block, std::uint32_t idx, std::uint32_t value);
+
+  // Whole-block I/O honouring the free-behind policy for `file_size`.
+  Result<Bytes> read_block(std::uint32_t device_block, std::uint64_t file_size);
+  Status write_block(std::uint32_t device_block, ByteSpan data,
+                     std::uint64_t file_size);
+
+  Status free_file_blocks(DInode& inode);
+  Status load_root_directory();
+  Status persist_root_directory();
+
+  BlockDevice* device_;
+  NfsConfig config_;
+  FsLayout layout_;
+  Port public_port_;
+  CheckSealer sealer_;
+  Rng rng_;
+  std::uint64_t super_random_ = 0;
+
+  BufferCache cache_;
+  std::vector<std::uint8_t> bitmap_;     // in-RAM allocation bitmap
+  std::vector<DInode> inodes_;           // in-RAM inode table
+  std::vector<std::uint32_t> free_inodes_;
+  std::uint32_t rotor_ = 0;              // allocation cursor
+  std::uint32_t free_blocks_ = 0;
+  std::uint64_t mtime_counter_ = 1;
+
+  std::map<std::string, std::uint32_t> root_;  // flat root directory
+
+  mutable std::uint64_t creates_ = 0;
+  mutable std::uint64_t reads_ = 0;
+  mutable std::uint64_t writes_ = 0;
+  mutable std::uint64_t removes_ = 0;
+};
+
+// Inode 0 is reserved (invalid); inode 1 holds the serialized root
+// directory; user files start at 2.
+inline constexpr std::uint32_t kRootDirInode = 1;
+
+}  // namespace bullet::nfsbase

@@ -1,0 +1,106 @@
+// RPC surface of the baseline server.
+#include "nfsbase/server.h"
+
+namespace bullet::nfsbase {
+namespace {
+
+rpc::Reply to_reply(const Status& status) {
+  return status.ok() ? rpc::Reply::success() : rpc::Reply::error(status.code());
+}
+
+rpc::Reply cap_reply(const Result<Capability>& cap) {
+  if (!cap.ok()) return rpc::Reply::error(cap.code());
+  Writer w(Capability::kWireSize);
+  cap.value().encode(w);
+  return rpc::Reply::success(std::move(w).take());
+}
+
+}  // namespace
+
+rpc::Reply NfsServer::handle(const rpc::Request& request) {
+  Reader body(request.body);
+  switch (request.opcode) {
+    case kCreate: {
+      auto name = body.str();
+      if (!name.ok() || !body.done()) {
+        return rpc::Reply::error(ErrorCode::bad_argument);
+      }
+      return cap_reply(create(name.value()));
+    }
+    case kLookup: {
+      auto name = body.str();
+      if (!name.ok() || !body.done()) {
+        return rpc::Reply::error(ErrorCode::bad_argument);
+      }
+      return cap_reply(lookup(name.value()));
+    }
+    case kRead: {
+      auto offset = body.u64();
+      auto length = offset.ok() ? body.u32() : Result<std::uint32_t>(offset.error());
+      if (!length.ok() || !body.done()) {
+        return rpc::Reply::error(ErrorCode::bad_argument);
+      }
+      auto data = read(request.target, offset.value(), length.value());
+      if (!data.ok()) return rpc::Reply::error(data.code());
+      Writer w(4 + data.value().size());
+      w.blob(data.value());
+      return rpc::Reply::success(std::move(w).take());
+    }
+    case kWrite: {
+      auto offset = body.u64();
+      auto data = offset.ok() ? body.blob() : Result<ByteSpan>(offset.error());
+      if (!data.ok() || !body.done()) {
+        return rpc::Reply::error(ErrorCode::bad_argument);
+      }
+      auto new_size = write(request.target, offset.value(), data.value());
+      if (!new_size.ok()) return rpc::Reply::error(new_size.code());
+      Writer w(8);
+      w.u64(new_size.value());
+      return rpc::Reply::success(std::move(w).take());
+    }
+    case kGetattr: {
+      if (!body.done()) return rpc::Reply::error(ErrorCode::bad_argument);
+      auto attr = getattr(request.target);
+      if (!attr.ok()) return rpc::Reply::error(attr.code());
+      Writer w(16);
+      attr.value().encode(w);
+      return rpc::Reply::success(std::move(w).take());
+    }
+    case kRemove: {
+      auto name = body.str();
+      if (!name.ok() || !body.done()) {
+        return rpc::Reply::error(ErrorCode::bad_argument);
+      }
+      // Remove is addressed at the server object, like NFS's (dir, name).
+      const auto verified = verify(request.target, rights::kDelete);
+      if (!verified.ok()) return rpc::Reply::error(verified.code());
+      if (verified.value() != 0) {
+        return rpc::Reply::error(ErrorCode::bad_argument);
+      }
+      return to_reply(remove(name.value()));
+    }
+    case kTruncate: {
+      auto length = body.u64();
+      if (!length.ok() || !body.done()) {
+        return rpc::Reply::error(ErrorCode::bad_argument);
+      }
+      return to_reply(truncate(request.target, length.value()));
+    }
+    case kStats: {
+      const auto verified = verify(request.target, rights::kAdmin);
+      if (!verified.ok()) return rpc::Reply::error(verified.code());
+      Writer w(8 * 8);
+      stats().encode(w);
+      return rpc::Reply::success(std::move(w).take());
+    }
+    case kSync: {
+      const auto verified = verify(request.target, rights::kAdmin);
+      if (!verified.ok()) return rpc::Reply::error(verified.code());
+      return to_reply(sync());
+    }
+    default:
+      return rpc::Reply::error(ErrorCode::not_supported);
+  }
+}
+
+}  // namespace bullet::nfsbase

@@ -1,0 +1,77 @@
+// Baseline (NFS-style) service wire protocol: stateless per-block
+// operations over file handles. A file handle is a capability, playing the
+// role of the NFS fhandle; the structural property that matters for the
+// paper's comparison is that reads and writes move one 8 KB block per RPC.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.h"
+#include "common/serde.h"
+
+namespace bullet::nfsbase {
+
+inline constexpr std::uint16_t kCreate = 1;   // (name) -> handle
+inline constexpr std::uint16_t kLookup = 2;   // (name) -> handle
+inline constexpr std::uint16_t kRead = 3;     // (offset, length) -> data
+inline constexpr std::uint16_t kWrite = 4;    // (offset, data) -> new size
+inline constexpr std::uint16_t kGetattr = 5;  // () -> Attr
+inline constexpr std::uint16_t kRemove = 6;   // (name)
+inline constexpr std::uint16_t kTruncate = 7; // (length)
+inline constexpr std::uint16_t kStats = 8;    // admin
+inline constexpr std::uint16_t kSync = 9;     // admin
+
+// NFS READ/WRITE transfer size (SunOS used 8 KB).
+inline constexpr std::uint32_t kTransferSize = 8192;
+
+struct Attr {
+  std::uint64_t size = 0;
+  std::uint64_t mtime = 0;
+
+  void encode(Writer& w) const {
+    w.u64(size);
+    w.u64(mtime);
+  }
+  static Result<Attr> decode(Reader& r) {
+    Attr a;
+    BULLET_ASSIGN_OR_RETURN(a.size, r.u64());
+    BULLET_ASSIGN_OR_RETURN(a.mtime, r.u64());
+    return a;
+  }
+};
+
+struct NfsStats {
+  std::uint64_t creates = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t removes = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t files_live = 0;
+  std::uint64_t blocks_free = 0;
+
+  void encode(Writer& w) const {
+    w.u64(creates);
+    w.u64(reads);
+    w.u64(writes);
+    w.u64(removes);
+    w.u64(cache_hits);
+    w.u64(cache_misses);
+    w.u64(files_live);
+    w.u64(blocks_free);
+  }
+  static Result<NfsStats> decode(Reader& r) {
+    NfsStats s;
+    BULLET_ASSIGN_OR_RETURN(s.creates, r.u64());
+    BULLET_ASSIGN_OR_RETURN(s.reads, r.u64());
+    BULLET_ASSIGN_OR_RETURN(s.writes, r.u64());
+    BULLET_ASSIGN_OR_RETURN(s.removes, r.u64());
+    BULLET_ASSIGN_OR_RETURN(s.cache_hits, r.u64());
+    BULLET_ASSIGN_OR_RETURN(s.cache_misses, r.u64());
+    BULLET_ASSIGN_OR_RETURN(s.files_live, r.u64());
+    BULLET_ASSIGN_OR_RETURN(s.blocks_free, r.u64());
+    return s;
+  }
+};
+
+}  // namespace bullet::nfsbase

@@ -1,0 +1,42 @@
+#include "rpc/message.h"
+
+namespace bullet::rpc {
+
+Bytes Request::encode() const {
+  Writer w(wire_size());
+  target.encode(w);
+  w.u16(opcode);
+  w.blob(body);
+  return std::move(w).take();
+}
+
+Result<Request> Request::decode(ByteSpan wire) {
+  Reader r(wire);
+  Request req;
+  BULLET_ASSIGN_OR_RETURN(req.target, Capability::decode(r));
+  BULLET_ASSIGN_OR_RETURN(req.opcode, r.u16());
+  BULLET_ASSIGN_OR_RETURN(ByteSpan body, r.blob());
+  req.body.assign(body.begin(), body.end());
+  if (!r.done()) return Error(ErrorCode::bad_argument, "trailing bytes");
+  return req;
+}
+
+Bytes Reply::encode() const {
+  Writer w(wire_size());
+  w.u16(static_cast<std::uint16_t>(status));
+  w.blob(body);
+  return std::move(w).take();
+}
+
+Result<Reply> Reply::decode(ByteSpan wire) {
+  Reader r(wire);
+  Reply rep;
+  BULLET_ASSIGN_OR_RETURN(const std::uint16_t status, r.u16());
+  rep.status = static_cast<ErrorCode>(status);
+  BULLET_ASSIGN_OR_RETURN(ByteSpan body, r.blob());
+  rep.body.assign(body.begin(), body.end());
+  if (!r.done()) return Error(ErrorCode::bad_argument, "trailing bytes");
+  return rep;
+}
+
+}  // namespace bullet::rpc

@@ -1,0 +1,53 @@
+// RPC message framing.
+//
+// Amoeba RPC addresses a *capability*, not a host: the header carries the
+// full capability (port, object, rights, check) plus an opcode, and the
+// server validates the check field before touching the object. Bodies are
+// opaque byte strings built with common/serde.h.
+#pragma once
+
+#include <cstdint>
+
+#include "cap/capability.h"
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/serde.h"
+
+namespace bullet::rpc {
+
+struct Request {
+  Capability target;        // object the operation applies to
+  std::uint16_t opcode = 0; // service-specific operation
+  Bytes body;               // operation arguments
+
+  // Bytes this request occupies on the wire (for the network model).
+  std::uint64_t wire_size() const noexcept {
+    return Capability::kWireSize + 2 + 4 + body.size();
+  }
+
+  Bytes encode() const;
+  static Result<Request> decode(ByteSpan wire);
+};
+
+struct Reply {
+  ErrorCode status = ErrorCode::ok;
+  Bytes body;               // operation results (valid only when status==ok)
+
+  std::uint64_t wire_size() const noexcept { return 2 + 4 + body.size(); }
+
+  Bytes encode() const;
+  static Result<Reply> decode(ByteSpan wire);
+
+  static Reply error(ErrorCode code) {
+    Reply r;
+    r.status = code;
+    return r;
+  }
+  static Reply success(Bytes body = {}) {
+    Reply r;
+    r.body = std::move(body);
+    return r;
+  }
+};
+
+}  // namespace bullet::rpc

@@ -1,0 +1,80 @@
+#include "rpc/transport.h"
+
+namespace bullet::rpc {
+
+Status LoopbackTransport::register_service(Service* service) {
+  if (service == nullptr) {
+    return Error(ErrorCode::bad_argument, "null service");
+  }
+  const std::uint64_t port = service->public_port().value();
+  if (port == 0) return Error(ErrorCode::bad_argument, "null port");
+  const auto [it, inserted] = services_.emplace(port, service);
+  (void)it;
+  if (!inserted) {
+    return Error(ErrorCode::already_exists, "port already registered");
+  }
+  return Status::success();
+}
+
+Status LoopbackTransport::unregister_service(Port port) {
+  if (services_.erase(port.value()) == 0) {
+    return Error(ErrorCode::not_found, "port not registered");
+  }
+  return Status::success();
+}
+
+Result<Reply> LoopbackTransport::call(const Request& request) {
+  const auto it = services_.find(request.target.port.value());
+  if (it == services_.end()) {
+    return Error(ErrorCode::unreachable, "no service on port");
+  }
+  ++calls_;
+  return it->second->handle(request);
+}
+
+Status SimTransport::register_service(Service* service,
+                                      sim::ProtocolCosts costs) {
+  if (service == nullptr) {
+    return Error(ErrorCode::bad_argument, "null service");
+  }
+  const std::uint64_t port = service->public_port().value();
+  if (port == 0) return Error(ErrorCode::bad_argument, "null port");
+  const auto [it, inserted] = services_.emplace(port, Entry{service, costs});
+  (void)it;
+  if (!inserted) {
+    return Error(ErrorCode::already_exists, "port already registered");
+  }
+  return Status::success();
+}
+
+Result<Reply> SimTransport::call(const Request& request) {
+  const auto it = services_.find(request.target.port.value());
+  if (it == services_.end()) {
+    return Error(ErrorCode::unreachable, "no service on port");
+  }
+  const Entry& entry = it->second;
+
+  // Request path: client send + wire + server receive.
+  const std::uint64_t req_bytes = request.wire_size();
+  clock_->advance(entry.costs.per_message_cpu * 2);
+  clock_->advance(net_.message_time(req_bytes));
+  clock_->advance(static_cast<sim::Duration>(req_bytes) *
+                  entry.costs.per_byte_cpu_ns * 2);
+  clock_->advance(entry.costs.service_cpu);
+
+  // The service handler charges its own device time (SimDisk on the same
+  // clock).
+  Reply reply = entry.service->handle(request);
+
+  // Reply path.
+  const std::uint64_t rep_bytes = reply.wire_size();
+  clock_->advance(entry.costs.per_message_cpu * 2);
+  clock_->advance(net_.message_time(rep_bytes));
+  clock_->advance(static_cast<sim::Duration>(rep_bytes) *
+                  entry.costs.per_byte_cpu_ns * 2);
+
+  bytes_on_wire_ += req_bytes + rep_bytes;
+  return reply;
+}
+
+}  // namespace bullet::rpc

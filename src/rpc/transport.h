@@ -1,0 +1,83 @@
+// Service and Transport interfaces plus the two in-process transports.
+//
+// A Service owns one public port and handles requests addressed to it. A
+// Transport routes a Request to the Service owning its target port and
+// returns the Reply. LoopbackTransport dispatches directly (tests,
+// examples); SimTransport additionally charges modelled network + protocol
+// CPU time to a virtual clock (benchmarks).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "rpc/message.h"
+#include "sim/clock.h"
+#include "sim/net_model.h"
+
+namespace bullet::rpc {
+
+class Service {
+ public:
+  virtual ~Service() = default;
+
+  // The public (get-)port this service answers on.
+  virtual Port public_port() const noexcept = 0;
+
+  // Handle one request. Must not throw; failures are error Replies.
+  virtual Reply handle(const Request& request) = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Deliver `request` to the service owning the target port and return its
+  // reply. Errors at the transport layer (unknown port) are returned as
+  // Result errors; service-level failures come back inside the Reply.
+  virtual Result<Reply> call(const Request& request) = 0;
+};
+
+// Direct in-process dispatch: a registry of services keyed by public port.
+class LoopbackTransport final : public Transport {
+ public:
+  // Registers a service; the service must outlive the transport.
+  Status register_service(Service* service);
+  Status unregister_service(Port port);
+
+  Result<Reply> call(const Request& request) override;
+
+  std::uint64_t calls() const noexcept { return calls_; }
+
+ private:
+  std::unordered_map<std::uint64_t, Service*> services_;
+  std::uint64_t calls_ = 0;
+};
+
+// Dispatch plus virtual-time accounting. Each service is registered with
+// the protocol-cost profile of its stack (Amoeba RPC vs. NFS/UDP); the
+// shared NetParams describe the wire they all contend for.
+class SimTransport final : public Transport {
+ public:
+  SimTransport(sim::NetParams net, sim::Clock* clock)
+      : net_(net), clock_(clock) {}
+
+  Status register_service(Service* service, sim::ProtocolCosts costs);
+
+  Result<Reply> call(const Request& request) override;
+
+  sim::Clock* clock() const noexcept { return clock_; }
+  std::uint64_t bytes_on_wire() const noexcept { return bytes_on_wire_; }
+
+ private:
+  struct Entry {
+    Service* service;
+    sim::ProtocolCosts costs;
+  };
+
+  sim::NetParams net_;
+  sim::Clock* clock_;
+  std::unordered_map<std::uint64_t, Entry> services_;
+  std::uint64_t bytes_on_wire_ = 0;
+};
+
+}  // namespace bullet::rpc

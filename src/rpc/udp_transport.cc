@@ -1,0 +1,375 @@
+#include "rpc/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <list>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/serde.h"
+
+namespace bullet::rpc {
+namespace {
+
+constexpr char kLog[] = "udp";
+constexpr std::uint32_t kFragMagic = 0x424C4652;  // "BLFR"
+constexpr std::size_t kFragHeader = 4 + 8 + 2 + 2 + 4;  // magic,id,idx,cnt,len
+
+Error errno_error(const char* what) {
+  return Error(ErrorCode::io_error,
+               std::string(what) + ": " + std::strerror(errno));
+}
+
+// One fragment on the wire: header + payload slice.
+Bytes make_fragment(std::uint64_t message_id, std::uint16_t index,
+                    std::uint16_t count, ByteSpan payload) {
+  Writer w(kFragHeader + payload.size());
+  w.u32(kFragMagic);
+  w.u64(message_id);
+  w.u16(index);
+  w.u16(count);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.bytes(payload);
+  return std::move(w).take();
+}
+
+struct FragmentView {
+  std::uint64_t message_id = 0;
+  std::uint16_t index = 0;
+  std::uint16_t count = 0;
+  ByteSpan payload;
+};
+
+Result<FragmentView> parse_fragment(ByteSpan datagram) {
+  Reader r(datagram);
+  FragmentView f;
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t magic, r.u32());
+  if (magic != kFragMagic) {
+    return Error(ErrorCode::bad_argument, "not a fragment");
+  }
+  BULLET_ASSIGN_OR_RETURN(f.message_id, r.u64());
+  BULLET_ASSIGN_OR_RETURN(f.index, r.u16());
+  BULLET_ASSIGN_OR_RETURN(f.count, r.u16());
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t len, r.u32());
+  BULLET_ASSIGN_OR_RETURN(f.payload, r.bytes(len));
+  if (!r.done() || f.count == 0 || f.index >= f.count) {
+    return Error(ErrorCode::bad_argument, "malformed fragment");
+  }
+  return f;
+}
+
+// Reassembly buffer for one message.
+struct Assembly {
+  std::uint16_t count = 0;
+  std::uint16_t received = 0;
+  std::vector<Bytes> parts;
+
+  // Returns true once complete.
+  bool add(const FragmentView& f) {
+    if (count == 0) {
+      count = f.count;
+      parts.assign(count, Bytes{});
+    }
+    if (f.count != count || f.index >= count) return false;
+    if (parts[f.index].empty()) {
+      parts[f.index].assign(f.payload.begin(), f.payload.end());
+      ++received;
+    }
+    return received == count;
+  }
+
+  Bytes join() const {
+    Bytes out;
+    for (const Bytes& part : parts) append(out, part);
+    return out;
+  }
+};
+
+Status send_message(int fd, const sockaddr_in& to, std::uint64_t message_id,
+                    ByteSpan message) {
+  const std::size_t count =
+      message.empty() ? 1
+                      : (message.size() + kFragmentPayload - 1) /
+                            kFragmentPayload;
+  if (count > 0xFFFF) return Error(ErrorCode::too_large, "message too large");
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t offset = i * kFragmentPayload;
+    const std::size_t len =
+        std::min(kFragmentPayload, message.size() - offset);
+    const Bytes frag =
+        make_fragment(message_id, static_cast<std::uint16_t>(i),
+                      static_cast<std::uint16_t>(count),
+                      message.subspan(offset, len));
+    const ssize_t sent =
+        ::sendto(fd, frag.data(), frag.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&to), sizeof to);
+    if (sent < 0) return errno_error("sendto");
+  }
+  return Status::success();
+}
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+Result<int> make_socket(std::uint16_t bind_port, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return errno_error("socket");
+  sockaddr_in addr = loopback(bind_port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const Error e = errno_error("bind");
+    ::close(fd);
+    return e;
+  }
+  // Large messages burst many fragments back-to-back; a roomy receive
+  // buffer keeps the kernel from dropping them before the reader drains
+  // the socket (clamped by net.core.rmem_max).
+  const int kBufferBytes = 4 << 20;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &kBufferBytes,
+                     sizeof kBufferBytes);
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &kBufferBytes,
+                     sizeof kBufferBytes);
+  if (timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) != 0) {
+      const Error e = errno_error("setsockopt");
+      ::close(fd);
+      return e;
+    }
+  }
+  return fd;
+}
+
+std::uint16_t bound_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+// Key identifying one client endpoint.
+std::uint64_t peer_key(const sockaddr_in& addr) {
+  return (static_cast<std::uint64_t>(addr.sin_addr.s_addr) << 16) |
+         addr.sin_port;
+}
+
+}  // namespace
+
+// --- server ------------------------------------------------------------------
+
+struct UdpServer::Impl {
+  int fd = -1;
+  UdpServerOptions options;
+  std::unordered_map<std::uint64_t, Service*> services;  // by public port
+  std::thread thread;
+  std::atomic<bool> running{false};
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint64_t> duplicates{0};
+  Rng loss_rng{1};
+
+  // Reassembly per (peer, message id).
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Assembly> assembling;
+  // Recently answered requests: (peer, id) -> encoded reply (LRU).
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Bytes> answered;
+  std::list<std::pair<std::uint64_t, std::uint64_t>> answered_lru;
+
+  ~Impl() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void remember(const std::pair<std::uint64_t, std::uint64_t>& key,
+                Bytes reply) {
+    answered.emplace(key, std::move(reply));
+    answered_lru.push_back(key);
+    while (answered_lru.size() > options.reply_cache_entries) {
+      answered.erase(answered_lru.front());
+      answered_lru.pop_front();
+    }
+  }
+
+  void loop() {
+    std::vector<std::uint8_t> buffer(kFragmentPayload + kFragHeader + 64);
+    while (running.load()) {
+      sockaddr_in from{};
+      socklen_t from_len = sizeof from;
+      const ssize_t n =
+          ::recvfrom(fd, buffer.data(), buffer.size(), 0,
+                     reinterpret_cast<sockaddr*>(&from), &from_len);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+          continue;  // timeout: re-check running
+        }
+        BULLET_LOG(warn, kLog) << "recvfrom: " << std::strerror(errno);
+        continue;
+      }
+      if (options.drop_one_in > 0 &&
+          loss_rng.next_below(options.drop_one_in) == 0) {
+        dropped.fetch_add(1);
+        continue;
+      }
+      auto fragment = parse_fragment(
+          ByteSpan(buffer.data(), static_cast<std::size_t>(n)));
+      if (!fragment.ok()) continue;
+
+      const auto key =
+          std::make_pair(peer_key(from), fragment.value().message_id);
+
+      // Retransmit of something we already answered?
+      if (const auto hit = answered.find(key); hit != answered.end()) {
+        duplicates.fetch_add(1);
+        (void)send_message(fd, from, key.second, hit->second);
+        continue;
+      }
+
+      Assembly& assembly = assembling[key];
+      if (!assembly.add(fragment.value())) continue;
+      const Bytes wire = assembly.join();
+      assembling.erase(key);
+
+      auto request = Request::decode(wire);
+      Reply reply;
+      if (!request.ok()) {
+        reply = Reply::error(ErrorCode::bad_argument);
+      } else {
+        const auto it =
+            services.find(request.value().target.port.value());
+        reply = it == services.end()
+                    ? Reply::error(ErrorCode::unreachable)
+                    : it->second->handle(request.value());
+      }
+      Bytes encoded = reply.encode();
+      (void)send_message(fd, from, key.second, encoded);
+      remember(key, std::move(encoded));
+    }
+  }
+};
+
+UdpServer::UdpServer(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+Result<std::unique_ptr<UdpServer>> UdpServer::start(UdpServerOptions options) {
+  auto impl = std::make_unique<Impl>();
+  impl->options = options;
+  impl->loss_rng.reseed(options.loss_seed);
+  BULLET_ASSIGN_OR_RETURN(impl->fd,
+                          make_socket(options.udp_port, /*timeout_ms=*/50));
+  const std::uint16_t port = bound_port(impl->fd);
+  impl->running.store(true);
+  impl->thread = std::thread([raw = impl.get()] { raw->loop(); });
+  auto server = std::unique_ptr<UdpServer>(new UdpServer(std::move(impl)));
+  server->udp_port_ = port;
+  return server;
+}
+
+UdpServer::~UdpServer() { stop(); }
+
+void UdpServer::stop() {
+  if (impl_ && impl_->running.exchange(false)) {
+    impl_->thread.join();
+  }
+}
+
+Status UdpServer::register_service(Service* service) {
+  if (service == nullptr) return Error(ErrorCode::bad_argument, "null service");
+  const std::uint64_t port = service->public_port().value();
+  if (port == 0) return Error(ErrorCode::bad_argument, "null port");
+  const auto [it, inserted] = impl_->services.emplace(port, service);
+  (void)it;
+  if (!inserted) {
+    return Error(ErrorCode::already_exists, "port already registered");
+  }
+  return Status::success();
+}
+
+std::uint64_t UdpServer::dropped() const noexcept {
+  return impl_->dropped.load();
+}
+
+std::uint64_t UdpServer::duplicates_suppressed() const noexcept {
+  return impl_->duplicates.load();
+}
+
+// --- client ------------------------------------------------------------------
+
+struct UdpTransport::Impl {
+  int fd = -1;
+  UdpClientOptions options;
+  sockaddr_in server{};
+  std::uint64_t next_message_id = 1;
+
+  ~Impl() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  // Wait for a complete reply to `message_id`; nullopt on timeout.
+  Result<Bytes> await_reply(std::uint64_t message_id, bool* timed_out) {
+    *timed_out = false;
+    Assembly assembly;
+    std::vector<std::uint8_t> buffer(kFragmentPayload + kFragHeader + 64);
+    for (;;) {
+      const ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          *timed_out = true;
+          return Bytes{};
+        }
+        return errno_error("recv");
+      }
+      auto fragment = parse_fragment(
+          ByteSpan(buffer.data(), static_cast<std::size_t>(n)));
+      if (!fragment.ok()) continue;
+      if (fragment.value().message_id != message_id) continue;  // stale
+      if (assembly.add(fragment.value())) return assembly.join();
+    }
+  }
+};
+
+UdpTransport::UdpTransport(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+UdpTransport::~UdpTransport() = default;
+
+Result<std::unique_ptr<UdpTransport>> UdpTransport::connect(
+    UdpClientOptions options) {
+  if (options.server_udp_port == 0) {
+    return Error(ErrorCode::bad_argument, "server port required");
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->options = options;
+  impl->server = loopback(options.server_udp_port);
+  BULLET_ASSIGN_OR_RETURN(impl->fd, make_socket(0, options.timeout_ms));
+  return std::unique_ptr<UdpTransport>(new UdpTransport(std::move(impl)));
+}
+
+Result<Reply> UdpTransport::call(const Request& request) {
+  const std::uint64_t message_id = impl_->next_message_id++;
+  const Bytes wire = request.encode();
+  for (int attempt = 0; attempt < impl_->options.max_attempts; ++attempt) {
+    if (attempt > 0) ++retransmissions_;
+    BULLET_RETURN_IF_ERROR(
+        send_message(impl_->fd, impl_->server, message_id, wire));
+    bool timed_out = false;
+    BULLET_ASSIGN_OR_RETURN(Bytes reply_wire,
+                            impl_->await_reply(message_id, &timed_out));
+    if (!timed_out) return Reply::decode(reply_wire);
+  }
+  return Error(ErrorCode::unreachable, "no reply after retries");
+}
+
+}  // namespace bullet::rpc

@@ -1,0 +1,105 @@
+// Real-network transport: Amoeba-style RPC over UDP datagrams.
+//
+// Everything else in this repository exchanges messages in-process (tests,
+// benches on virtual time). This transport makes the same servers reachable
+// over an actual socket, which is what a downstream user deploys:
+//
+//  * messages are fragmented into <= kFragmentPayload datagrams with a
+//    {message id, fragment index/count} header and reassembled on receipt;
+//  * the client retransmits the whole request on timeout (the reply is the
+//    acknowledgement, as in Amoeba RPC);
+//  * the server keeps a small cache of recently sent replies keyed by
+//    (client, message id), so a retransmitted request is answered from the
+//    cache instead of re-executing — at-most-once execution;
+//  * optional deterministic packet-loss injection for tests.
+//
+// The server owns a background thread; registered services are called only
+// from that thread, so the (single-threaded) servers need no locking.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "rpc/message.h"
+#include "rpc/transport.h"
+
+namespace bullet::rpc {
+
+// Payload bytes per datagram; comfortably under typical loopback MTUs once
+// the 20-byte fragment header is added.
+inline constexpr std::size_t kFragmentPayload = 16 * 1024;
+
+struct UdpServerOptions {
+  // Port 0 lets the kernel pick; the bound port is reported by port().
+  std::uint16_t udp_port = 0;
+  // Drop 1 in `drop_one_in` received datagrams (0 = never), deterministic
+  // under `loss_seed`. Test hook for exercising retransmission.
+  std::uint32_t drop_one_in = 0;
+  std::uint64_t loss_seed = 1;
+  // Replies remembered for retransmit suppression.
+  std::size_t reply_cache_entries = 128;
+};
+
+class UdpServer {
+ public:
+  // Binds 127.0.0.1:<udp_port> and starts the service thread.
+  static Result<std::unique_ptr<UdpServer>> start(UdpServerOptions options);
+
+  ~UdpServer();
+  UdpServer(const UdpServer&) = delete;
+  UdpServer& operator=(const UdpServer&) = delete;
+
+  // Register before issuing requests; the service must outlive the server.
+  // (Registration is not synchronized with the service thread, so do it
+  // during setup, before clients start calling.)
+  Status register_service(Service* service);
+
+  // The UDP port actually bound.
+  std::uint16_t port() const noexcept { return udp_port_; }
+
+  // Datagrams deliberately dropped by the loss injector.
+  std::uint64_t dropped() const noexcept;
+  // Requests answered from the reply cache (suppressed re-execution).
+  std::uint64_t duplicates_suppressed() const noexcept;
+
+  void stop();
+
+ private:
+  struct Impl;
+  explicit UdpServer(std::unique_ptr<Impl> impl);
+
+  std::unique_ptr<Impl> impl_;
+  std::uint16_t udp_port_ = 0;
+};
+
+struct UdpClientOptions {
+  std::uint16_t server_udp_port = 0;  // required
+  int max_attempts = 5;
+  int timeout_ms = 250;  // per attempt
+};
+
+// A Transport whose call() crosses the loopback network.
+class UdpTransport final : public Transport {
+ public:
+  static Result<std::unique_ptr<UdpTransport>> connect(
+      UdpClientOptions options);
+
+  ~UdpTransport() override;
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  Result<Reply> call(const Request& request) override;
+
+  std::uint64_t retransmissions() const noexcept { return retransmissions_; }
+
+ private:
+  struct Impl;
+  explicit UdpTransport(std::unique_ptr<Impl> impl);
+
+  std::unique_ptr<Impl> impl_;
+  std::uint64_t retransmissions_ = 0;
+};
+
+}  // namespace bullet::rpc

@@ -1,0 +1,61 @@
+#include "sim/disk_model.h"
+
+#include <cmath>
+
+namespace bullet::sim {
+
+DiskParams DiskParams::winchester_1989(std::uint64_t block_size,
+                                       std::uint64_t total_blocks) {
+  DiskParams p;
+  p.min_seek = from_ms(4.0);
+  p.max_seek = from_ms(28.0);
+  p.rpm = 3600.0;
+  p.media_rate_bytes_per_sec = 1.5e6;
+  p.per_request_overhead = from_us(500);
+  p.block_size = block_size == 0 ? 512 : block_size;
+  p.total_blocks = total_blocks == 0 ? 1 : total_blocks;
+  return p;
+}
+
+Duration DiskModel::service_time(std::uint64_t block, std::uint64_t nblocks,
+                                 bool* seeked) const noexcept {
+  Duration t = params_.per_request_overhead;
+  bool did_seek = false;
+  if (block != head_block_) {
+    // Seek: min + (max-min) * sqrt(relative distance); sqrt approximates
+    // constant-acceleration arm travel.
+    const std::uint64_t dist =
+        block > head_block_ ? block - head_block_ : head_block_ - block;
+    const double rel = static_cast<double>(dist) /
+                       static_cast<double>(params_.total_blocks);
+    t += params_.min_seek +
+         static_cast<Duration>(
+             static_cast<double>(params_.max_seek - params_.min_seek) *
+             std::sqrt(rel));
+    // After a seek the target sector is, on average, half a revolution away.
+    t += params_.avg_rotational_latency();
+    did_seek = true;
+  }
+  const std::uint64_t nbytes = nblocks * params_.block_size;
+  t += static_cast<Duration>(static_cast<double>(nbytes) /
+                             params_.media_rate_bytes_per_sec * 1e9);
+  if (seeked != nullptr) *seeked = did_seek;
+  return t;
+}
+
+void DiskModel::access(std::uint64_t block, std::uint64_t nblocks) noexcept {
+  bool seeked = false;
+  const Duration t = service_time(block, nblocks, &seeked);
+  if (clock_ != nullptr) clock_->advance(t);
+  head_block_ = block + nblocks;
+  bytes_moved_ += nblocks * params_.block_size;
+  ++requests_;
+  if (seeked) ++seeks_;
+}
+
+Duration DiskModel::preview(std::uint64_t block,
+                            std::uint64_t nblocks) const noexcept {
+  return service_time(block, nblocks, nullptr);
+}
+
+}  // namespace bullet::sim

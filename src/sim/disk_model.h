@@ -1,0 +1,72 @@
+// Magnetic-disk service-time model.
+//
+// Captures what mattered for the paper's comparison: a contiguous file costs
+// one seek + one rotational latency + a single media-rate transfer, while a
+// block-scattered file pays positioning costs per block. The model tracks
+// head position so that sequential I/O is rewarded exactly as on a real
+// drive.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/clock.h"
+
+namespace bullet::sim {
+
+struct DiskParams {
+  // Positioning.
+  Duration min_seek = from_ms(4.0);    // track-to-track
+  Duration max_seek = from_ms(28.0);   // full stroke
+  double rpm = 3600.0;                 // rotational speed
+  // Transfer.
+  double media_rate_bytes_per_sec = 1.5e6;  // sustained media rate
+  Duration per_request_overhead = from_us(500);  // controller + driver
+  // Geometry.
+  std::uint64_t block_size = 512;      // device block (sector) in bytes
+  std::uint64_t total_blocks = 1;      // capacity, for seek-distance scaling
+
+  Duration full_rotation() const noexcept {
+    return static_cast<Duration>(60.0 / rpm * 1e9);
+  }
+  Duration avg_rotational_latency() const noexcept {
+    return full_rotation() / 2;
+  }
+
+  // A late-1980s 800 MB winchester drive (CDC Wren / Fujitsu Eagle class),
+  // matching the paper's "two 800 Mbyte magnetic disk drives".
+  static DiskParams winchester_1989(std::uint64_t block_size,
+                                    std::uint64_t total_blocks);
+};
+
+// Per-device model instance: owns the head position. All requests are runs
+// of whole device blocks, which is how both file servers issue I/O.
+class DiskModel {
+ public:
+  DiskModel(DiskParams params, Clock* clock) noexcept
+      : params_(params), clock_(clock) {}
+
+  // Charge the clock for an access of `nblocks` starting at `block`.
+  void access(std::uint64_t block, std::uint64_t nblocks) noexcept;
+
+  // Service time the next access *would* cost, without charging or moving
+  // the head.
+  Duration preview(std::uint64_t block, std::uint64_t nblocks) const noexcept;
+
+  const DiskParams& params() const noexcept { return params_; }
+  std::uint64_t total_bytes_moved() const noexcept { return bytes_moved_; }
+  std::uint64_t requests() const noexcept { return requests_; }
+  std::uint64_t seeks() const noexcept { return seeks_; }
+
+ private:
+  Duration service_time(std::uint64_t block, std::uint64_t nblocks,
+                        bool* seeked) const noexcept;
+
+  DiskParams params_;
+  Clock* clock_;
+  std::uint64_t head_block_ = 0;   // block following the last access
+  std::uint64_t bytes_moved_ = 0;
+  std::uint64_t requests_ = 0;
+  std::uint64_t seeks_ = 0;
+};
+
+}  // namespace bullet::sim

@@ -1,0 +1,56 @@
+#include "sim/net_model.h"
+
+namespace bullet::sim {
+
+Duration NetParams::message_time(std::uint64_t nbytes) const noexcept {
+  // Even an empty message occupies one packet.
+  const std::uint64_t packets =
+      nbytes == 0 ? 1 : (nbytes + mtu_payload - 1) / mtu_payload;
+  const std::uint64_t wire_bytes = nbytes + packets * header_bytes;
+  const Duration wire = static_cast<Duration>(
+      static_cast<double>(wire_bytes) * 8.0 / bandwidth_bits_per_sec * 1e9);
+  return wire + static_cast<Duration>(packets) * per_packet_cpu;
+}
+
+NetParams NetParams::ethernet_10mbit() {
+  NetParams p;
+  p.bandwidth_bits_per_sec = 10e6;
+  p.mtu_payload = 1480;
+  p.header_bytes = 58;
+  p.per_packet_cpu = from_us(100);
+  return p;
+}
+
+ProtocolCosts ProtocolCosts::amoeba_rpc_1989() {
+  ProtocolCosts c;
+  c.per_message_cpu = from_us(550);
+  c.per_byte_cpu_ns = 330;   // one copy per side at ~3 MB/s effective
+  c.service_cpu = from_us(300);
+  return c;
+}
+
+ProtocolCosts ProtocolCosts::sun_nfs_1989() {
+  ProtocolCosts c;
+  c.per_message_cpu = from_ms(2.5);  // kernel RPC + XDR dispatch, per side
+  c.per_byte_cpu_ns = 2800;          // XDR + mbuf chain + cache copies
+  c.service_cpu = from_ms(5.0);      // nfsd request handling
+  return c;
+}
+
+Duration rpc_time(const NetParams& net, const ProtocolCosts& costs,
+                  std::uint64_t req_bytes, std::uint64_t rep_bytes) noexcept {
+  Duration t = 0;
+  // Request path.
+  t += costs.per_message_cpu * 2;  // client send + server receive
+  t += net.message_time(req_bytes);
+  t += static_cast<Duration>(req_bytes) * costs.per_byte_cpu_ns * 2;
+  // Server handling (CPU only; device time is charged by the server's disk).
+  t += costs.service_cpu;
+  // Reply path.
+  t += costs.per_message_cpu * 2;
+  t += net.message_time(rep_bytes);
+  t += static_cast<Duration>(rep_bytes) * costs.per_byte_cpu_ns * 2;
+  return t;
+}
+
+}  // namespace bullet::sim

@@ -1,0 +1,49 @@
+// Network + protocol-CPU service-time model.
+//
+// Models a 10 Mbit/s shared Ethernet plus the per-packet, per-message, and
+// per-byte protocol processing costs of a few-MIPS CPU. The difference
+// between the Amoeba RPC path (few copies, contiguous buffers) and the
+// NFS/UDP path (XDR, mbuf chains, extra copies) is expressed purely through
+// these parameters — the structural difference (whole-file vs. per-block
+// requests) comes from the real client/server code.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/clock.h"
+
+namespace bullet::sim {
+
+struct NetParams {
+  double bandwidth_bits_per_sec = 10e6;  // 10 Mbit/s Ethernet
+  std::uint64_t mtu_payload = 1480;      // usable bytes per packet
+  std::uint64_t header_bytes = 58;       // eth + ip + transport headers
+  Duration per_packet_cpu = from_us(100);  // interrupt + driver, both sides
+
+  // One-way wire + packet-handling time for a message of `nbytes`.
+  Duration message_time(std::uint64_t nbytes) const noexcept;
+
+  // A 10 Mbit/s Ethernet as seen from a 16.7 MHz MC68020.
+  static NetParams ethernet_10mbit();
+};
+
+// Protocol-stack cost profile layered on the raw network, charged by
+// SimTransport around every request/response pair.
+struct ProtocolCosts {
+  Duration per_message_cpu = from_us(550);   // fixed send+receive path, per side
+  Duration per_byte_cpu_ns = 330;            // ns per payload byte, per side
+  Duration service_cpu = from_us(300);       // server request handling
+
+  // Amoeba RPC on the 1989 testbed: ~1.7 ms null RPC, ~650 KB/s bulk.
+  static ProtocolCosts amoeba_rpc_1989();
+  // SunOS 3.5 NFS over UDP: ~10 ms null RPC, XDR + mbuf copies per byte.
+  static ProtocolCosts sun_nfs_1989();
+};
+
+// Round-trip time for a request of `req_bytes` and a reply of `rep_bytes`
+// over `net` under cost profile `costs` (excluding any disk time, which the
+// server charges itself via its SimDisk).
+Duration rpc_time(const NetParams& net, const ProtocolCosts& costs,
+                  std::uint64_t req_bytes, std::uint64_t rep_bytes) noexcept;
+
+}  // namespace bullet::sim

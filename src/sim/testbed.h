@@ -1,0 +1,39 @@
+// The full 1989 testbed preset: everything needed to reproduce the paper's
+// measurement environment in one place.
+//
+//   "an implementation on a 16.7 MHz Motorola 68020 based server with
+//    16 Mbytes of RAM memory and two 800 Mbyte magnetic disk drives ...
+//    measurements have been done on a normally loaded Ethernet"
+#pragma once
+
+#include <cstdint>
+
+#include "sim/disk_model.h"
+#include "sim/net_model.h"
+
+namespace bullet::sim {
+
+struct Testbed1989 {
+  // Server machine.
+  static constexpr std::uint64_t kServerRamBytes = 16ull << 20;  // 16 MB
+  // Two 800 MB disks with 512-byte sectors.
+  static constexpr std::uint64_t kDiskBytes = 800ull << 20;
+  static constexpr std::uint64_t kSectorSize = 512;
+
+  // SUN NFS side: SunOS 3.5 server with a 3 MB buffer cache and 8 KB
+  // filesystem blocks.
+  static constexpr std::uint64_t kNfsBufferCacheBytes = 3ull << 20;
+  static constexpr std::uint64_t kNfsBlockSize = 8192;
+
+  static DiskParams disk() {
+    return DiskParams::winchester_1989(kSectorSize, kDiskBytes / kSectorSize);
+  }
+  static DiskParams nfs_disk() {
+    return DiskParams::winchester_1989(kNfsBlockSize, kDiskBytes / kNfsBlockSize);
+  }
+  static NetParams net() { return NetParams::ethernet_10mbit(); }
+  static ProtocolCosts bullet_costs() { return ProtocolCosts::amoeba_rpc_1989(); }
+  static ProtocolCosts nfs_costs() { return ProtocolCosts::sun_nfs_1989(); }
+};
+
+}  // namespace bullet::sim

@@ -1,0 +1,312 @@
+#include "unixemu/unix_fs.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace bullet::unixemu {
+namespace {
+
+constexpr char kLog[] = "unixemu";
+// Default durability when committing file versions.
+constexpr int kCommitPfactor = 1;
+
+}  // namespace
+
+bool UnixFs::is_directory_cap(const Capability& cap) const noexcept {
+  return cap.port == root_.port;
+}
+
+Result<std::pair<Capability, std::string>> UnixFs::resolve_parent(
+    const std::string& path) {
+  const std::vector<std::string> parts = dir::split_path(path);
+  if (parts.empty()) {
+    return Error(ErrorCode::bad_argument, "path names the root");
+  }
+  Capability dir = root_;
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    BULLET_ASSIGN_OR_RETURN(dir, names_.lookup(dir, parts[i]));
+    if (!is_directory_cap(dir)) {
+      return Error(ErrorCode::bad_argument,
+                   "'" + parts[i] + "' is not a directory");
+    }
+  }
+  return std::make_pair(dir, parts.back());
+}
+
+Result<UnixFs::OpenFile*> UnixFs::file_of(Fd fd) {
+  if (fd < 0 || static_cast<std::size_t>(fd) >= fds_.size() ||
+      !fds_[static_cast<std::size_t>(fd)].in_use) {
+    return Error(ErrorCode::bad_state, "bad file descriptor");
+  }
+  return &fds_[static_cast<std::size_t>(fd)];
+}
+
+std::size_t UnixFs::open_files() const noexcept {
+  std::size_t n = 0;
+  for (const OpenFile& f : fds_) n += f.in_use ? 1 : 0;
+  return n;
+}
+
+Result<Fd> UnixFs::open(const std::string& path, int flags) {
+  if ((flags & (open_flags::kRead | open_flags::kWrite)) == 0) {
+    return Error(ErrorCode::bad_argument, "open needs read and/or write");
+  }
+  BULLET_ASSIGN_OR_RETURN(const auto parent, resolve_parent(path));
+  const auto& [dir, leaf] = parent;
+
+  OpenFile file;
+  file.flags = flags;
+  file.dir = dir;
+  file.leaf = leaf;
+
+  auto existing = names_.lookup(dir, leaf);
+  if (existing.ok()) {
+    if ((flags & open_flags::kCreate) && (flags & open_flags::kExclusive)) {
+      return Error(ErrorCode::already_exists, path);
+    }
+    if (is_directory_cap(existing.value())) {
+      return Error(ErrorCode::bad_argument, "'" + path + "' is a directory");
+    }
+    file.version = existing.value();
+    if ((flags & open_flags::kTruncate) != 0) {
+      file.dirty = true;  // contents replaced by emptiness
+    } else {
+      // Whole-file fetch: contiguous transfer into client memory.
+      BULLET_ASSIGN_OR_RETURN(file.contents,
+                              files_.read_whole(existing.value()));
+    }
+  } else if (existing.code() == ErrorCode::not_found &&
+             (flags & open_flags::kCreate) != 0) {
+    // Reserve the name immediately so concurrent creates collide here.
+    BULLET_ASSIGN_OR_RETURN(const Capability empty,
+                            files_.create(ByteSpan{}, kCommitPfactor));
+    const Status entered = names_.enter(dir, leaf, empty);
+    if (!entered.ok()) {
+      const Status st = files_.erase(empty);
+      if (!st.ok()) {
+        BULLET_LOG(warn, kLog) << "orphan empty file: " << st.to_string();
+      }
+      return entered.error();
+    }
+    file.version = empty;
+    file.dirty = false;
+  } else {
+    return existing.error();
+  }
+
+  if ((flags & open_flags::kAppend) != 0) {
+    file.position = file.contents.size();
+  }
+  file.in_use = true;
+
+  for (std::size_t i = 0; i < fds_.size(); ++i) {
+    if (!fds_[i].in_use) {
+      fds_[i] = std::move(file);
+      return static_cast<Fd>(i);
+    }
+  }
+  fds_.push_back(std::move(file));
+  return static_cast<Fd>(fds_.size() - 1);
+}
+
+Result<Bytes> UnixFs::read(Fd fd, std::size_t count) {
+  BULLET_ASSIGN_OR_RETURN(OpenFile * file, file_of(fd));
+  if ((file->flags & open_flags::kRead) == 0) {
+    return Error(ErrorCode::permission, "not open for reading");
+  }
+  if (file->position >= file->contents.size()) return Bytes{};
+  const std::size_t available = file->contents.size() - file->position;
+  const std::size_t n = std::min(count, available);
+  Bytes out(file->contents.begin() + static_cast<std::ptrdiff_t>(file->position),
+            file->contents.begin() +
+                static_cast<std::ptrdiff_t>(file->position + n));
+  file->position += n;
+  return out;
+}
+
+Result<std::size_t> UnixFs::write(Fd fd, ByteSpan data) {
+  BULLET_ASSIGN_OR_RETURN(OpenFile * file, file_of(fd));
+  if ((file->flags & open_flags::kWrite) == 0) {
+    return Error(ErrorCode::permission, "not open for writing");
+  }
+  if ((file->flags & open_flags::kAppend) != 0) {
+    file->position = file->contents.size();
+  }
+  const std::uint64_t end = file->position + data.size();
+  if (end > file->contents.size()) file->contents.resize(end);
+  std::copy(data.begin(), data.end(),
+            file->contents.begin() + static_cast<std::ptrdiff_t>(file->position));
+  file->position = end;
+  file->dirty = true;
+  return data.size();
+}
+
+Result<std::uint64_t> UnixFs::lseek(Fd fd, std::int64_t offset,
+                                    Whence whence) {
+  BULLET_ASSIGN_OR_RETURN(OpenFile * file, file_of(fd));
+  std::int64_t base = 0;
+  switch (whence) {
+    case Whence::set: base = 0; break;
+    case Whence::cur: base = static_cast<std::int64_t>(file->position); break;
+    case Whence::end:
+      base = static_cast<std::int64_t>(file->contents.size());
+      break;
+  }
+  const std::int64_t target = base + offset;
+  if (target < 0) return Error(ErrorCode::bad_argument, "seek before start");
+  file->position = static_cast<std::uint64_t>(target);
+  return file->position;
+}
+
+Status UnixFs::ftruncate(Fd fd, std::uint64_t length) {
+  BULLET_ASSIGN_OR_RETURN(OpenFile * file, file_of(fd));
+  if ((file->flags & open_flags::kWrite) == 0) {
+    return Error(ErrorCode::permission, "not open for writing");
+  }
+  file->contents.resize(length, 0);
+  file->dirty = true;
+  return Status::success();
+}
+
+Status UnixFs::commit(OpenFile& file) {
+  if (!file.dirty) return Status::success();
+  // New version first; then swing the name atomically; then retire the old
+  // version. A concurrent commit of the same entry loses the CAS and is
+  // reported as a conflict, with its new version rolled back.
+  BULLET_ASSIGN_OR_RETURN(const Capability fresh,
+                          files_.create(file.contents, kCommitPfactor));
+  const auto swapped =
+      names_.cas_replace(file.dir, file.leaf, file.version, fresh);
+  if (!swapped.ok()) {
+    const Status st = files_.erase(fresh);
+    if (!st.ok()) {
+      BULLET_LOG(warn, kLog) << "orphan version: " << st.to_string();
+    }
+    return swapped.error();
+  }
+  if (!swapped.value().is_null()) {
+    const Status st = files_.erase(swapped.value());
+    if (!st.ok()) {
+      BULLET_LOG(warn, kLog) << "stale version not deleted: " << st.to_string();
+    }
+  }
+  file.version = fresh;
+  file.dirty = false;
+  return Status::success();
+}
+
+Status UnixFs::fsync(Fd fd) {
+  BULLET_ASSIGN_OR_RETURN(OpenFile * file, file_of(fd));
+  return commit(*file);
+}
+
+Status UnixFs::close(Fd fd) {
+  BULLET_ASSIGN_OR_RETURN(OpenFile * file, file_of(fd));
+  const Status st = commit(*file);
+  *file = OpenFile{};  // the descriptor is gone even if the commit failed
+  return st;
+}
+
+Status UnixFs::mkdir(const std::string& path) {
+  BULLET_ASSIGN_OR_RETURN(const auto parent, resolve_parent(path));
+  const auto& [dir, leaf] = parent;
+  if (names_.lookup(dir, leaf).ok()) {
+    return Error(ErrorCode::already_exists, path);
+  }
+  BULLET_ASSIGN_OR_RETURN(const Capability fresh, names_.create_dir());
+  return names_.enter(dir, leaf, fresh);
+}
+
+Status UnixFs::rmdir(const std::string& path) {
+  BULLET_ASSIGN_OR_RETURN(const auto parent, resolve_parent(path));
+  const auto& [dir, leaf] = parent;
+  BULLET_ASSIGN_OR_RETURN(const Capability target, names_.lookup(dir, leaf));
+  if (!is_directory_cap(target)) {
+    return Error(ErrorCode::bad_argument, "'" + path + "' is not a directory");
+  }
+  BULLET_RETURN_IF_ERROR(names_.delete_dir(target));  // fails if non-empty
+  return names_.remove(dir, leaf);
+}
+
+Status UnixFs::unlink(const std::string& path) {
+  BULLET_ASSIGN_OR_RETURN(const auto parent, resolve_parent(path));
+  const auto& [dir, leaf] = parent;
+  BULLET_ASSIGN_OR_RETURN(const Capability target, names_.lookup(dir, leaf));
+  if (is_directory_cap(target)) {
+    return Error(ErrorCode::bad_argument, "'" + path + "' is a directory");
+  }
+  BULLET_RETURN_IF_ERROR(names_.remove(dir, leaf));
+  const Status st = files_.erase(target);
+  if (!st.ok()) {
+    BULLET_LOG(warn, kLog) << "unlinked file not deleted: " << st.to_string();
+  }
+  return Status::success();
+}
+
+Status UnixFs::rename(const std::string& from, const std::string& to) {
+  BULLET_ASSIGN_OR_RETURN(const auto src, resolve_parent(from));
+  BULLET_ASSIGN_OR_RETURN(const auto dst, resolve_parent(to));
+  BULLET_ASSIGN_OR_RETURN(const Capability target,
+                          names_.lookup(src.first, src.second));
+  // POSIX: an existing destination *file* is replaced atomically; an
+  // existing destination directory blocks the rename.
+  const auto existing = names_.lookup(dst.first, dst.second);
+  if (existing.ok()) {
+    if (is_directory_cap(existing.value())) {
+      return Error(ErrorCode::already_exists,
+                   "'" + to + "' is a directory");
+    }
+    BULLET_ASSIGN_OR_RETURN(const Capability displaced,
+                            names_.replace(dst.first, dst.second, target));
+    BULLET_RETURN_IF_ERROR(names_.remove(src.first, src.second));
+    const Status st = files_.erase(displaced);
+    if (!st.ok()) {
+      BULLET_LOG(warn, kLog) << "displaced file not deleted: "
+                             << st.to_string();
+    }
+    return Status::success();
+  }
+  if (existing.code() != ErrorCode::not_found) return existing.error();
+  // Enter under the new name first so the object is never unnamed.
+  BULLET_RETURN_IF_ERROR(names_.enter(dst.first, dst.second, target));
+  return names_.remove(src.first, src.second);
+}
+
+Result<StatInfo> UnixFs::stat(const std::string& path) {
+  StatInfo info;
+  if (dir::split_path(path).empty()) {
+    info.is_directory = true;
+    info.capability = root_;
+    return info;
+  }
+  BULLET_ASSIGN_OR_RETURN(const auto parent, resolve_parent(path));
+  BULLET_ASSIGN_OR_RETURN(const Capability target,
+                          names_.lookup(parent.first, parent.second));
+  info.capability = target;
+  if (is_directory_cap(target)) {
+    info.is_directory = true;
+    return info;
+  }
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t size, files_.size(target));
+  info.size = size;
+  return info;
+}
+
+Result<std::vector<std::string>> UnixFs::readdir(const std::string& path) {
+  Capability dir = root_;
+  if (!dir::split_path(path).empty()) {
+    BULLET_ASSIGN_OR_RETURN(const StatInfo info, stat(path));
+    if (!info.is_directory) {
+      return Error(ErrorCode::bad_argument, "'" + path + "' is not a directory");
+    }
+    dir = info.capability;
+  }
+  BULLET_ASSIGN_OR_RETURN(const auto entries, names_.list(dir));
+  std::vector<std::string> names;
+  names.reserve(entries.size());
+  for (const auto& e : entries) names.push_back(e.name);
+  return names;
+}
+
+}  // namespace bullet::unixemu

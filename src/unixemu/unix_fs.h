@@ -1,0 +1,98 @@
+// UNIX emulation on top of the Bullet server and the directory server.
+//
+//   "Recently we have implemented a UNIX emulation on top of the Bullet
+//    service supporting a wealth of existing software."
+//
+// Classic Amoeba technique: open() fetches the whole file into client
+// memory (whole-file transfer); reads, writes and seeks are local memory
+// operations; close() commits a dirty file by creating a *new immutable
+// Bullet file* and atomically rebinding the directory entry to it (the
+// version mechanism), then deleting the superseded version. Concurrent
+// close of the same path is detected through compare-and-swap on the
+// directory entry and surfaces as ErrorCode::conflict.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bullet/client.h"
+#include "dir/client.h"
+
+namespace bullet::unixemu {
+
+// open() flags (a subset sufficient for the emulation).
+namespace open_flags {
+inline constexpr int kRead = 0x1;
+inline constexpr int kWrite = 0x2;
+inline constexpr int kCreate = 0x4;   // create if absent
+inline constexpr int kTruncate = 0x8; // start from empty contents
+inline constexpr int kAppend = 0x10;  // position at EOF before each write
+inline constexpr int kExclusive = 0x20;  // with kCreate: fail if it exists
+}  // namespace open_flags
+
+enum class Whence { set, cur, end };
+
+struct StatInfo {
+  bool is_directory = false;
+  std::uint64_t size = 0;       // files only
+  Capability capability;        // the object behind the path
+};
+
+using Fd = int;
+
+class UnixFs {
+ public:
+  // `root` is a directory-server capability for the filesystem root. The
+  // clients are copied; their transport must outlive the UnixFs.
+  UnixFs(BulletClient files, dir::DirClient names, Capability root)
+      : files_(std::move(files)), names_(std::move(names)), root_(root) {}
+
+  // --- POSIX-shaped calls -----------------------------------------------
+
+  Result<Fd> open(const std::string& path, int flags);
+  Result<Bytes> read(Fd fd, std::size_t count);
+  Result<std::size_t> write(Fd fd, ByteSpan data);
+  Result<std::uint64_t> lseek(Fd fd, std::int64_t offset, Whence whence);
+  Status ftruncate(Fd fd, std::uint64_t length);
+  Status fsync(Fd fd);  // commit without closing
+  Status close(Fd fd);
+
+  Status mkdir(const std::string& path);
+  Status rmdir(const std::string& path);
+  Status unlink(const std::string& path);
+  Status rename(const std::string& from, const std::string& to);
+  Result<StatInfo> stat(const std::string& path);
+  Result<std::vector<std::string>> readdir(const std::string& path);
+
+  const Capability& root() const noexcept { return root_; }
+  std::size_t open_files() const noexcept;
+
+ private:
+  struct OpenFile {
+    bool in_use = false;
+    int flags = 0;
+    Capability dir;          // directory holding the entry
+    std::string leaf;        // entry name
+    Capability version;      // Bullet file the contents came from (null if new)
+    Bytes contents;          // the whole file, in client memory
+    std::uint64_t position = 0;
+    bool dirty = false;
+  };
+
+  // Split into (parent directory capability, leaf name).
+  Result<std::pair<Capability, std::string>> resolve_parent(
+      const std::string& path);
+
+  Result<OpenFile*> file_of(Fd fd);
+  Status commit(OpenFile& file);
+  bool is_directory_cap(const Capability& cap) const noexcept;
+
+  BulletClient files_;
+  dir::DirClient names_;
+  Capability root_;
+  std::vector<OpenFile> fds_;
+};
+
+}  // namespace bullet::unixemu

@@ -1,0 +1,254 @@
+// Tests for the WORM device and the version archive on top of it.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "archive/version_archive.h"
+#include "bullet/server.h"
+#include "common/crc.h"
+#include "disk/file_disk.h"
+#include "disk/mem_disk.h"
+#include "disk/worm_disk.h"
+#include "tests/test_util.h"
+
+namespace bullet {
+namespace {
+
+using testing::BulletHarness;
+using testing::payload;
+using testing::status_of;
+
+// --- WormDisk ----------------------------------------------------------------
+
+TEST(WormDiskTest, WriteOnceEnforced) {
+  MemDisk inner(512, 16);
+  WormDisk worm(&inner);
+  ASSERT_OK(worm.write(0, payload(512, 1)));
+  EXPECT_CODE(bad_state, worm.write(0, payload(512, 2)));
+  // Overlapping multi-block writes are refused atomically: nothing burned.
+  ASSERT_OK(worm.write(4, payload(512, 3)));
+  EXPECT_CODE(bad_state, worm.write(3, payload(1024, 4)));
+  EXPECT_FALSE(worm.is_burned(3));
+  // The original data is intact.
+  Bytes out(512);
+  ASSERT_OK(worm.read(0, out));
+  EXPECT_TRUE(equal(payload(512, 1), out));
+}
+
+TEST(WormDiskTest, AppendAdvancesPastBurnedBlocks) {
+  MemDisk inner(512, 16);
+  WormDisk worm(&inner);
+  auto first = worm.append(payload(1000, 1));  // blocks 0-1
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(0u, first.value());
+  auto second = worm.append(payload(100, 2));  // block 2
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(2u, second.value());
+  EXPECT_EQ(3u, worm.blocks_burned());
+  EXPECT_EQ(13u, worm.blocks_remaining());
+}
+
+TEST(WormDiskTest, AppendRejectsWhenFull) {
+  MemDisk inner(512, 4);
+  WormDisk worm(&inner);
+  ASSERT_TRUE(worm.append(payload(4 * 512, 1)).ok());
+  EXPECT_CODE(no_space, status_of(worm.append(payload(1, 2))));
+}
+
+TEST(WormDiskTest, MarkBurnedForReopen) {
+  MemDisk inner(512, 8);
+  WormDisk worm(&inner);
+  ASSERT_OK(worm.mark_burned(0, 3));
+  EXPECT_EQ(3u, worm.append_cursor());
+  EXPECT_CODE(bad_state, worm.write(1, payload(512, 1)));
+  EXPECT_CODE(bad_argument, worm.mark_burned(7, 3));
+}
+
+TEST(WormDiskTest, ReadsPassThrough) {
+  MemDisk inner(512, 8);
+  ASSERT_OK(inner.write(5, payload(512, 9)));
+  WormDisk worm(&inner);
+  Bytes out(512);
+  ASSERT_OK(worm.read(5, out));
+  EXPECT_TRUE(equal(payload(512, 9), out));
+}
+
+// --- VersionArchive ------------------------------------------------------------
+
+TEST(VersionArchiveTest, ArchiveAndRetrieve) {
+  MemDisk inner(512, 64);
+  WormDisk worm(&inner);
+  auto archive = archive::VersionArchive::open(&worm);
+  ASSERT_TRUE(archive.ok());
+
+  Capability origin;
+  origin.port = Port(0xAB);
+  origin.object = 7;
+  const Bytes v1 = payload(1200, 1);
+  auto record = archive.value().archive(origin, v1);
+  ASSERT_TRUE(record.ok());
+  auto back = archive.value().retrieve(record.value().header_block);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(equal(v1, back.value()));
+}
+
+TEST(VersionArchiveTest, EmptyPayloadRecord) {
+  MemDisk inner(512, 16);
+  WormDisk worm(&inner);
+  auto archive = archive::VersionArchive::open(&worm);
+  ASSERT_TRUE(archive.ok());
+  auto record = archive.value().archive(Capability{}, ByteSpan{});
+  ASSERT_TRUE(record.ok());
+  auto back = archive.value().retrieve(record.value().header_block);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().empty());
+}
+
+TEST(VersionArchiveTest, ReopenScansExistingRecords) {
+  MemDisk inner(512, 128);
+  std::vector<std::uint64_t> handles;
+  std::vector<std::uint32_t> crcs;
+  {
+    WormDisk worm(&inner);
+    auto archive = archive::VersionArchive::open(&worm);
+    ASSERT_TRUE(archive.ok());
+    for (int i = 0; i < 5; ++i) {
+      const Bytes data = payload(300 * static_cast<std::size_t>(i + 1), i);
+      Capability origin;
+      origin.object = static_cast<std::uint32_t>(i);
+      auto record = archive.value().archive(origin, data);
+      ASSERT_TRUE(record.ok());
+      handles.push_back(record.value().header_block);
+      crcs.push_back(crc32c(data));
+    }
+  }
+  // "Reinsert the platter": fresh WormDisk + archive over the same bytes.
+  WormDisk worm(&inner);
+  auto archive = archive::VersionArchive::open(&worm);
+  ASSERT_TRUE(archive.ok());
+  ASSERT_EQ(5u, archive.value().records().size());
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    EXPECT_EQ(handles[i], archive.value().records()[i].header_block);
+    auto data = archive.value().retrieve(handles[i]);
+    ASSERT_TRUE(data.ok()) << i;
+    EXPECT_EQ(crcs[i], crc32c(data.value())) << i;
+  }
+  // And the medium refuses to overwrite any of it.
+  EXPECT_CODE(bad_state, worm.write(0, payload(512, 99)));
+}
+
+TEST(VersionArchiveTest, BitRotDetected) {
+  MemDisk inner(512, 32);
+  WormDisk worm(&inner);
+  auto archive = archive::VersionArchive::open(&worm);
+  ASSERT_TRUE(archive.ok());
+  auto record = archive.value().archive(Capability{}, payload(800, 3));
+  ASSERT_TRUE(record.ok());
+  // Cosmic ray via the raw inner device (bypassing WORM protection).
+  Bytes block(512);
+  ASSERT_OK(inner.read(record.value().header_block + 1, block));
+  block[100] ^= 0x10;
+  ASSERT_OK(inner.write(record.value().header_block + 1, block));
+  EXPECT_CODE(corrupt,
+              status_of(archive.value().retrieve(record.value().header_block)));
+}
+
+TEST(VersionArchiveTest, FindByOrigin) {
+  MemDisk inner(512, 64);
+  WormDisk worm(&inner);
+  auto archive = archive::VersionArchive::open(&worm);
+  ASSERT_TRUE(archive.ok());
+  Capability a;
+  a.object = 1;
+  Capability b;
+  b.object = 2;
+  ASSERT_TRUE(archive.value().archive(a, payload(10, 1)).ok());
+  ASSERT_TRUE(archive.value().archive(b, payload(10, 2)).ok());
+  ASSERT_TRUE(archive.value().archive(a, payload(10, 3)).ok());
+  EXPECT_EQ(2u, archive.value().find_by_origin(a).size());
+  EXPECT_EQ(1u, archive.value().find_by_origin(b).size());
+  EXPECT_TRUE(archive.value().find_by_origin(Capability{}).empty());
+}
+
+TEST(VersionArchiveTest, MediumFullReported) {
+  MemDisk inner(512, 8);
+  WormDisk worm(&inner);
+  auto archive = archive::VersionArchive::open(&worm);
+  ASSERT_TRUE(archive.ok());
+  // 8 blocks: header(1) + payload(6) fits; another record does not.
+  ASSERT_TRUE(archive.value().archive(Capability{}, payload(6 * 512, 1)).ok());
+  EXPECT_CODE(no_space,
+              status_of(archive.value().archive(Capability{}, payload(1, 2))));
+}
+
+TEST(WormDiskTest, RejectsUnalignedWrites) {
+  MemDisk inner(512, 8);
+  WormDisk worm(&inner);
+  EXPECT_CODE(bad_argument, worm.write(0, payload(100, 1)));
+  EXPECT_FALSE(worm.is_burned(0));  // refused before burning anything
+}
+
+TEST(VersionArchiveTest, PersistsOnRealFile) {
+  // The archival story end to end on a file-backed medium: burn, close the
+  // process ("eject"), reopen from the file alone.
+  const std::string path = ::testing::TempDir() + "bullet_worm_test.img";
+  std::remove(path.c_str());
+  std::uint64_t handle = 0;
+  {
+    auto disk = FileDisk::open(path, 512, 64);
+    ASSERT_TRUE(disk.ok());
+    WormDisk worm(&disk.value());
+    auto archive = archive::VersionArchive::open(&worm);
+    ASSERT_TRUE(archive.ok());
+    auto record = archive.value().archive(Capability{}, payload(2000, 42));
+    ASSERT_TRUE(record.ok());
+    handle = record.value().header_block;
+    ASSERT_OK(disk.value().flush());
+  }
+  auto disk = FileDisk::open(path, 512, 64);
+  ASSERT_TRUE(disk.ok());
+  WormDisk worm(&disk.value());
+  auto archive = archive::VersionArchive::open(&worm);
+  ASSERT_TRUE(archive.ok());
+  ASSERT_EQ(1u, archive.value().records().size());
+  auto data = archive.value().retrieve(handle);
+  ASSERT_TRUE(data.ok());
+  EXPECT_TRUE(equal(payload(2000, 42), data.value()));
+  std::remove(path.c_str());
+}
+
+// --- integration with the Bullet server ----------------------------------------
+
+TEST(VersionArchiveTest, ArchiveSupersededBulletVersions) {
+  BulletHarness h;
+  MemDisk platter(512, 256);
+  WormDisk worm(&platter);
+  auto archive = archive::VersionArchive::open(&worm);
+  ASSERT_TRUE(archive.ok());
+
+  // Version chain: v1 -> v2 -> v3; superseded versions are burned before
+  // deletion from the (expensive, magnetic) Bullet disks.
+  auto v1 = h.server().create(as_span("draft"), 2);
+  ASSERT_TRUE(v1.ok());
+  std::vector<wire::FileEdit> edits;
+  edits.push_back(wire::FileEdit::make_append(to_bytes(" + review")));
+  auto v2 = h.server().create_from(v1.value(), edits, 2);
+  ASSERT_TRUE(v2.ok());
+
+  auto v1_data = h.server().read(v1.value());
+  ASSERT_TRUE(v1_data.ok());
+  auto burned = archive.value().archive(v1.value(), v1_data.value());
+  ASSERT_TRUE(burned.ok());
+  ASSERT_OK(h.server().erase(v1.value()));
+
+  // The live server no longer has v1, the archive does — forever.
+  EXPECT_FALSE(h.server().read(v1.value()).ok());
+  auto recovered = archive.value().retrieve(burned.value().header_block);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ("draft", to_string(recovered.value()));
+  EXPECT_EQ("draft + review",
+            to_string(h.server().read(v2.value()).value()));
+}
+
+}  // namespace
+}  // namespace bullet

@@ -1,0 +1,139 @@
+// Unit tests for the baseline server's block buffer cache.
+#include <gtest/gtest.h>
+
+#include "nfsbase/buffer_cache.h"
+#include "tests/test_util.h"
+
+namespace bullet::nfsbase {
+namespace {
+
+using ::bullet::testing::payload;
+
+class BufferCacheTest : public ::testing::Test {
+ protected:
+  BufferCacheTest() : disk_(512, 64), cache_(&disk_, 4 * 512) {}  // 4 buffers
+  MemDisk disk_;
+  BufferCache cache_;
+};
+
+TEST_F(BufferCacheTest, ReadLoadsFromDiskOnceThenHits) {
+  ASSERT_OK(disk_.write(3, payload(512, 1)));
+  const auto reads0 = disk_.reads();
+  auto first = cache_.read(3);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(equal(payload(512, 1), first.value()));
+  EXPECT_EQ(reads0 + 1, disk_.reads());
+  ASSERT_TRUE(cache_.read(3).ok());
+  EXPECT_EQ(reads0 + 1, disk_.reads());  // hit
+  EXPECT_EQ(1u, cache_.stats().hits);
+  EXPECT_EQ(1u, cache_.stats().misses);
+}
+
+TEST_F(BufferCacheTest, WriteThroughHitsDiskImmediately) {
+  const auto writes0 = disk_.writes();
+  ASSERT_OK(cache_.write_through(5, payload(512, 2)));
+  EXPECT_EQ(writes0 + 1, disk_.writes());
+  // And the cached copy serves reads without another disk access.
+  const auto reads0 = disk_.reads();
+  auto data = cache_.read(5);
+  ASSERT_TRUE(data.ok());
+  EXPECT_TRUE(equal(payload(512, 2), data.value()));
+  EXPECT_EQ(reads0, disk_.reads());
+}
+
+TEST_F(BufferCacheTest, WriteBackDefersUntilFlush) {
+  const auto writes0 = disk_.writes();
+  ASSERT_OK(cache_.write_back(7, payload(512, 3)));
+  EXPECT_EQ(writes0, disk_.writes());  // nothing on disk yet
+  Bytes raw(512);
+  ASSERT_OK(disk_.read(7, raw));
+  EXPECT_FALSE(equal(payload(512, 3), raw));
+  ASSERT_OK(cache_.flush());
+  ASSERT_OK(disk_.read(7, raw));
+  EXPECT_TRUE(equal(payload(512, 3), raw));
+  EXPECT_EQ(1u, cache_.stats().writebacks);
+}
+
+TEST_F(BufferCacheTest, EvictionWritesDirtyVictims) {
+  // Fill the 4-buffer cache with dirty blocks, then touch a 5th.
+  for (std::uint64_t b = 0; b < 4; ++b) {
+    ASSERT_OK(cache_.write_back(b, payload(512, b)));
+  }
+  const auto writes0 = disk_.writes();
+  ASSERT_TRUE(cache_.read(10).ok());  // evicts the LRU dirty buffer
+  EXPECT_EQ(writes0 + 1, disk_.writes());
+  EXPECT_EQ(1u, cache_.stats().evictions);
+  // The evicted block's data made it to disk.
+  Bytes raw(512);
+  ASSERT_OK(disk_.read(0, raw));
+  EXPECT_TRUE(equal(payload(512, 0), raw));
+}
+
+TEST_F(BufferCacheTest, LruOrderRespected) {
+  for (std::uint64_t b = 0; b < 4; ++b) {
+    ASSERT_TRUE(cache_.read(b).ok());
+  }
+  // Touch 0 so 1 becomes LRU; loading 20 must evict 1, not 0.
+  ASSERT_TRUE(cache_.read(0).ok());
+  ASSERT_TRUE(cache_.read(20).ok());
+  const auto reads0 = disk_.reads();
+  ASSERT_TRUE(cache_.read(0).ok());  // still cached
+  EXPECT_EQ(reads0, disk_.reads());
+  ASSERT_TRUE(cache_.read(1).ok());  // was evicted
+  EXPECT_EQ(reads0 + 1, disk_.reads());
+}
+
+TEST_F(BufferCacheTest, BypassDoesNotPopulate) {
+  ASSERT_OK(disk_.write(9, payload(512, 4)));
+  Bytes out(512);
+  ASSERT_OK(cache_.read_bypass(9, out));
+  EXPECT_TRUE(equal(payload(512, 4), out));
+  EXPECT_EQ(0u, cache_.buffers_in_use());
+  // But bypass reads *do* see newer cached content (coherence).
+  ASSERT_OK(cache_.write_back(9, payload(512, 5)));
+  ASSERT_OK(cache_.read_bypass(9, out));
+  EXPECT_TRUE(equal(payload(512, 5), out));
+}
+
+TEST_F(BufferCacheTest, WriteBypassInvalidatesCachedCopy) {
+  ASSERT_OK(cache_.write_back(2, payload(512, 6)));
+  ASSERT_OK(cache_.write_bypass(2, payload(512, 7)));
+  auto data = cache_.read(2);  // reloads from disk
+  ASSERT_TRUE(data.ok());
+  EXPECT_TRUE(equal(payload(512, 7), data.value()));
+}
+
+TEST_F(BufferCacheTest, InvalidateDropsWithoutWriting) {
+  ASSERT_OK(cache_.write_back(4, payload(512, 8)));
+  cache_.invalidate(4);
+  ASSERT_OK(cache_.flush());
+  Bytes raw(512);
+  ASSERT_OK(disk_.read(4, raw));
+  EXPECT_FALSE(equal(payload(512, 8), raw));  // dirty data was dropped
+  cache_.invalidate(999);                     // unknown block: no-op
+}
+
+TEST_F(BufferCacheTest, RejectsPartialBlockWrites) {
+  EXPECT_CODE(bad_argument, cache_.write_through(0, payload(100, 1)));
+  EXPECT_CODE(bad_argument, cache_.write_back(0, payload(1000, 1)));
+}
+
+TEST_F(BufferCacheTest, CapacityAtLeastOneBuffer) {
+  MemDisk disk(512, 8);
+  BufferCache tiny(&disk, 1);  // less than a block: still one buffer
+  EXPECT_EQ(1u, tiny.capacity_buffers());
+  ASSERT_TRUE(tiny.read(0).ok());
+  ASSERT_TRUE(tiny.read(1).ok());  // evicts block 0
+  EXPECT_EQ(1u, tiny.buffers_in_use());
+}
+
+TEST_F(BufferCacheTest, FlushIsIdempotent) {
+  ASSERT_OK(cache_.write_back(1, payload(512, 9)));
+  ASSERT_OK(cache_.flush());
+  const auto writes = disk_.writes();
+  ASSERT_OK(cache_.flush());  // nothing dirty: no further disk writes
+  EXPECT_EQ(writes, disk_.writes());
+}
+
+}  // namespace
+}  // namespace bullet::nfsbase

@@ -1,0 +1,104 @@
+// Tests for the on-disk layout structures (Fig. 1 of the paper).
+#include <gtest/gtest.h>
+
+#include "bullet/layout.h"
+#include "tests/test_util.h"
+
+namespace bullet {
+namespace {
+
+TEST(InodeTest, SixteenByteRoundtrip) {
+  Inode inode;
+  inode.random = 0xABCDEF123456ULL;
+  inode.cache_index = 77;
+  inode.first_block = 123456;
+  inode.size_bytes = 987654;
+
+  Bytes raw(Inode::kDiskSize);
+  inode.encode(raw);
+  const Inode decoded = Inode::decode(raw);
+  EXPECT_EQ(inode.random, decoded.random);
+  EXPECT_EQ(inode.cache_index, decoded.cache_index);
+  EXPECT_EQ(inode.first_block, decoded.first_block);
+  EXPECT_EQ(inode.size_bytes, decoded.size_bytes);
+}
+
+TEST(InodeTest, RandomTruncatedTo48Bits) {
+  Inode inode;
+  inode.random = 0xFFFF'FFFF'FFFF'FFFFULL;
+  Bytes raw(Inode::kDiskSize);
+  inode.encode(raw);
+  EXPECT_EQ(0xFFFF'FFFF'FFFFULL, Inode::decode(raw).random);
+}
+
+TEST(InodeTest, FreeDetection) {
+  EXPECT_TRUE(Inode{}.is_free());
+  Inode zero_size;
+  zero_size.random = 1;
+  EXPECT_FALSE(zero_size.is_free());  // an empty file is not a free slot
+  Inode with_data;
+  with_data.size_bytes = 10;
+  EXPECT_FALSE(with_data.is_free());
+}
+
+TEST(DiskDescriptorTest, Roundtrip) {
+  DiskDescriptor desc;
+  desc.block_size = 512;
+  desc.control_blocks = 32;
+  desc.data_blocks = 4000;
+  Bytes raw(DiskDescriptor::kDiskSize);
+  desc.encode(raw);
+  const auto decoded = DiskDescriptor::decode(raw);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(desc.block_size, decoded.value().block_size);
+  EXPECT_EQ(desc.control_blocks, decoded.value().control_blocks);
+  EXPECT_EQ(desc.data_blocks, decoded.value().data_blocks);
+}
+
+TEST(DiskDescriptorTest, RejectsBadMagic) {
+  Bytes raw(DiskDescriptor::kDiskSize, 0);
+  EXPECT_CODE(corrupt, DiskDescriptor::decode(raw));
+}
+
+TEST(DiskDescriptorTest, RejectsTruncated) {
+  Bytes raw(4, 0);
+  EXPECT_CODE(corrupt, DiskDescriptor::decode(raw));
+}
+
+TEST(DiskDescriptorTest, RejectsImplausibleGeometry) {
+  DiskDescriptor desc;
+  desc.block_size = 8;  // smaller than an inode
+  desc.control_blocks = 1;
+  desc.data_blocks = 10;
+  Bytes raw(DiskDescriptor::kDiskSize);
+  desc.encode(raw);
+  EXPECT_CODE(corrupt, DiskDescriptor::decode(raw));
+}
+
+TEST(DiskLayoutTest, GeometryMath) {
+  DiskDescriptor desc;
+  desc.block_size = 512;
+  desc.control_blocks = 4;   // 4 * 512 / 16 = 128 inode slots
+  desc.data_blocks = 1000;
+  DiskLayout layout(desc);
+
+  EXPECT_EQ(128u, layout.inode_slots());
+  EXPECT_EQ(4u, layout.data_start_block());
+  EXPECT_EQ(1000u, layout.data_blocks());
+
+  // 32 inodes per 512-byte block.
+  EXPECT_EQ(0u, layout.inode_device_block(0));
+  EXPECT_EQ(0u, layout.inode_device_block(31));
+  EXPECT_EQ(1u, layout.inode_device_block(32));
+  EXPECT_EQ(3u, layout.inode_device_block(127));
+  EXPECT_EQ(16u, layout.inode_offset_in_block(1));
+  EXPECT_EQ(0u, layout.inode_offset_in_block(32));
+
+  EXPECT_EQ(0u, layout.blocks_for(0));
+  EXPECT_EQ(1u, layout.blocks_for(1));
+  EXPECT_EQ(1u, layout.blocks_for(512));
+  EXPECT_EQ(2u, layout.blocks_for(513));
+}
+
+}  // namespace
+}  // namespace bullet

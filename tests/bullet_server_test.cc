@@ -1,0 +1,380 @@
+// Tests for the Bullet server: the four paper operations, capability
+// protection, caching behaviour, P-FACTOR, extensions, and admin surface.
+#include <gtest/gtest.h>
+
+#include "bullet/server.h"
+#include "tests/test_util.h"
+
+namespace bullet {
+namespace {
+
+using testing::BulletHarness;
+using testing::payload;
+using testing::status_of;
+
+TEST(BulletServerTest, FormatRejectsBadParameters) {
+  MemDisk tiny(512, 2);
+  EXPECT_CODE(bad_argument, BulletServer::format(tiny, 4096));  // table > disk
+  MemDisk odd(100, 64);
+  EXPECT_CODE(bad_argument, BulletServer::format(odd, 16));  // 100 % 16 != 0
+  MemDisk ok_disk(512, 64);
+  EXPECT_CODE(bad_argument, BulletServer::format(ok_disk, 1));  // no file inode
+  EXPECT_OK(BulletServer::format(ok_disk, 16));
+}
+
+TEST(BulletServerTest, StartRejectsUnformattedDisk) {
+  MemDisk raw(512, 64);
+  auto mirror = MirroredDisk::create({&raw});
+  ASSERT_TRUE(mirror.ok());
+  auto mirror_disk = std::move(mirror).value();
+  EXPECT_CODE(corrupt,
+              status_of(BulletServer::start(&mirror_disk, BulletConfig())));
+}
+
+TEST(BulletServerTest, CreateReadRoundtrip) {
+  BulletHarness h;
+  const Bytes data = payload(10000, 42);
+  auto cap = h.server().create(data, 2);
+  ASSERT_TRUE(cap.ok()) << cap.error().to_string();
+  auto read = h.server().read(cap.value());
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(equal(data, read.value()));
+  auto size = h.server().size(cap.value());
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(10000u, size.value());
+}
+
+TEST(BulletServerTest, FilesAreImmutableDistinctObjects) {
+  BulletHarness h;
+  auto a = h.server().create(payload(100, 1), 1);
+  auto b = h.server().create(payload(100, 2), 1);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a.value().object, b.value().object);
+  EXPECT_TRUE(equal(payload(100, 1), h.server().read(a.value()).value()));
+  EXPECT_TRUE(equal(payload(100, 2), h.server().read(b.value()).value()));
+}
+
+TEST(BulletServerTest, EmptyFile) {
+  BulletHarness h;
+  auto cap = h.server().create(ByteSpan{}, 2);
+  ASSERT_TRUE(cap.ok());
+  EXPECT_EQ(0u, h.server().size(cap.value()).value());
+  EXPECT_EQ(0u, h.server().read(cap.value()).value().size());
+  EXPECT_OK(h.server().erase(cap.value()));
+}
+
+TEST(BulletServerTest, OneByteFile) {
+  BulletHarness h;
+  auto cap = h.server().create(as_span("x"), 2);
+  ASSERT_TRUE(cap.ok());
+  EXPECT_EQ(1u, h.server().size(cap.value()).value());
+  EXPECT_EQ("x", to_string(h.server().read(cap.value()).value()));
+}
+
+TEST(BulletServerTest, NonBlockAlignedSizes) {
+  BulletHarness h;
+  for (const std::size_t n : {511u, 512u, 513u, 1023u, 1025u, 77777u}) {
+    const Bytes data = payload(n, n);
+    auto cap = h.server().create(data, 1);
+    ASSERT_TRUE(cap.ok()) << n;
+    EXPECT_TRUE(equal(data, h.server().read(cap.value()).value())) << n;
+  }
+}
+
+TEST(BulletServerTest, DeleteMakesCapabilityInvalid) {
+  BulletHarness h;
+  auto cap = h.server().create(payload(100, 1), 1);
+  ASSERT_TRUE(cap.ok());
+  ASSERT_OK(h.server().erase(cap.value()));
+  EXPECT_CODE(no_such_object, status_of(h.server().read(cap.value())));
+  EXPECT_FALSE(h.server().erase(cap.value()).ok());
+}
+
+TEST(BulletServerTest, DeleteFreesDiskSpace) {
+  BulletHarness h;
+  const auto free_before = h.server().disk_free().total_free();
+  auto cap = h.server().create(payload(4096, 1), 1);
+  ASSERT_TRUE(cap.ok());
+  EXPECT_LT(h.server().disk_free().total_free(), free_before);
+  ASSERT_OK(h.server().erase(cap.value()));
+  EXPECT_EQ(free_before, h.server().disk_free().total_free());
+}
+
+TEST(BulletServerTest, InodeSlotsAreReused) {
+  BulletHarness h;
+  auto a = h.server().create(payload(10, 1), 1);
+  ASSERT_TRUE(a.ok());
+  const auto object = a.value().object;
+  ASSERT_OK(h.server().erase(a.value()));
+  auto b = h.server().create(payload(10, 2), 1);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(object, b.value().object);
+  // The old capability must not resurrect onto the new file.
+  EXPECT_FALSE(h.server().read(a.value()).ok());
+  EXPECT_TRUE(h.server().read(b.value()).ok());
+}
+
+// --- capability protection --------------------------------------------------
+
+TEST(BulletServerTest, ForgedCheckRejected) {
+  BulletHarness h;
+  auto cap = h.server().create(payload(10, 1), 1);
+  ASSERT_TRUE(cap.ok());
+  Capability forged = cap.value();
+  forged.check ^= 0x1;
+  EXPECT_CODE(bad_capability, status_of(h.server().read(forged)));
+}
+
+TEST(BulletServerTest, RightsEscalationRejected) {
+  BulletHarness h;
+  auto cap = h.server().create(payload(10, 1), 1);
+  ASSERT_TRUE(cap.ok());
+  // A legitimately restricted capability is resealed by the server (see
+  // restrict_test.cc); simply flipping the rights bits client-side in
+  // either direction must fail verification.
+  Capability reduced = cap.value();
+  reduced.rights = rights::kRead;  // without resealing
+  EXPECT_FALSE(h.server().read(reduced).ok());
+  auto sealed_read_only = h.server().restrict(cap.value(), rights::kRead);
+  ASSERT_TRUE(sealed_read_only.ok());
+  Capability escalated = sealed_read_only.value();
+  escalated.rights = rights::kAll;  // bit-flip escalation attempt
+  EXPECT_FALSE(h.server().read(escalated).ok());
+}
+
+TEST(BulletServerTest, InsufficientRightsRejectedThroughRpc) {
+  // A correctly sealed capability that simply lacks the required right is
+  // refused with `permission` (distinct from a forged seal). The super
+  // capability lets us mint seals for arbitrary rights subsets.
+  BulletHarness h;
+  rpc::Request request;
+  request.opcode = wire::kCreate;
+  Writer w;
+  w.u8(1);
+  w.blob(as_span("data"));
+  request.body = w.data();
+  request.target = h.server().super_capability(rights::kRead);  // no write
+  EXPECT_EQ(ErrorCode::permission, h.server().handle(request).status);
+  request.target = h.server().super_capability(rights::kWrite);
+  EXPECT_EQ(ErrorCode::ok, h.server().handle(request).status);
+}
+
+TEST(BulletServerTest, SuperCapabilityRightsEnforced) {
+  BulletHarness h;
+  // A super capability without the admin right cannot run admin ops via
+  // RPC dispatch; at the API level verify() is exercised through handle().
+  rpc::Request request;
+  request.target = h.server().super_capability(rights::kWrite);  // no admin
+  request.opcode = wire::kStats;
+  request.body = {};
+  EXPECT_EQ(ErrorCode::permission, h.server().handle(request).status);
+  request.target = h.server().super_capability(rights::kAdmin);
+  EXPECT_EQ(ErrorCode::ok, h.server().handle(request).status);
+}
+
+TEST(BulletServerTest, WrongPortRejected) {
+  BulletHarness h;
+  auto cap = h.server().create(payload(10, 1), 1);
+  ASSERT_TRUE(cap.ok());
+  Capability wrong = cap.value();
+  wrong.port = Port(0xBADBAD);
+  EXPECT_FALSE(h.server().read(wrong).ok());
+}
+
+TEST(BulletServerTest, OutOfRangeObjectRejected) {
+  BulletHarness h;
+  Capability cap = h.server().super_capability();
+  cap.object = 1u << 30;
+  EXPECT_CODE(no_such_object, status_of(h.server().read(cap)));
+}
+
+TEST(BulletServerTest, RandomCapabilitiesNeverVerify) {
+  BulletHarness h;
+  auto real = h.server().create(payload(10, 1), 1);
+  ASSERT_TRUE(real.ok());
+  Rng rng(404);
+  for (int i = 0; i < 1000; ++i) {
+    Capability guess;
+    guess.port = real.value().port;
+    guess.object = real.value().object;
+    guess.rights = rights::kAll;
+    guess.check = rng.next() & kMask48;
+    if (guess.check == real.value().check) continue;
+    EXPECT_FALSE(h.server().read(guess).ok());
+  }
+}
+
+// --- caching ------------------------------------------------------------------
+
+TEST(BulletServerTest, RepeatedReadsHitCache) {
+  BulletHarness h;
+  auto cap = h.server().create(payload(1000, 1), 1);
+  ASSERT_TRUE(cap.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(h.server().read(cap.value()).ok());
+  }
+  const auto stats = h.server().stats();
+  // The create left the file cached; every read was a hit.
+  EXPECT_EQ(5u, stats.cache_hits);
+  EXPECT_EQ(0u, stats.cache_misses);
+}
+
+TEST(BulletServerTest, EvictionThenReloadFromDisk) {
+  BulletHarness::Options options;
+  options.cache_bytes = 2048;  // room for ~2 small files
+  BulletHarness h(options);
+  auto a = h.server().create(payload(1000, 1), 2);
+  auto b = h.server().create(payload(1000, 2), 2);
+  auto c = h.server().create(payload(1000, 3), 2);  // evicts a
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  // Reading a must reload from disk and still be correct.
+  auto read = h.server().read(a.value());
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(equal(payload(1000, 1), read.value()));
+  EXPECT_GT(h.server().stats().cache_misses, 0u);
+  EXPECT_GT(h.server().stats().cache_evictions, 0u);
+}
+
+TEST(BulletServerTest, FileLargerThanCacheRejected) {
+  BulletHarness::Options options;
+  options.cache_bytes = 4096;
+  BulletHarness h(options);
+  EXPECT_CODE(too_large, status_of(h.server().create(payload(8192, 1), 1)));
+}
+
+// --- resource exhaustion ---------------------------------------------------------
+
+TEST(BulletServerTest, DiskFullReported) {
+  BulletHarness::Options options;
+  options.disk_blocks = 64;  // 32 KB disk, ~28 KB data region
+  options.inode_slots = 32;
+  options.cache_bytes = 1 << 20;
+  BulletHarness h(options);
+  auto big = h.server().create(payload(64 * 512, 1), 1);
+  EXPECT_CODE(no_space, status_of(big));
+}
+
+TEST(BulletServerTest, InodeExhaustionReported) {
+  // The inode table occupies whole blocks: requesting 4 slots on a 512-byte
+  // block still yields one block = 32 slots (descriptor + 31 files).
+  BulletHarness::Options options;
+  options.inode_slots = 4;
+  BulletHarness h(options);
+  EXPECT_EQ(32u, h.server().layout().inode_slots());
+  for (int i = 0; i < 31; ++i) {
+    ASSERT_TRUE(h.server().create(payload(16, i), 1).ok()) << i;
+  }
+  auto overflow = h.server().create(payload(16, 99), 1);
+  EXPECT_CODE(no_space, status_of(overflow));
+  // Deleting one file frees a slot.
+  auto any = h.server().create(payload(16, 0), 1);
+  EXPECT_FALSE(any.ok());
+}
+
+TEST(BulletServerTest, PfactorBeyondReplicasRejected) {
+  BulletHarness h;  // 2 replicas
+  auto cap = h.server().create(payload(16, 1), 3);
+  EXPECT_CODE(bad_argument, status_of(cap));
+  EXPECT_FALSE(h.server().create(payload(16, 1), -1).ok());
+}
+
+TEST(BulletServerTest, PfactorZeroStillReplicatesEventually) {
+  BulletHarness h;
+  auto cap = h.server().create(payload(3000, 9), 0);
+  ASSERT_TRUE(cap.ok());
+  // Both replicas already hold the file (synchronous harness): rebooting
+  // from disk images must serve it.
+  h.reboot();
+  auto read = h.server().read(cap.value());
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(equal(payload(3000, 9), read.value()));
+}
+
+// --- §5 extensions ------------------------------------------------------------------
+
+TEST(BulletServerTest, CreateFromAppliesEdits) {
+  BulletHarness h;
+  auto base = h.server().create(as_span("hello world"), 1);
+  ASSERT_TRUE(base.ok());
+  std::vector<wire::FileEdit> edits;
+  edits.push_back(wire::FileEdit::make_overwrite(0, to_bytes("HELLO")));
+  edits.push_back(wire::FileEdit::make_append(to_bytes("!")));
+  auto derived = h.server().create_from(base.value(), edits, 1);
+  ASSERT_TRUE(derived.ok());
+  EXPECT_EQ("HELLO world!",
+            to_string(h.server().read(derived.value()).value()));
+  // The source version is untouched (immutability).
+  EXPECT_EQ("hello world", to_string(h.server().read(base.value()).value()));
+}
+
+TEST(BulletServerTest, CreateFromInsertEraseTruncate) {
+  BulletHarness h;
+  auto base = h.server().create(as_span("abcdef"), 1);
+  ASSERT_TRUE(base.ok());
+  std::vector<wire::FileEdit> edits;
+  edits.push_back(wire::FileEdit::make_insert(3, to_bytes("XY")));  // abcXYdef
+  edits.push_back(wire::FileEdit::make_erase(0, 2));                // cXYdef
+  edits.push_back(wire::FileEdit::make_truncate(4));                // cXYd
+  auto derived = h.server().create_from(base.value(), edits, 1);
+  ASSERT_TRUE(derived.ok());
+  EXPECT_EQ("cXYd", to_string(h.server().read(derived.value()).value()));
+}
+
+TEST(BulletServerTest, CreateFromRejectsBadEdits) {
+  BulletHarness h;
+  auto base = h.server().create(as_span("short"), 1);
+  ASSERT_TRUE(base.ok());
+  std::vector<wire::FileEdit> edits;
+  edits.push_back(wire::FileEdit::make_erase(3, 10));  // beyond end
+  EXPECT_FALSE(h.server().create_from(base.value(), edits, 1).ok());
+  edits.clear();
+  edits.push_back(wire::FileEdit::make_truncate(100));  // grows
+  EXPECT_FALSE(h.server().create_from(base.value(), edits, 1).ok());
+}
+
+TEST(BulletServerTest, ReadRange) {
+  BulletHarness h;
+  const Bytes data = payload(5000, 5);
+  auto cap = h.server().create(data, 1);
+  ASSERT_TRUE(cap.ok());
+  auto range = h.server().read_range(cap.value(), 1000, 250);
+  ASSERT_TRUE(range.ok());
+  EXPECT_TRUE(equal(ByteSpan(data.data() + 1000, 250), range.value()));
+  // Zero-length range at the end is fine; beyond the end is not.
+  EXPECT_TRUE(h.server().read_range(cap.value(), 5000, 0).ok());
+  EXPECT_FALSE(h.server().read_range(cap.value(), 5000, 1).ok());
+  EXPECT_FALSE(h.server().read_range(cap.value(), 4000, 1001).ok());
+}
+
+// --- stats ---------------------------------------------------------------------------
+
+TEST(BulletServerTest, StatsReflectActivity) {
+  BulletHarness h;
+  auto a = h.server().create(payload(600, 1), 1);
+  auto b = h.server().create(payload(600, 2), 1);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(h.server().read(a.value()).ok());
+  ASSERT_OK(h.server().erase(b.value()));
+  const auto stats = h.server().stats();
+  EXPECT_EQ(2u, stats.creates);
+  EXPECT_EQ(1u, stats.reads);
+  EXPECT_EQ(1u, stats.deletes);
+  EXPECT_EQ(1u, stats.files_live);
+  EXPECT_EQ(1200u, stats.bytes_stored);
+  EXPECT_EQ(600u, stats.bytes_served);
+  EXPECT_EQ(2u, stats.healthy_replicas);
+  EXPECT_GT(stats.disk_free_bytes, 0u);
+}
+
+TEST(BulletServerTest, ConsistencyCheckCleanOnHealthyServer) {
+  BulletHarness h;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(h.server().create(payload(700, i), 1).ok());
+  }
+  const auto report = h.server().check_consistency();
+  EXPECT_EQ(10u, report.files);
+  EXPECT_EQ(0u, report.repairs());
+}
+
+}  // namespace
+}  // namespace bullet

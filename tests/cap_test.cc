@@ -1,0 +1,104 @@
+// Tests for capabilities: wire encoding, text encoding, rights.
+#include <gtest/gtest.h>
+
+#include "cap/capability.h"
+#include "tests/test_util.h"
+
+namespace bullet {
+namespace {
+
+Capability sample() {
+  Capability cap;
+  cap.port = Port(0xA1B2C3D4E5F6ULL);
+  cap.object = 1234;
+  cap.rights = rights::kRead | rights::kDelete;
+  cap.check = 0x0123456789ABULL;
+  return cap;
+}
+
+TEST(PortTest, Masks48Bits) {
+  Port p(0xFFFF'1234'5678'9ABCULL);
+  EXPECT_EQ(0x1234'5678'9ABCULL, p.value());
+}
+
+TEST(PortTest, NullDetection) {
+  EXPECT_TRUE(Port().is_null());
+  EXPECT_FALSE(Port(1).is_null());
+}
+
+TEST(PortTest, Comparison) {
+  EXPECT_EQ(Port(5), Port(5));
+  EXPECT_LT(Port(4), Port(5));
+}
+
+TEST(PortTest, ToStringIsTwelveHexDigits) {
+  EXPECT_EQ("0000000000ff", Port(0xFF).to_string());
+  EXPECT_EQ("a1b2c3d4e5f6", Port(0xA1B2C3D4E5F6ULL).to_string());
+}
+
+TEST(CapabilityTest, WireRoundtrip) {
+  const Capability cap = sample();
+  Writer w;
+  cap.encode(w);
+  EXPECT_EQ(Capability::kWireSize, w.size());
+  Reader r(w.data());
+  const auto decoded = Capability::decode(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(cap, decoded.value());
+}
+
+TEST(CapabilityTest, DecodeTruncatedFails) {
+  Writer w;
+  sample().encode(w);
+  Bytes wire = std::move(w).take();
+  wire.pop_back();
+  Reader r(wire);
+  EXPECT_FALSE(Capability::decode(r).ok());
+}
+
+TEST(CapabilityTest, TextRoundtrip) {
+  const Capability cap = sample();
+  const auto parsed = Capability::from_string(cap.to_string());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(cap, *parsed);
+}
+
+TEST(CapabilityTest, TextRoundtripNull) {
+  const Capability null;
+  const auto parsed = Capability::from_string(null.to_string());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(null, *parsed);
+  EXPECT_TRUE(parsed->is_null());
+}
+
+TEST(CapabilityTest, FromStringRejectsGarbage) {
+  EXPECT_FALSE(Capability::from_string("").has_value());
+  EXPECT_FALSE(Capability::from_string("a:b:c").has_value());
+  EXPECT_FALSE(Capability::from_string("a:b:c:d:e").has_value());
+  EXPECT_FALSE(Capability::from_string("xx:yy:zz:qq").has_value());
+  EXPECT_FALSE(Capability::from_string("1:2:100:3").has_value());  // rights>255
+  EXPECT_FALSE(Capability::from_string("1:2:fff:3").has_value());
+  EXPECT_FALSE(
+      Capability::from_string("1:fffffffff:1:3").has_value());  // object>2^32
+}
+
+TEST(CapabilityTest, HasRights) {
+  Capability cap;
+  cap.rights = rights::kRead | rights::kWrite;
+  EXPECT_TRUE(cap.has_rights(rights::kRead));
+  EXPECT_TRUE(cap.has_rights(rights::kRead | rights::kWrite));
+  EXPECT_FALSE(cap.has_rights(rights::kDelete));
+  EXPECT_FALSE(cap.has_rights(rights::kRead | rights::kDelete));
+  EXPECT_TRUE(cap.has_rights(0));
+}
+
+TEST(CapabilityTest, IsNull) {
+  EXPECT_TRUE(Capability().is_null());
+  EXPECT_FALSE(sample().is_null());
+  Capability object_only;
+  object_only.object = 1;
+  EXPECT_FALSE(object_only.is_null());
+}
+
+}  // namespace
+}  // namespace bullet

@@ -1,0 +1,266 @@
+// Tests for the common foundation: Result/Status, serialization, RNG,
+// checksums, hex.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "common/crc.h"
+#include "common/error.h"
+#include "common/hex.h"
+#include "common/rng.h"
+#include "common/serde.h"
+#include "tests/test_util.h"
+
+namespace bullet {
+namespace {
+
+// --- Result / Status --------------------------------------------------------
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(42, r.value());
+  EXPECT_EQ(ErrorCode::ok, r.code());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Error(ErrorCode::no_space, "disk full"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(ErrorCode::no_space, r.code());
+  EXPECT_EQ("disk full", r.error().message);
+}
+
+TEST(ResultTest, ValueOrFallback) {
+  Result<int> bad(ErrorCode::not_found);
+  EXPECT_EQ(7, bad.value_or(7));
+  Result<int> good(3);
+  EXPECT_EQ(3, good.value_or(7));
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<Bytes> r(Bytes{1, 2, 3});
+  Bytes data = std::move(r).value();
+  EXPECT_EQ(3u, data.size());
+}
+
+TEST(StatusTest, DefaultIsSuccess) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ("ok", st.to_string());
+}
+
+TEST(StatusTest, CarriesError) {
+  Status st(Error(ErrorCode::io_error, "boom"));
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(ErrorCode::io_error, st.code());
+  EXPECT_NE(std::string::npos, st.to_string().find("boom"));
+}
+
+TEST(StatusTest, OkCodeConstructsSuccess) {
+  Status st(ErrorCode::ok);
+  EXPECT_TRUE(st.ok());
+}
+
+TEST(ErrorCodeTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 14; ++c) {
+    EXPECT_NE("unknown error", to_string(static_cast<ErrorCode>(c)));
+  }
+}
+
+// --- serde -------------------------------------------------------------------
+
+TEST(SerdeTest, RoundtripScalars) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0xCDEF);
+  w.u32(0xDEADBEEF);
+  w.u48(0xABCDEF012345ULL);
+  w.u64(0x1122334455667788ULL);
+  w.i64(-42);
+
+  Reader r(w.data());
+  EXPECT_EQ(0xAB, r.u8().value());
+  EXPECT_EQ(0xCDEF, r.u16().value());
+  EXPECT_EQ(0xDEADBEEFu, r.u32().value());
+  EXPECT_EQ(0xABCDEF012345ULL, r.u48().value());
+  EXPECT_EQ(0x1122334455667788ULL, r.u64().value());
+  EXPECT_EQ(-42, r.i64().value());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(SerdeTest, RoundtripBlobAndString) {
+  Writer w;
+  w.str("hello");
+  w.blob(Bytes{9, 8, 7});
+  w.str("");
+
+  Reader r(w.data());
+  EXPECT_EQ("hello", r.str().value());
+  EXPECT_TRUE(equal(ByteSpan(Bytes{9, 8, 7}), r.blob().value()));
+  EXPECT_EQ("", r.str().value());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(SerdeTest, UnderflowIsError) {
+  Writer w;
+  w.u16(7);
+  Reader r(w.data());
+  EXPECT_FALSE(r.u32().ok());
+}
+
+TEST(SerdeTest, TruncatedBlobIsError) {
+  Writer w;
+  w.u32(100);  // promises 100 bytes, delivers none
+  Reader r(w.data());
+  EXPECT_FALSE(r.blob().ok());
+}
+
+TEST(SerdeTest, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  ASSERT_EQ(4u, w.size());
+  EXPECT_EQ(0x04, w.data()[0]);
+  EXPECT_EQ(0x01, w.data()[3]);
+}
+
+TEST(SerdeTest, RemainingAndRest) {
+  Writer w;
+  w.u32(1);
+  w.u32(2);
+  Reader r(w.data());
+  EXPECT_EQ(8u, r.remaining());
+  ASSERT_TRUE(r.u32().ok());
+  EXPECT_EQ(4u, r.remaining());
+  EXPECT_EQ(4u, r.rest().size());
+}
+
+// --- RNG ----------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(0u, rng.next_below(0));
+  EXPECT_EQ(0u, rng.next_below(1));
+}
+
+TEST(RngTest, NextRangeInclusive) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const auto v = rng.next_range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(4u, seen.size());  // all four values hit
+  EXPECT_EQ(3u, rng.next_range(3, 3));
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, FillCoversOddSizes) {
+  Rng rng(13);
+  for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 63u}) {
+    Bytes b = rng.next_bytes(n);
+    EXPECT_EQ(n, b.size());
+  }
+}
+
+TEST(RngTest, BytesLookRandom) {
+  Rng rng(17);
+  Bytes b = rng.next_bytes(4096);
+  std::array<int, 256> hist{};
+  for (std::uint8_t v : b) ++hist[v];
+  // Every value class should appear at least once in 4 KB and none should
+  // dominate wildly.
+  for (int count : hist) EXPECT_LT(count, 64);
+}
+
+// --- CRC ------------------------------------------------------------------------
+
+TEST(CrcTest, Crc32cKnownVector) {
+  // "123456789" -> 0xE3069283 (CRC-32C check value).
+  EXPECT_EQ(0xE3069283u, crc32c(as_span("123456789")));
+}
+
+TEST(CrcTest, Crc32cEmptyIsZero) { EXPECT_EQ(0u, crc32c(ByteSpan{})); }
+
+TEST(CrcTest, Crc64KnownVector) {
+  // ECMA-182 reflected (CRC-64/XZ): "123456789" -> 0x995DC9BBDF1939FA.
+  EXPECT_EQ(0x995DC9BBDF1939FAULL, crc64(as_span("123456789")));
+}
+
+TEST(CrcTest, DetectsBitFlip) {
+  Bytes data = testing::payload(1024, 1);
+  const auto base = crc32c(data);
+  data[512] ^= 0x01;
+  EXPECT_NE(base, crc32c(data));
+}
+
+TEST(CrcTest, ChainingMatchesOneShot) {
+  Bytes data = testing::payload(100, 2);
+  const auto whole = crc32c(data);
+  const auto part1 = crc32c(ByteSpan(data.data(), 40));
+  const auto chained = crc32c(ByteSpan(data.data() + 40, 60), part1);
+  EXPECT_EQ(whole, chained);
+}
+
+// --- hex ---------------------------------------------------------------------------
+
+TEST(HexTest, EncodeDecodeRoundtrip) {
+  const Bytes data = testing::payload(33, 3);
+  const auto decoded = hex_decode(hex_encode(data));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(equal(data, *decoded));
+}
+
+TEST(HexTest, KnownEncoding) {
+  EXPECT_EQ("00ff10", hex_encode(Bytes{0x00, 0xFF, 0x10}));
+}
+
+TEST(HexTest, DecodeRejectsBadInput) {
+  EXPECT_FALSE(hex_decode("abc").has_value());   // odd length
+  EXPECT_FALSE(hex_decode("zz").has_value());    // not hex
+  EXPECT_TRUE(hex_decode("").has_value());       // empty is fine
+  EXPECT_TRUE(hex_decode("AbCd").has_value());   // mixed case accepted
+}
+
+// --- bytes helpers -----------------------------------------------------------------
+
+TEST(BytesTest, Conversions) {
+  EXPECT_EQ("abc", to_string(to_bytes("abc")));
+  EXPECT_TRUE(equal(as_span("xy"), to_bytes("xy")));
+  Bytes out = to_bytes("a");
+  append(out, as_span("bc"));
+  EXPECT_EQ("abc", to_string(out));
+}
+
+TEST(BytesTest, EqualHandlesEmpty) {
+  EXPECT_TRUE(equal(ByteSpan{}, ByteSpan{}));
+  EXPECT_FALSE(equal(ByteSpan{}, as_span("x")));
+}
+
+}  // namespace
+}  // namespace bullet

@@ -1,0 +1,152 @@
+// Tests for the Speck64/128 cipher and capability sealing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "crypto/oneway.h"
+#include "crypto/speck.h"
+#include "tests/test_util.h"
+
+namespace bullet {
+namespace {
+
+Speck64::Key test_key() {
+  // Key words k=0x03020100 l0=0x0b0a0908 l1=0x13121110 l2=0x1b1a1918, laid
+  // out little-endian per 32-bit word.
+  return Speck64::Key{0x00, 0x01, 0x02, 0x03, 0x08, 0x09, 0x0a, 0x0b,
+                      0x10, 0x11, 0x12, 0x13, 0x18, 0x19, 0x1a, 0x1b};
+}
+
+TEST(SpeckTest, OfficialTestVector) {
+  // Speck64/128 reference vector: pt = (0x3b726574, 0x7475432d),
+  // ct = (0x8c6fa548, 0x454e028b).
+  Speck64 cipher(test_key());
+  const std::uint64_t plaintext = 0x3b7265747475432dULL;
+  EXPECT_EQ(0x8c6fa548454e028bULL, cipher.encrypt(plaintext));
+}
+
+TEST(SpeckTest, DecryptInvertsEncrypt) {
+  Speck64 cipher(test_key());
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t block = rng.next();
+    EXPECT_EQ(block, cipher.decrypt(cipher.encrypt(block)));
+  }
+}
+
+TEST(SpeckTest, DifferentKeysDifferentCiphertext) {
+  Speck64 a(test_key());
+  Speck64::Key other = test_key();
+  other[0] ^= 0x01;
+  Speck64 b(other);
+  EXPECT_NE(a.encrypt(0), b.encrypt(0));
+}
+
+TEST(SpeckTest, AvalancheOnPlaintext) {
+  Speck64 cipher(test_key());
+  const std::uint64_t base = cipher.encrypt(0x1234567890ABCDEFULL);
+  const std::uint64_t flipped = cipher.encrypt(0x1234567890ABCDEEULL);
+  // Roughly half the bits should differ.
+  const int bits = __builtin_popcountll(base ^ flipped);
+  EXPECT_GT(bits, 16);
+  EXPECT_LT(bits, 48);
+}
+
+TEST(SpeckTest, PermutationNoFixedCollisions) {
+  Speck64 cipher(test_key());
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    outputs.insert(cipher.encrypt(i));
+  }
+  EXPECT_EQ(1000u, outputs.size());
+}
+
+// --- CheckSealer ----------------------------------------------------------
+
+TEST(CheckSealerTest, VerifyAcceptsSealed) {
+  CheckSealer sealer(test_key());
+  const std::uint64_t random = 0x123456789ABCULL;
+  const std::uint64_t check = sealer.seal(rights::kAll, random);
+  EXPECT_TRUE(sealer.verify(rights::kAll, random, check));
+}
+
+TEST(CheckSealerTest, CheckIs48Bits) {
+  CheckSealer sealer(test_key());
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(0u, sealer.seal(static_cast<std::uint8_t>(i), rng.next()) &
+                      ~kMask48);
+  }
+}
+
+TEST(CheckSealerTest, RejectsWrongRights) {
+  CheckSealer sealer(test_key());
+  const std::uint64_t random = 0xABCDEF;
+  const std::uint64_t check = sealer.seal(rights::kRead, random);
+  // Escalating rights without resealing must fail.
+  EXPECT_FALSE(sealer.verify(rights::kAll, random, check));
+  EXPECT_FALSE(sealer.verify(rights::kRead | rights::kDelete, random, check));
+}
+
+TEST(CheckSealerTest, RejectsWrongRandom) {
+  CheckSealer sealer(test_key());
+  const std::uint64_t check = sealer.seal(rights::kAll, 0x111111);
+  EXPECT_FALSE(sealer.verify(rights::kAll, 0x222222, check));
+}
+
+TEST(CheckSealerTest, RejectsBitFlippedCheck) {
+  CheckSealer sealer(test_key());
+  const std::uint64_t random = 0x424242;
+  const std::uint64_t check = sealer.seal(rights::kAll, random);
+  for (int bit = 0; bit < 48; ++bit) {
+    EXPECT_FALSE(sealer.verify(rights::kAll, random, check ^ (1ULL << bit)));
+  }
+}
+
+TEST(CheckSealerTest, DifferentServersDifferentSeals) {
+  CheckSealer a(test_key());
+  Speck64::Key other = test_key();
+  other[15] ^= 0x80;
+  CheckSealer b(other);
+  EXPECT_NE(a.seal(rights::kAll, 0x777), b.seal(rights::kAll, 0x777));
+}
+
+TEST(CheckSealerTest, ForgeryByGuessingIsImplausible) {
+  // A brute forger without the key should essentially never hit a valid
+  // check among a batch of random guesses (48-bit space).
+  CheckSealer sealer(test_key());
+  Rng rng(99);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (sealer.verify(rights::kAll, 0x5555, rng.next() & kMask48)) ++hits;
+  }
+  EXPECT_EQ(0, hits);
+}
+
+// --- port derivation --------------------------------------------------------
+
+TEST(PortDerivationTest, DeterministicAnd48Bit) {
+  const std::uint64_t pub = derive_public_port(0x1234);
+  EXPECT_EQ(pub, derive_public_port(0x1234));
+  EXPECT_EQ(0u, pub & ~kMask48);
+}
+
+TEST(PortDerivationTest, DistinctPrivatePortsDistinctPublic) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t p = 1; p <= 1000; ++p) {
+    seen.insert(derive_public_port(p));
+  }
+  EXPECT_EQ(1000u, seen.size());
+}
+
+TEST(PortDerivationTest, PublicDoesNotEqualPrivate) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t priv = rng.next() & kMask48;
+    EXPECT_NE(priv, derive_public_port(priv));
+  }
+}
+
+}  // namespace
+}  // namespace bullet

@@ -1,0 +1,231 @@
+// Tests for the directory server: naming, version management (atomic
+// replace / compare-and-swap), persistence into Bullet files, and path
+// utilities.
+#include <gtest/gtest.h>
+
+#include "dir/client.h"
+#include "dir/server.h"
+#include "tests/test_util.h"
+
+namespace bullet::dir {
+namespace {
+
+using ::bullet::testing::BulletHarness;
+using ::bullet::testing::payload;
+using ::bullet::testing::status_of;
+
+class DirTest : public ::testing::Test {
+ protected:
+  DirTest() {
+    EXPECT_TRUE(transport_.register_service(&h_.server()).ok());
+    BulletClient storage(&transport_, h_.server().super_capability());
+    auto server = DirServer::start(storage, DirConfig());
+    EXPECT_TRUE(server.ok());
+    dir_server_ = std::move(server).value();
+    EXPECT_TRUE(transport_.register_service(dir_server_.get()).ok());
+    client_ = std::make_unique<DirClient>(&transport_,
+                                          dir_server_->super_capability());
+    bullet_client_ = std::make_unique<BulletClient>(
+        &transport_, h_.server().super_capability());
+  }
+
+  Capability store_file(std::string_view text) {
+    auto cap = bullet_client_->create(as_span(text), 1);
+    EXPECT_TRUE(cap.ok());
+    return cap.value_or(Capability{});
+  }
+
+  BulletHarness h_;
+  rpc::LoopbackTransport transport_;
+  std::unique_ptr<DirServer> dir_server_;
+  std::unique_ptr<DirClient> client_;
+  std::unique_ptr<BulletClient> bullet_client_;
+};
+
+TEST_F(DirTest, CreateLookupEnterRemove) {
+  auto dir = client_->create_dir();
+  ASSERT_TRUE(dir.ok());
+  const Capability file = store_file("contents");
+  ASSERT_OK(client_->enter(dir.value(), "readme", file));
+  auto found = client_->lookup(dir.value(), "readme");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(file, found.value());
+  ASSERT_OK(client_->remove(dir.value(), "readme"));
+  EXPECT_CODE(not_found, status_of(client_->lookup(dir.value(), "readme")));
+}
+
+TEST_F(DirTest, EnterDuplicateRejected) {
+  auto dir = client_->create_dir();
+  ASSERT_TRUE(dir.ok());
+  ASSERT_OK(client_->enter(dir.value(), "x", store_file("1")));
+  EXPECT_CODE(already_exists,
+              client_->enter(dir.value(), "x", store_file("2")));
+}
+
+TEST_F(DirTest, NameValidation) {
+  auto dir = client_->create_dir();
+  ASSERT_TRUE(dir.ok());
+  const Capability file = store_file("z");
+  EXPECT_CODE(bad_argument, client_->enter(dir.value(), "", file));
+  EXPECT_CODE(bad_argument, client_->enter(dir.value(), "a/b", file));
+  EXPECT_CODE(bad_argument,
+              client_->enter(dir.value(), std::string(300, 'a'), file));
+  EXPECT_CODE(bad_argument,
+              client_->enter(dir.value(), std::string("a\0b", 3), file));
+}
+
+TEST_F(DirTest, ListIsSortedAndComplete) {
+  auto dir = client_->create_dir();
+  ASSERT_TRUE(dir.ok());
+  ASSERT_OK(client_->enter(dir.value(), "zebra", store_file("z")));
+  ASSERT_OK(client_->enter(dir.value(), "apple", store_file("a")));
+  ASSERT_OK(client_->enter(dir.value(), "mango", store_file("m")));
+  auto entries = client_->list(dir.value());
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(3u, entries.value().size());
+  EXPECT_EQ("apple", entries.value()[0].name);
+  EXPECT_EQ("mango", entries.value()[1].name);
+  EXPECT_EQ("zebra", entries.value()[2].name);
+}
+
+TEST_F(DirTest, ReplaceReturnsOldVersion) {
+  auto dir = client_->create_dir();
+  ASSERT_TRUE(dir.ok());
+  const Capability v1 = store_file("v1");
+  const Capability v2 = store_file("v2");
+  ASSERT_OK(client_->enter(dir.value(), "doc", v1));
+  auto old = client_->replace(dir.value(), "doc", v2);
+  ASSERT_TRUE(old.ok());
+  EXPECT_EQ(v1, old.value());
+  EXPECT_EQ(v2, client_->lookup(dir.value(), "doc").value());
+  EXPECT_CODE(not_found, status_of(client_->replace(dir.value(), "nope", v2)));
+}
+
+TEST_F(DirTest, CasReplaceDetectsLostUpdate) {
+  // The paper's version model: clients race to publish new versions of an
+  // immutable file; the directory's compare-and-swap decides the winner.
+  auto dir = client_->create_dir();
+  ASSERT_TRUE(dir.ok());
+  const Capability v1 = store_file("v1");
+  ASSERT_OK(client_->enter(dir.value(), "doc", v1));
+
+  const Capability from_a = store_file("a's edit of v1");
+  const Capability from_b = store_file("b's edit of v1");
+  // Client A publishes first.
+  ASSERT_TRUE(client_->cas_replace(dir.value(), "doc", v1, from_a).ok());
+  // Client B, still basing on v1, must lose.
+  EXPECT_CODE(conflict,
+              status_of(client_->cas_replace(dir.value(), "doc", v1, from_b)));
+  EXPECT_EQ(from_a, client_->lookup(dir.value(), "doc").value());
+}
+
+TEST_F(DirTest, VersionFilesRetiredOnMutation) {
+  // Every directory mutation writes a new backing Bullet file and deletes
+  // the old version: the live-file count must not grow without bound.
+  auto dir = client_->create_dir();
+  ASSERT_TRUE(dir.ok());
+  const auto base_files = h_.server().live_files();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK(client_->enter(dir.value(), "f" + std::to_string(i),
+                             store_file("x")));
+  }
+  // Each entered file is live (+20) but old directory versions are not.
+  EXPECT_EQ(base_files + 20, h_.server().live_files());
+}
+
+TEST_F(DirTest, DeleteDirRequiresEmpty) {
+  auto dir = client_->create_dir();
+  ASSERT_TRUE(dir.ok());
+  ASSERT_OK(client_->enter(dir.value(), "x", store_file("1")));
+  EXPECT_CODE(bad_state, client_->delete_dir(dir.value()));
+  ASSERT_OK(client_->remove(dir.value(), "x"));
+  ASSERT_OK(client_->delete_dir(dir.value()));
+  EXPECT_CODE(no_such_object, status_of(client_->list(dir.value())));
+}
+
+TEST_F(DirTest, ForgedDirectoryCapabilityRejected) {
+  auto dir = client_->create_dir();
+  ASSERT_TRUE(dir.ok());
+  Capability forged = dir.value();
+  forged.check ^= 0x40;
+  EXPECT_CODE(bad_capability, status_of(client_->list(forged)));
+  Capability escalate = dir.value();
+  escalate.rights = rights::kRead;  // not resealed
+  EXPECT_CODE(bad_capability, status_of(client_->list(escalate)));
+}
+
+TEST_F(DirTest, HierarchyAndPathResolution) {
+  auto root = client_->create_dir();
+  ASSERT_TRUE(root.ok());
+  auto usr = client_->make_path(root.value(), "usr/local/bin");
+  ASSERT_TRUE(usr.ok());
+  const Capability tool = store_file("#!bullet");
+  ASSERT_OK(client_->enter(usr.value(), "tool", tool));
+
+  auto found = client_->resolve(root.value(), "usr/local/bin/tool");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(tool, found.value());
+  // Tolerant of redundant slashes.
+  EXPECT_EQ(tool, client_->resolve(root.value(), "usr//local/bin//tool").value());
+  EXPECT_CODE(not_found, status_of(client_->resolve(root.value(), "usr/nope")));
+  // make_path is idempotent.
+  EXPECT_EQ(usr.value(), client_->make_path(root.value(), "usr/local/bin").value());
+}
+
+TEST_F(DirTest, SplitPath) {
+  EXPECT_TRUE(split_path("").empty());
+  EXPECT_TRUE(split_path("///").empty());
+  const auto parts = split_path("/a//b/c/");
+  ASSERT_EQ(3u, parts.size());
+  EXPECT_EQ("a", parts[0]);
+  EXPECT_EQ("b", parts[1]);
+  EXPECT_EQ("c", parts[2]);
+}
+
+TEST_F(DirTest, CheckpointRestoreRoundtrip) {
+  auto dir = client_->create_dir();
+  ASSERT_TRUE(dir.ok());
+  const Capability file = store_file("persistent");
+  ASSERT_OK(client_->enter(dir.value(), "keep", file));
+  auto snapshot = client_->checkpoint();
+  ASSERT_TRUE(snapshot.ok());
+
+  // "Restart" the directory server from the snapshot (same Bullet backing).
+  BulletClient storage(&transport_, h_.server().super_capability());
+  DirConfig config;
+  config.restore_from = snapshot.value();
+  auto revived = DirServer::start(storage, config);
+  ASSERT_TRUE(revived.ok());
+  // Old capabilities still resolve on the revived instance (local API).
+  auto found = revived.value()->lookup(dir.value(), "keep");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(file, found.value());
+  EXPECT_EQ(1u, revived.value()->directory_count());
+}
+
+TEST_F(DirTest, RpcSurfaceEndToEnd) {
+  // Exercise the wire path explicitly for each opcode.
+  auto dir = client_->create_dir();
+  ASSERT_TRUE(dir.ok());
+  ASSERT_OK(client_->enter(dir.value(), "a", store_file("1")));
+  auto old = client_->replace(dir.value(), "a", store_file("2"));
+  ASSERT_TRUE(old.ok());
+  auto cas = client_->cas_replace(dir.value(), "a",
+                                  client_->lookup(dir.value(), "a").value(),
+                                  store_file("3"));
+  ASSERT_TRUE(cas.ok());
+  ASSERT_TRUE(client_->list(dir.value()).ok());
+  ASSERT_TRUE(client_->checkpoint().ok());
+  ASSERT_OK(client_->remove(dir.value(), "a"));
+  ASSERT_OK(client_->delete_dir(dir.value()));
+}
+
+TEST_F(DirTest, SuperObjectIsNotADirectory) {
+  const Capability super = dir_server_->super_capability();
+  EXPECT_CODE(bad_argument, status_of(client_->list(super)));
+  EXPECT_CODE(bad_argument,
+              client_->enter(super, "x", store_file("1")));
+}
+
+}  // namespace
+}  // namespace bullet::dir

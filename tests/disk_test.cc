@@ -1,0 +1,324 @@
+// Tests for the block-device layer: MemDisk, FileDisk, SimDisk,
+// MirroredDisk (failover, partial writes, resilver).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "disk/file_disk.h"
+#include "disk/mem_disk.h"
+#include "disk/mirrored_disk.h"
+#include "disk/sim_disk.h"
+#include "sim/testbed.h"
+#include "tests/test_util.h"
+
+namespace bullet {
+namespace {
+
+using testing::payload;
+
+TEST(MemDiskTest, ReadBackWhatWasWritten) {
+  MemDisk disk(512, 64);
+  const Bytes data = payload(1024, 1);
+  ASSERT_OK(disk.write(3, data));
+  Bytes out(1024);
+  ASSERT_OK(disk.read(3, out));
+  EXPECT_TRUE(equal(data, out));
+}
+
+TEST(MemDiskTest, FreshDiskIsZeroed) {
+  MemDisk disk(512, 4);
+  Bytes out(512, 0xFF);
+  ASSERT_OK(disk.read(0, out));
+  for (const auto b : out) EXPECT_EQ(0, b);
+}
+
+TEST(MemDiskTest, RejectsUnalignedTransfer) {
+  MemDisk disk(512, 4);
+  Bytes odd(100);
+  EXPECT_CODE(bad_argument, disk.write(0, odd));
+  EXPECT_CODE(bad_argument, disk.read(0, MutableByteSpan(odd)));
+}
+
+TEST(MemDiskTest, RejectsOutOfRange) {
+  MemDisk disk(512, 4);
+  Bytes block(512);
+  EXPECT_CODE(bad_argument, disk.write(4, block));
+  Bytes two(1024);
+  EXPECT_CODE(bad_argument, disk.write(3, two));
+  EXPECT_OK(disk.write(3, block));
+}
+
+TEST(MemDiskTest, FailDeviceFailsEverything) {
+  MemDisk disk(512, 4);
+  disk.fail_device();
+  Bytes block(512);
+  EXPECT_CODE(io_error, disk.write(0, block));
+  EXPECT_CODE(io_error, disk.read(0, MutableByteSpan(block)));
+  EXPECT_CODE(io_error, disk.flush());
+  disk.clear_faults();
+  EXPECT_OK(disk.write(0, block));
+}
+
+TEST(MemDiskTest, FailAfterWritesInjectsCrash) {
+  MemDisk disk(512, 8);
+  disk.fail_after_writes(2);
+  Bytes block(512, 1);
+  EXPECT_OK(disk.write(0, block));
+  EXPECT_OK(disk.write(1, block));
+  EXPECT_CODE(io_error, disk.write(2, block));
+  EXPECT_TRUE(disk.has_failed());
+}
+
+TEST(MemDiskTest, SnapshotRestoreRoundtrip) {
+  MemDisk disk(512, 8);
+  ASSERT_OK(disk.write(2, payload(512, 7)));
+  const Bytes image = disk.snapshot();
+  MemDisk copy(512, 8);
+  ASSERT_OK(copy.restore(image));
+  Bytes out(512);
+  ASSERT_OK(copy.read(2, out));
+  EXPECT_TRUE(equal(payload(512, 7), out));
+  MemDisk wrong(512, 4);
+  EXPECT_CODE(bad_argument, wrong.restore(image));
+}
+
+TEST(MemDiskTest, CountsOperations) {
+  MemDisk disk(512, 8);
+  Bytes block(512);
+  ASSERT_OK(disk.write(0, block));
+  ASSERT_OK(disk.read(0, MutableByteSpan(block)));
+  ASSERT_OK(disk.read(0, MutableByteSpan(block)));
+  EXPECT_EQ(1u, disk.writes());
+  EXPECT_EQ(2u, disk.reads());
+}
+
+// --- FileDisk ---------------------------------------------------------------
+
+class FileDiskTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "bullet_filedisk_test.img";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(FileDiskTest, PersistsAcrossReopen) {
+  {
+    auto disk = FileDisk::open(path_, 512, 16);
+    ASSERT_TRUE(disk.ok());
+    ASSERT_OK(disk.value().write(5, payload(512, 3)));
+    ASSERT_OK(disk.value().flush());
+  }
+  auto disk = FileDisk::open(path_, 512, 16);
+  ASSERT_TRUE(disk.ok());
+  Bytes out(512);
+  ASSERT_OK(disk.value().read(5, out));
+  EXPECT_TRUE(equal(payload(512, 3), out));
+}
+
+TEST_F(FileDiskTest, RejectsEmptyGeometry) {
+  EXPECT_FALSE(FileDisk::open(path_, 0, 16).ok());
+  EXPECT_FALSE(FileDisk::open(path_, 512, 0).ok());
+}
+
+TEST_F(FileDiskTest, MoveTransfersOwnership) {
+  auto disk = FileDisk::open(path_, 512, 4);
+  ASSERT_TRUE(disk.ok());
+  FileDisk moved = std::move(disk).value();
+  ASSERT_OK(moved.write(0, payload(512, 1)));
+  FileDisk moved2 = std::move(moved);
+  Bytes out(512);
+  ASSERT_OK(moved2.read(0, out));
+  EXPECT_TRUE(equal(payload(512, 1), out));
+}
+
+// --- SimDisk -----------------------------------------------------------------
+
+TEST(SimDiskTest, ChargesServiceTime) {
+  sim::Clock clock;
+  MemDisk inner(512, 4096);
+  SimDisk disk(&inner, sim::DiskParams::winchester_1989(512, 4096), &clock);
+  Bytes block(512);
+  ASSERT_OK(disk.read(100, MutableByteSpan(block)));
+  EXPECT_GT(clock.now(), 0);
+}
+
+TEST(SimDiskTest, SequentialCheaperThanRandom) {
+  sim::Clock clock;
+  MemDisk inner(512, 1u << 16);
+  SimDisk disk(&inner, sim::DiskParams::winchester_1989(512, 1u << 16), &clock);
+  Bytes block(512);
+
+  ASSERT_OK(disk.read(0, MutableByteSpan(block)));
+  const auto t0 = clock.now();
+  // Sequential follow-up: no seek, no rotational delay.
+  ASSERT_OK(disk.read(1, MutableByteSpan(block)));
+  const auto sequential = clock.now() - t0;
+  // Far-away follow-up: seek + rotational latency.
+  ASSERT_OK(disk.read(50000, MutableByteSpan(block)));
+  const auto random = clock.now() - t0 - sequential;
+  EXPECT_GT(random, sequential * 5);
+}
+
+TEST(SimDiskTest, DataStillLands) {
+  sim::Clock clock;
+  MemDisk inner(512, 64);
+  SimDisk disk(&inner, sim::DiskParams::winchester_1989(512, 64), &clock);
+  ASSERT_OK(disk.write(7, payload(512, 9)));
+  Bytes out(512);
+  ASSERT_OK(inner.read(7, out));  // visible through the wrapped device
+  EXPECT_TRUE(equal(payload(512, 9), out));
+}
+
+// --- MirroredDisk ---------------------------------------------------------------
+
+class MirrorTest : public ::testing::Test {
+ protected:
+  MirrorTest() : a_(512, 64), b_(512, 64) {
+    auto mirror = MirroredDisk::create({&a_, &b_});
+    EXPECT_TRUE(mirror.ok());
+    mirror_ = std::make_unique<MirroredDisk>(std::move(mirror).value());
+  }
+  MemDisk a_, b_;
+  std::unique_ptr<MirroredDisk> mirror_;
+};
+
+TEST_F(MirrorTest, WritesGoToAllReplicas) {
+  ASSERT_OK(mirror_->write(3, payload(512, 1)));
+  Bytes out(512);
+  ASSERT_OK(a_.read(3, out));
+  EXPECT_TRUE(equal(payload(512, 1), out));
+  ASSERT_OK(b_.read(3, out));
+  EXPECT_TRUE(equal(payload(512, 1), out));
+}
+
+TEST_F(MirrorTest, ReadFailsOverToSecondReplica) {
+  ASSERT_OK(mirror_->write(0, payload(512, 2)));
+  a_.fail_device();
+  Bytes out(512);
+  ASSERT_OK(mirror_->read(0, out));
+  EXPECT_TRUE(equal(payload(512, 2), out));
+  EXPECT_EQ(1, mirror_->healthy_count());
+  EXPECT_FALSE(mirror_->is_healthy(0));
+}
+
+TEST_F(MirrorTest, WriteSurvivesOneReplicaFailure) {
+  b_.fail_device();
+  ASSERT_OK(mirror_->write(1, payload(512, 3)));
+  EXPECT_EQ(1, mirror_->healthy_count());
+  Bytes out(512);
+  ASSERT_OK(mirror_->read(1, out));
+  EXPECT_TRUE(equal(payload(512, 3), out));
+}
+
+TEST_F(MirrorTest, AllReplicasFailedIsError) {
+  a_.fail_device();
+  b_.fail_device();
+  Bytes out(512);
+  EXPECT_CODE(io_error, mirror_->read(0, out));
+  EXPECT_CODE(io_error, mirror_->write(0, payload(512, 1)));
+}
+
+TEST_F(MirrorTest, PartialWriteHonoursLimit) {
+  auto written = mirror_->write_partial(2, payload(512, 4), 1);
+  ASSERT_TRUE(written.ok());
+  EXPECT_EQ(1, written.value());
+  // First replica has the data, second does not yet.
+  Bytes out(512);
+  ASSERT_OK(a_.read(2, out));
+  EXPECT_TRUE(equal(payload(512, 4), out));
+  ASSERT_OK(b_.read(2, out));
+  EXPECT_FALSE(equal(payload(512, 4), out));
+  // Completing the write brings the second replica up to date.
+  ASSERT_OK(mirror_->write_remaining(2, payload(512, 4), 1));
+  ASSERT_OK(b_.read(2, out));
+  EXPECT_TRUE(equal(payload(512, 4), out));
+}
+
+TEST_F(MirrorTest, ResilverRestoresFailedReplica) {
+  ASSERT_OK(mirror_->write(0, payload(512, 5)));
+  ASSERT_OK(mirror_->write(9, payload(512, 6)));
+  b_.fail_device();
+  ASSERT_OK(mirror_->write(1, payload(512, 7)));  // b misses this write
+  EXPECT_EQ(1, mirror_->healthy_count());
+
+  // Operator replaces the drive and copies the whole disk.
+  b_.clear_faults();
+  ASSERT_OK(mirror_->resilver(1));
+  EXPECT_EQ(2, mirror_->healthy_count());
+  Bytes out(512);
+  ASSERT_OK(b_.read(1, out));
+  EXPECT_TRUE(equal(payload(512, 7), out));
+  ASSERT_OK(b_.read(9, out));
+  EXPECT_TRUE(equal(payload(512, 6), out));
+}
+
+TEST(MirroredDiskTest, CreateRejectsBadReplicaSets) {
+  EXPECT_FALSE(MirroredDisk::create({}).ok());
+  MemDisk a(512, 4);
+  EXPECT_FALSE(MirroredDisk::create({&a, nullptr}).ok());
+  MemDisk b(512, 8);  // geometry mismatch
+  EXPECT_FALSE(MirroredDisk::create({&a, &b}).ok());
+}
+
+TEST(MirroredDiskTest, SingleReplicaWorks) {
+  MemDisk a(512, 4);
+  auto mirror = MirroredDisk::create({&a});
+  ASSERT_TRUE(mirror.ok());
+  ASSERT_OK(mirror.value().write(0, payload(512, 1)));
+  Bytes out(512);
+  ASSERT_OK(mirror.value().read(0, out));
+  EXPECT_TRUE(equal(payload(512, 1), out));
+}
+
+TEST_F(MirrorTest, ScrubDetectsAndRepairsDivergence) {
+  ASSERT_OK(mirror_->write(0, payload(512, 1)));
+  ASSERT_OK(mirror_->write(5, payload(512, 2)));
+  // Silent corruption on the second replica (bypassing the mirror).
+  ASSERT_OK(b_.write(5, payload(512, 99)));
+
+  auto report = mirror_->scrub(/*repair=*/false);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(64u, report.value().blocks_checked);
+  EXPECT_EQ(1u, report.value().mismatched_blocks);
+  EXPECT_EQ(0u, report.value().repaired_blocks);
+
+  report = mirror_->scrub(/*repair=*/true);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(1u, report.value().mismatched_blocks);
+  EXPECT_EQ(1u, report.value().repaired_blocks);
+
+  // Replica agrees with the main disk again.
+  Bytes out(512);
+  ASSERT_OK(b_.read(5, out));
+  EXPECT_TRUE(equal(payload(512, 2), out));
+  report = mirror_->scrub(false);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(0u, report.value().mismatched_blocks);
+}
+
+TEST_F(MirrorTest, ScrubSkipsFailedReplicas) {
+  b_.fail_device();
+  ASSERT_OK(mirror_->write(0, payload(512, 1)));  // marks b unhealthy
+  auto report = mirror_->scrub(false);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(0u, report.value().mismatched_blocks);  // nothing to compare
+}
+
+TEST(MirroredDiskTest, ThreeWayMirror) {
+  MemDisk a(512, 8), b(512, 8), c(512, 8);
+  auto mirror = MirroredDisk::create({&a, &b, &c});
+  ASSERT_TRUE(mirror.ok());
+  ASSERT_OK(mirror.value().write(0, payload(512, 1)));
+  a.fail_device();
+  b.fail_device();
+  Bytes out(512);
+  ASSERT_OK(mirror.value().read(0, out));  // still served by c
+  EXPECT_TRUE(equal(payload(512, 1), out));
+}
+
+}  // namespace
+}  // namespace bullet

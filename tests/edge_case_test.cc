@@ -1,0 +1,183 @@
+// Boundary conditions across modules: exact-limit sizes, maximum names,
+// zero-length everything, and other corners no other suite pins down.
+#include <gtest/gtest.h>
+
+#include "bullet/server.h"
+#include "dir/server.h"
+#include "logsvc/server.h"
+#include "tests/test_util.h"
+
+namespace bullet {
+namespace {
+
+using testing::BulletHarness;
+using testing::payload;
+using testing::status_of;
+
+TEST(EdgeCaseTest, FileExactlyCacheSized) {
+  BulletHarness::Options options;
+  options.cache_bytes = 64 * 1024;
+  options.disk_blocks = 1 << 10;  // plenty
+  BulletHarness h(options);
+  // Exactly the cache: admitted (and fills the whole arena).
+  auto cap = h.server().create(payload(64 * 1024, 1), 1);
+  ASSERT_TRUE(cap.ok());
+  EXPECT_TRUE(equal(payload(64 * 1024, 1), h.server().read(cap.value()).value()));
+  // One byte more: refused.
+  EXPECT_CODE(too_large, status_of(h.server().create(payload(64 * 1024 + 1, 2), 1)));
+}
+
+TEST(EdgeCaseTest, FileExactlyFillsDataRegion) {
+  BulletHarness::Options options;
+  options.disk_blocks = 96;
+  options.inode_slots = 32;  // 1 control block
+  options.cache_bytes = 1 << 20;
+  BulletHarness h(options);
+  const std::uint64_t data_bytes =
+      h.server().disk_free().total_free() * h.options().block_size;
+  auto cap = h.server().create(payload(data_bytes, 1), 2);
+  ASSERT_TRUE(cap.ok());
+  EXPECT_EQ(0u, h.server().disk_free().total_free());
+  // A second file of any size has nowhere to live.
+  EXPECT_CODE(no_space, status_of(h.server().create(payload(1, 2), 1)));
+  // Deleting frees everything back.
+  ASSERT_OK(h.server().erase(cap.value()));
+  EXPECT_EQ(data_bytes / h.options().block_size,
+            h.server().disk_free().total_free());
+}
+
+TEST(EdgeCaseTest, ReadRangeAtExactBlockBoundaries) {
+  BulletHarness h;
+  const Bytes data = payload(2048, 3);  // exactly 4 blocks
+  auto cap = h.server().create(data, 1);
+  ASSERT_TRUE(cap.ok());
+  for (const auto& [offset, length] :
+       std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+           {0, 512}, {512, 512}, {1536, 512}, {511, 2}, {0, 2048},
+           {2047, 1}, {0, 0}, {2048, 0}}) {
+    auto range = h.server().read_range(cap.value(), offset, length);
+    ASSERT_TRUE(range.ok()) << offset << "+" << length;
+    EXPECT_TRUE(equal(ByteSpan(data.data() + offset, length), range.value()));
+  }
+}
+
+TEST(EdgeCaseTest, CreateFromChainPreservesEveryVersion) {
+  BulletHarness h;
+  auto version = h.server().create(as_span("0"), 1);
+  ASSERT_TRUE(version.ok());
+  std::vector<Capability> chain{version.value()};
+  for (int i = 1; i <= 10; ++i) {
+    std::vector<wire::FileEdit> edits;
+    edits.push_back(wire::FileEdit::make_append(
+        to_bytes("," + std::to_string(i))));
+    auto next = h.server().create_from(chain.back(), edits, 1);
+    ASSERT_TRUE(next.ok()) << i;
+    chain.push_back(next.value());
+  }
+  // Every version is alive, immutable, and distinct.
+  EXPECT_EQ(11u, h.server().live_files());
+  EXPECT_EQ("0", to_string(h.server().read(chain[0]).value()));
+  EXPECT_EQ("0,1,2,3,4,5,6,7,8,9,10",
+            to_string(h.server().read(chain.back()).value()));
+}
+
+TEST(EdgeCaseTest, DirNameAtMaximumLength) {
+  BulletHarness h;
+  rpc::LoopbackTransport transport;
+  ASSERT_OK(transport.register_service(&h.server()));
+  BulletClient storage(&transport, h.server().super_capability());
+  auto dir_server = dir::DirServer::start(storage, dir::DirConfig());
+  ASSERT_TRUE(dir_server.ok());
+  auto dir = dir_server.value()->create_dir();
+  ASSERT_TRUE(dir.ok());
+
+  const std::string max_name(dir::kMaxNameLength, 'x');
+  const std::string too_long(dir::kMaxNameLength + 1, 'x');
+  auto file = storage.create(as_span("v"), 1);
+  ASSERT_TRUE(file.ok());
+  EXPECT_OK(dir_server.value()->enter(dir.value(), max_name, file.value()));
+  EXPECT_CODE(bad_argument,
+              dir_server.value()->enter(dir.value(), too_long, file.value()));
+  EXPECT_TRUE(dir_server.value()->lookup(dir.value(), max_name).ok());
+}
+
+TEST(EdgeCaseTest, LogAppendExactlyOneExtent) {
+  MemDisk disk(512, 512);
+  ASSERT_OK(logsvc::LogServer::format(disk, 8));
+  auto server = logsvc::LogServer::start(&disk, logsvc::LogConfig());
+  ASSERT_TRUE(server.ok());
+  auto log = server.value()->create_log();
+  ASSERT_TRUE(log.ok());
+  const std::uint64_t extent_bytes = logsvc::kExtentDataBlocks * 512;
+  // Exactly one extent of data: no second extent allocated.
+  const auto free_before = server.value()->free_extents();
+  ASSERT_TRUE(server.value()->append(log.value(),
+                                     payload(extent_bytes, 1)).ok());
+  EXPECT_EQ(free_before - 1, server.value()->free_extents());
+  // The next single byte allocates the second extent.
+  ASSERT_TRUE(server.value()->append(log.value(), payload(1, 2)).ok());
+  EXPECT_EQ(free_before - 2, server.value()->free_extents());
+  // Contents intact across the boundary.
+  auto tail = server.value()->read_range(log.value(), extent_bytes - 2, 3);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(3u, tail.value().size());
+}
+
+TEST(EdgeCaseTest, MirrorPartialWriteMoreThanReplicas) {
+  MemDisk a(512, 8), b(512, 8);
+  auto mirror = MirroredDisk::create({&a, &b});
+  ASSERT_TRUE(mirror.ok());
+  // Asking for more replicas than exist writes what there is.
+  auto written = mirror.value().write_partial(0, payload(512, 1), 99);
+  ASSERT_TRUE(written.ok());
+  EXPECT_EQ(2, written.value());
+}
+
+TEST(EdgeCaseTest, ExtentAllocatorSingleUnitWorld) {
+  ExtentAllocator alloc(7, 1);
+  EXPECT_EQ(7u, *alloc.allocate(1));
+  EXPECT_FALSE(alloc.allocate(1).has_value());
+  ASSERT_OK(alloc.release(7, 1));
+  EXPECT_EQ(7u, *alloc.allocate(1));
+}
+
+TEST(EdgeCaseTest, CacheSizedForExactlyOneFile) {
+  // A one-slot universe: every second file evicts the first.
+  FileCache cache(1000, /*max_entries=*/1);
+  std::vector<std::uint32_t> evicted;
+  auto a = cache.insert(1, 1000, &evicted);
+  ASSERT_TRUE(a.ok());
+  auto b = cache.insert(2, 500, &evicted);
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(1u, evicted.size());
+  EXPECT_EQ(1u, evicted[0]);
+  EXPECT_EQ(2u, cache.inode_of(b.value()));
+}
+
+TEST(EdgeCaseTest, ServerSurvivesInterleavedAdminAndData) {
+  // Compaction between every operation must never disturb live data.
+  BulletHarness h;
+  std::vector<std::pair<Capability, Bytes>> live;
+  Rng rng(71);
+  for (int i = 0; i < 30; ++i) {
+    Bytes data(rng.next_range(1, 3000));
+    rng.fill(data);
+    auto cap = h.server().create(data, 1);
+    ASSERT_TRUE(cap.ok());
+    live.emplace_back(cap.value(), std::move(data));
+    if (i % 3 == 0 && live.size() > 1) {
+      const auto victim = rng.next_below(live.size());
+      ASSERT_OK(h.server().erase(live[victim].first));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    ASSERT_TRUE(h.server().compact_disk().ok());
+    for (const auto& [cap2, expected] : live) {
+      auto read = h.server().read(cap2);
+      ASSERT_TRUE(read.ok());
+      ASSERT_TRUE(equal(expected, read.value()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bullet

@@ -1,0 +1,183 @@
+// Tests for the first-fit extent allocator, including a randomized
+// property suite against a brute-force bitmap oracle.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "bullet/extent_allocator.h"
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace bullet {
+namespace {
+
+TEST(ExtentAllocatorTest, StartsFullyFree) {
+  ExtentAllocator alloc(10, 100);
+  EXPECT_EQ(100u, alloc.total_free());
+  EXPECT_EQ(100u, alloc.largest_hole());
+  EXPECT_EQ(1u, alloc.hole_count());
+  EXPECT_TRUE(alloc.is_free(10, 100));
+  EXPECT_FALSE(alloc.is_free(9, 1));
+  EXPECT_FALSE(alloc.is_free(10, 101));
+}
+
+TEST(ExtentAllocatorTest, FirstFitPicksLowestOffset) {
+  ExtentAllocator alloc(0, 100);
+  EXPECT_EQ(0u, *alloc.allocate(10));
+  EXPECT_EQ(10u, *alloc.allocate(10));
+  ASSERT_OK(alloc.release(0, 10));
+  // First fit returns to the front hole even though the tail is larger.
+  EXPECT_EQ(0u, *alloc.allocate(5));
+}
+
+TEST(ExtentAllocatorTest, FirstFitSkipsTooSmallHoles) {
+  ExtentAllocator alloc(0, 100);
+  ASSERT_TRUE(alloc.allocate(10).has_value());  // [0,10)
+  ASSERT_TRUE(alloc.allocate(10).has_value());  // [10,20)
+  ASSERT_TRUE(alloc.allocate(10).has_value());  // [20,30)
+  ASSERT_OK(alloc.release(10, 10));             // hole of 10 at offset 10
+  // Request larger than the first hole: lands at 30.
+  EXPECT_EQ(30u, *alloc.allocate(20));
+}
+
+TEST(ExtentAllocatorTest, ExhaustionReturnsNullopt) {
+  ExtentAllocator alloc(0, 10);
+  EXPECT_TRUE(alloc.allocate(10).has_value());
+  EXPECT_FALSE(alloc.allocate(1).has_value());
+  EXPECT_FALSE(alloc.allocate(0).has_value());  // zero-length never allocates
+}
+
+TEST(ExtentAllocatorTest, FragmentationBlocksLargeRequests) {
+  ExtentAllocator alloc(0, 30);
+  const auto a = *alloc.allocate(10);
+  const auto b = *alloc.allocate(10);
+  const auto c = *alloc.allocate(10);
+  (void)b;
+  ASSERT_OK(alloc.release(a, 10));
+  ASSERT_OK(alloc.release(c, 10));
+  EXPECT_EQ(20u, alloc.total_free());
+  EXPECT_EQ(10u, alloc.largest_hole());
+  EXPECT_FALSE(alloc.allocate(15).has_value());  // fragmented
+}
+
+TEST(ExtentAllocatorTest, ReleaseCoalescesBothSides) {
+  ExtentAllocator alloc(0, 30);
+  const auto a = *alloc.allocate(10);
+  const auto b = *alloc.allocate(10);
+  const auto c = *alloc.allocate(10);
+  ASSERT_OK(alloc.release(a, 10));
+  ASSERT_OK(alloc.release(c, 10));
+  EXPECT_EQ(2u, alloc.hole_count());
+  ASSERT_OK(alloc.release(b, 10));  // bridges both neighbours
+  EXPECT_EQ(1u, alloc.hole_count());
+  EXPECT_EQ(30u, alloc.largest_hole());
+}
+
+TEST(ExtentAllocatorTest, DoubleFreeDetected) {
+  ExtentAllocator alloc(0, 20);
+  const auto a = *alloc.allocate(10);
+  ASSERT_OK(alloc.release(a, 10));
+  EXPECT_CODE(bad_state, alloc.release(a, 10));
+  EXPECT_CODE(bad_state, alloc.release(a + 2, 4));  // inside a hole
+}
+
+TEST(ExtentAllocatorTest, ReleaseOutOfRangeRejected) {
+  ExtentAllocator alloc(10, 20);
+  EXPECT_CODE(bad_argument, alloc.release(5, 3));
+  EXPECT_CODE(bad_argument, alloc.release(28, 5));
+}
+
+TEST(ExtentAllocatorTest, ReleaseZeroLengthIsNoop) {
+  ExtentAllocator alloc(0, 10);
+  EXPECT_OK(alloc.release(5, 0));
+  EXPECT_EQ(10u, alloc.total_free());
+}
+
+TEST(ExtentAllocatorTest, ReserveCarvesFromHole) {
+  ExtentAllocator alloc(0, 100);
+  ASSERT_OK(alloc.reserve(40, 20));
+  EXPECT_EQ(80u, alloc.total_free());
+  EXPECT_EQ(2u, alloc.hole_count());
+  EXPECT_FALSE(alloc.is_free(40, 1));
+  EXPECT_TRUE(alloc.is_free(0, 40));
+  EXPECT_TRUE(alloc.is_free(60, 40));
+  // Overlapping reserve must fail.
+  EXPECT_CODE(bad_state, alloc.reserve(50, 20));
+  // Exact-fit reserve of a whole hole works.
+  ASSERT_OK(alloc.reserve(0, 40));
+  EXPECT_EQ(40u, alloc.total_free());
+}
+
+TEST(ExtentAllocatorTest, ReserveAtHoleEdges) {
+  ExtentAllocator alloc(0, 100);
+  ASSERT_OK(alloc.reserve(0, 10));    // front edge
+  ASSERT_OK(alloc.reserve(90, 10));   // back edge
+  EXPECT_EQ(1u, alloc.hole_count());
+  EXPECT_EQ(80u, alloc.largest_hole());
+}
+
+TEST(ExtentAllocatorTest, EmptyAllocatorIsInert) {
+  ExtentAllocator alloc;
+  EXPECT_EQ(0u, alloc.total_free());
+  EXPECT_FALSE(alloc.allocate(1).has_value());
+}
+
+// --- randomized property test vs. a bitmap oracle ---------------------------
+
+class AllocatorPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocatorPropertyTest, MatchesBitmapOracle) {
+  constexpr std::uint64_t kStart = 16;
+  constexpr std::uint64_t kLength = 512;
+  ExtentAllocator alloc(kStart, kLength);
+  std::vector<bool> oracle(kLength, false);  // true = allocated
+  std::map<std::uint64_t, std::uint64_t> live;  // offset -> length
+  Rng rng(GetParam());
+
+  auto oracle_first_fit = [&](std::uint64_t n) -> std::optional<std::uint64_t> {
+    std::uint64_t run = 0;
+    for (std::uint64_t i = 0; i < kLength; ++i) {
+      run = oracle[i] ? 0 : run + 1;
+      if (run == n) return kStart + i + 1 - n;
+    }
+    return std::nullopt;
+  };
+
+  for (int step = 0; step < 2000; ++step) {
+    const bool do_alloc = live.empty() || rng.next_below(100) < 60;
+    if (do_alloc) {
+      const std::uint64_t n = rng.next_range(1, 24);
+      const auto expected = oracle_first_fit(n);
+      const auto got = alloc.allocate(n);
+      ASSERT_EQ(expected.has_value(), got.has_value()) << "step " << step;
+      if (got.has_value()) {
+        ASSERT_EQ(*expected, *got) << "step " << step;
+        for (std::uint64_t i = 0; i < n; ++i) {
+          oracle[*got - kStart + i] = true;
+        }
+        live.emplace(*got, n);
+      }
+    } else {
+      auto it = live.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(
+                           rng.next_below(live.size())));
+      ASSERT_OK(alloc.release(it->first, it->second));
+      for (std::uint64_t i = 0; i < it->second; ++i) {
+        oracle[it->first - kStart + i] = false;
+      }
+      live.erase(it);
+    }
+
+    // Invariant: total_free matches the oracle's free count.
+    std::uint64_t free_count = 0;
+    for (const bool used : oracle) free_count += used ? 0 : 1;
+    ASSERT_EQ(free_count, alloc.total_free()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace bullet

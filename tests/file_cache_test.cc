@@ -1,0 +1,171 @@
+// Tests for the rnode file cache: LRU eviction, free lists, compaction.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "bullet/file_cache.h"
+#include "tests/test_util.h"
+
+namespace bullet {
+namespace {
+
+using testing::payload;
+
+void fill(FileCache& cache, RnodeIndex index, const Bytes& data) {
+  auto span = cache.mutable_data(index);
+  ASSERT_EQ(data.size(), span.size());
+  if (!data.empty()) std::memcpy(span.data(), data.data(), data.size());
+}
+
+TEST(FileCacheTest, InsertAndReadBack) {
+  FileCache cache(1024);
+  std::vector<std::uint32_t> evicted;
+  auto index = cache.insert(7, 100, &evicted);
+  ASSERT_TRUE(index.ok());
+  EXPECT_TRUE(evicted.empty());
+  fill(cache, index.value(), payload(100, 1));
+  EXPECT_TRUE(equal(payload(100, 1), cache.data(index.value())));
+  EXPECT_EQ(7u, cache.inode_of(index.value()));
+  EXPECT_TRUE(cache.contains(index.value()));
+}
+
+TEST(FileCacheTest, ZeroSizeEntry) {
+  FileCache cache(1024);
+  std::vector<std::uint32_t> evicted;
+  auto index = cache.insert(1, 0, &evicted);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(0u, cache.data(index.value()).size());
+  cache.remove(index.value());
+  EXPECT_FALSE(cache.contains(index.value()));
+}
+
+TEST(FileCacheTest, TooLargeRejected) {
+  FileCache cache(1024);
+  std::vector<std::uint32_t> evicted;
+  EXPECT_CODE(too_large, cache.insert(1, 2048, &evicted));
+}
+
+TEST(FileCacheTest, ExactCapacityFits) {
+  FileCache cache(1024);
+  std::vector<std::uint32_t> evicted;
+  EXPECT_TRUE(cache.insert(1, 1024, &evicted).ok());
+}
+
+TEST(FileCacheTest, EvictsLeastRecentlyUsed) {
+  FileCache cache(1000);
+  std::vector<std::uint32_t> evicted;
+  auto a = cache.insert(1, 400, &evicted);
+  auto b = cache.insert(2, 400, &evicted);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Touch `a` so that `b` becomes the LRU entry.
+  cache.touch(a.value());
+  auto c = cache.insert(3, 400, &evicted);
+  ASSERT_TRUE(c.ok());
+  ASSERT_EQ(1u, evicted.size());
+  EXPECT_EQ(2u, evicted[0]);  // inode of b
+  EXPECT_TRUE(cache.contains(a.value()));
+}
+
+TEST(FileCacheTest, EvictsRepeatedlyUntilFit) {
+  FileCache cache(1000);
+  std::vector<std::uint32_t> evicted;
+  for (std::uint32_t i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(cache.insert(i, 250, &evicted).ok());
+  }
+  EXPECT_TRUE(evicted.empty());
+  ASSERT_TRUE(cache.insert(9, 900, &evicted).ok());
+  // All four had to go.
+  EXPECT_EQ(4u, evicted.size());
+  EXPECT_EQ(4u, cache.stats().evictions);
+}
+
+TEST(FileCacheTest, RemoveFreesSpace) {
+  FileCache cache(1000);
+  std::vector<std::uint32_t> evicted;
+  auto a = cache.insert(1, 1000, &evicted);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(0u, cache.free_bytes());
+  cache.remove(a.value());
+  EXPECT_EQ(1000u, cache.free_bytes());
+  // Space is reusable without eviction.
+  evicted.clear();
+  ASSERT_TRUE(cache.insert(2, 1000, &evicted).ok());
+  EXPECT_TRUE(evicted.empty());
+}
+
+TEST(FileCacheTest, CompactionDefragments) {
+  FileCache cache(1000);
+  std::vector<std::uint32_t> evicted;
+  auto a = cache.insert(1, 300, &evicted);
+  auto b = cache.insert(2, 300, &evicted);
+  auto c = cache.insert(3, 300, &evicted);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  fill(cache, a.value(), payload(300, 1));
+  fill(cache, c.value(), payload(300, 3));
+  cache.remove(b.value());
+  // 400 free but split 300 + 100: insert(350) must compact, not evict.
+  auto d = cache.insert(4, 350, &evicted);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(evicted.empty());
+  EXPECT_EQ(1u, cache.stats().compactions);
+  // Survivors kept their bytes across the memmove.
+  EXPECT_TRUE(equal(payload(300, 1), cache.data(a.value())));
+  EXPECT_TRUE(equal(payload(300, 3), cache.data(c.value())));
+}
+
+TEST(FileCacheTest, ExplicitCompactIsSafeWhenEmptyOrFull) {
+  FileCache cache(100);
+  cache.compact();
+  std::vector<std::uint32_t> evicted;
+  auto a = cache.insert(1, 100, &evicted);
+  ASSERT_TRUE(a.ok());
+  fill(cache, a.value(), payload(100, 9));
+  cache.compact();
+  EXPECT_TRUE(equal(payload(100, 9), cache.data(a.value())));
+}
+
+TEST(FileCacheTest, RnodeSlotsRecycled) {
+  FileCache cache(1 << 20, /*max_entries=*/4);
+  std::vector<std::uint32_t> evicted;
+  // Five entries into four slots: the LRU entry is recycled.
+  for (std::uint32_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(cache.insert(i, 16, &evicted).ok());
+  }
+  EXPECT_EQ(1u, evicted.size());
+  EXPECT_EQ(1u, evicted[0]);
+  EXPECT_EQ(4u, cache.stats().entries);
+}
+
+TEST(FileCacheTest, StatsTrackUsage) {
+  FileCache cache(1000);
+  std::vector<std::uint32_t> evicted;
+  auto a = cache.insert(1, 600, &evicted);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(1000u, cache.stats().capacity);
+  EXPECT_EQ(600u, cache.stats().used);
+  EXPECT_EQ(1u, cache.stats().entries);
+  cache.remove(a.value());
+  EXPECT_EQ(0u, cache.stats().used);
+  EXPECT_EQ(0u, cache.stats().entries);
+}
+
+TEST(FileCacheTest, AgeOrderingAcrossManyTouches) {
+  FileCache cache(300);
+  std::vector<std::uint32_t> evicted;
+  auto a = cache.insert(1, 100, &evicted);
+  auto b = cache.insert(2, 100, &evicted);
+  auto c = cache.insert(3, 100, &evicted);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  // Rotate recency: a, then b, so c is the oldest.
+  cache.touch(a.value());
+  cache.touch(b.value());
+  auto d = cache.insert(4, 100, &evicted);
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(1u, evicted.size());
+  EXPECT_EQ(3u, evicted[0]);
+}
+
+}  // namespace
+}  // namespace bullet

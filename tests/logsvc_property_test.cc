@@ -1,0 +1,105 @@
+// Randomized property test for the log server: interleaved appends and
+// range reads over several logs checked against byte-string oracles, with
+// server restarts sprinkled through the run.
+#include <gtest/gtest.h>
+
+#include "common/crc.h"
+#include "logsvc/server.h"
+#include "tests/test_util.h"
+
+namespace bullet::logsvc {
+namespace {
+
+using ::bullet::testing::payload;
+
+class LogPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LogPropertyTest, RandomOpsMatchOracle) {
+  MemDisk disk(512, 8192);  // 4 MB
+  ASSERT_OK(LogServer::format(disk, 32));
+  auto started = LogServer::start(&disk, LogConfig());
+  ASSERT_TRUE(started.ok());
+  auto server = std::move(started).value();
+  const std::uint32_t all_free = server->free_extents();
+
+  Rng rng(GetParam());
+  struct OracleLog {
+    Capability cap;
+    Bytes contents;
+  };
+  std::vector<OracleLog> logs;
+
+  for (int step = 0; step < 300; ++step) {
+    const std::uint64_t dice = rng.next_below(100);
+    if (logs.empty() || dice < 10) {
+      auto log = server->create_log();
+      if (log.ok()) logs.push_back({log.value(), {}});
+      continue;
+    }
+    OracleLog& log = logs[rng.next_below(logs.size())];
+    if (dice < 55) {
+      Bytes chunk(rng.next_below(6000));
+      rng.fill(chunk);
+      auto size = server->append(log.cap, chunk);
+      if (!size.ok()) {
+        EXPECT_EQ(ErrorCode::no_space, size.code());
+        continue;
+      }
+      append(log.contents, chunk);
+      EXPECT_EQ(log.contents.size(), size.value());
+    } else if (dice < 85) {
+      const std::uint64_t offset =
+          rng.next_below(log.contents.size() + 100);
+      const std::uint64_t length = rng.next_below(8000) + 1;
+      auto read = server->read_range(log.cap, offset, length);
+      ASSERT_TRUE(read.ok());
+      Bytes expected;
+      if (offset < log.contents.size()) {
+        const std::uint64_t n =
+            std::min(length, log.contents.size() - offset);
+        expected.assign(
+            log.contents.begin() + static_cast<std::ptrdiff_t>(offset),
+            log.contents.begin() + static_cast<std::ptrdiff_t>(offset + n));
+      }
+      ASSERT_TRUE(equal(expected, read.value())) << "step " << step;
+    } else if (dice < 92) {
+      EXPECT_EQ(log.contents.size(), server->log_size(log.cap).value());
+    } else {
+      // Restart the server: all logs must come back intact.
+      server.reset();
+      auto revived = LogServer::start(&disk, LogConfig());
+      ASSERT_TRUE(revived.ok()) << "step " << step;
+      server = std::move(revived).value();
+      for (const OracleLog& check : logs) {
+        EXPECT_EQ(check.contents.size(),
+                  server->log_size(check.cap).value_or(~0ull));
+      }
+    }
+  }
+
+  // Final sweep: every log byte-identical after one more restart.
+  server.reset();
+  auto revived = LogServer::start(&disk, LogConfig());
+  ASSERT_TRUE(revived.ok());
+  server = std::move(revived).value();
+  EXPECT_EQ(logs.size(), server->logs_live());
+  for (const OracleLog& log : logs) {
+    auto data = server->read_range(log.cap, 0, log.contents.size() + 1);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(crc32c(log.contents), crc32c(data.value()));
+  }
+
+  // Delete everything: every extent returns to the free pool (including
+  // any extents allocated by appends that later failed with no_space).
+  for (const OracleLog& log : logs) {
+    ASSERT_OK(server->delete_log(log.cap));
+  }
+  EXPECT_EQ(all_free, server->free_extents());
+  EXPECT_EQ(0u, server->logs_live());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LogPropertyTest,
+                         ::testing::Values(51, 52, 53, 54));
+
+}  // namespace
+}  // namespace bullet::logsvc

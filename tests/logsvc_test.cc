@@ -1,0 +1,231 @@
+// Tests for the log server: O(1) appends, extent chaining, persistence,
+// commit-point semantics, snapshots to Bullet files.
+#include <gtest/gtest.h>
+
+#include "bullet/server.h"
+#include "common/crc.h"
+#include "logsvc/client.h"
+#include "logsvc/server.h"
+#include "tests/test_util.h"
+
+namespace bullet::logsvc {
+namespace {
+
+using ::bullet::testing::BulletHarness;
+using ::bullet::testing::payload;
+using ::bullet::testing::status_of;
+
+class LogTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint64_t kBlockSize = 512;
+  static constexpr std::uint64_t kBlocks = 4096;  // 2 MB
+
+  LogTest() : disk_(kBlockSize, kBlocks) {
+    EXPECT_TRUE(LogServer::format(disk_, 64).ok());
+    boot();
+  }
+
+  void boot() {
+    server_.reset();
+    auto server = LogServer::start(&disk_, LogConfig());
+    ASSERT_TRUE(server.ok()) << server.error().to_string();
+    server_ = std::move(server).value();
+  }
+
+  MemDisk disk_;
+  std::unique_ptr<LogServer> server_;
+};
+
+TEST_F(LogTest, CreateAppendRead) {
+  auto log = server_->create_log();
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(0u, server_->log_size(log.value()).value());
+  auto size = server_->append(log.value(), as_span("hello "));
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(6u, size.value());
+  size = server_->append(log.value(), as_span("world"));
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(11u, size.value());
+  auto data = server_->read_range(log.value(), 0, 11);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ("hello world", to_string(data.value()));
+  auto mid = server_->read_range(log.value(), 6, 5);
+  EXPECT_EQ("world", to_string(mid.value()));
+}
+
+TEST_F(LogTest, AppendIsNotWholeFileCopy) {
+  // The reason the server exists: appending to a grown log touches O(append)
+  // disk blocks, not O(log size).
+  auto log = server_->create_log();
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE(server_->append(log.value(), payload(200000, 1)).ok());
+  const auto writes_before = disk_.writes();
+  ASSERT_TRUE(server_->append(log.value(), as_span("tick")).ok());
+  // Tail data block + log-table block, possibly one extent header: <= 4.
+  EXPECT_LE(disk_.writes() - writes_before, 4u);
+}
+
+TEST_F(LogTest, AppendsSpanExtentBoundaries) {
+  auto log = server_->create_log();
+  ASSERT_TRUE(log.ok());
+  const std::uint64_t extent_bytes = kExtentDataBlocks * kBlockSize;
+  Bytes expected;
+  Rng rng(5);
+  std::uint64_t total = 0;
+  while (total < extent_bytes * 3) {
+    Bytes chunk(rng.next_range(1, 3000));
+    rng.fill(chunk);
+    ASSERT_TRUE(server_->append(log.value(), chunk).ok());
+    append(expected, chunk);
+    total += chunk.size();
+  }
+  auto data = server_->read_range(log.value(), 0, total);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(crc32c(expected), crc32c(data.value()));
+}
+
+TEST_F(LogTest, ReadRangeClampsToEnd) {
+  auto log = server_->create_log();
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE(server_->append(log.value(), as_span("abc")).ok());
+  auto over = server_->read_range(log.value(), 1, 100);
+  ASSERT_TRUE(over.ok());
+  EXPECT_EQ("bc", to_string(over.value()));
+  auto past = server_->read_range(log.value(), 10, 5);
+  ASSERT_TRUE(past.ok());
+  EXPECT_TRUE(past.value().empty());
+}
+
+TEST_F(LogTest, PersistsAcrossRestart) {
+  auto log = server_->create_log();
+  ASSERT_TRUE(log.ok());
+  const Bytes data = payload(100000, 2);
+  ASSERT_TRUE(server_->append(log.value(), data).ok());
+  boot();
+  EXPECT_EQ(1u, server_->logs_live());
+  auto read = server_->read_range(log.value(), 0, 100000);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(crc32c(data), crc32c(read.value()));
+}
+
+TEST_F(LogTest, SizeIsTheCommitPoint) {
+  // Crash after the data write but before the log-table write: the append
+  // must simply have not happened after recovery.
+  auto log = server_->create_log();
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE(server_->append(log.value(), as_span("committed")).ok());
+
+  // Appending "LOST" writes: tail data block first, then the table block.
+  // Allow exactly one more write, so the data lands but the size does not.
+  disk_.fail_after_writes(1);
+  EXPECT_FALSE(server_->append(log.value(), as_span("LOST")).ok());
+
+  disk_.clear_faults();
+  boot();
+  EXPECT_EQ(9u, server_->log_size(log.value()).value());
+  EXPECT_EQ("committed",
+            to_string(server_->read_range(log.value(), 0, 9).value()));
+}
+
+TEST_F(LogTest, DeleteFreesExtents) {
+  const auto free_before = server_->free_extents();
+  auto log = server_->create_log();
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE(server_->append(log.value(), payload(100000, 1)).ok());
+  EXPECT_LT(server_->free_extents(), free_before);
+  ASSERT_OK(server_->delete_log(log.value()));
+  EXPECT_EQ(free_before, server_->free_extents());
+  EXPECT_CODE(no_such_object, status_of(server_->log_size(log.value())));
+}
+
+TEST_F(LogTest, ManyIndependentLogs) {
+  std::vector<Capability> logs;
+  for (int i = 0; i < 10; ++i) {
+    auto log = server_->create_log();
+    ASSERT_TRUE(log.ok());
+    logs.push_back(log.value());
+  }
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      const std::string line =
+          "log" + std::to_string(i) + " round" + std::to_string(round) + "\n";
+      ASSERT_TRUE(server_->append(logs[static_cast<std::size_t>(i)],
+                                  as_span(line))
+                      .ok());
+    }
+  }
+  for (int i = 0; i < 10; ++i) {
+    auto data = server_->read_range(logs[static_cast<std::size_t>(i)], 0,
+                                    1 << 20);
+    ASSERT_TRUE(data.ok());
+    const std::string text = to_string(data.value());
+    EXPECT_NE(std::string::npos,
+              text.find("log" + std::to_string(i) + " round4"));
+    EXPECT_EQ(std::string::npos, text.find("log" + std::to_string(i == 0 ? 1 : 0)
+                                           + " round0"))
+        << "cross-log contamination";
+  }
+}
+
+TEST_F(LogTest, CapabilityProtection) {
+  auto log = server_->create_log();
+  ASSERT_TRUE(log.ok());
+  Capability forged = log.value();
+  forged.check += 1;
+  EXPECT_CODE(bad_capability, status_of(server_->append(forged, as_span("x"))));
+  EXPECT_CODE(bad_argument,
+              status_of(server_->append(server_->super_capability(),
+                                        as_span("x"))));
+}
+
+TEST_F(LogTest, ExtentExhaustionReported) {
+  auto log = server_->create_log();
+  ASSERT_TRUE(log.ok());
+  // The 2 MB disk has a bounded number of extents; writing far beyond it
+  // must fail with no_space, and committed data must stay intact.
+  Status last = Status::success();
+  std::uint64_t committed = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto size = server_->append(log.value(), payload(32 * 1024, i));
+    if (!size.ok()) {
+      last = Status(size.error());
+      break;
+    }
+    committed = size.value();
+  }
+  EXPECT_CODE(no_space, last);
+  EXPECT_EQ(committed, server_->log_size(log.value()).value());
+}
+
+TEST_F(LogTest, ClientAndSnapshotToBullet) {
+  rpc::LoopbackTransport transport;
+  ASSERT_OK(transport.register_service(server_.get()));
+  BulletHarness bullet_harness;
+  ASSERT_OK(transport.register_service(&bullet_harness.server()));
+
+  LogClient client(&transport, server_->super_capability());
+  BulletClient storage(&transport,
+                       bullet_harness.server().super_capability());
+
+  auto log = client.create_log();
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 50; ++i) {
+    const std::string line = "event " + std::to_string(i) + "\n";
+    ASSERT_TRUE(client.append(log.value(), as_span(line)).ok());
+  }
+  auto all = client.read_all(log.value());
+  ASSERT_TRUE(all.ok());
+
+  // Archive the live log into an immutable Bullet file.
+  auto archive = client.snapshot(log.value(), storage, 2);
+  ASSERT_TRUE(archive.ok());
+  auto archived = storage.read_whole(archive.value());
+  ASSERT_TRUE(archived.ok());
+  EXPECT_TRUE(equal(all.value(), archived.value()));
+
+  ASSERT_OK(client.sync());
+  ASSERT_OK(client.delete_log(log.value()));
+}
+
+}  // namespace
+}  // namespace bullet::logsvc

@@ -1,0 +1,150 @@
+// Randomized property tests for the baseline block server: a long random
+// sequence of create/write/read/truncate/remove operations checked against
+// an in-memory oracle, with block accounting verified throughout and a
+// remount at the end.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/crc.h"
+#include "nfsbase/server.h"
+#include "tests/test_util.h"
+
+namespace bullet::nfsbase {
+namespace {
+
+using ::bullet::testing::payload;
+
+struct OracleFile {
+  Capability handle;
+  Bytes contents;
+};
+
+class NfsPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NfsPropertyTest, RandomOpsMatchOracle) {
+  MemDisk disk(8192, 1024);  // 8 MB
+  ASSERT_OK(NfsServer::format(disk, 64));
+  NfsConfig config;
+  config.free_behind_bytes = 64 * 1024;  // exercise both cache paths
+  auto started = NfsServer::start(&disk, config);
+  ASSERT_TRUE(started.ok());
+  auto server = std::move(started).value();
+
+  Rng rng(GetParam());
+  std::map<std::string, OracleFile> oracle;
+  int name_counter = 0;
+
+  for (int step = 0; step < 400; ++step) {
+    const std::uint64_t dice = rng.next_below(100);
+    if (dice < 25 || oracle.empty()) {
+      // CREATE + initial write.
+      const std::string name = "f" + std::to_string(name_counter++);
+      auto handle = server->create(name);
+      if (!handle.ok()) {
+        EXPECT_EQ(ErrorCode::no_space, handle.code());
+        continue;
+      }
+      Bytes data(rng.next_below(120000));  // may cross indirect boundary
+      rng.fill(data);
+      auto wrote = server->write(handle.value(), 0, data);
+      if (!wrote.ok()) {
+        EXPECT_EQ(ErrorCode::no_space, wrote.code());
+        ASSERT_OK(server->remove(name));
+        continue;
+      }
+      oracle.emplace(name, OracleFile{handle.value(), std::move(data)});
+    } else if (dice < 55) {
+      // Partial WRITE at a random offset (may extend the file).
+      auto it = oracle.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(
+                           rng.next_below(oracle.size())));
+      OracleFile& file = it->second;
+      const std::uint64_t offset =
+          rng.next_below(file.contents.size() + 4096);
+      Bytes patch(rng.next_range(1, 20000));
+      rng.fill(patch);
+      auto wrote = server->write(file.handle, offset, patch);
+      if (!wrote.ok()) {
+        EXPECT_EQ(ErrorCode::no_space, wrote.code());
+        continue;
+      }
+      if (offset + patch.size() > file.contents.size()) {
+        file.contents.resize(offset + patch.size(), 0);
+      }
+      std::copy(patch.begin(), patch.end(),
+                file.contents.begin() + static_cast<std::ptrdiff_t>(offset));
+      EXPECT_EQ(file.contents.size(), wrote.value());
+    } else if (dice < 80) {
+      // READ a random slice and compare.
+      auto it = oracle.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(
+                           rng.next_below(oracle.size())));
+      const OracleFile& file = it->second;
+      const std::uint64_t offset =
+          rng.next_below(file.contents.size() + 100);
+      const auto length =
+          static_cast<std::uint32_t>(rng.next_below(40000) + 1);
+      auto read = server->read(file.handle, offset, length);
+      ASSERT_TRUE(read.ok()) << read.error().to_string();
+      Bytes expected;
+      if (offset < file.contents.size()) {
+        const std::uint64_t n =
+            std::min<std::uint64_t>(length, file.contents.size() - offset);
+        expected.assign(
+            file.contents.begin() + static_cast<std::ptrdiff_t>(offset),
+            file.contents.begin() + static_cast<std::ptrdiff_t>(offset + n));
+      }
+      ASSERT_TRUE(equal(expected, read.value()))
+          << it->first << " offset " << offset << " step " << step;
+    } else if (dice < 90) {
+      // TRUNCATE to a random smaller size.
+      auto it = oracle.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(
+                           rng.next_below(oracle.size())));
+      OracleFile& file = it->second;
+      const std::uint64_t target = rng.next_below(file.contents.size() + 1);
+      ASSERT_OK(server->truncate(file.handle, target));
+      file.contents.resize(target);
+    } else {
+      // REMOVE.
+      auto it = oracle.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(
+                           rng.next_below(oracle.size())));
+      ASSERT_OK(server->remove(it->first));
+      oracle.erase(it);
+    }
+  }
+
+  // Block accounting: freeing everything returns the disk to its baseline.
+  EXPECT_EQ(oracle.size(), server->stats().files_live);
+
+  // Remount and verify every file end-to-end.
+  ASSERT_OK(server->sync());
+  server.reset();
+  auto remounted = NfsServer::start(&disk, config);
+  ASSERT_TRUE(remounted.ok());
+  for (const auto& [name, file] : oracle) {
+    auto handle = remounted.value()->lookup(name);
+    ASSERT_TRUE(handle.ok()) << name;
+    auto read = remounted.value()->read(
+        handle.value(), 0, static_cast<std::uint32_t>(file.contents.size()));
+    ASSERT_TRUE(read.ok()) << name;
+    EXPECT_EQ(crc32c(file.contents), crc32c(read.value())) << name;
+  }
+
+  // Delete everything; all data blocks must come back.
+  std::vector<std::string> names;
+  for (const auto& [name, file] : oracle) names.push_back(name);
+  for (const auto& name : names) ASSERT_OK(remounted.value()->remove(name));
+  const auto& sb = remounted.value()->layout().superblock();
+  // Everything except metadata and the root directory's own block(s).
+  const std::uint32_t data_blocks = sb.total_blocks - sb.data_start;
+  EXPECT_GE(remounted.value()->free_blocks() + 2, data_blocks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NfsPropertyTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace bullet::nfsbase

@@ -1,0 +1,307 @@
+// Tests for the baseline block file server: layout, bmap (direct /
+// indirect / double indirect), buffer cache, free-behind, persistence.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/crc.h"
+#include "nfsbase/client.h"
+#include "nfsbase/server.h"
+#include "tests/test_util.h"
+
+namespace bullet::nfsbase {
+namespace {
+
+using ::bullet::testing::payload;
+using ::bullet::testing::status_of;
+
+class NfsTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint64_t kBlockSize = 8192;
+  static constexpr std::uint64_t kBlocks = 2048;  // 16 MB device
+
+  NfsTest() : disk_(kBlockSize, kBlocks) {
+    EXPECT_TRUE(NfsServer::format(disk_, 128).ok());
+    boot();
+  }
+
+  void boot(NfsConfig config = NfsConfig()) {
+    server_.reset();
+    auto server = NfsServer::start(&disk_, config);
+    ASSERT_TRUE(server.ok()) << server.error().to_string();
+    server_ = std::move(server).value();
+  }
+
+  MemDisk disk_;
+  std::unique_ptr<NfsServer> server_;
+};
+
+TEST_F(NfsTest, FormatRejectsBadParameters) {
+  MemDisk tiny(8192, 2);
+  EXPECT_CODE(bad_argument, NfsServer::format(tiny, 1 << 20));
+  MemDisk odd(100, 64);
+  EXPECT_CODE(bad_argument, NfsServer::format(odd, 16));
+  MemDisk raw(8192, 64);
+  auto started = NfsServer::start(&raw, NfsConfig());
+  EXPECT_CODE(corrupt, status_of(started));
+}
+
+TEST_F(NfsTest, CreateWriteReadRoundtrip) {
+  auto handle = server_->create("file.txt");
+  ASSERT_TRUE(handle.ok());
+  const Bytes data = payload(5000, 1);
+  auto size = server_->write(handle.value(), 0, data);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(5000u, size.value());
+  auto read = server_->read(handle.value(), 0, 5000);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(equal(data, read.value()));
+}
+
+TEST_F(NfsTest, LookupFindsCreatedFile) {
+  auto handle = server_->create("hello");
+  ASSERT_TRUE(handle.ok());
+  auto found = server_->lookup("hello");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(handle.value().object, found.value().object);
+  EXPECT_CODE(not_found, status_of(server_->lookup("absent")));
+}
+
+TEST_F(NfsTest, DuplicateCreateRejected) {
+  ASSERT_TRUE(server_->create("dup").ok());
+  EXPECT_CODE(already_exists, status_of(server_->create("dup")));
+}
+
+TEST_F(NfsTest, SizesAcrossMappingBoundaries) {
+  // 10 direct blocks = 80 KB; indirect starts beyond that; exercise sizes
+  // that straddle each boundary.
+  const std::uint64_t direct_limit = kDirectBlocks * kBlockSize;
+  for (const std::uint64_t n :
+       {std::uint64_t{1}, kBlockSize - 1, kBlockSize + 1, direct_limit - 1,
+        direct_limit + 1, direct_limit + 5 * kBlockSize}) {
+    const std::string name = "f" + std::to_string(n);
+    auto handle = server_->create(name);
+    ASSERT_TRUE(handle.ok());
+    const Bytes data = payload(n, n);
+    ASSERT_TRUE(server_->write(handle.value(), 0, data).ok()) << n;
+    auto read = server_->read(handle.value(), 0,
+                              static_cast<std::uint32_t>(n));
+    ASSERT_TRUE(read.ok()) << n;
+    EXPECT_EQ(crc32c(data), crc32c(read.value())) << n;
+  }
+}
+
+TEST_F(NfsTest, DoubleIndirectReachedBySparseWrite) {
+  const std::uint32_t ppb = server_->layout().pointers_per_block();
+  const std::uint64_t offset =
+      (kDirectBlocks + ppb + 3) * kBlockSize;  // into double indirection
+  auto handle = server_->create("sparse");
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(server_->write(handle.value(), offset, as_span("tail")).ok());
+  auto attr = server_->getattr(handle.value());
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(offset + 4, attr.value().size);
+  // The hole reads as zeros; the tail reads back.
+  auto hole = server_->read(handle.value(), 4096, 16);
+  ASSERT_TRUE(hole.ok());
+  for (const auto b : hole.value()) EXPECT_EQ(0, b);
+  auto tail = server_->read(handle.value(), offset, 4);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ("tail", to_string(tail.value()));
+}
+
+TEST_F(NfsTest, PartialOverwriteReadModifyWrite) {
+  auto handle = server_->create("rmw");
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(server_->write(handle.value(), 0, payload(10000, 1)).ok());
+  // Overwrite 100 bytes in the middle of block 0.
+  ASSERT_TRUE(server_->write(handle.value(), 500, payload(100, 2)).ok());
+  Bytes expected = payload(10000, 1);
+  const Bytes patch = payload(100, 2);
+  std::copy(patch.begin(), patch.end(), expected.begin() + 500);
+  auto read = server_->read(handle.value(), 0, 10000);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(equal(expected, read.value()));
+}
+
+TEST_F(NfsTest, ReadBeyondEofIsShort) {
+  auto handle = server_->create("short");
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(server_->write(handle.value(), 0, payload(100, 1)).ok());
+  auto read = server_->read(handle.value(), 50, 1000);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(50u, read.value().size());
+  auto past = server_->read(handle.value(), 200, 10);
+  ASSERT_TRUE(past.ok());
+  EXPECT_TRUE(past.value().empty());
+}
+
+TEST_F(NfsTest, BlocksAreScattered) {
+  // The structural property the paper attacks: consecutive file blocks are
+  // not physically adjacent (interleaved allocation).
+  auto handle = server_->create("scattered");
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(
+      server_->write(handle.value(), 0, payload(6 * kBlockSize, 1)).ok());
+  auto blocks = server_->file_blocks(handle.value());
+  ASSERT_TRUE(blocks.ok());
+  ASSERT_EQ(6u, blocks.value().size());
+  int adjacent = 0;
+  for (std::size_t i = 1; i < blocks.value().size(); ++i) {
+    if (blocks.value()[i] == blocks.value()[i - 1] + 1) ++adjacent;
+  }
+  EXPECT_EQ(0, adjacent);
+}
+
+TEST_F(NfsTest, RemoveFreesEverything) {
+  // Warm up the root directory so its own data block is already allocated
+  // and does not show up as a "leak" below.
+  ASSERT_TRUE(server_->create("warmup").ok());
+  ASSERT_OK(server_->remove("warmup"));
+  const auto free_before = server_->free_blocks();
+  auto handle = server_->create("big");
+  ASSERT_TRUE(handle.ok());
+  // Past the indirect boundary so an indirect block is allocated too.
+  ASSERT_TRUE(server_
+                  ->write(handle.value(), 0,
+                          payload((kDirectBlocks + 4) * kBlockSize, 3))
+                  .ok());
+  EXPECT_LT(server_->free_blocks(), free_before);
+  ASSERT_OK(server_->remove("big"));
+  EXPECT_EQ(free_before, server_->free_blocks());
+  EXPECT_CODE(no_such_object, status_of(server_->read(handle.value(), 0, 1)));
+}
+
+TEST_F(NfsTest, TruncateShrinksAndFrees) {
+  auto handle = server_->create("trunc");
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(server_->write(handle.value(), 0, payload(5 * kBlockSize, 1)).ok());
+  const auto free_mid = server_->free_blocks();
+  ASSERT_OK(server_->truncate(handle.value(), kBlockSize + 10));
+  EXPECT_EQ(free_mid + 3, server_->free_blocks());
+  auto attr = server_->getattr(handle.value());
+  EXPECT_EQ(kBlockSize + 10, attr.value().size);
+  // Growing back reuses holes without stale data leaking into new blocks.
+  ASSERT_TRUE(server_->write(handle.value(), 4 * kBlockSize, as_span("x")).ok());
+  auto hole = server_->read(handle.value(), 2 * kBlockSize, 64);
+  ASSERT_TRUE(hole.ok());
+  for (const auto b : hole.value()) EXPECT_EQ(0, b) << "stale data resurfaced";
+  EXPECT_CODE(bad_argument, server_->truncate(handle.value(), 1 << 30));
+}
+
+TEST_F(NfsTest, CapabilityProtection) {
+  auto handle = server_->create("secret");
+  ASSERT_TRUE(handle.ok());
+  Capability forged = handle.value();
+  forged.check ^= 1;
+  EXPECT_CODE(bad_capability, status_of(server_->read(forged, 0, 1)));
+  EXPECT_CODE(bad_argument,
+              status_of(server_->read(server_->super_capability(), 0, 1)));
+}
+
+TEST_F(NfsTest, PersistsAcrossRemount) {
+  auto handle = server_->create("durable");
+  ASSERT_TRUE(handle.ok());
+  const Bytes data = payload(100000, 9);
+  ASSERT_TRUE(server_->write(handle.value(), 0, data).ok());
+  ASSERT_OK(server_->sync());
+  boot();  // remount from the same device
+  auto found = server_->lookup("durable");
+  ASSERT_TRUE(found.ok());
+  auto read = server_->read(found.value(), 0, 100000);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(crc32c(data), crc32c(read.value()));
+  // The original handle (same inode random) still verifies after remount.
+  EXPECT_TRUE(server_->read(handle.value(), 0, 16).ok());
+}
+
+TEST_F(NfsTest, RemovalPersistsAcrossRemount) {
+  ASSERT_TRUE(server_->create("gone").ok());
+  ASSERT_OK(server_->remove("gone"));
+  ASSERT_OK(server_->sync());
+  boot();
+  EXPECT_CODE(not_found, status_of(server_->lookup("gone")));
+  EXPECT_EQ(0u, server_->stats().files_live);
+}
+
+TEST_F(NfsTest, SmallFilesStayInBufferCache) {
+  NfsConfig config;
+  boot(config);
+  auto handle = server_->create("small");
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(server_->write(handle.value(), 0, payload(16384, 1)).ok());
+  const auto disk_reads_before = disk_.reads();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(server_->read(handle.value(), 0, 16384).ok());
+  }
+  // All five reads served from the buffer cache.
+  EXPECT_EQ(disk_reads_before, disk_.reads());
+}
+
+TEST_F(NfsTest, LargeFilesBypassBufferCache) {
+  NfsConfig config;
+  config.free_behind_bytes = 64 * 1024;
+  boot(config);
+  auto handle = server_->create("large");
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(server_->write(handle.value(), 0, payload(256 * 1024, 1)).ok());
+  const auto disk_reads_before = disk_.reads();
+  ASSERT_TRUE(server_->read(handle.value(), 0, 256 * 1024).ok());
+  // Every data block came from the device (free-behind).
+  EXPECT_GE(disk_.reads() - disk_reads_before, 32u);
+}
+
+TEST_F(NfsTest, WriteThroughReachesDiskImmediately) {
+  auto handle = server_->create("sync");
+  ASSERT_TRUE(handle.ok());
+  const auto writes_before = disk_.writes();
+  ASSERT_TRUE(server_->write(handle.value(), 0, payload(8192, 1)).ok());
+  // Data block + inode block at minimum, synchronously.
+  EXPECT_GE(disk_.writes() - writes_before, 2u);
+}
+
+TEST_F(NfsTest, StatsReflectActivity) {
+  auto handle = server_->create("s");
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(server_->write(handle.value(), 0, payload(100, 1)).ok());
+  ASSERT_TRUE(server_->read(handle.value(), 0, 100).ok());
+  const auto stats = server_->stats();
+  EXPECT_EQ(1u, stats.creates);
+  EXPECT_EQ(1u, stats.writes);
+  EXPECT_EQ(1u, stats.reads);
+  EXPECT_EQ(1u, stats.files_live);
+}
+
+// --- client over the wire ---------------------------------------------------
+
+TEST_F(NfsTest, ClientChunkedTransfer) {
+  rpc::LoopbackTransport transport;
+  ASSERT_OK(transport.register_service(server_.get()));
+  NfsClient client(&transport, server_->super_capability());
+
+  const Bytes data = payload(100000, 4);  // ~13 RPC chunks
+  auto handle = client.write_file("chunked", data);
+  ASSERT_TRUE(handle.ok());
+  auto read = client.read_file(handle.value());
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(crc32c(data), crc32c(read.value()));
+  // write RPCs = ceil(100000 / 8192) = 13
+  EXPECT_EQ(13u, server_->stats().writes);
+  EXPECT_EQ(13u, server_->stats().reads);
+  ASSERT_OK(client.remove("chunked"));
+  auto stats = client.stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(0u, stats.value().files_live);
+}
+
+TEST_F(NfsTest, ClientErrorsPropagate) {
+  rpc::LoopbackTransport transport;
+  ASSERT_OK(transport.register_service(server_.get()));
+  NfsClient client(&transport, server_->super_capability());
+  EXPECT_CODE(not_found, status_of(client.lookup("missing")));
+  EXPECT_CODE(not_found, client.remove("missing"));
+  EXPECT_CODE(bad_argument, status_of(client.create("")));
+}
+
+}  // namespace
+}  // namespace bullet::nfsbase

@@ -1,0 +1,217 @@
+// Tests for the discrete-event substrate: clock, disk model, network model.
+#include <gtest/gtest.h>
+
+#include "sim/clock.h"
+#include "sim/disk_model.h"
+#include "sim/net_model.h"
+#include "sim/testbed.h"
+
+namespace bullet::sim {
+namespace {
+
+TEST(ClockTest, AdvancesMonotonically) {
+  Clock clock;
+  EXPECT_EQ(0, clock.now());
+  clock.advance(from_ms(1));
+  clock.advance(from_us(5));
+  EXPECT_EQ(from_ms(1) + from_us(5), clock.now());
+}
+
+TEST(ClockTest, IgnoresNonPositive) {
+  Clock clock;
+  clock.advance(0);
+  clock.advance(-100);
+  EXPECT_EQ(0, clock.now());
+}
+
+TEST(ClockTest, BackgroundSectionDoesNotMoveNow) {
+  Clock clock;
+  clock.advance(from_ms(1));
+  {
+    BackgroundSection bg(&clock);
+    clock.advance(from_ms(100));
+  }
+  EXPECT_EQ(from_ms(1), clock.now());
+  EXPECT_EQ(from_ms(100), clock.background_total());
+}
+
+TEST(ClockTest, NestedBackgroundSections) {
+  Clock clock;
+  {
+    BackgroundSection outer(&clock);
+    {
+      BackgroundSection inner(&clock);
+      clock.advance(from_ms(2));
+    }
+    clock.advance(from_ms(3));
+  }
+  clock.advance(from_ms(5));
+  EXPECT_EQ(from_ms(5), clock.now());
+  EXPECT_EQ(from_ms(5), clock.background_total());
+}
+
+TEST(ClockTest, BackgroundSectionToleratesNull) {
+  BackgroundSection bg(nullptr);  // must not crash
+}
+
+TEST(ClockTest, ResetClearsEverything) {
+  Clock clock;
+  clock.advance(from_ms(1));
+  {
+    BackgroundSection bg(&clock);
+    clock.advance(from_ms(1));
+  }
+  clock.reset();
+  EXPECT_EQ(0, clock.now());
+  EXPECT_EQ(0, clock.background_total());
+}
+
+TEST(DurationTest, Conversions) {
+  EXPECT_EQ(1000000, from_ms(1.0));
+  EXPECT_EQ(1000, from_us(1.0));
+  EXPECT_DOUBLE_EQ(1.5, to_ms(from_ms(1.5)));
+  EXPECT_DOUBLE_EQ(0.001, to_seconds(from_ms(1.0)));
+}
+
+// --- DiskModel ---------------------------------------------------------------
+
+TEST(DiskModelTest, SequentialAccessSkipsPositioning) {
+  Clock clock;
+  DiskModel model(DiskParams::winchester_1989(512, 1 << 20), &clock);
+  model.access(100, 8);  // seek there
+  const auto after_first = clock.now();
+  model.access(108, 8);  // head is already at 108
+  const auto sequential_cost = clock.now() - after_first;
+  // Sequential: overhead + transfer only.
+  const auto& p = model.params();
+  const Duration expected =
+      p.per_request_overhead +
+      static_cast<Duration>(8 * 512 / p.media_rate_bytes_per_sec * 1e9);
+  EXPECT_NEAR(static_cast<double>(sequential_cost),
+              static_cast<double>(expected), 1000.0);
+  EXPECT_EQ(1u, model.seeks());
+}
+
+TEST(DiskModelTest, LongerSeeksCostMore) {
+  Clock clock;
+  const auto params = DiskParams::winchester_1989(512, 1 << 20);
+
+  DiskModel near_model(params, &clock);
+  near_model.access(0, 1);
+  const auto base = clock.now();
+  near_model.access(100, 1);
+  const auto near_cost = clock.now() - base;
+
+  clock.reset();
+  DiskModel far_model(params, &clock);
+  far_model.access(0, 1);
+  const auto base2 = clock.now();
+  far_model.access(1 << 19, 1);
+  const auto far_cost = clock.now() - base2;
+
+  EXPECT_GT(far_cost, near_cost);
+}
+
+TEST(DiskModelTest, TransferScalesWithSize) {
+  Clock clock;
+  DiskModel model(DiskParams::winchester_1989(512, 1 << 20), &clock);
+  model.access(0, 1);
+  const auto t1 = clock.now();
+  model.access(1, 2048);  // sequential, 1 MB
+  const auto big = clock.now() - t1;
+  // 1 MB at 1.5 MB/s is ~0.7 s.
+  EXPECT_GT(big, from_ms(600));
+  EXPECT_LT(big, from_ms(800));
+}
+
+TEST(DiskModelTest, PreviewDoesNotCharge) {
+  Clock clock;
+  DiskModel model(DiskParams::winchester_1989(512, 1 << 20), &clock);
+  const Duration preview = model.preview(5000, 4);
+  EXPECT_GT(preview, 0);
+  EXPECT_EQ(0, clock.now());
+  EXPECT_EQ(0u, model.requests());
+}
+
+TEST(DiskModelTest, StatsAccumulate) {
+  Clock clock;
+  DiskModel model(DiskParams::winchester_1989(512, 1 << 20), &clock);
+  model.access(0, 4);     // head parks at 0: first access is sequential
+  model.access(4, 4);     // sequential
+  model.access(5000, 2);  // seek
+  model.access(100, 2);   // seek back
+  EXPECT_EQ(4u, model.requests());
+  EXPECT_EQ(2u, model.seeks());
+  EXPECT_EQ(12u * 512, model.total_bytes_moved());
+}
+
+TEST(DiskModelTest, RotationalNumbersAreSane) {
+  const auto p = DiskParams::winchester_1989(512, 1);
+  EXPECT_NEAR(16.67, to_ms(p.full_rotation()), 0.1);        // 3600 rpm
+  EXPECT_NEAR(8.33, to_ms(p.avg_rotational_latency()), 0.1);
+}
+
+// --- NetModel -------------------------------------------------------------------
+
+TEST(NetModelTest, EmptyMessageStillCostsAPacket) {
+  const auto net = NetParams::ethernet_10mbit();
+  EXPECT_GT(net.message_time(0), 0);
+}
+
+TEST(NetModelTest, PacketizationSteps) {
+  const auto net = NetParams::ethernet_10mbit();
+  // One packet up to the MTU payload, two beyond it.
+  const auto one = net.message_time(net.mtu_payload);
+  const auto two = net.message_time(net.mtu_payload + 1);
+  EXPECT_GT(two - one, net.per_packet_cpu);
+}
+
+TEST(NetModelTest, BulkApproachesWireRate) {
+  const auto net = NetParams::ethernet_10mbit();
+  const std::uint64_t mb = 1 << 20;
+  const double seconds = to_seconds(net.message_time(mb));
+  const double throughput = static_cast<double>(mb) / seconds;
+  // Must be below the 1.25 MB/s wire rate but in its neighbourhood.
+  EXPECT_LT(throughput, 1.25e6);
+  EXPECT_GT(throughput, 0.7e6);
+}
+
+TEST(NetModelTest, RpcTimeIncludesBothDirections) {
+  const auto net = NetParams::ethernet_10mbit();
+  const auto costs = ProtocolCosts::amoeba_rpc_1989();
+  const auto small = rpc_time(net, costs, 64, 64);
+  const auto big_reply = rpc_time(net, costs, 64, 1 << 20);
+  const auto big_request = rpc_time(net, costs, 1 << 20, 64);
+  EXPECT_GT(big_reply, small);
+  // Symmetric cost model: request and reply bytes are priced identically.
+  EXPECT_EQ(big_reply, big_request);
+}
+
+TEST(NetModelTest, NullRpcLatencyMatchesAmoeba) {
+  // The Amoeba RPC of the era measured ~1.2-1.4 ms for a null RPC between
+  // two 68020s; the preset should land in that neighbourhood (well under
+  // the ~10 ms of the SunOS NFS stack).
+  const auto t = rpc_time(NetParams::ethernet_10mbit(),
+                          ProtocolCosts::amoeba_rpc_1989(), 24, 6);
+  EXPECT_GT(to_ms(t), 1.0);
+  EXPECT_LT(to_ms(t), 3.0);
+}
+
+TEST(NetModelTest, NfsStackCostsMoreThanAmoeba) {
+  const auto net = NetParams::ethernet_10mbit();
+  const auto amoeba = rpc_time(net, ProtocolCosts::amoeba_rpc_1989(), 64, 64);
+  const auto nfs = rpc_time(net, ProtocolCosts::sun_nfs_1989(), 64, 64);
+  EXPECT_GT(nfs, amoeba * 3);
+}
+
+TEST(TestbedTest, PresetsAreConsistent) {
+  EXPECT_EQ(512u, Testbed1989::disk().block_size);
+  EXPECT_EQ(Testbed1989::kDiskBytes,
+            Testbed1989::disk().total_blocks * Testbed1989::kSectorSize);
+  EXPECT_EQ(8192u, Testbed1989::nfs_disk().block_size);
+  EXPECT_GT(Testbed1989::nfs_costs().service_cpu,
+            Testbed1989::bullet_costs().service_cpu);
+}
+
+}  // namespace
+}  // namespace bullet::sim

@@ -1,0 +1,133 @@
+// Smoke tests for the bullet_tool CLI: full operator workflow against a
+// file-backed image, driven through the real binary.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+#ifndef BULLET_TOOL_PATH
+#error "BULLET_TOOL_PATH must be defined by the build"
+#endif
+
+namespace bullet {
+namespace {
+
+class ToolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir();
+    image_ = dir_ + "tooltest.img";
+    std::remove(image_.c_str());
+  }
+  void TearDown() override { std::remove(image_.c_str()); }
+
+  // Run the tool; returns exit code and captures stdout into `out`.
+  int run(const std::string& args, std::string* out = nullptr) {
+    const std::string capture = dir_ + "tooltest.out";
+    const std::string command = std::string(BULLET_TOOL_PATH) + " " + args +
+                                " > " + capture + " 2>/dev/null";
+    const int code = std::system(command.c_str());
+    if (out != nullptr) {
+      std::ifstream in(capture);
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      *out = buffer.str();
+    }
+    std::remove(capture.c_str());
+    return WEXITSTATUS(code);
+  }
+
+  std::string write_temp(const std::string& name, const Bytes& data) {
+    const std::string path = dir_ + name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    return path;
+  }
+
+  std::string dir_;
+  std::string image_;
+};
+
+TEST_F(ToolTest, FullWorkflow) {
+  ASSERT_EQ(0, run("format " + image_ + " 4 256"));
+
+  // put -> capability on stdout.
+  const Bytes payload = testing::payload(20000, 1);
+  const std::string local = write_temp("in.bin", payload);
+  std::string cap_text;
+  ASSERT_EQ(0, run("put " + image_ + " " + local, &cap_text));
+  while (!cap_text.empty() && (cap_text.back() == '\n')) cap_text.pop_back();
+  ASSERT_FALSE(cap_text.empty());
+  ASSERT_TRUE(Capability::from_string(cap_text).has_value()) << cap_text;
+
+  // ls shows one file of the right size.
+  std::string listing;
+  ASSERT_EQ(0, run("ls " + image_, &listing));
+  EXPECT_NE(std::string::npos, listing.find("20000"));
+  EXPECT_NE(std::string::npos, listing.find("1 file(s)"));
+
+  // get returns identical bytes.
+  const std::string fetched = dir_ + "out.bin";
+  ASSERT_EQ(0, run("get " + image_ + " " + cap_text + " " + fetched));
+  std::ifstream in(fetched, std::ios::binary);
+  Bytes round((std::istreambuf_iterator<char>(in)),
+              std::istreambuf_iterator<char>());
+  EXPECT_TRUE(equal(payload, round));
+  std::remove(fetched.c_str());
+
+  // fsck is clean; rm deletes; ls shows nothing.
+  ASSERT_EQ(0, run("fsck " + image_));
+  ASSERT_EQ(0, run("rm " + image_ + " " + cap_text));
+  ASSERT_EQ(0, run("ls " + image_, &listing));
+  EXPECT_NE(std::string::npos, listing.find("0 file(s)"));
+  // The capability is dead now.
+  EXPECT_NE(0, run("get " + image_ + " " + cap_text));
+}
+
+TEST_F(ToolTest, CompactAfterChurn) {
+  ASSERT_EQ(0, run("format " + image_ + " 4 256"));
+  std::vector<std::string> caps;
+  for (int i = 0; i < 4; ++i) {
+    const std::string local =
+        write_temp("f" + std::to_string(i), testing::payload(4096, i));
+    std::string cap_text;
+    ASSERT_EQ(0, run("put " + image_ + " " + local, &cap_text));
+    while (!cap_text.empty() && cap_text.back() == '\n') cap_text.pop_back();
+    caps.push_back(cap_text);
+  }
+  ASSERT_EQ(0, run("rm " + image_ + " " + caps[0]));
+  ASSERT_EQ(0, run("rm " + image_ + " " + caps[2]));
+  std::string out;
+  ASSERT_EQ(0, run("compact " + image_, &out));
+  EXPECT_NE(std::string::npos, out.find("1 hole(s) remain"));
+  // Survivors still readable after compaction.
+  ASSERT_EQ(0, run("get " + image_ + " " + caps[1]));
+  ASSERT_EQ(0, run("get " + image_ + " " + caps[3]));
+}
+
+TEST_F(ToolTest, ErrorsAreReported) {
+  EXPECT_NE(0, run("fsck /nonexistent/image"));
+  EXPECT_NE(0, run("bogus-command " + image_));
+  ASSERT_EQ(0, run("format " + image_ + " 4"));
+  EXPECT_NE(0, run("get " + image_ + " not-a-capability"));
+  EXPECT_NE(0, run("put " + image_ + " /nonexistent/file"));
+}
+
+TEST_F(ToolTest, StatReportsGeometry) {
+  ASSERT_EQ(0, run("format " + image_ + " 8 512"));
+  std::string out;
+  ASSERT_EQ(0, run("stat " + image_, &out));
+  EXPECT_NE(std::string::npos, out.find("block size:        512"));
+  EXPECT_NE(std::string::npos, out.find("inode slots:       512"));
+  EXPECT_NE(std::string::npos, out.find("live files:        0"));
+}
+
+}  // namespace
+}  // namespace bullet

@@ -1,0 +1,165 @@
+// Tests for the real UDP transport: end-to-end RPC over loopback sockets,
+// fragmentation of large messages, packet loss + retransmission, duplicate
+// suppression (at-most-once execution).
+#include <gtest/gtest.h>
+
+#include "bullet/client.h"
+#include "bullet/server.h"
+#include "rpc/udp_transport.h"
+#include "tests/test_util.h"
+
+namespace bullet {
+namespace {
+
+using testing::BulletHarness;
+using testing::payload;
+using testing::status_of;
+
+class UdpTest : public ::testing::Test {
+ protected:
+  void start_server(rpc::UdpServerOptions options = {}) {
+    auto server = rpc::UdpServer::start(options);
+    ASSERT_TRUE(server.ok()) << server.error().to_string();
+    udp_server_ = std::move(server).value();
+    ASSERT_OK(udp_server_->register_service(&h_.server()));
+  }
+
+  std::unique_ptr<rpc::UdpTransport> connect(int timeout_ms = 500,
+                                             int max_attempts = 5) {
+    rpc::UdpClientOptions options;
+    options.server_udp_port = udp_server_->port();
+    options.timeout_ms = timeout_ms;
+    options.max_attempts = max_attempts;
+    auto transport = rpc::UdpTransport::connect(options);
+    EXPECT_TRUE(transport.ok());
+    return std::move(transport).value();
+  }
+
+  BulletHarness h_;
+  std::unique_ptr<rpc::UdpServer> udp_server_;
+};
+
+TEST_F(UdpTest, SmallRpcRoundtrip) {
+  start_server();
+  auto transport = connect();
+  BulletClient client(transport.get(), h_.server().super_capability());
+  auto cap = client.create(as_span("over a real socket"), 1);
+  ASSERT_TRUE(cap.ok()) << cap.error().to_string();
+  auto data = client.read_whole(cap.value());
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ("over a real socket", to_string(data.value()));
+}
+
+TEST_F(UdpTest, LargeMessagesAreFragmented) {
+  start_server();
+  auto transport = connect();
+  BulletClient client(transport.get(), h_.server().super_capability());
+  // 200 KB: ~13 fragments each way.
+  const Bytes data = payload(200 * 1024, 1);
+  auto cap = client.create(data, 1);
+  ASSERT_TRUE(cap.ok());
+  auto read = client.read(cap.value());
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(equal(data, read.value()));
+}
+
+TEST_F(UdpTest, ErrorsCrossTheWire) {
+  start_server();
+  auto transport = connect();
+  BulletClient client(transport.get(), h_.server().super_capability());
+  Capability bogus = h_.server().super_capability();
+  bogus.object = 424242;
+  EXPECT_CODE(no_such_object, status_of(client.read(bogus)));
+}
+
+TEST_F(UdpTest, UnknownServicePortIsUnreachable) {
+  start_server();
+  auto transport = connect();
+  rpc::Request request;
+  request.target.port = Port(0xDEAD);
+  auto reply = transport->call(request);
+  ASSERT_TRUE(reply.ok());  // transport delivered; server rejected
+  EXPECT_EQ(ErrorCode::unreachable, reply.value().status);
+}
+
+TEST_F(UdpTest, SurvivesPacketLoss) {
+  rpc::UdpServerOptions options;
+  options.drop_one_in = 6;  // drop ~17% of received datagrams
+  options.loss_seed = 42;
+  start_server(options);
+  // A lost fragment costs a whole-message retransmit, so give the client
+  // plenty of attempts; the reply is the only acknowledgement.
+  auto transport = connect(/*timeout_ms=*/60, /*max_attempts=*/15);
+  BulletClient client(transport.get(), h_.server().super_capability());
+
+  for (int i = 0; i < 10; ++i) {
+    const Bytes data = payload(40 * 1024, i);  // several fragments
+    auto cap = client.create(data, 1);
+    ASSERT_TRUE(cap.ok()) << i << ": " << cap.error().to_string();
+    auto read = client.read(cap.value());
+    ASSERT_TRUE(read.ok()) << i;
+    EXPECT_TRUE(equal(data, read.value())) << i;
+  }
+  EXPECT_GT(udp_server_->dropped(), 0u);
+  EXPECT_GT(transport->retransmissions(), 0u);
+}
+
+TEST_F(UdpTest, DuplicateRequestsExecuteOnce) {
+  // Drop datagrams often enough that some *replies* are lost after the
+  // request executed: the retransmitted request must be answered from the
+  // reply cache, not create a second file.
+  rpc::UdpServerOptions options;
+  options.drop_one_in = 3;
+  options.loss_seed = 7;
+  start_server(options);
+  auto transport = connect(/*timeout_ms=*/60, /*max_attempts=*/20);
+  BulletClient client(transport.get(), h_.server().super_capability());
+
+  constexpr int kCreates = 20;
+  for (int i = 0; i < kCreates; ++i) {
+    auto cap = client.create(payload(1000, i), 1);
+    ASSERT_TRUE(cap.ok()) << i;
+  }
+  // Exactly kCreates files exist, despite retransmissions.
+  EXPECT_EQ(static_cast<std::uint64_t>(kCreates), h_.server().live_files());
+  EXPECT_EQ(static_cast<std::uint64_t>(kCreates),
+            h_.server().stats().creates);
+}
+
+TEST_F(UdpTest, TimeoutWhenServerGone) {
+  start_server();
+  const std::uint16_t port = udp_server_->port();
+  udp_server_->stop();
+  rpc::UdpClientOptions options;
+  options.server_udp_port = port;
+  options.timeout_ms = 30;
+  options.max_attempts = 2;
+  auto transport = rpc::UdpTransport::connect(options);
+  ASSERT_TRUE(transport.ok());
+  rpc::Request request;
+  request.target = h_.server().super_capability();
+  request.opcode = wire::kSize;
+  EXPECT_CODE(unreachable, status_of(transport.value()->call(request)));
+}
+
+TEST_F(UdpTest, ConnectRequiresPort) {
+  EXPECT_CODE(bad_argument,
+              status_of(rpc::UdpTransport::connect(rpc::UdpClientOptions{})));
+}
+
+TEST_F(UdpTest, TwoClientsOneServer) {
+  start_server();
+  auto t1 = connect();
+  auto t2 = connect();
+  BulletClient c1(t1.get(), h_.server().super_capability());
+  BulletClient c2(t2.get(), h_.server().super_capability());
+  auto cap = c1.create(as_span("shared"), 1);
+  ASSERT_TRUE(cap.ok());
+  // The capability is the whole story: any client holding it can read.
+  auto via_c2 = c2.read_whole(cap.value());
+  ASSERT_TRUE(via_c2.ok());
+  EXPECT_EQ("shared", to_string(via_c2.value()));
+}
+
+}  // namespace
+}  // namespace bullet

@@ -1,0 +1,143 @@
+// Randomized property test for the UNIX emulation: a random sequence of
+// POSIX-shaped operations checked against an in-memory map<path, contents>
+// oracle, including directory operations.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dir/server.h"
+#include "tests/test_util.h"
+#include "unixemu/unix_fs.h"
+
+namespace bullet::unixemu {
+namespace {
+
+using ::bullet::testing::BulletHarness;
+namespace flags = open_flags;
+
+class UnixFsPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  UnixFsPropertyTest() {
+    EXPECT_TRUE(transport_.register_service(&h_.server()).ok());
+    BulletClient storage(&transport_, h_.server().super_capability());
+    auto server = dir::DirServer::start(storage, dir::DirConfig());
+    EXPECT_TRUE(server.ok());
+    dir_server_ = std::move(server).value();
+    EXPECT_TRUE(transport_.register_service(dir_server_.get()).ok());
+    auto root = dir_server_->create_dir();
+    EXPECT_TRUE(root.ok());
+    fs_ = std::make_unique<UnixFs>(
+        BulletClient(&transport_, h_.server().super_capability()),
+        dir::DirClient(&transport_, dir_server_->super_capability()),
+        root.value_or(Capability{}));
+  }
+
+  BulletHarness h_;
+  rpc::LoopbackTransport transport_;
+  std::unique_ptr<dir::DirServer> dir_server_;
+  std::unique_ptr<UnixFs> fs_;
+};
+
+TEST_P(UnixFsPropertyTest, RandomOpsMatchOracle) {
+  Rng rng(GetParam());
+  // Fixed small namespace: 3 directories x 4 names.
+  const std::vector<std::string> dirs = {"", "a", "b"};
+  for (const auto& d : dirs) {
+    if (!d.empty()) ASSERT_OK(fs_->mkdir(d));
+  }
+  auto random_path = [&]() {
+    const std::string& d = dirs[rng.next_below(dirs.size())];
+    const std::string leaf = "f" + std::to_string(rng.next_below(4));
+    return d.empty() ? leaf : d + "/" + leaf;
+  };
+
+  std::map<std::string, Bytes> oracle;  // path -> contents
+
+  for (int step = 0; step < 250; ++step) {
+    const std::string path = random_path();
+    const std::uint64_t dice = rng.next_below(100);
+    if (dice < 35) {
+      // Write (create or truncate) with fresh contents.
+      Bytes data(rng.next_below(8000));
+      rng.fill(data);
+      auto fd = fs_->open(path,
+                          flags::kWrite | flags::kCreate | flags::kTruncate);
+      ASSERT_TRUE(fd.ok()) << path;
+      ASSERT_TRUE(fs_->write(fd.value(), data).ok());
+      ASSERT_OK(fs_->close(fd.value()));
+      oracle[path] = std::move(data);
+    } else if (dice < 55) {
+      // Append.
+      Bytes extra(rng.next_range(1, 2000));
+      rng.fill(extra);
+      auto fd = fs_->open(path,
+                          flags::kWrite | flags::kCreate | flags::kAppend);
+      ASSERT_TRUE(fd.ok()) << path;
+      ASSERT_TRUE(fs_->write(fd.value(), extra).ok());
+      ASSERT_OK(fs_->close(fd.value()));
+      append(oracle[path], extra);  // creates empty entry if absent
+    } else if (dice < 85) {
+      // Read whole file and compare.
+      auto fd = fs_->open(path, flags::kRead);
+      const auto expected = oracle.find(path);
+      if (expected == oracle.end()) {
+        EXPECT_FALSE(fd.ok()) << path;
+        continue;
+      }
+      ASSERT_TRUE(fd.ok()) << path;
+      Bytes out;
+      for (;;) {
+        auto chunk = fs_->read(fd.value(), 4096);
+        ASSERT_TRUE(chunk.ok());
+        if (chunk.value().empty()) break;
+        append(out, chunk.value());
+      }
+      ASSERT_OK(fs_->close(fd.value()));
+      ASSERT_TRUE(equal(expected->second, out)) << path << " step " << step;
+    } else if (dice < 95) {
+      // Unlink.
+      const Status st = fs_->unlink(path);
+      if (oracle.erase(path) > 0) {
+        EXPECT_OK(st);
+      } else {
+        EXPECT_FALSE(st.ok());
+      }
+    } else {
+      // Consistency sweep: stat sizes match the oracle.
+      for (const auto& [p, contents] : oracle) {
+        auto info = fs_->stat(p);
+        ASSERT_TRUE(info.ok()) << p;
+        EXPECT_EQ(contents.size(), info.value().size) << p;
+      }
+    }
+  }
+
+  // Final: directory listings agree with the oracle's key set.
+  for (const auto& d : dirs) {
+    auto names = fs_->readdir(d.empty() ? "/" : d);
+    ASSERT_TRUE(names.ok());
+    std::size_t expected = 0;
+    for (const auto& [p, contents] : oracle) {
+      (void)contents;
+      const auto slash = p.find('/');
+      const std::string parent =
+          slash == std::string::npos ? "" : p.substr(0, slash);
+      if (parent == d) ++expected;
+    }
+    // Root also contains the two directories themselves.
+    const std::size_t extra = d.empty() ? 2 : 0;
+    EXPECT_EQ(expected + extra, names.value().size()) << "dir '" << d << "'";
+  }
+
+  // No file descriptors leaked.
+  EXPECT_EQ(0u, fs_->open_files());
+  // The Bullet server holds exactly one live file per oracle entry plus the
+  // directory backing files (3 directories).
+  EXPECT_EQ(oracle.size() + 3, h_.server().live_files());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnixFsPropertyTest,
+                         ::testing::Values(31, 32, 33, 34));
+
+}  // namespace
+}  // namespace bullet::unixemu

@@ -1,0 +1,330 @@
+// Tests for the UNIX emulation: POSIX-shaped calls over Bullet + directory
+// server, whole-file open/commit semantics, version conflicts.
+#include <gtest/gtest.h>
+
+#include "dir/server.h"
+#include "tests/test_util.h"
+#include "unixemu/unix_fs.h"
+
+namespace bullet::unixemu {
+namespace {
+
+using ::bullet::testing::BulletHarness;
+using ::bullet::testing::payload;
+using ::bullet::testing::status_of;
+namespace flags = open_flags;
+
+class UnixFsTest : public ::testing::Test {
+ protected:
+  UnixFsTest() {
+    EXPECT_TRUE(transport_.register_service(&h_.server()).ok());
+    BulletClient storage(&transport_, h_.server().super_capability());
+    auto server = dir::DirServer::start(storage, dir::DirConfig());
+    EXPECT_TRUE(server.ok());
+    dir_server_ = std::move(server).value();
+    EXPECT_TRUE(transport_.register_service(dir_server_.get()).ok());
+
+    auto root = dir_server_->create_dir();
+    EXPECT_TRUE(root.ok());
+    root_ = root.value_or(Capability{});
+    fs_ = std::make_unique<UnixFs>(
+        BulletClient(&transport_, h_.server().super_capability()),
+        dir::DirClient(&transport_, dir_server_->super_capability()), root_);
+  }
+
+  BulletHarness h_;
+  rpc::LoopbackTransport transport_;
+  std::unique_ptr<dir::DirServer> dir_server_;
+  Capability root_;
+  std::unique_ptr<UnixFs> fs_;
+};
+
+TEST_F(UnixFsTest, CreateWriteCloseReadBack) {
+  auto fd = fs_->open("notes.txt", flags::kWrite | flags::kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->write(fd.value(), as_span("hello unix\n")).ok());
+  ASSERT_OK(fs_->close(fd.value()));
+
+  auto rd = fs_->open("notes.txt", flags::kRead);
+  ASSERT_TRUE(rd.ok());
+  auto data = fs_->read(rd.value(), 1024);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ("hello unix\n", to_string(data.value()));
+  ASSERT_OK(fs_->close(rd.value()));
+  EXPECT_EQ(0u, fs_->open_files());
+}
+
+TEST_F(UnixFsTest, OpenMissingWithoutCreateFails) {
+  EXPECT_CODE(not_found, status_of(fs_->open("nope", flags::kRead)));
+}
+
+TEST_F(UnixFsTest, ExclusiveCreate) {
+  auto fd = fs_->open("once", flags::kWrite | flags::kCreate | flags::kExclusive);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_OK(fs_->close(fd.value()));
+  EXPECT_CODE(already_exists,
+              status_of(fs_->open(
+                  "once", flags::kWrite | flags::kCreate | flags::kExclusive)));
+}
+
+TEST_F(UnixFsTest, SeekAndPartialReads) {
+  auto fd = fs_->open("f", flags::kRead | flags::kWrite | flags::kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->write(fd.value(), as_span("0123456789")).ok());
+  EXPECT_EQ(3u, fs_->lseek(fd.value(), 3, Whence::set).value());
+  EXPECT_EQ("345", to_string(fs_->read(fd.value(), 3).value()));
+  EXPECT_EQ(8u, fs_->lseek(fd.value(), 2, Whence::cur).value());
+  EXPECT_EQ("89", to_string(fs_->read(fd.value(), 10).value()));
+  EXPECT_EQ(7u, fs_->lseek(fd.value(), -3, Whence::end).value());
+  EXPECT_FALSE(fs_->lseek(fd.value(), -100, Whence::set).ok());
+  ASSERT_OK(fs_->close(fd.value()));
+}
+
+TEST_F(UnixFsTest, SparseSeekWriteZeroFills) {
+  auto fd = fs_->open("sparse", flags::kRead | flags::kWrite | flags::kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->lseek(fd.value(), 100, Whence::set).ok());
+  ASSERT_TRUE(fs_->write(fd.value(), as_span("end")).ok());
+  ASSERT_TRUE(fs_->lseek(fd.value(), 0, Whence::set).ok());
+  auto data = fs_->read(fd.value(), 200);
+  ASSERT_TRUE(data.ok());
+  ASSERT_EQ(103u, data.value().size());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(0, data.value()[i]);
+  ASSERT_OK(fs_->close(fd.value()));
+}
+
+TEST_F(UnixFsTest, AppendMode) {
+  auto fd = fs_->open("log", flags::kWrite | flags::kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->write(fd.value(), as_span("one\n")).ok());
+  ASSERT_OK(fs_->close(fd.value()));
+
+  auto ap = fs_->open("log", flags::kWrite | flags::kAppend);
+  ASSERT_TRUE(ap.ok());
+  ASSERT_TRUE(fs_->write(ap.value(), as_span("two\n")).ok());
+  ASSERT_OK(fs_->close(ap.value()));
+
+  auto rd = fs_->open("log", flags::kRead);
+  EXPECT_EQ("one\ntwo\n", to_string(fs_->read(rd.value(), 100).value()));
+  ASSERT_OK(fs_->close(rd.value()));
+}
+
+TEST_F(UnixFsTest, TruncateOnOpenAndFtruncate) {
+  auto fd = fs_->open("t", flags::kWrite | flags::kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->write(fd.value(), payload(1000, 1)).ok());
+  ASSERT_OK(fs_->close(fd.value()));
+
+  auto trunc = fs_->open("t", flags::kWrite | flags::kTruncate);
+  ASSERT_TRUE(trunc.ok());
+  ASSERT_OK(fs_->close(trunc.value()));
+  EXPECT_EQ(0u, fs_->stat("t").value().size);
+
+  auto fd2 = fs_->open("t", flags::kWrite);
+  ASSERT_TRUE(fd2.ok());
+  ASSERT_TRUE(fs_->write(fd2.value(), payload(500, 2)).ok());
+  ASSERT_OK(fs_->ftruncate(fd2.value(), 100));
+  ASSERT_OK(fs_->close(fd2.value()));
+  EXPECT_EQ(100u, fs_->stat("t").value().size);
+}
+
+TEST_F(UnixFsTest, EachCommitIsANewImmutableVersion) {
+  auto fd = fs_->open("v", flags::kWrite | flags::kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->write(fd.value(), as_span("v1")).ok());
+  ASSERT_OK(fs_->close(fd.value()));
+  const Capability v1 = fs_->stat("v").value().capability;
+
+  auto fd2 = fs_->open("v", flags::kWrite | flags::kTruncate);
+  ASSERT_TRUE(fd2.ok());
+  ASSERT_TRUE(fs_->write(fd2.value(), as_span("v2")).ok());
+  ASSERT_OK(fs_->close(fd2.value()));
+  const Capability v2 = fs_->stat("v").value().capability;
+
+  EXPECT_NE(v1.object, v2.object);  // genuinely a different Bullet file
+  // The superseded version was deleted from the Bullet server.
+  BulletClient files(&transport_, h_.server().super_capability());
+  EXPECT_FALSE(files.read(v1).ok());
+  EXPECT_EQ("v2", to_string(files.read_whole(v2).value()));
+}
+
+TEST_F(UnixFsTest, ConcurrentCommitConflictDetected) {
+  // Two descriptors opened on the same version; the second close loses.
+  auto a = fs_->open("shared", flags::kWrite | flags::kCreate);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(fs_->write(a.value(), as_span("base")).ok());
+  ASSERT_OK(fs_->close(a.value()));
+
+  auto fd1 = fs_->open("shared", flags::kRead | flags::kWrite);
+  auto fd2 = fs_->open("shared", flags::kRead | flags::kWrite);
+  ASSERT_TRUE(fd1.ok() && fd2.ok());
+  ASSERT_TRUE(fs_->write(fd1.value(), as_span("A")).ok());
+  ASSERT_TRUE(fs_->write(fd2.value(), as_span("B")).ok());
+  ASSERT_OK(fs_->close(fd1.value()));
+  EXPECT_CODE(conflict, fs_->close(fd2.value()));
+  // The winner's contents survived.
+  auto rd = fs_->open("shared", flags::kRead);
+  EXPECT_EQ("Aase", to_string(fs_->read(rd.value(), 100).value()));
+  ASSERT_OK(fs_->close(rd.value()));
+}
+
+TEST_F(UnixFsTest, FsyncCommitsWithoutClosing) {
+  auto fd = fs_->open("fsynced", flags::kWrite | flags::kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->write(fd.value(), as_span("durable")).ok());
+  ASSERT_OK(fs_->fsync(fd.value()));
+  // Visible to an independent reader while still open.
+  auto rd = fs_->open("fsynced", flags::kRead);
+  ASSERT_TRUE(rd.ok());
+  EXPECT_EQ("durable", to_string(fs_->read(rd.value(), 100).value()));
+  ASSERT_OK(fs_->close(rd.value()));
+  ASSERT_OK(fs_->close(fd.value()));
+}
+
+TEST_F(UnixFsTest, DirectoriesAndPaths) {
+  ASSERT_OK(fs_->mkdir("home"));
+  ASSERT_OK(fs_->mkdir("home/user"));
+  EXPECT_CODE(already_exists, fs_->mkdir("home"));
+  EXPECT_CODE(not_found, fs_->mkdir("missing/child"));
+
+  auto fd = fs_->open("home/user/profile", flags::kWrite | flags::kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->write(fd.value(), as_span("me")).ok());
+  ASSERT_OK(fs_->close(fd.value()));
+
+  auto info = fs_->stat("home/user/profile");
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info.value().is_directory);
+  EXPECT_EQ(2u, info.value().size);
+  EXPECT_TRUE(fs_->stat("home/user").value().is_directory);
+  EXPECT_TRUE(fs_->stat("/").value().is_directory);
+
+  auto names = fs_->readdir("home/user");
+  ASSERT_TRUE(names.ok());
+  ASSERT_EQ(1u, names.value().size());
+  EXPECT_EQ("profile", names.value()[0]);
+
+  EXPECT_CODE(bad_argument, status_of(fs_->readdir("home/user/profile")));
+  EXPECT_CODE(bad_argument,
+              status_of(fs_->open("home/user", flags::kRead)));
+}
+
+TEST_F(UnixFsTest, UnlinkDeletesFileAndVersion) {
+  auto fd = fs_->open("gone", flags::kWrite | flags::kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->write(fd.value(), as_span("bye")).ok());
+  ASSERT_OK(fs_->close(fd.value()));
+  const Capability version = fs_->stat("gone").value().capability;
+
+  ASSERT_OK(fs_->unlink("gone"));
+  EXPECT_CODE(not_found, status_of(fs_->stat("gone")));
+  BulletClient files(&transport_, h_.server().super_capability());
+  EXPECT_FALSE(files.read(version).ok());
+
+  EXPECT_CODE(not_found, fs_->unlink("gone"));
+  ASSERT_OK(fs_->mkdir("d"));
+  EXPECT_CODE(bad_argument, fs_->unlink("d"));
+}
+
+TEST_F(UnixFsTest, RmdirOnlyEmptyDirectories) {
+  ASSERT_OK(fs_->mkdir("d"));
+  auto fd = fs_->open("d/f", flags::kWrite | flags::kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_OK(fs_->close(fd.value()));
+  EXPECT_CODE(bad_state, fs_->rmdir("d"));
+  ASSERT_OK(fs_->unlink("d/f"));
+  ASSERT_OK(fs_->rmdir("d"));
+  EXPECT_CODE(not_found, status_of(fs_->stat("d")));
+}
+
+TEST_F(UnixFsTest, Rename) {
+  auto fd = fs_->open("old", flags::kWrite | flags::kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->write(fd.value(), as_span("payload")).ok());
+  ASSERT_OK(fs_->close(fd.value()));
+  ASSERT_OK(fs_->mkdir("sub"));
+  ASSERT_OK(fs_->rename("old", "sub/new"));
+  EXPECT_CODE(not_found, status_of(fs_->stat("old")));
+  auto rd = fs_->open("sub/new", flags::kRead);
+  ASSERT_TRUE(rd.ok());
+  EXPECT_EQ("payload", to_string(fs_->read(rd.value(), 100).value()));
+  ASSERT_OK(fs_->close(rd.value()));
+  EXPECT_CODE(not_found, fs_->rename("ghost", "x"));
+}
+
+TEST_F(UnixFsTest, RenameReplacesExistingFile) {
+  for (const char* name : {"src.txt", "dst.txt"}) {
+    auto fd = fs_->open(name, flags::kWrite | flags::kCreate);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(fs_->write(fd.value(), as_span(name)).ok());
+    ASSERT_OK(fs_->close(fd.value()));
+  }
+  const Capability displaced = fs_->stat("dst.txt").value().capability;
+  ASSERT_OK(fs_->rename("src.txt", "dst.txt"));
+  EXPECT_CODE(not_found, status_of(fs_->stat("src.txt")));
+  auto rd = fs_->open("dst.txt", flags::kRead);
+  ASSERT_TRUE(rd.ok());
+  EXPECT_EQ("src.txt", to_string(fs_->read(rd.value(), 100).value()));
+  ASSERT_OK(fs_->close(rd.value()));
+  // The displaced file's bytes were deleted from the Bullet server.
+  BulletClient files(&transport_, h_.server().super_capability());
+  EXPECT_FALSE(files.read(displaced).ok());
+}
+
+TEST_F(UnixFsTest, RenameOntoDirectoryRefused) {
+  ASSERT_OK(fs_->mkdir("d"));
+  auto fd = fs_->open("f", flags::kWrite | flags::kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_OK(fs_->close(fd.value()));
+  EXPECT_CODE(already_exists, fs_->rename("f", "d"));
+  EXPECT_TRUE(fs_->stat("f").ok());  // source untouched
+}
+
+TEST_F(UnixFsTest, FdHygiene) {
+  EXPECT_CODE(bad_state, status_of(fs_->read(42, 10)));
+  EXPECT_CODE(bad_state, fs_->close(-1));
+  auto fd = fs_->open("f", flags::kWrite | flags::kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_OK(fs_->close(fd.value()));
+  EXPECT_CODE(bad_state, fs_->close(fd.value()));  // double close
+  // Descriptors are recycled.
+  auto fd2 = fs_->open("f2", flags::kWrite | flags::kCreate);
+  ASSERT_TRUE(fd2.ok());
+  EXPECT_EQ(fd.value(), fd2.value());
+  ASSERT_OK(fs_->close(fd2.value()));
+}
+
+TEST_F(UnixFsTest, ModeEnforcement) {
+  auto wr = fs_->open("m", flags::kWrite | flags::kCreate);
+  ASSERT_TRUE(wr.ok());
+  EXPECT_CODE(permission, status_of(fs_->read(wr.value(), 1)));
+  ASSERT_OK(fs_->close(wr.value()));
+  auto rd = fs_->open("m", flags::kRead);
+  ASSERT_TRUE(rd.ok());
+  EXPECT_CODE(permission, status_of(fs_->write(rd.value(), as_span("x"))));
+  EXPECT_CODE(permission, fs_->ftruncate(rd.value(), 0));
+  ASSERT_OK(fs_->close(rd.value()));
+  EXPECT_CODE(bad_argument, status_of(fs_->open("m", 0)));
+}
+
+TEST_F(UnixFsTest, LargeFileRoundtrip) {
+  const Bytes data = ::bullet::testing::payload(300000, 7);
+  auto fd = fs_->open("big", flags::kWrite | flags::kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->write(fd.value(), data).ok());
+  ASSERT_OK(fs_->close(fd.value()));
+  auto rd = fs_->open("big", flags::kRead);
+  ASSERT_TRUE(rd.ok());
+  Bytes out;
+  for (;;) {
+    auto chunk = fs_->read(rd.value(), 65536);
+    ASSERT_TRUE(chunk.ok());
+    if (chunk.value().empty()) break;
+    append(out, chunk.value());
+  }
+  EXPECT_TRUE(equal(data, out));
+  ASSERT_OK(fs_->close(rd.value()));
+}
+
+}  // namespace
+}  // namespace bullet::unixemu

@@ -1,0 +1,215 @@
+// bullet_server — a deployable Bullet file server daemon.
+//
+// Serves one or two file-backed disk images (mirrored replicas) over UDP,
+// together with a directory server persisted in the Bullet store:
+//
+//   bullet_server --image a.img [--image b.img] [--port 4132]
+//                 [--cache-mb 64] [--dir-bootstrap FILE]
+//
+// On startup it prints the UDP port, the Bullet super capability, the
+// directory super capability, and the root directory capability; clients
+// (bullet_client, or anything built on BulletClient/DirClient over
+// UdpTransport) need exactly those strings. The root/bootstrap capability
+// is kept in --dir-bootstrap (default: <first image>.dircap) so directory
+// state survives restarts.
+//
+// Runs until SIGINT/SIGTERM; shuts down cleanly (checkpoint + sync).
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bullet/client.h"
+#include "bullet/server.h"
+#include "dir/client.h"
+#include "dir/server.h"
+#include "disk/file_disk.h"
+#include "disk/mirrored_disk.h"
+#include "rpc/udp_transport.h"
+
+using namespace bullet;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bullet_server --image FILE [--image FILE] "
+               "[--port N] [--cache-mb N] [--dir-bootstrap FILE]\n");
+  return 2;
+}
+
+struct BootstrapFile {
+  // The persisted pair: directory-state snapshot + root directory cap.
+  Capability snapshot;
+  Capability root;
+};
+
+bool load_bootstrap(const std::string& path, BootstrapFile* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string snapshot_text, root_text;
+  if (!std::getline(in, snapshot_text) || !std::getline(in, root_text)) {
+    return false;
+  }
+  const auto snapshot = Capability::from_string(snapshot_text);
+  const auto root = Capability::from_string(root_text);
+  if (!snapshot || !root) return false;
+  out->snapshot = *snapshot;
+  out->root = *root;
+  return true;
+}
+
+bool save_bootstrap(const std::string& path, const BootstrapFile& data) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << data.snapshot.to_string() << "\n" << data.root.to_string() << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> images;
+  std::uint16_t udp_port = 4132;
+  std::uint64_t cache_mb = 64;
+  std::string bootstrap_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--image") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      images.push_back(v);
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      udp_port = static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--cache-mb") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      cache_mb = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--dir-bootstrap") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      bootstrap_path = v;
+    } else {
+      return usage();
+    }
+  }
+  if (images.empty() || images.size() > 2) return usage();
+  if (bootstrap_path.empty()) bootstrap_path = images.front() + ".dircap";
+
+  // Open the replica images (they must be pre-formatted via bullet_tool).
+  std::vector<std::unique_ptr<FileDisk>> disks;
+  std::vector<BlockDevice*> replicas;
+  for (const std::string& path : images) {
+    auto probe = FileDisk::open(path, 512, 1);
+    if (!probe.ok()) {
+      std::fprintf(stderr, "open %s: %s\n", path.c_str(),
+                   probe.error().to_string().c_str());
+      return 1;
+    }
+    Bytes block0(512);
+    if (!probe.value().read(0, block0).ok()) return 1;
+    auto desc = DiskDescriptor::decode(
+        ByteSpan(block0.data(), DiskDescriptor::kDiskSize));
+    if (!desc.ok()) {
+      std::fprintf(stderr, "%s: %s (format it with bullet_tool)\n",
+                   path.c_str(), desc.error().to_string().c_str());
+      return 1;
+    }
+    const std::uint64_t blocks =
+        static_cast<std::uint64_t>(desc.value().control_blocks) +
+        desc.value().data_blocks;
+    auto disk = FileDisk::open(path, desc.value().block_size, blocks);
+    if (!disk.ok()) return 1;
+    disks.push_back(std::make_unique<FileDisk>(std::move(disk).value()));
+    replicas.push_back(disks.back().get());
+  }
+  auto mirror = MirroredDisk::create(replicas);
+  if (!mirror.ok()) {
+    std::fprintf(stderr, "mirror: %s\n", mirror.error().to_string().c_str());
+    return 1;
+  }
+  auto mirror_disk = std::move(mirror).value();
+
+  BulletConfig config;
+  config.cache_bytes = cache_mb << 20;
+  auto server = BulletServer::start(&mirror_disk, config);
+  if (!server.ok()) {
+    std::fprintf(stderr, "boot: %s\n", server.error().to_string().c_str());
+    return 1;
+  }
+  const auto& boot = server.value()->boot_report();
+  std::fprintf(stderr, "bullet: %llu files, %llu repairs at boot\n",
+               static_cast<unsigned long long>(boot.files),
+               static_cast<unsigned long long>(boot.repairs()));
+
+  // Directory server over the local (in-process) path to the Bullet server.
+  rpc::LoopbackTransport local;
+  (void)local.register_service(server.value().get());
+  BulletClient storage(&local, server.value()->super_capability());
+  dir::DirConfig dir_config;
+  BootstrapFile bootstrap;
+  const bool restored = load_bootstrap(bootstrap_path, &bootstrap);
+  if (restored) dir_config.restore_from = bootstrap.snapshot;
+  auto dir_server = dir::DirServer::start(storage, dir_config);
+  if (!dir_server.ok()) {
+    std::fprintf(stderr, "dir: %s\n", dir_server.error().to_string().c_str());
+    return 1;
+  }
+  if (!restored) {
+    auto root = dir_server.value()->create_dir();
+    if (!root.ok()) return 1;
+    bootstrap.root = root.value();
+  }
+
+  // Network front door.
+  rpc::UdpServerOptions udp_options;
+  udp_options.udp_port = udp_port;
+  auto udp = rpc::UdpServer::start(udp_options);
+  if (!udp.ok()) {
+    std::fprintf(stderr, "udp: %s\n", udp.error().to_string().c_str());
+    return 1;
+  }
+  (void)udp.value()->register_service(server.value().get());
+  (void)udp.value()->register_service(dir_server.value().get());
+
+  std::printf("udp-port: %u\n", udp.value()->port());
+  std::printf("bullet-cap: %s\n",
+              server.value()->super_capability().to_string().c_str());
+  std::printf("dir-cap: %s\n",
+              dir_server.value()->super_capability().to_string().c_str());
+  std::printf("root-cap: %s\n", bootstrap.root.to_string().c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (g_stop == 0) {
+    struct timespec ts = {0, 100 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+
+  // Clean shutdown: persist the directory state and sync the disks.
+  udp.value()->stop();
+  auto snapshot = dir_server.value()->checkpoint();
+  if (snapshot.ok()) {
+    bootstrap.snapshot = snapshot.value();
+    if (!save_bootstrap(bootstrap_path, bootstrap)) {
+      std::fprintf(stderr, "warning: could not save %s\n",
+                   bootstrap_path.c_str());
+    }
+  }
+  (void)server.value()->sync();
+  std::fprintf(stderr, "shut down cleanly\n");
+  return 0;
+}

@@ -1,0 +1,259 @@
+// bullet_tool — offline administration of Bullet disk images.
+//
+// Operates on one file-backed replica image (dumpe2fs/debugfs style):
+//
+//   bullet_tool format <image> <size-mb> [inode-slots]
+//   bullet_tool fsck   <image>
+//   bullet_tool ls     <image>
+//   bullet_tool stat   <image>
+//   bullet_tool put    <image> <local-file> [pfactor]   -> prints capability
+//   bullet_tool get    <image> <capability> [out-file]
+//   bullet_tool rm     <image> <capability>
+//   bullet_tool compact <image>
+//
+// Capabilities are printed and accepted in the textual form
+// "port:object:rights:check" (hex). The tool uses the library's default
+// server secret, so capabilities minted by `put` keep working across
+// invocations; production deployments configure their own secret.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bullet/server.h"
+#include "common/crc.h"
+#include "disk/file_disk.h"
+#include "disk/mirrored_disk.h"
+
+using namespace bullet;
+
+namespace {
+
+constexpr std::uint64_t kBlockSize = 512;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: bullet_tool <command> <image> [args]\n"
+      "  format <image> <size-mb> [inode-slots=4096]  create a new disk image\n"
+      "  fsck   <image>                               consistency check\n"
+      "  ls     <image>                               list live objects\n"
+      "  stat   <image>                               server statistics\n"
+      "  put    <image> <file> [pfactor=1]            store a file, print cap\n"
+      "  get    <image> <capability> [out]            fetch a file\n"
+      "  rm     <image> <capability>                  delete a file\n"
+      "  compact <image>                              squeeze out the holes\n");
+  return 2;
+}
+
+struct OpenImage {
+  // Heap-allocated so the addresses the mirror and server hold stay valid
+  // when the OpenImage itself moves.
+  std::unique_ptr<FileDisk> disk;
+  std::unique_ptr<MirroredDisk> mirror;
+  std::unique_ptr<BulletServer> server;
+};
+
+// Probe the image size from the descriptor, then boot a server on it.
+Result<OpenImage> open_image(const std::string& path) {
+  // First open small to read the descriptor.
+  BULLET_ASSIGN_OR_RETURN(FileDisk probe, FileDisk::open(path, kBlockSize, 1));
+  Bytes block0(kBlockSize);
+  BULLET_RETURN_IF_ERROR(probe.read(0, block0));
+  BULLET_ASSIGN_OR_RETURN(
+      const DiskDescriptor desc,
+      DiskDescriptor::decode(ByteSpan(block0.data(), DiskDescriptor::kDiskSize)));
+  const std::uint64_t blocks =
+      static_cast<std::uint64_t>(desc.control_blocks) + desc.data_blocks;
+
+  BULLET_ASSIGN_OR_RETURN(FileDisk disk,
+                          FileDisk::open(path, desc.block_size, blocks));
+  OpenImage image;
+  image.disk = std::make_unique<FileDisk>(std::move(disk));
+  auto mirror = MirroredDisk::create({image.disk.get()});
+  if (!mirror.ok()) return mirror.error();
+  image.mirror = std::make_unique<MirroredDisk>(std::move(mirror).value());
+  BULLET_ASSIGN_OR_RETURN(image.server,
+                          BulletServer::start(image.mirror.get(),
+                                              BulletConfig()));
+  return image;
+}
+
+Result<Bytes> read_local_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error(ErrorCode::not_found, "cannot open " + path);
+  Bytes data((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  return data;
+}
+
+Status write_local_file(const std::string& path, ByteSpan data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Error(ErrorCode::io_error, "cannot open " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) return Error(ErrorCode::io_error, "short write to " + path);
+  return Status::success();
+}
+
+int fail(const Error& error) {
+  std::fprintf(stderr, "error: %s\n", error.to_string().c_str());
+  return 1;
+}
+
+int cmd_format(const std::string& image, int argc, char** argv) {
+  if (argc < 1) return usage();
+  const long size_mb = std::strtol(argv[0], nullptr, 10);
+  if (size_mb <= 0 || size_mb > 4096) {
+    std::fprintf(stderr, "error: size-mb must be in (0, 4096]\n");
+    return 1;
+  }
+  const std::uint32_t inode_slots =
+      argc >= 2 ? static_cast<std::uint32_t>(std::strtoul(argv[1], nullptr, 10))
+                : 4096;
+  const std::uint64_t blocks =
+      static_cast<std::uint64_t>(size_mb) * (1 << 20) / kBlockSize;
+  auto disk = FileDisk::open(image, kBlockSize, blocks);
+  if (!disk.ok()) return fail(disk.error());
+  const Status st = BulletServer::format(disk.value(), inode_slots);
+  if (!st.ok()) return fail(st.error());
+  std::printf("formatted %s: %ld MB, %" PRIu64 " blocks of %" PRIu64
+              ", %u inode slots\n",
+              image.c_str(), size_mb, blocks, kBlockSize, inode_slots);
+  return 0;
+}
+
+int cmd_fsck(const std::string& image) {
+  auto opened = open_image(image);
+  if (!opened.ok()) return fail(opened.error());
+  const auto& report = opened.value().server->boot_report();
+  std::printf("scanned %" PRIu64 " inodes: %" PRIu64 " files, %" PRIu64
+              " out-of-bounds cleared, %" PRIu64 " overlaps cleared, %" PRIu64
+              " stale cache fields\n",
+              report.inodes_scanned, report.files, report.cleared_bad_bounds,
+              report.cleared_overlaps, report.cleared_cache_fields);
+  return report.repairs() == 0 ? 0 : 1;
+}
+
+int cmd_ls(const std::string& image) {
+  auto opened = open_image(image);
+  if (!opened.ok()) return fail(opened.error());
+  const auto objects = opened.value().server->list_objects();
+  std::printf("%8s %12s %12s\n", "object", "bytes", "first-block");
+  for (const auto& object : objects) {
+    std::printf("%8u %12u %12u\n", object.object, object.size_bytes,
+                object.first_block);
+  }
+  std::printf("%zu file(s)\n", objects.size());
+  return 0;
+}
+
+int cmd_stat(const std::string& image) {
+  auto opened = open_image(image);
+  if (!opened.ok()) return fail(opened.error());
+  const auto stats = opened.value().server->stats();
+  const auto& layout = opened.value().server->layout();
+  std::printf("block size:        %u\n", layout.block_size());
+  std::printf("inode slots:       %u\n", layout.inode_slots());
+  std::printf("data region:       %" PRIu64 " blocks\n", layout.data_blocks());
+  std::printf("live files:        %" PRIu64 "\n", stats.files_live);
+  std::printf("free bytes:        %" PRIu64 "\n", stats.disk_free_bytes);
+  std::printf("largest hole:      %" PRIu64 " bytes\n",
+              stats.disk_largest_hole_bytes);
+  std::printf("holes:             %" PRIu64 "\n", stats.disk_holes);
+  return 0;
+}
+
+int cmd_put(const std::string& image, int argc, char** argv) {
+  if (argc < 1) return usage();
+  auto data = read_local_file(argv[0]);
+  if (!data.ok()) return fail(data.error());
+  const int pfactor =
+      argc >= 2 ? static_cast<int>(std::strtol(argv[1], nullptr, 10)) : 1;
+  auto opened = open_image(image);
+  if (!opened.ok()) return fail(opened.error());
+  auto cap = opened.value().server->create(data.value(), pfactor);
+  if (!cap.ok()) return fail(cap.error());
+  const Status st = opened.value().server->sync();
+  if (!st.ok()) return fail(st.error());
+  std::printf("%s\n", cap.value().to_string().c_str());
+  std::fprintf(stderr, "stored %zu bytes (crc32c %08x)\n",
+               data.value().size(), crc32c(data.value()));
+  return 0;
+}
+
+int cmd_get(const std::string& image, int argc, char** argv) {
+  if (argc < 1) return usage();
+  const auto cap = Capability::from_string(argv[0]);
+  if (!cap.has_value()) {
+    std::fprintf(stderr, "error: malformed capability\n");
+    return 1;
+  }
+  auto opened = open_image(image);
+  if (!opened.ok()) return fail(opened.error());
+  auto data = opened.value().server->read(*cap);
+  if (!data.ok()) return fail(data.error());
+  if (argc >= 2) {
+    const Status st = write_local_file(argv[1], data.value());
+    if (!st.ok()) return fail(st.error());
+    std::fprintf(stderr, "wrote %zu bytes to %s\n", data.value().size(),
+                 argv[1]);
+  } else {
+    std::fwrite(data.value().data(), 1, data.value().size(), stdout);
+  }
+  return 0;
+}
+
+int cmd_rm(const std::string& image, int argc, char** argv) {
+  if (argc < 1) return usage();
+  const auto cap = Capability::from_string(argv[0]);
+  if (!cap.has_value()) {
+    std::fprintf(stderr, "error: malformed capability\n");
+    return 1;
+  }
+  auto opened = open_image(image);
+  if (!opened.ok()) return fail(opened.error());
+  const Status st = opened.value().server->erase(*cap);
+  if (!st.ok()) return fail(st.error());
+  const Status synced = opened.value().server->sync();
+  if (!synced.ok()) return fail(synced.error());
+  std::fprintf(stderr, "deleted\n");
+  return 0;
+}
+
+int cmd_compact(const std::string& image) {
+  auto opened = open_image(image);
+  if (!opened.ok()) return fail(opened.error());
+  auto moved = opened.value().server->compact_disk();
+  if (!moved.ok()) return fail(moved.error());
+  const Status st = opened.value().server->sync();
+  if (!st.ok()) return fail(st.error());
+  std::printf("moved %" PRIu64 " blocks; %" PRIu64 " hole(s) remain\n",
+              moved.value(),
+              static_cast<std::uint64_t>(
+                  opened.value().server->disk_free().hole_count()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  const std::string image = argv[2];
+  const int rest_argc = argc - 3;
+  char** rest_argv = argv + 3;
+
+  if (command == "format") return cmd_format(image, rest_argc, rest_argv);
+  if (command == "fsck") return cmd_fsck(image);
+  if (command == "ls") return cmd_ls(image);
+  if (command == "stat") return cmd_stat(image);
+  if (command == "put") return cmd_put(image, rest_argc, rest_argv);
+  if (command == "get") return cmd_get(image, rest_argc, rest_argv);
+  if (command == "rm") return cmd_rm(image, rest_argc, rest_argv);
+  if (command == "compact") return cmd_compact(image);
+  return usage();
+}
