@@ -135,6 +135,85 @@ class NfsRig {
   std::unique_ptr<nfsbase::NfsClient> client_;
 };
 
+// --- JSON emission ----------------------------------------------------------
+
+// Minimal JSON document builder for benches that emit machine-readable
+// results (compared against checked-in baselines such as
+// bench/BENCH_read_hotpath.json). Covers exactly what the benches need:
+// nested objects, arrays, and string / integer / double fields. Keys and
+// string values must not require escaping.
+class JsonWriter {
+ public:
+  JsonWriter() { out_.reserve(1024); }
+
+  JsonWriter& begin_object(const char* key = nullptr) {
+    open(key, '{');
+    return *this;
+  }
+  JsonWriter& end_object() {
+    close('}');
+    return *this;
+  }
+  JsonWriter& begin_array(const char* key = nullptr) {
+    open(key, '[');
+    return *this;
+  }
+  JsonWriter& end_array() {
+    close(']');
+    return *this;
+  }
+
+  JsonWriter& field(const char* key, const char* value) {
+    prefix(key);
+    out_ += '"';
+    out_ += value;
+    out_ += '"';
+    return *this;
+  }
+  JsonWriter& field(const char* key, double value) {
+    prefix(key);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", value);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& field(const char* key, std::uint64_t value) {
+    prefix(key);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& field(const char* key, int value) {
+    return field(key, static_cast<std::uint64_t>(value));
+  }
+
+  const std::string& str() const noexcept { return out_; }
+
+ private:
+  void prefix(const char* key) {
+    if (need_comma_) out_ += ',';
+    if (key) {
+      out_ += '"';
+      out_ += key;
+      out_ += "\":";
+    }
+    need_comma_ = true;
+  }
+  void open(const char* key, char bracket) {
+    prefix(key);
+    out_ += bracket;
+    need_comma_ = false;
+  }
+  void close(char bracket) {
+    out_ += bracket;
+    need_comma_ = true;
+  }
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
 // --- table printing ---------------------------------------------------------
 
 inline void print_header(const char* title, const char* col1,

@@ -10,7 +10,9 @@ Result<Bytes> BulletClient::call(const Capability& target,
   request.body = std::move(body);
   BULLET_ASSIGN_OR_RETURN(rpc::Reply reply, transport_->call(request));
   if (reply.status != ErrorCode::ok) return Error(reply.status);
-  return std::move(reply.body);
+  // Borrowed segments (zero-copy READ replies) are only valid until the
+  // next server operation; materialize them before returning.
+  return std::move(reply).take_payload();
 }
 
 Result<Capability> BulletClient::create(ByteSpan data, int pfactor) {

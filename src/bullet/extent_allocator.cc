@@ -1,12 +1,26 @@
 #include "bullet/extent_allocator.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace bullet {
 
 ExtentAllocator::ExtentAllocator(std::uint64_t start, std::uint64_t length)
     : start_(start), length_(length), total_free_(length) {
-  if (length > 0) holes_.emplace(start, length);
+  if (length > 0) add_hole(start, length);
+}
+
+void ExtentAllocator::add_hole(std::uint64_t offset, std::uint64_t length) {
+  holes_.emplace(offset, length);
+  hole_sizes_.insert(length);
+}
+
+void ExtentAllocator::drop_hole(
+    std::map<std::uint64_t, std::uint64_t>::iterator it) {
+  const auto size_it = hole_sizes_.find(it->second);
+  assert(size_it != hole_sizes_.end());
+  hole_sizes_.erase(size_it);
+  holes_.erase(it);
 }
 
 std::optional<std::uint64_t> ExtentAllocator::allocate(std::uint64_t length) {
@@ -15,8 +29,8 @@ std::optional<std::uint64_t> ExtentAllocator::allocate(std::uint64_t length) {
     if (it->second < length) continue;
     const std::uint64_t offset = it->first;
     const std::uint64_t remaining = it->second - length;
-    holes_.erase(it);
-    if (remaining > 0) holes_.emplace(offset + length, remaining);
+    drop_hole(it);
+    if (remaining > 0) add_hole(offset + length, remaining);
     total_free_ -= length;
     return offset;
   }
@@ -49,14 +63,14 @@ Status ExtentAllocator::release(std::uint64_t offset, std::uint64_t length) {
   if (prev != holes_.end() && prev->first + prev->second == offset) {
     new_offset = prev->first;
     new_length += prev->second;
-    holes_.erase(prev);
+    drop_hole(prev);
   }
   // Coalesce with the following hole.
   if (next != holes_.end() && offset + length == next->first) {
     new_length += next->second;
-    holes_.erase(next);
+    drop_hole(next);
   }
-  holes_.emplace(new_offset, new_length);
+  add_hole(new_offset, new_length);
   total_free_ += length;
   return Status::success();
 }
@@ -71,12 +85,12 @@ Status ExtentAllocator::reserve(std::uint64_t offset, std::uint64_t length) {
   --it;
   const std::uint64_t hole_offset = it->first;
   const std::uint64_t hole_length = it->second;
-  holes_.erase(it);
+  drop_hole(it);
   if (offset > hole_offset) {
-    holes_.emplace(hole_offset, offset - hole_offset);
+    add_hole(hole_offset, offset - hole_offset);
   }
   const std::uint64_t tail = hole_offset + hole_length - (offset + length);
-  if (tail > 0) holes_.emplace(offset + length, tail);
+  if (tail > 0) add_hole(offset + length, tail);
   total_free_ -= length;
   return Status::success();
 }
@@ -89,15 +103,6 @@ bool ExtentAllocator::is_free(std::uint64_t offset,
   if (it == holes_.begin()) return false;
   --it;
   return it->first + it->second >= offset + length;
-}
-
-std::uint64_t ExtentAllocator::largest_hole() const noexcept {
-  std::uint64_t best = 0;
-  for (const auto& [offset, length] : holes_) {
-    (void)offset;
-    best = std::max(best, length);
-  }
-  return best;
 }
 
 }  // namespace bullet

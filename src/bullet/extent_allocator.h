@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 
 #include "common/error.h"
 
@@ -39,7 +40,12 @@ class ExtentAllocator {
   bool is_free(std::uint64_t offset, std::uint64_t length) const;
 
   std::uint64_t total_free() const noexcept { return total_free_; }
-  std::uint64_t largest_hole() const noexcept;
+  // O(1): hole sizes are maintained incrementally in a multiset as holes
+  // split and coalesce (stats() polls this; a scan of the hole map per
+  // poll would be O(holes)).
+  std::uint64_t largest_hole() const noexcept {
+    return hole_sizes_.empty() ? 0 : *hole_sizes_.rbegin();
+  }
   std::size_t hole_count() const noexcept { return holes_.size(); }
   std::uint64_t managed_start() const noexcept { return start_; }
   std::uint64_t managed_length() const noexcept { return length_; }
@@ -51,10 +57,16 @@ class ExtentAllocator {
   }
 
  private:
+  // Every mutation of holes_ goes through these so hole_sizes_ stays a
+  // multiset of exactly the values of holes_ (the largest_hole invariant).
+  void add_hole(std::uint64_t offset, std::uint64_t length);
+  void drop_hole(std::map<std::uint64_t, std::uint64_t>::iterator it);
+
   std::uint64_t start_ = 0;
   std::uint64_t length_ = 0;
   std::uint64_t total_free_ = 0;
   std::map<std::uint64_t, std::uint64_t> holes_;  // offset -> length
+  std::multiset<std::uint64_t> hole_sizes_;       // lengths of holes_
 };
 
 }  // namespace bullet

@@ -3,20 +3,24 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
-#include <limits>
 
 namespace bullet {
 
-FileCache::FileCache(std::uint64_t capacity_bytes, std::uint32_t max_entries)
-    : arena_(capacity_bytes, 0),
-      arena_free_(0, capacity_bytes),
+FileCache::FileCache(std::uint64_t capacity_bytes, std::uint32_t block_size,
+                     std::uint32_t max_entries)
+    : arena_(block_size == 0
+                 ? capacity_bytes
+                 : capacity_bytes / block_size * block_size,
+             0),
+      block_size_(std::max<std::uint32_t>(block_size, 1)),
+      arena_free_(0, arena_.size()),
       rnodes_(std::min<std::uint32_t>(max_entries, 65534)) {
   free_rnodes_.reserve(rnodes_.size());
   // Hand slots out in ascending order (push high indices first).
   for (std::size_t i = rnodes_.size(); i > 0; --i) {
     free_rnodes_.push_back(static_cast<RnodeIndex>(i));
   }
-  stats_.capacity = capacity_bytes;
+  stats_.capacity = arena_.size();
 }
 
 FileCache::Rnode& FileCache::slot(RnodeIndex index) {
@@ -33,10 +37,36 @@ bool FileCache::contains(RnodeIndex index) const noexcept {
   return index >= 1 && index <= rnodes_.size() && rnodes_[index - 1u].in_use;
 }
 
+void FileCache::lru_link_front(RnodeIndex index) {
+  Rnode& node = slot(index);
+  node.lru_prev = 0;
+  node.lru_next = lru_head_;
+  if (lru_head_ != 0) slot(lru_head_).lru_prev = index;
+  lru_head_ = index;
+  if (lru_tail_ == 0) lru_tail_ = index;
+}
+
+void FileCache::lru_unlink(RnodeIndex index) {
+  Rnode& node = slot(index);
+  if (node.lru_prev != 0) {
+    slot(node.lru_prev).lru_next = node.lru_next;
+  } else {
+    lru_head_ = node.lru_next;
+  }
+  if (node.lru_next != 0) {
+    slot(node.lru_next).lru_prev = node.lru_prev;
+  } else {
+    lru_tail_ = node.lru_prev;
+  }
+  node.lru_prev = 0;
+  node.lru_next = 0;
+}
+
 Result<RnodeIndex> FileCache::insert(std::uint32_t inode_index,
                                      std::uint32_t size,
                                      std::vector<std::uint32_t>* evicted) {
-  if (size > arena_.size()) {
+  const std::uint64_t alloc = padded(size);
+  if (alloc > arena_.size()) {
     return Error(ErrorCode::too_large, "file exceeds cache");
   }
   if (free_rnodes_.empty()) {
@@ -52,10 +82,10 @@ Result<RnodeIndex> FileCache::insert(std::uint32_t inode_index,
   //  is found."
   std::optional<std::uint64_t> offset;
   for (;;) {
-    offset = size == 0 ? std::optional<std::uint64_t>(0)
-                       : arena_free_.allocate(size);
+    offset = alloc == 0 ? std::optional<std::uint64_t>(0)
+                        : arena_free_.allocate(alloc);
     if (offset.has_value()) break;
-    if (arena_free_.total_free() >= size) {
+    if (arena_free_.total_free() >= alloc) {
       // Enough bytes in total but no contiguous hole: compaction, not
       // eviction, is the remedy.
       compact();
@@ -70,8 +100,8 @@ Result<RnodeIndex> FileCache::insert(std::uint32_t inode_index,
     // Eviction above may not have recycled a slot if the loop allocated on
     // the first try; guarantee one now.
     if (!evict_lru(evicted)) {
-      if (size > 0) {
-        const Status released = arena_free_.release(*offset, size);
+      if (alloc > 0) {
+        const Status released = arena_free_.release(*offset, alloc);
         assert(released.ok());
         (void)released;
       }
@@ -86,22 +116,29 @@ Result<RnodeIndex> FileCache::insert(std::uint32_t inode_index,
   node.inode_index = inode_index;
   node.offset = *offset;
   node.size = size;
-  node.age = next_age_++;
+  node.alloc = static_cast<std::uint32_t>(alloc);
+  lru_link_front(index);
+  // The padding tail must read as zero: the region may be recycled arena
+  // space, and callers ship padded_data() straight to disk.
+  if (alloc > size) {
+    std::memset(arena_.data() + node.offset + size, 0, alloc - size);
+  }
   ++stats_.entries;
-  stats_.used += size;
+  stats_.used += alloc;
   return index;
 }
 
 void FileCache::remove(RnodeIndex index) {
   if (!contains(index)) return;
   Rnode& node = slot(index);
-  if (node.size > 0) {
-    const Status st = arena_free_.release(node.offset, node.size);
+  if (node.alloc > 0) {
+    const Status st = arena_free_.release(node.offset, node.alloc);
     assert(st.ok());
     (void)st;
   }
-  stats_.used -= node.size;
+  stats_.used -= node.alloc;
   --stats_.entries;
+  lru_unlink(index);
   node = Rnode{};
   free_rnodes_.push_back(index);
 }
@@ -118,26 +155,34 @@ MutableByteSpan FileCache::mutable_data(RnodeIndex index) {
   return MutableByteSpan(arena_.data() + node.offset, node.size);
 }
 
+ByteSpan FileCache::padded_data(RnodeIndex index) const {
+  const Rnode& node = slot(index);
+  assert(node.in_use);
+  return ByteSpan(arena_.data() + node.offset, node.alloc);
+}
+
+MutableByteSpan FileCache::mutable_padded_data(RnodeIndex index) {
+  Rnode& node = slot(index);
+  assert(node.in_use);
+  return MutableByteSpan(arena_.data() + node.offset, node.alloc);
+}
+
 std::uint32_t FileCache::inode_of(RnodeIndex index) const {
   return slot(index).inode_index;
 }
 
 void FileCache::touch(RnodeIndex index) {
-  slot(index).age = next_age_++;
+  if (lru_head_ == index) return;  // already most recent
+  lru_unlink(index);
+  lru_link_front(index);
 }
 
 bool FileCache::evict_lru(std::vector<std::uint32_t>* evicted) {
-  // Linear scan of the rnode ages, as in the paper ("found by checking the
-  // age fields in the rnodes").
-  RnodeIndex victim = 0;
-  std::uint64_t best_age = std::numeric_limits<std::uint64_t>::max();
-  for (std::size_t i = 0; i < rnodes_.size(); ++i) {
-    if (rnodes_[i].in_use && rnodes_[i].age < best_age) {
-      best_age = rnodes_[i].age;
-      victim = static_cast<RnodeIndex>(i + 1);
-    }
-  }
+  // The recency list makes the victim the tail: one rnode examined,
+  // regardless of how many are live (the paper scanned every age field).
+  const RnodeIndex victim = lru_tail_;
   if (victim == 0) return false;
+  ++stats_.evict_scans;
   if (evicted != nullptr) evicted->push_back(slot(victim).inode_index);
   remove(victim);
   ++stats_.evictions;
@@ -156,12 +201,12 @@ void FileCache::compact() {
   std::uint64_t cursor = 0;
   for (const RnodeIndex index : live) {
     Rnode& node = slot(index);
-    if (node.offset != cursor && node.size > 0) {
+    if (node.offset != cursor && node.alloc > 0) {
       std::memmove(arena_.data() + cursor, arena_.data() + node.offset,
-                   node.size);
+                   node.alloc);
     }
     node.offset = cursor;
-    cursor += node.size;
+    cursor += node.alloc;
   }
   arena_free_ = ExtentAllocator(0, arena_.size());
   if (cursor > 0) {

@@ -50,7 +50,9 @@ BulletServer::BulletServer(MirroredDisk* disk, BulletConfig config,
       sealer_(config.secret),
       rng_(config.rng_seed),
       disk_free_(layout.data_start_block(), layout.data_blocks()),
-      cache_(config.cache_bytes) {
+      // Block-aligned arena: cache allocations round up to device blocks
+      // so create/miss traffic moves directly between disk and arena.
+      cache_(config.cache_bytes, layout.block_size()) {
   // The super capability's random is derived from the server secret so it
   // is stable across reboots without being stored on disk.
   super_random_ = Speck64(config_.secret).encrypt(config_.private_port) & kMask48;
@@ -280,8 +282,10 @@ Result<Capability> BulletServer::create(ByteSpan data, int pfactor) {
   inode.size_bytes = size;
 
   // Durability: the client waits for `pfactor` replicas; the rest complete
-  // behind the reply.
-  const ByteSpan stored = cache_.data(rnode);
+  // behind the reply. The padded arena allocation is already whole zeroed
+  // blocks, so the device writes straight from the cache — no tail
+  // staging buffer.
+  const ByteSpan stored = cache_.padded_data(rnode);
   int written = 0;
   if (pfactor > 0) {
     auto data_written = write_file_data(first_block, stored, pfactor);
@@ -397,6 +401,11 @@ Result<Capability> BulletServer::create_from(
   cache_.touch(rnode);
   BULLET_ASSIGN_OR_RETURN(Bytes updated,
                           wire::apply_edits(cache_.data(rnode), edits));
+  // Edit application stages the new version in a scratch buffer before the
+  // create ingests it; account the cost (the plain create path stays at
+  // zero staged bytes).
+  ++scratch_allocs_;
+  bytes_copied_ += updated.size();
   return create(updated, pfactor);
 }
 
@@ -431,7 +440,8 @@ Result<RnodeIndex> BulletServer::ensure_cached(std::uint32_t index) {
   drop_evicted(evicted);
   if (!rnode_result.ok()) return rnode_result.error();
   const RnodeIndex rnode = rnode_result.value();
-  const Status st = read_file_from_disk(inode, cache_.mutable_data(rnode));
+  const Status st =
+      read_file_from_disk(inode, cache_.mutable_padded_data(rnode));
   if (!st.ok()) {
     cache_.remove(rnode);
     return st.error();
@@ -442,65 +452,28 @@ Result<RnodeIndex> BulletServer::ensure_cached(std::uint32_t index) {
 
 Status BulletServer::read_file_from_disk(const Inode& inode,
                                          MutableByteSpan out) {
-  assert(out.size() == inode.size_bytes);
-  if (inode.size_bytes == 0) return Status::success();
-  const std::uint64_t bs = layout_.block_size();
-  const std::uint64_t aligned = inode.size_bytes / bs * bs;
-  if (aligned > 0) {
-    BULLET_RETURN_IF_ERROR(
-        disk_->read(inode.first_block, out.first(aligned)));
-  }
-  const std::uint64_t tail = inode.size_bytes - aligned;
-  if (tail > 0) {
-    Bytes last(bs);
-    BULLET_RETURN_IF_ERROR(disk_->read(inode.first_block + aligned / bs, last));
-    std::memcpy(out.data() + aligned, last.data(), tail);
-  }
-  return Status::success();
+  // `out` is the padded arena allocation: whole blocks, so the device
+  // reads the tail block in place (its on-disk padding is zero by the
+  // create-path invariant) instead of bouncing it through a scratch block.
+  assert(out.size() ==
+         layout_.blocks_for(inode.size_bytes) * layout_.block_size());
+  if (out.empty()) return Status::success();
+  return disk_->read(inode.first_block, out);
 }
 
 Result<int> BulletServer::write_file_data(std::uint64_t first_block,
                                           ByteSpan data, int max_replicas) {
   if (data.empty()) return max_replicas;
-  const std::uint64_t bs = layout_.block_size();
-  const std::uint64_t aligned = data.size() / bs * bs;
-  int written = max_replicas;
-  if (aligned > 0) {
-    BULLET_ASSIGN_OR_RETURN(
-        const int w,
-        disk_->write_partial(first_block, data.first(aligned), max_replicas));
-    written = std::min(written, w);
-  }
-  const std::uint64_t tail = data.size() - aligned;
-  if (tail > 0) {
-    Bytes last(bs, 0);
-    std::memcpy(last.data(), data.data() + aligned, tail);
-    BULLET_ASSIGN_OR_RETURN(
-        const int w,
-        disk_->write_partial(first_block + aligned / bs, last, max_replicas));
-    written = std::min(written, w);
-  }
-  return written;
+  assert(data.size() % layout_.block_size() == 0);
+  return disk_->write_partial(first_block, data, max_replicas);
 }
 
 Status BulletServer::write_file_data_remaining(std::uint64_t first_block,
                                                ByteSpan data,
                                                int already_written) {
   if (data.empty()) return Status::success();
-  const std::uint64_t bs = layout_.block_size();
-  const std::uint64_t aligned = data.size() / bs * bs;
-  if (aligned > 0) {
-    BULLET_RETURN_IF_ERROR(disk_->write_remaining(
-        first_block, data.first(aligned), already_written));
-  }
-  const std::uint64_t tail = data.size() - aligned;
-  if (tail > 0) {
-    Bytes last(bs, 0);
-    std::memcpy(last.data(), data.data() + aligned, tail);
-    BULLET_RETURN_IF_ERROR(disk_->write_remaining(first_block + aligned / bs,
-                                                  last, already_written));
-  }
-  return Status::success();
+  assert(data.size() % layout_.block_size() == 0);
+  return disk_->write_remaining(first_block, data, already_written);
 }
 
 Bytes BulletServer::serialize_inode_block(std::uint64_t device_block) const {
@@ -567,16 +540,33 @@ Result<std::uint64_t> BulletServer::compact_disk() {
             [](const Entry& a, const Entry& b) { return a.first < b.first; });
 
   const std::uint64_t bs = layout_.block_size();
+  // Files move through one fixed-size reusable chunk, not a per-file
+  // buffer sized to the whole file (a 1 GB file must not demand a 1 GB
+  // bounce). Chunk k's destination never overlaps a later chunk's source:
+  // the target extent starts at or below the source, so everything written
+  // so far lies strictly below the bytes still to be read.
+  constexpr std::uint64_t kCompactionChunkBytes = 256 << 10;
+  const std::uint64_t chunk_blocks =
+      std::max<std::uint64_t>(1, kCompactionChunkBytes / bs);
+  Bytes chunk;
   std::uint64_t cursor = layout_.data_start_block();
   std::uint64_t moved = 0;
   for (const Entry& f : files) {
     if (f.first != cursor) {
-      // Bounce the file through RAM. Write data before the inode so a crash
-      // mid-move leaves the inode pointing at an intact (old) copy whenever
-      // the source and target extents do not overlap.
-      Bytes buf(f.blocks * bs);
-      BULLET_RETURN_IF_ERROR(disk_->read(f.first, buf));
-      BULLET_RETURN_IF_ERROR(disk_->write(cursor, buf));
+      if (chunk.empty()) {
+        chunk.resize(chunk_blocks * bs);
+        ++scratch_allocs_;
+      }
+      // Write data before the inode so a crash mid-move leaves the inode
+      // pointing at an intact (old) copy whenever the source and target
+      // extents do not overlap.
+      for (std::uint64_t done = 0; done < f.blocks; done += chunk_blocks) {
+        const std::uint64_t n = std::min(chunk_blocks, f.blocks - done);
+        const MutableByteSpan piece(chunk.data(), n * bs);
+        BULLET_RETURN_IF_ERROR(disk_->read(f.first + done, piece));
+        BULLET_RETURN_IF_ERROR(disk_->write(cursor + done, piece));
+        bytes_copied_ += piece.size();
+      }
       inodes_[f.index].first_block = static_cast<std::uint32_t>(cursor);
       BULLET_ASSIGN_OR_RETURN(
           const int w, write_inode_block(f.index, disk_->replica_count()));
@@ -679,6 +669,9 @@ wire::ServerStats BulletServer::stats() const {
   s.disk_holes = disk_free_.hole_count();
   s.cache_free_bytes = cache_.free_bytes();
   s.healthy_replicas = static_cast<std::uint64_t>(disk_->healthy_count());
+  s.bytes_copied = bytes_copied_;
+  s.scratch_allocs = scratch_allocs_;
+  s.evict_scans = cache_.stats().evict_scans;
   return s;
 }
 

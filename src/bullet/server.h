@@ -133,8 +133,10 @@ class BulletServer final : public rpc::Service {
   // Ensure the file behind `index` is cached; returns its rnode.
   Result<RnodeIndex> ensure_cached(std::uint32_t index);
 
-  // Write `data` (file contents, padded to whole blocks) at `first_block`
-  // on up to `max_replicas` replicas; returns replicas written.
+  // Write block-aligned file bytes (the cache arena's padded allocation,
+  // padding already zeroed) at `first_block` on up to `max_replicas`
+  // replicas; returns replicas written. No staging: `data` goes to the
+  // device directly.
   Result<int> write_file_data(std::uint64_t first_block, ByteSpan data,
                               int max_replicas);
   Status write_file_data_remaining(std::uint64_t first_block, ByteSpan data,
@@ -146,7 +148,8 @@ class BulletServer final : public rpc::Service {
   Status write_inode_block_remaining(std::uint32_t index, int already_written);
   Bytes serialize_inode_block(std::uint64_t device_block) const;
 
-  // Read a file's bytes from disk into `out` (exactly size bytes).
+  // Read a file's blocks from disk straight into `out`, the file's padded
+  // (block-aligned) cache allocation — no bounce buffer.
   Status read_file_from_disk(const Inode& inode, MutableByteSpan out);
 
   void clear_cache_index(std::uint32_t inode_index);
@@ -176,6 +179,12 @@ class BulletServer final : public rpc::Service {
   mutable std::uint64_t cache_misses_ = 0;
   mutable std::uint64_t bytes_stored_ = 0;
   mutable std::uint64_t bytes_served_ = 0;
+  // Hot-path cost counters: payload bytes memcpy'd through temporary
+  // staging buffers and the number of such buffers allocated. The READ and
+  // CREATE fast paths contribute zero to both; what remains is create-from
+  // edit application and disk compaction.
+  mutable std::uint64_t bytes_copied_ = 0;
+  mutable std::uint64_t scratch_allocs_ = 0;
 };
 
 }  // namespace bullet

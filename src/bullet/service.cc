@@ -35,9 +35,13 @@ rpc::Reply BulletServer::handle(const rpc::Request& request) {
       if (!body.done()) return rpc::Reply::error(ErrorCode::bad_argument);
       auto data = read(request.target);
       if (!data.ok()) return rpc::Reply::error(data.code());
-      Writer w(4 + data.value().size());
-      w.blob(data.value());
-      return rpc::Reply::success(std::move(w).take());
+      // Zero-copy reply: own only the 4-byte blob length; borrow the file
+      // bytes from the cache arena (valid until the next operation, same
+      // contract as read() itself). Wire bytes are identical to the old
+      // Writer::blob() reply.
+      Writer w(4);
+      w.u32(static_cast<std::uint32_t>(data.value().size()));
+      return rpc::Reply::success_borrowed(std::move(w).take(), data.value());
     }
     case wire::kReadRange: {
       auto offset = body.u32();
@@ -47,9 +51,9 @@ rpc::Reply BulletServer::handle(const rpc::Request& request) {
       }
       auto data = read_range(request.target, offset.value(), length.value());
       if (!data.ok()) return rpc::Reply::error(data.code());
-      Writer w(4 + data.value().size());
-      w.blob(data.value());
-      return rpc::Reply::success(std::move(w).take());
+      Writer w(4);
+      w.u32(static_cast<std::uint32_t>(data.value().size()));
+      return rpc::Reply::success_borrowed(std::move(w).take(), data.value());
     }
     case wire::kSize: {
       if (!body.done()) return rpc::Reply::error(ErrorCode::bad_argument);
@@ -88,7 +92,7 @@ rpc::Reply BulletServer::handle(const rpc::Request& request) {
     case wire::kStats: {
       const auto verified = verify(request.target, rights::kAdmin);
       if (!verified.ok()) return rpc::Reply::error(verified.code());
-      Writer w(14 * 8);
+      Writer w(wire::ServerStats::kWireSize);
       stats().encode(w);
       return rpc::Reply::success(std::move(w).take());
     }

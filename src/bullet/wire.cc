@@ -124,6 +124,9 @@ void ServerStats::encode(Writer& w) const {
   w.u64(disk_holes);
   w.u64(cache_free_bytes);
   w.u64(healthy_replicas);
+  w.u64(bytes_copied);
+  w.u64(scratch_allocs);
+  w.u64(evict_scans);
 }
 
 Result<ServerStats> ServerStats::decode(Reader& r) {
@@ -142,6 +145,9 @@ Result<ServerStats> ServerStats::decode(Reader& r) {
   BULLET_ASSIGN_OR_RETURN(s.disk_holes, r.u64());
   BULLET_ASSIGN_OR_RETURN(s.cache_free_bytes, r.u64());
   BULLET_ASSIGN_OR_RETURN(s.healthy_replicas, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.bytes_copied, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.scratch_allocs, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.evict_scans, r.u64());
   return s;
 }
 

@@ -72,6 +72,14 @@ struct ServerStats {
   std::uint64_t disk_holes = 0;
   std::uint64_t cache_free_bytes = 0;
   std::uint64_t healthy_replicas = 0;
+  // Hot-path cost counters (appended in the zero-copy rework; the stats
+  // payload grew from 14 to 17 u64s — append-only, so old decoders that
+  // stop at 14 still parse a prefix, and this decoder requires all 17).
+  std::uint64_t bytes_copied = 0;    // payload bytes staged through temp buffers
+  std::uint64_t scratch_allocs = 0;  // temp payload buffers heap-allocated
+  std::uint64_t evict_scans = 0;     // rnodes examined choosing LRU victims
+
+  static constexpr std::size_t kWireSize = 17 * 8;
 
   void encode(Writer& w) const;
   static Result<ServerStats> decode(Reader& r);

@@ -23,7 +23,7 @@ Result<Bytes> DirClient::call(const Capability& target, std::uint16_t opcode,
   request.body = std::move(body);
   BULLET_ASSIGN_OR_RETURN(rpc::Reply reply, transport_->call(request));
   if (reply.status != ErrorCode::ok) return Error(reply.status);
-  return std::move(reply.body);
+  return std::move(reply).take_payload();
 }
 
 Result<Capability> DirClient::create_dir() {

@@ -24,8 +24,20 @@ Result<Request> Request::decode(ByteSpan wire) {
 Bytes Reply::encode() const {
   Writer w(wire_size());
   w.u16(static_cast<std::uint16_t>(status));
-  w.blob(body);
+  w.u32(static_cast<std::uint32_t>(payload_size()));
+  w.bytes(body);
+  for (const ByteSpan s : segments) w.bytes(s);
   return std::move(w).take();
+}
+
+Bytes Reply::take_payload() && {
+  if (segments.empty()) return std::move(body);
+  Bytes out;
+  out.reserve(payload_size());
+  append(out, body);
+  for (const ByteSpan s : segments) append(out, s);
+  segments.clear();
+  return out;
 }
 
 Result<Reply> Reply::decode(ByteSpan wire) {

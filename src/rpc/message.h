@@ -29,14 +29,37 @@ struct Request {
   static Result<Request> decode(ByteSpan wire);
 };
 
+// A reply's payload is the concatenation of `body` (owned, usually a small
+// header the handler serialized) and `segments` (borrowed views, usually
+// file bytes referencing the server's cache arena). Borrowed segments
+// follow the server's read() contract: they stay valid until the next
+// operation on the owning service. In-process transports pass the Reply
+// through without touching the payload, so a cache-hit read moves zero
+// bytes inside the server; only a real wire boundary (UDP) gathers the
+// segments, via encode(). On the wire the payload is indistinguishable
+// from an owned body: status u16 ‖ payload-length u32 ‖ payload.
 struct Reply {
   ErrorCode status = ErrorCode::ok;
-  Bytes body;               // operation results (valid only when status==ok)
+  Bytes body;                      // owned payload prefix (valid when status==ok)
+  std::vector<ByteSpan> segments;  // borrowed payload tail, in order
 
-  std::uint64_t wire_size() const noexcept { return 2 + 4 + body.size(); }
+  std::uint64_t payload_size() const noexcept {
+    std::uint64_t n = body.size();
+    for (const ByteSpan s : segments) n += s.size();
+    return n;
+  }
 
+  std::uint64_t wire_size() const noexcept { return 2 + 4 + payload_size(); }
+
+  // Gather body + segments into one wire buffer (used only at a real
+  // network boundary; in-process transports never call this).
   Bytes encode() const;
   static Result<Reply> decode(ByteSpan wire);
+
+  // Materialize the full payload as one owned buffer. Moves `body` out
+  // without copying when there are no borrowed segments (the common case
+  // for every non-READ opcode).
+  Bytes take_payload() &&;
 
   static Reply error(ErrorCode code) {
     Reply r;
@@ -46,6 +69,13 @@ struct Reply {
   static Reply success(Bytes body = {}) {
     Reply r;
     r.body = std::move(body);
+    return r;
+  }
+  // An ok reply whose payload is `header` followed by borrowed `payload`.
+  static Reply success_borrowed(Bytes header, ByteSpan payload) {
+    Reply r;
+    r.body = std::move(header);
+    r.segments.push_back(payload);
     return r;
   }
 };

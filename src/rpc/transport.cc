@@ -66,7 +66,9 @@ Result<Reply> SimTransport::call(const Request& request) {
   // clock).
   Reply reply = entry.service->handle(request);
 
-  // Reply path.
+  // Reply path. wire_size() covers the owned body plus any borrowed
+  // segments, so the network model charges for the full payload even
+  // though no gather actually happens in-process.
   const std::uint64_t rep_bytes = reply.wire_size();
   clock_->advance(entry.costs.per_message_cpu * 2);
   clock_->advance(net_.message_time(rep_bytes));

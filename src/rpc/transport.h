@@ -34,6 +34,12 @@ class Transport {
   // Deliver `request` to the service owning the target port and return its
   // reply. Errors at the transport layer (unknown port) are returned as
   // Result errors; service-level failures come back inside the Reply.
+  //
+  // In-process transports return the Reply as the service built it,
+  // including any borrowed payload segments (which reference server memory
+  // and stay valid until the next operation on that service) — callers
+  // must consume or materialize the payload before calling again. Only a
+  // transport with a real wire boundary gathers segments, via encode().
   virtual Result<Reply> call(const Request& request) = 0;
 };
 

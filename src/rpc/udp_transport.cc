@@ -253,6 +253,9 @@ struct UdpServer::Impl {
                     ? Reply::error(ErrorCode::unreachable)
                     : it->second->handle(request.value());
       }
+      // The real wire boundary: encode() gathers any borrowed payload
+      // segments into the datagram buffer while they are still valid (the
+      // owning service sees no further request until the next iteration).
       Bytes encoded = reply.encode();
       (void)send_message(fd, from, key.second, encoded);
       remember(key, std::move(encoded));

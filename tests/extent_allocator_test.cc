@@ -2,6 +2,7 @@
 // property suite against a brute-force bitmap oracle.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <vector>
 
@@ -145,8 +146,8 @@ TEST_P(AllocatorPropertyTest, MatchesBitmapOracle) {
   };
 
   for (int step = 0; step < 2000; ++step) {
-    const bool do_alloc = live.empty() || rng.next_below(100) < 60;
-    if (do_alloc) {
+    const std::uint64_t pick = rng.next_below(100);
+    if (live.empty() || pick < 55) {
       const std::uint64_t n = rng.next_range(1, 24);
       const auto expected = oracle_first_fit(n);
       const auto got = alloc.allocate(n);
@@ -157,6 +158,23 @@ TEST_P(AllocatorPropertyTest, MatchesBitmapOracle) {
           oracle[*got - kStart + i] = true;
         }
         live.emplace(*got, n);
+      }
+    } else if (pick < 70) {
+      // Reserve an arbitrary range; must succeed iff the oracle says the
+      // whole range is free (exercises hole splitting at both edges).
+      const std::uint64_t n = rng.next_range(1, 24);
+      const std::uint64_t offset = kStart + rng.next_below(kLength - n + 1);
+      bool range_free = true;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        if (oracle[offset - kStart + i]) range_free = false;
+      }
+      const Status st = alloc.reserve(offset, n);
+      ASSERT_EQ(range_free, st.ok()) << "step " << step;
+      if (range_free) {
+        for (std::uint64_t i = 0; i < n; ++i) {
+          oracle[offset - kStart + i] = true;
+        }
+        live.emplace(offset, n);
       }
     } else {
       auto it = live.begin();
@@ -173,6 +191,17 @@ TEST_P(AllocatorPropertyTest, MatchesBitmapOracle) {
     std::uint64_t free_count = 0;
     for (const bool used : oracle) free_count += used ? 0 : 1;
     ASSERT_EQ(free_count, alloc.total_free()) << "step " << step;
+
+    // Invariant: the incrementally-maintained largest_hole matches the
+    // longest free run in the oracle (every split and coalesce must have
+    // updated the hole-size multiset correctly).
+    std::uint64_t longest = 0;
+    std::uint64_t run = 0;
+    for (const bool used : oracle) {
+      run = used ? 0 : run + 1;
+      longest = std::max(longest, run);
+    }
+    ASSERT_EQ(longest, alloc.largest_hole()) << "step " << step;
   }
 }
 

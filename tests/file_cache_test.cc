@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <map>
 #include <vector>
 
 #include "bullet/file_cache.h"
@@ -127,7 +128,7 @@ TEST(FileCacheTest, ExplicitCompactIsSafeWhenEmptyOrFull) {
 }
 
 TEST(FileCacheTest, RnodeSlotsRecycled) {
-  FileCache cache(1 << 20, /*max_entries=*/4);
+  FileCache cache(1 << 20, /*block_size=*/1, /*max_entries=*/4);
   std::vector<std::uint32_t> evicted;
   // Five entries into four slots: the LRU entry is recycled.
   for (std::uint32_t i = 1; i <= 5; ++i) {
@@ -149,6 +150,178 @@ TEST(FileCacheTest, StatsTrackUsage) {
   cache.remove(a.value());
   EXPECT_EQ(0u, cache.stats().used);
   EXPECT_EQ(0u, cache.stats().entries);
+}
+
+// --- block-aligned arena ----------------------------------------------------
+
+TEST(FileCacheAlignmentTest, CapacityRoundsDownToWholeBlocks) {
+  FileCache cache(1000, /*block_size=*/512);
+  EXPECT_EQ(512u, cache.stats().capacity);
+  EXPECT_EQ(512u, cache.free_bytes());
+}
+
+TEST(FileCacheAlignmentTest, AllocationsRoundUpToWholeBlocks) {
+  FileCache cache(4096, /*block_size=*/512);
+  std::vector<std::uint32_t> evicted;
+  auto a = cache.insert(1, 1, &evicted);
+  ASSERT_TRUE(a.ok());
+  // One byte costs one block.
+  EXPECT_EQ(4096u - 512u, cache.free_bytes());
+  EXPECT_EQ(512u, cache.stats().used);
+  EXPECT_EQ(1u, cache.data(a.value()).size());
+  EXPECT_EQ(512u, cache.padded_data(a.value()).size());
+  // 513 bytes cost two blocks.
+  auto b = cache.insert(2, 513, &evicted);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(4096u - 512u - 1024u, cache.free_bytes());
+  EXPECT_EQ(1024u, cache.padded_data(b.value()).size());
+}
+
+TEST(FileCacheAlignmentTest, PaddedSizeDecidesTooLarge) {
+  FileCache cache(1024, /*block_size=*/512);
+  std::vector<std::uint32_t> evicted;
+  // 1025 bytes pad to 3 blocks > 2-block capacity.
+  EXPECT_CODE(too_large, cache.insert(1, 1025, &evicted));
+  EXPECT_TRUE(cache.insert(1, 1024, &evicted).ok());
+}
+
+TEST(FileCacheAlignmentTest, ZeroSizeFileOccupiesNoBlocks) {
+  FileCache cache(1024, /*block_size=*/512);
+  std::vector<std::uint32_t> evicted;
+  auto a = cache.insert(1, 0, &evicted);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(0u, cache.data(a.value()).size());
+  EXPECT_EQ(0u, cache.padded_data(a.value()).size());
+  EXPECT_EQ(1024u, cache.free_bytes());
+  cache.remove(a.value());
+  EXPECT_FALSE(cache.contains(a.value()));
+}
+
+TEST(FileCacheAlignmentTest, PaddingTailIsZeroedOnRecycledSpace) {
+  FileCache cache(512, /*block_size=*/512);
+  std::vector<std::uint32_t> evicted;
+  // Dirty the whole block, then release it.
+  auto a = cache.insert(1, 512, &evicted);
+  ASSERT_TRUE(a.ok());
+  std::memset(cache.mutable_data(a.value()).data(), 0xAB, 512);
+  cache.remove(a.value());
+  // A short entry reusing that space must see zeroed padding.
+  auto b = cache.insert(2, 100, &evicted);
+  ASSERT_TRUE(b.ok());
+  const ByteSpan padded = cache.padded_data(b.value());
+  ASSERT_EQ(512u, padded.size());
+  for (std::size_t i = 100; i < padded.size(); ++i) {
+    ASSERT_EQ(0u, padded[i]) << "padding byte " << i;
+  }
+}
+
+TEST(FileCacheAlignmentTest, CompactionPreservesAlignment) {
+  FileCache cache(2048, /*block_size=*/512);
+  std::vector<std::uint32_t> evicted;
+  auto a = cache.insert(1, 300, &evicted);
+  auto b = cache.insert(2, 300, &evicted);
+  auto c = cache.insert(3, 300, &evicted);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  fill(cache, a.value(), payload(300, 1));
+  fill(cache, c.value(), payload(300, 3));
+  cache.remove(b.value());
+  // Two blocks free but split 1+1: a two-block insert forces compaction.
+  auto d = cache.insert(4, 1024, &evicted);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(evicted.empty());
+  EXPECT_EQ(1u, cache.stats().compactions);
+  EXPECT_TRUE(equal(payload(300, 1), cache.data(a.value())));
+  EXPECT_TRUE(equal(payload(300, 3), cache.data(c.value())));
+  // Entries still sit on block boundaries: padded spans are full blocks.
+  EXPECT_EQ(512u, cache.padded_data(a.value()).size());
+  EXPECT_EQ(1024u, cache.padded_data(d.value()).size());
+}
+
+// --- O(1) LRU ----------------------------------------------------------------
+
+TEST(FileCacheLruTest, EvictScansAreConstantPerEviction) {
+  FileCache cache(1000);
+  std::vector<std::uint32_t> evicted;
+  // 10 live entries, then force 5 evictions; an age scan would examine
+  // ~10 rnodes per eviction, the recency list exactly one.
+  for (std::uint32_t i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(cache.insert(i, 100, &evicted).ok());
+  }
+  ASSERT_TRUE(evicted.empty());
+  ASSERT_TRUE(cache.insert(11, 500, &evicted).ok());
+  EXPECT_EQ(5u, evicted.size());
+  EXPECT_EQ(5u, cache.stats().evictions);
+  EXPECT_EQ(cache.stats().evictions, cache.stats().evict_scans);
+}
+
+// Property: the intrusive recency list evicts in exactly the order the old
+// age-field scan did. The model replays the same operations against a
+// shadow age table and scans for the minimum, as file_cache.cc used to.
+TEST(FileCacheLruTest, MatchesAgeScanModel) {
+  constexpr std::uint32_t kEntryBytes = 64;
+  constexpr std::uint32_t kSlots = 16;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    FileCache cache(kEntryBytes * kSlots);
+    std::map<std::uint32_t, std::uint64_t> age_of;  // inode -> age (model)
+    std::map<std::uint32_t, RnodeIndex> rnode_of;   // inode -> handle
+    std::uint64_t next_age = 1;
+    std::uint32_t next_inode = 1;
+    Rng rng(seed);
+
+    auto model_evict_order = [&](std::size_t n) {
+      std::vector<std::uint32_t> order;
+      auto ages = age_of;
+      while (order.size() < n && !ages.empty()) {
+        auto victim = ages.begin();
+        for (auto it = ages.begin(); it != ages.end(); ++it) {
+          if (it->second < victim->second) victim = it;
+        }
+        order.push_back(victim->first);
+        ages.erase(victim);
+      }
+      return order;
+    };
+
+    for (int step = 0; step < 500; ++step) {
+      const std::uint32_t pick = rng.next_below(100);
+      if (pick < 50 || age_of.empty()) {
+        // Insert: may evict any number of LRU victims.
+        const std::uint32_t inode = next_inode++;
+        // 1..4 entry-sized units so inserts evict varying victim counts.
+        const std::uint32_t size =
+            kEntryBytes * (1 + rng.next_below(4));
+        const std::size_t max_evictions = age_of.size();
+        std::vector<std::uint32_t> evicted;
+        auto index = cache.insert(inode, size, &evicted);
+        ASSERT_TRUE(index.ok());
+        const auto expected = model_evict_order(max_evictions);
+        ASSERT_LE(evicted.size(), expected.size());
+        for (std::size_t i = 0; i < evicted.size(); ++i) {
+          ASSERT_EQ(expected[i], evicted[i])
+              << "seed " << seed << " step " << step << " eviction " << i;
+          age_of.erase(evicted[i]);
+          rnode_of.erase(evicted[i]);
+        }
+        age_of[inode] = next_age++;
+        rnode_of[inode] = index.value();
+      } else if (pick < 80) {
+        // Touch a random live entry.
+        auto it = rnode_of.begin();
+        std::advance(it, static_cast<std::ptrdiff_t>(
+                             rng.next_below(rnode_of.size())));
+        cache.touch(it->second);
+        age_of[it->first] = next_age++;
+      } else {
+        // Remove a random live entry.
+        auto it = rnode_of.begin();
+        std::advance(it, static_cast<std::ptrdiff_t>(
+                             rng.next_below(rnode_of.size())));
+        cache.remove(it->second);
+        age_of.erase(it->first);
+        rnode_of.erase(it);
+      }
+    }
+  }
 }
 
 TEST(FileCacheTest, AgeOrderingAcrossManyTouches) {
