@@ -149,7 +149,6 @@ Status BulletServer::boot() {
   }
 
   // Build the free lists from the surviving inodes.
-  disk_free_ = ExtentAllocator(data_lo, layout_.data_blocks());
   live_files_ = 0;
   free_inodes_.clear();
   for (std::uint32_t i = slots; i-- > 1;) {
@@ -158,15 +157,8 @@ Status BulletServer::boot() {
       continue;
     }
     ++live_files_;
-    const std::uint64_t blocks = layout_.blocks_for(inodes_[i].size_bytes);
-    if (blocks > 0) {
-      const Status st = disk_free_.reserve(inodes_[i].first_block, blocks);
-      if (!st.ok()) {
-        // Should be impossible after the overlap pass.
-        return Error(ErrorCode::corrupt, "free-list reconstruction failed");
-      }
-    }
   }
+  BULLET_RETURN_IF_ERROR(rebuild_disk_free());
 
   // Push repairs back out so the next boot is clean.
   std::sort(dirty_blocks.begin(), dirty_blocks.end());
@@ -184,6 +176,46 @@ Status BulletServer::boot() {
                            << " inode(s)";
   }
   boot_report_.files = live_files_;
+
+  // Audit the mirror's "identical replicas" invariant, healing divergence
+  // toward the main disk — the replica that just provided the inode table,
+  // so repair can only propagate the state the server booted from. A scrub
+  // failure is not fatal: the server runs on what it has, just degraded.
+  if (config_.scrub_on_boot && disk_->replica_count() > 1 &&
+      disk_->healthy_count() > 1) {
+    const auto scrub = disk_->scrub(/*repair=*/true);
+    if (!scrub.ok()) {
+      BULLET_LOG(warn, kLog) << "boot scrub failed: "
+                             << scrub.error().to_string();
+    } else if (scrub.value().mismatched_blocks > 0) {
+      BULLET_LOG(warn, kLog) << "boot scrub: replicas diverged on "
+                             << scrub.value().mismatched_blocks
+                             << " block(s), " << scrub.value().repaired_blocks
+                             << " repaired";
+    }
+  }
+  if (disk_->healthy_count() < disk_->replica_count()) {
+    BULLET_LOG(warn, kLog)
+        << "DEGRADED MODE: " << disk_->healthy_count() << "/"
+        << disk_->replica_count()
+        << " replicas healthy; service continues without full redundancy";
+  }
+  return Status::success();
+}
+
+Status BulletServer::rebuild_disk_free() {
+  disk_free_ =
+      ExtentAllocator(layout_.data_start_block(), layout_.data_blocks());
+  for (std::uint32_t i = 1; i < inodes_.size(); ++i) {
+    if (inodes_[i].is_free()) continue;
+    const std::uint64_t blocks = layout_.blocks_for(inodes_[i].size_bytes);
+    if (blocks == 0) continue;
+    const Status st = disk_free_.reserve(inodes_[i].first_block, blocks);
+    if (!st.ok()) {
+      // Should be impossible after the overlap pass.
+      return Error(ErrorCode::corrupt, "free-list reconstruction failed");
+    }
+  }
   return Status::success();
 }
 
@@ -374,10 +406,6 @@ Status BulletServer::erase(const Capability& cap) {
   }
   inode = Inode{};
   const Result<int> written = write_inode_block(index, disk_->replica_count());
-  if (!written.ok()) {
-    BULLET_LOG(warn, kLog) << "delete: inode write-back failed: "
-                           << written.error().to_string();
-  }
   if (blocks > 0) {
     const Status st = disk_free_.release(first_block, blocks);
     assert(st.ok());
@@ -386,6 +414,13 @@ Status BulletServer::erase(const Capability& cap) {
   free_inodes_.push_back(index);
   --live_files_;
   ++deletes_;
+  if (!written.ok()) {
+    // The RAM state is already updated, but no replica holds the zeroed
+    // inode: the delete would silently resurrect on reboot, so do not ack.
+    BULLET_LOG(warn, kLog) << "delete: inode write-back failed: "
+                           << written.error().to_string();
+    return Error(ErrorCode::io_error, "delete not durable on any replica");
+  }
   return Status::success();
 }
 
@@ -542,48 +577,111 @@ Result<std::uint64_t> BulletServer::compact_disk() {
   const std::uint64_t bs = layout_.block_size();
   // Files move through one fixed-size reusable chunk, not a per-file
   // buffer sized to the whole file (a 1 GB file must not demand a 1 GB
-  // bounce). Chunk k's destination never overlaps a later chunk's source:
-  // the target extent starts at or below the source, so everything written
-  // so far lies strictly below the bytes still to be read.
+  // bounce).
   constexpr std::uint64_t kCompactionChunkBytes = 256 << 10;
   const std::uint64_t chunk_blocks =
       std::max<std::uint64_t>(1, kCompactionChunkBytes / bs);
   Bytes chunk;
-  std::uint64_t cursor = layout_.data_start_block();
-  std::uint64_t moved = 0;
-  for (const Entry& f : files) {
-    if (f.first != cursor) {
-      if (chunk.empty()) {
-        chunk.resize(chunk_blocks * bs);
-        ++scratch_allocs_;
-      }
-      // Write data before the inode so a crash mid-move leaves the inode
-      // pointing at an intact (old) copy whenever the source and target
-      // extents do not overlap.
-      for (std::uint64_t done = 0; done < f.blocks; done += chunk_blocks) {
-        const std::uint64_t n = std::min(chunk_blocks, f.blocks - done);
-        const MutableByteSpan piece(chunk.data(), n * bs);
-        BULLET_RETURN_IF_ERROR(disk_->read(f.first + done, piece));
-        BULLET_RETURN_IF_ERROR(disk_->write(cursor + done, piece));
-        bytes_copied_ += piece.size();
-      }
-      inodes_[f.index].first_block = static_cast<std::uint32_t>(cursor);
-      BULLET_ASSIGN_OR_RETURN(
-          const int w, write_inode_block(f.index, disk_->replica_count()));
-      (void)w;
-      moved += f.blocks;
+  auto copy_extent = [&](std::uint64_t src, std::uint64_t dst,
+                         std::uint64_t blocks) -> Status {
+    if (chunk.empty()) {
+      chunk.resize(chunk_blocks * bs);
+      ++scratch_allocs_;
     }
-    cursor += f.blocks;
-  }
+    for (std::uint64_t done = 0; done < blocks; done += chunk_blocks) {
+      const std::uint64_t n = std::min(chunk_blocks, blocks - done);
+      const MutableByteSpan piece(chunk.data(), n * bs);
+      BULLET_RETURN_IF_ERROR(disk_->read(src + done, piece));
+      BULLET_RETURN_IF_ERROR(disk_->write(dst + done, piece));
+      bytes_copied_ += piece.size();
+    }
+    return Status::success();
+  };
 
-  // Rebuild the free list: everything past the cursor is one hole.
-  disk_free_ = ExtentAllocator(layout_.data_start_block(), layout_.data_blocks());
-  if (cursor > layout_.data_start_block()) {
-    const Status st = disk_free_.reserve(layout_.data_start_block(),
-                                         cursor - layout_.data_start_block());
-    assert(st.ok());
-    (void)st;
-  }
+  // Crash-safety invariant: every block the on-disk inode table points at
+  // is intact at all times. Data always lands in free blocks before the
+  // inode is flipped to it; when the target extent overlaps the file's own
+  // extent, the file bounces through a disjoint staging extent (two copies,
+  // two inode flips) instead of sliding over itself. The `work` allocator
+  // tracks free space as files move so staging never lands on live data.
+  const auto run = [&]() -> Result<std::uint64_t> {
+    ExtentAllocator work(layout_.data_start_block(), layout_.data_blocks());
+    for (const Entry& f : files) {
+      if (!work.reserve(f.first, f.blocks).ok()) {
+        return Error(ErrorCode::corrupt, "live files overlap");
+      }
+    }
+    std::uint64_t cursor = layout_.data_start_block();
+    std::uint64_t moved = 0;
+    for (const Entry& f : files) {
+      const std::uint64_t target = cursor;
+      if (f.first == target) {
+        cursor += f.blocks;
+        continue;
+      }
+      // [target, f.first) is free: earlier files were packed below target
+      // and later files lie above f.first.
+      const std::uint64_t hole = f.first - target;
+      if (target + f.blocks <= f.first) {
+        // Disjoint slide: copy, then flip the inode.
+        BULLET_RETURN_IF_ERROR(copy_extent(f.first, target, f.blocks));
+        inodes_[f.index].first_block = static_cast<std::uint32_t>(target);
+        BULLET_ASSIGN_OR_RETURN(
+            int w, write_inode_block(f.index, disk_->replica_count()));
+        (void)w;
+        const Status rel = work.release(f.first, f.blocks);
+        const Status res = work.reserve(target, f.blocks);
+        assert(rel.ok() && res.ok());
+        (void)rel;
+        (void)res;
+      } else {
+        // Overlapping slide: bounce through staging. Keep the hole
+        // reserved while choosing staging so it cannot alias the target.
+        const Status hold = work.reserve(target, hole);
+        assert(hold.ok());
+        (void)hold;
+        const auto staging = work.allocate(f.blocks);
+        if (!staging.has_value()) {
+          // No room to bounce; leave this file where it is and pack the
+          // rest after it.
+          const Status unhold = work.release(target, hole);
+          assert(unhold.ok());
+          (void)unhold;
+          cursor = f.first + f.blocks;
+          continue;
+        }
+        BULLET_RETURN_IF_ERROR(copy_extent(f.first, *staging, f.blocks));
+        inodes_[f.index].first_block = static_cast<std::uint32_t>(*staging);
+        BULLET_ASSIGN_OR_RETURN(
+            int w1, write_inode_block(f.index, disk_->replica_count()));
+        (void)w1;
+        // The old extent is dead; the tail the target overlaps is free to
+        // overwrite. Staging is disjoint from the target by construction.
+        const Status rel_old = work.release(f.first, f.blocks);
+        assert(rel_old.ok());
+        (void)rel_old;
+        BULLET_RETURN_IF_ERROR(copy_extent(*staging, target, f.blocks));
+        inodes_[f.index].first_block = static_cast<std::uint32_t>(target);
+        BULLET_ASSIGN_OR_RETURN(
+            int w2, write_inode_block(f.index, disk_->replica_count()));
+        (void)w2;
+        const Status res = work.reserve(f.first, f.blocks - hole);
+        const Status rel_stage = work.release(*staging, f.blocks);
+        assert(res.ok() && rel_stage.ok());
+        (void)res;
+        (void)rel_stage;
+      }
+      moved += f.blocks;
+      cursor = target + f.blocks;
+    }
+    return moved;
+  };
+
+  const Result<std::uint64_t> moved = run();
+  // However compaction ended — complete, partial after an I/O error, or a
+  // skipped bounce — some inodes have moved, so the free list is rebuilt
+  // from the table rather than patched incrementally.
+  BULLET_RETURN_IF_ERROR(rebuild_disk_free());
   return moved;
 }
 
@@ -672,6 +770,11 @@ wire::ServerStats BulletServer::stats() const {
   s.bytes_copied = bytes_copied_;
   s.scratch_allocs = scratch_allocs_;
   s.evict_scans = cache_.stats().evict_scans;
+  const MirroredDisk::Health& health = disk_->health();
+  s.io_errors = health.io_errors;
+  s.read_repairs = health.read_repairs;
+  s.failovers = health.failovers;
+  s.bg_write_failures = health.bg_write_failures;
   return s;
 }
 

@@ -34,6 +34,9 @@ struct BulletConfig {
   std::uint64_t cache_bytes = 8ull << 20;
   // Seed for per-file random numbers.
   std::uint64_t rng_seed = 0xB0117E7;
+  // Audit the mirror's "identical replicas" invariant at boot, repairing
+  // divergent blocks toward the main disk (the boot authority).
+  bool scrub_on_boot = true;
   // Optional virtual clock. Only used to account P-FACTOR semantics: work
   // the server performs after replying (replica writes beyond the
   // requested paranoia) is charged as background time.
@@ -125,6 +128,10 @@ class BulletServer final : public rpc::Service {
 
   // Startup: scan inodes, repair, build free lists.
   Status boot();
+
+  // Rebuild the data-region free list from the RAM inode table (boot, and
+  // after compaction has moved files around).
+  Status rebuild_disk_free();
 
   // Capability checking: map cap -> inode, verifying the seal and rights.
   Result<std::uint32_t> verify(const Capability& cap,

@@ -127,6 +127,10 @@ void ServerStats::encode(Writer& w) const {
   w.u64(bytes_copied);
   w.u64(scratch_allocs);
   w.u64(evict_scans);
+  w.u64(io_errors);
+  w.u64(read_repairs);
+  w.u64(failovers);
+  w.u64(bg_write_failures);
 }
 
 Result<ServerStats> ServerStats::decode(Reader& r) {
@@ -148,6 +152,10 @@ Result<ServerStats> ServerStats::decode(Reader& r) {
   BULLET_ASSIGN_OR_RETURN(s.bytes_copied, r.u64());
   BULLET_ASSIGN_OR_RETURN(s.scratch_allocs, r.u64());
   BULLET_ASSIGN_OR_RETURN(s.evict_scans, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.io_errors, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.read_repairs, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.failovers, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.bg_write_failures, r.u64());
   return s;
 }
 

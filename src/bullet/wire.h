@@ -78,8 +78,14 @@ struct ServerStats {
   std::uint64_t bytes_copied = 0;    // payload bytes staged through temp buffers
   std::uint64_t scratch_allocs = 0;  // temp payload buffers heap-allocated
   std::uint64_t evict_scans = 0;     // rnodes examined choosing LRU victims
+  // Degraded-mode counters (appended in the fault-injection rework; 17 ->
+  // 21 u64s, same append-only discipline).
+  std::uint64_t io_errors = 0;          // device-level I/O errors observed
+  std::uint64_t read_repairs = 0;       // blocks healed from a mirror peer
+  std::uint64_t failovers = 0;          // replica demotions since boot
+  std::uint64_t bg_write_failures = 0;  // lazy (post-ack) replica writes lost
 
-  static constexpr std::size_t kWireSize = 17 * 8;
+  static constexpr std::size_t kWireSize = 21 * 8;
 
   void encode(Writer& w) const;
   static Result<ServerStats> decode(Reader& r);

@@ -1,0 +1,182 @@
+#include "disk/fault_disk.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace bullet {
+namespace {
+
+// Decorrelates per-write Rng streams from the shared plan seed.
+constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ull;
+
+}  // namespace
+
+Status FaultDisk::read(std::uint64_t first_block, MutableByteSpan out) {
+  BULLET_RETURN_IF_ERROR(check_range(first_block, out.size()));
+  if (plan_ && plan_->crashed) {
+    return Error(ErrorCode::io_error, "device crashed");
+  }
+  const std::uint64_t nblocks = out.size() / block_size();
+  for (std::uint64_t b = first_block; b < first_block + nblocks; ++b) {
+    const auto it = faults_.find(b);
+    if (it == faults_.end()) continue;
+    BlockFault& f = it->second;
+    if (f.latent) {
+      ++latent_trips_;
+      ++injected_read_errors_;
+      return Error(ErrorCode::io_error, "latent sector error");
+    }
+    if (f.read_permanent) {
+      ++injected_read_errors_;
+      return Error(ErrorCode::io_error, "injected read error");
+    }
+    if (f.read_transient) {
+      f.read_transient = false;  // consumed by this trip
+      if (f.empty()) faults_.erase(it);
+      ++injected_read_errors_;
+      return Error(ErrorCode::io_error, "injected transient read error");
+    }
+  }
+  return inner_->read(first_block, out);
+}
+
+Status FaultDisk::apply_crash_plan(std::uint64_t first_block, ByteSpan data) {
+  if (!plan_) return Status::success();
+  if (plan_->crashed) {
+    return Error(ErrorCode::io_error, "device crashed");
+  }
+  const std::uint64_t k = plan_->writes_seen++;
+  if (k != plan_->crash_at) return Status::success();
+  plan_->crashed = true;
+  if (plan_->mode != CrashPlan::TearMode::clean) {
+    // Persist the torn fragment before reporting the crash: a power cut
+    // mid-DMA leaves a prefix of the transfer on the platter.
+    BULLET_RETURN_IF_ERROR(tear_write(first_block, data, k));
+  }
+  return Error(ErrorCode::io_error, "crash point reached");
+}
+
+Status FaultDisk::tear_write(std::uint64_t first_block, ByteSpan data,
+                             std::uint64_t write_index) {
+  if (data.empty()) return Status::success();
+  const std::uint64_t bs = block_size();
+  Rng rng(plan_->seed ^ (write_index * kGolden));
+  std::uint64_t keep_bytes = 0;
+  if (plan_->mode == CrashPlan::TearMode::torn_prefix) {
+    keep_bytes = rng.next_below(data.size() / bs) * bs;
+  } else {
+    const std::uint64_t align = std::max<std::uint64_t>(1, plan_->torn_align);
+    keep_bytes = rng.next_below(data.size()) / align * align;
+  }
+  if (keep_bytes == 0) return Status::success();
+  const std::uint64_t whole = keep_bytes / bs * bs;
+  if (whole > 0) {
+    BULLET_RETURN_IF_ERROR(
+        inner_->write(first_block, data.subspan(0, whole)));
+  }
+  const std::uint64_t rest = keep_bytes - whole;
+  if (rest > 0) {
+    // Boundary block: new bytes up to the tear point, old bytes after.
+    const std::uint64_t boundary = first_block + whole / bs;
+    Bytes block(bs);
+    MutableByteSpan span(block.data(), block.size());
+    BULLET_RETURN_IF_ERROR(inner_->read(boundary, span));
+    std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(whole), rest,
+                block.begin());
+    BULLET_RETURN_IF_ERROR(inner_->write(boundary, ByteSpan(block)));
+  }
+  return Status::success();
+}
+
+Status FaultDisk::write(std::uint64_t first_block, ByteSpan data) {
+  BULLET_RETURN_IF_ERROR(check_range(first_block, data.size()));
+  BULLET_RETURN_IF_ERROR(apply_crash_plan(first_block, data));
+  const std::uint64_t nblocks = data.size() / block_size();
+  for (std::uint64_t b = first_block; b < first_block + nblocks; ++b) {
+    const auto it = faults_.find(b);
+    if (it == faults_.end()) continue;
+    BlockFault& f = it->second;
+    if (f.write_permanent) {
+      ++injected_write_errors_;
+      return Error(ErrorCode::io_error, "injected write error");
+    }
+    if (f.write_transient) {
+      f.write_transient = false;  // consumed by this trip
+      if (f.empty()) faults_.erase(it);
+      ++injected_write_errors_;
+      return Error(ErrorCode::io_error, "injected transient write error");
+    }
+  }
+  BULLET_RETURN_IF_ERROR(inner_->write(first_block, data));
+  // A successful rewrite clears latent errors; it may also arm new ones
+  // when probabilistic arming is on (writes are when latent faults are
+  // seeded in practice — they surface much later, on read).
+  for (std::uint64_t b = first_block; b < first_block + nblocks; ++b) {
+    const auto it = faults_.find(b);
+    if (it != faults_.end() && it->second.latent) {
+      it->second.latent = false;
+      if (it->second.empty()) faults_.erase(it);
+    }
+    if (latent_one_in_ > 0) {
+      Rng rng(latent_seed_ ^ (b * kGolden) ^ (plan_ ? plan_->writes_seen : 0));
+      if (rng.next_below(latent_one_in_) == 0) faults_[b].latent = true;
+    }
+  }
+  return Status::success();
+}
+
+Status FaultDisk::flush() {
+  if (plan_ && plan_->crashed) {
+    return Error(ErrorCode::io_error, "device crashed");
+  }
+  return inner_->flush();
+}
+
+void FaultDisk::inject_read_error(std::uint64_t block, bool transient) {
+  BlockFault& f = faults_[block];
+  if (transient) {
+    f.read_transient = true;
+  } else {
+    f.read_permanent = true;
+  }
+}
+
+void FaultDisk::inject_write_error(std::uint64_t block, bool transient) {
+  BlockFault& f = faults_[block];
+  if (transient) {
+    f.write_transient = true;
+  } else {
+    f.write_permanent = true;
+  }
+}
+
+void FaultDisk::arm_latent_error(std::uint64_t block) {
+  faults_[block].latent = true;
+}
+
+void FaultDisk::arm_latent_on_write(std::uint64_t one_in, std::uint64_t seed) {
+  latent_one_in_ = one_in;
+  latent_seed_ = seed;
+}
+
+Status FaultDisk::corrupt_block(std::uint64_t block, std::uint64_t byte_offset,
+                                std::uint8_t xor_mask) {
+  BULLET_RETURN_IF_ERROR(check_range(block, block_size()));
+  if (byte_offset >= block_size()) {
+    return Error(ErrorCode::bad_argument, "corruption offset beyond block");
+  }
+  Bytes buf(block_size());
+  MutableByteSpan span(buf.data(), buf.size());
+  BULLET_RETURN_IF_ERROR(inner_->read(block, span));
+  buf[byte_offset] ^= xor_mask;
+  return inner_->write(block, ByteSpan(buf));
+}
+
+void FaultDisk::clear_faults() {
+  faults_.clear();
+  latent_one_in_ = 0;
+  latent_seed_ = 0;
+}
+
+}  // namespace bullet

@@ -1,0 +1,137 @@
+// FaultDisk: a BlockDevice decorator with deterministic, seedable fault
+// injection, in the eXplode/CrashMonkey tradition of crash-consistency
+// checkers.
+//
+// Fault classes it models:
+//   * Crash points — a shared CrashPlan counts write operations globally
+//     (across every FaultDisk attached to the plan, i.e. across mirror
+//     replicas) and "crashes" at a chosen write index. The crashing write
+//     can be dropped cleanly, torn at a block boundary (prefix of blocks
+//     reaches the platter), or torn mid-block at a configurable byte
+//     alignment. After the crash every operation on every attached disk
+//     fails, so no post-crash acknowledgement is possible.
+//   * Per-block read/write errors — transient (consumed by the first trip)
+//     or permanent, modelling media glitches vs. dead sectors.
+//   * Latent sector errors — armed on a block (optionally probabilistically
+//     on writes), tripped on the next read, and cleared when the block is
+//     rewritten. This is the classic "you only find out on read" failure
+//     the mirror's read-repair path exists for.
+//   * Silent bit-rot — flip bits in place through the inner device without
+//     any error surfacing; only a scrub can notice.
+//
+// All randomness is drawn from bullet::Rng seeded by the caller, so every
+// fault schedule is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "disk/block_device.h"
+
+namespace bullet {
+
+// Shared crash schedule. One plan is typically shared by every replica of a
+// mirror so `crash_at` indexes the interleaved write stream the server
+// actually issued.
+struct CrashPlan {
+  static constexpr std::uint64_t kNeverCrash = ~std::uint64_t{0};
+
+  enum class TearMode : std::uint8_t {
+    clean,        // crashing write is dropped entirely
+    torn_prefix,  // a random prefix of whole blocks reaches the disk
+    torn_bytes,   // torn mid-block at `torn_align`-byte granularity
+  };
+
+  std::uint64_t crash_at = kNeverCrash;  // write index that crashes
+  TearMode mode = TearMode::clean;
+  std::uint64_t torn_align = 1;  // byte granularity of torn_bytes tears
+  std::uint64_t seed = 1;        // drives the tear-point choice
+
+  // State (owned by the plan, mutated by attached disks).
+  std::uint64_t writes_seen = 0;
+  bool crashed = false;
+};
+
+class FaultDisk final : public BlockDevice {
+ public:
+  // `inner` must outlive the FaultDisk.
+  explicit FaultDisk(BlockDevice* inner) : inner_(inner) {}
+
+  std::uint64_t block_size() const noexcept override {
+    return inner_->block_size();
+  }
+  std::uint64_t num_blocks() const noexcept override {
+    return inner_->num_blocks();
+  }
+
+  Status read(std::uint64_t first_block, MutableByteSpan out) override;
+  Status write(std::uint64_t first_block, ByteSpan data) override;
+  Status flush() override;
+
+  // --- crash plan ------------------------------------------------------
+  void set_crash_plan(std::shared_ptr<CrashPlan> plan) {
+    plan_ = std::move(plan);
+  }
+  const std::shared_ptr<CrashPlan>& crash_plan() const noexcept {
+    return plan_;
+  }
+
+  // --- per-block errors ------------------------------------------------
+  // Fail the next (transient) or every (permanent) read of `block`.
+  void inject_read_error(std::uint64_t block, bool transient);
+  // Fail the next (transient) or every (permanent) write touching `block`.
+  void inject_write_error(std::uint64_t block, bool transient);
+  // Latent sector error: reads of `block` fail until it is rewritten.
+  void arm_latent_error(std::uint64_t block);
+  // Probabilistically arm a latent error on blocks as they are written:
+  // each successfully written block is armed with probability 1/one_in.
+  // Pass one_in = 0 to disable.
+  void arm_latent_on_write(std::uint64_t one_in, std::uint64_t seed);
+  // Silent bit-rot: XOR `xor_mask` into one byte of `block`, straight
+  // through to the inner device. No error is ever surfaced.
+  Status corrupt_block(std::uint64_t block, std::uint64_t byte_offset,
+                       std::uint8_t xor_mask);
+
+  void clear_faults();
+
+  // --- counters --------------------------------------------------------
+  std::uint64_t injected_read_errors() const noexcept {
+    return injected_read_errors_;
+  }
+  std::uint64_t injected_write_errors() const noexcept {
+    return injected_write_errors_;
+  }
+  std::uint64_t latent_trips() const noexcept { return latent_trips_; }
+
+ private:
+  struct BlockFault {
+    bool read_transient = false;
+    bool read_permanent = false;
+    bool write_transient = false;
+    bool write_permanent = false;
+    bool latent = false;
+    bool empty() const noexcept {
+      return !read_transient && !read_permanent && !write_transient &&
+             !write_permanent && !latent;
+    }
+  };
+
+  // Applies the crash plan to a write about to happen. Returns non-ok when
+  // the plan says this write (or any later one) must not complete.
+  Status apply_crash_plan(std::uint64_t first_block, ByteSpan data);
+  // Persist a torn fragment of `data` per the plan's tear mode.
+  Status tear_write(std::uint64_t first_block, ByteSpan data,
+                    std::uint64_t write_index);
+
+  BlockDevice* inner_;
+  std::shared_ptr<CrashPlan> plan_;
+  std::unordered_map<std::uint64_t, BlockFault> faults_;
+  std::uint64_t latent_one_in_ = 0;
+  std::uint64_t latent_seed_ = 0;
+  std::uint64_t injected_read_errors_ = 0;
+  std::uint64_t injected_write_errors_ = 0;
+  std::uint64_t latent_trips_ = 0;
+};
+
+}  // namespace bullet

@@ -10,6 +10,7 @@ namespace bullet {
 MirroredDisk::MirroredDisk(std::vector<BlockDevice*> replicas)
     : replicas_(std::move(replicas)),
       healthy_(replicas_.size(), true),
+      errors_(replicas_.size(), 0),
       block_size_(replicas_.front()->block_size()),
       num_blocks_(replicas_.front()->num_blocks()) {}
 
@@ -42,18 +43,82 @@ Result<int> MirroredDisk::first_healthy() const {
   return Error(ErrorCode::bad_state, "all replicas failed");
 }
 
-Status MirroredDisk::read(std::uint64_t first_block, MutableByteSpan out) {
-  // Read from the main (first healthy) disk; on failure, fail the replica
-  // over and retry the next one — the paper's "proceed uninterruptedly".
+void MirroredDisk::fail_replica(std::size_t replica, const char* why) {
+  if (!healthy_[replica]) return;
+  healthy_[replica] = false;
+  ++health_.failovers;
+  BULLET_LOG(warn, "mirror") << "replica " << replica
+                             << " demoted: " << why;
+}
+
+Status MirroredDisk::read_block_with_repair(std::uint64_t block,
+                                            MutableByteSpan out) {
+  BULLET_ASSIGN_OR_RETURN(const int main_disk, first_healthy());
+  const auto main_idx = static_cast<std::size_t>(main_disk);
+  Status st = replicas_[main_idx]->read(block, out);
+  if (st.ok()) return st;
+  ++health_.io_errors;
+  ++errors_[main_idx];
+  BULLET_LOG(warn, "mirror") << "replica " << main_disk << " block " << block
+                             << " read failed: " << st.to_string();
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
-    if (!healthy_[i]) continue;
-    const Status st = replicas_[i]->read(first_block, out);
-    if (st.ok()) return st;
-    BULLET_LOG(warn, "mirror") << "replica " << i
-                               << " read failed: " << st.to_string();
-    healthy_[i] = false;
+    if (i == main_idx || !healthy_[i]) continue;
+    st = replicas_[i]->read(block, out);
+    if (!st.ok()) {
+      ++health_.io_errors;
+      ++errors_[i];
+      if (errors_[i] > error_budget_) {
+        fail_replica(i, "read error budget exhausted");
+      }
+      continue;
+    }
+    // A peer had the block: heal the main disk's copy in place so the next
+    // read does not detour (read-repair).
+    const Status wr = replicas_[main_idx]->write(block, ByteSpan(out));
+    if (wr.ok()) {
+      ++health_.read_repairs;
+      BULLET_LOG(info, "mirror") << "block " << block << " repaired on replica "
+                                 << main_disk << " from replica " << i;
+    } else {
+      fail_replica(main_idx, "read-repair write-back failed");
+    }
+    if (healthy_[main_idx] && errors_[main_idx] > error_budget_) {
+      fail_replica(main_idx, "read error budget exhausted");
+    }
+    return Status::success();
   }
-  return Error(ErrorCode::io_error, "all replicas failed");
+  fail_replica(main_idx, "block unreadable on every replica");
+  return Error(ErrorCode::io_error, "block unreadable on all replicas");
+}
+
+Status MirroredDisk::read(std::uint64_t first_block, MutableByteSpan out) {
+  BULLET_RETURN_IF_ERROR(check_range(first_block, out.size()));
+  BULLET_ASSIGN_OR_RETURN(const int main_disk, first_healthy());
+  Status st = replicas_[static_cast<std::size_t>(main_disk)]->read(first_block,
+                                                                   out);
+  if (st.ok()) return st;
+  // The bulk read failed somewhere in the run; fall back to block-by-block
+  // reads so one bad sector costs one detour, not the whole replica — the
+  // paper's "proceed uninterruptedly", at sector granularity.
+  ++health_.io_errors;
+  const std::uint64_t nblocks = out.size() / block_size_;
+  for (std::uint64_t i = 0; i < nblocks; ++i) {
+    MutableByteSpan span = out.subspan(i * block_size_, block_size_);
+    BULLET_RETURN_IF_ERROR(read_block_with_repair(first_block + i, span));
+  }
+  return Status::success();
+}
+
+Status MirroredDisk::write_with_retry(std::size_t replica,
+                                      std::uint64_t first_block,
+                                      ByteSpan data) {
+  Status st = replicas_[replica]->write(first_block, data);
+  if (st.ok()) return st;
+  ++health_.io_errors;
+  BULLET_LOG(warn, "mirror") << "replica " << replica
+                             << " write failed: " << st.to_string()
+                             << "; retrying once";
+  return replicas_[replica]->write(first_block, data);
 }
 
 Status MirroredDisk::write(std::uint64_t first_block, ByteSpan data) {
@@ -69,11 +134,11 @@ Result<int> MirroredDisk::write_partial(std::uint64_t first_block,
   for (std::size_t i = 0; i < replicas_.size() && written < max_replicas;
        ++i) {
     if (!healthy_[i]) continue;
-    const Status st = replicas_[i]->write(first_block, data);
+    const Status st = write_with_retry(i, first_block, data);
     if (!st.ok()) {
       BULLET_LOG(warn, "mirror") << "replica " << i
                                  << " write failed: " << st.to_string();
-      healthy_[i] = false;
+      fail_replica(i, "write failed after retry");
       continue;
     }
     ++written;
@@ -93,11 +158,12 @@ Status MirroredDisk::write_remaining(std::uint64_t first_block, ByteSpan data,
       ++skipped;
       continue;
     }
-    const Status st = replicas_[i]->write(first_block, data);
+    const Status st = write_with_retry(i, first_block, data);
     if (!st.ok()) {
       BULLET_LOG(warn, "mirror") << "replica " << i
                                  << " write failed: " << st.to_string();
-      healthy_[i] = false;
+      ++health_.bg_write_failures;
+      fail_replica(i, "background write failed after retry");
     }
   }
   return Status::success();
@@ -109,7 +175,8 @@ Status MirroredDisk::flush() {
     if (!healthy_[i]) continue;
     const Status st = replicas_[i]->flush();
     if (!st.ok()) {
-      healthy_[i] = false;
+      ++health_.io_errors;
+      fail_replica(i, "flush failed");
       continue;
     }
     any = true;
@@ -119,7 +186,7 @@ Status MirroredDisk::flush() {
 }
 
 void MirroredDisk::mark_failed(int replica) {
-  healthy_.at(static_cast<std::size_t>(replica)) = false;
+  fail_replica(static_cast<std::size_t>(replica), "administratively failed");
 }
 
 Status MirroredDisk::resilver(int replica) {
@@ -141,6 +208,7 @@ Status MirroredDisk::resilver(int replica) {
     BULLET_RETURN_IF_ERROR(replicas_[idx]->write(b, span));
   }
   healthy_[idx] = true;
+  errors_[idx] = 0;  // a fresh copy starts with a clean slate
   return Status::success();
 }
 
@@ -158,14 +226,26 @@ Result<MirroredDisk::ScrubReport> MirroredDisk::scrub(bool repair) {
     for (std::size_t i = 0; i < replicas_.size(); ++i) {
       if (!healthy_[i] || static_cast<int>(i) == main_disk) continue;
       MutableByteSpan candidate_span(candidate.data(), n * block_size_);
-      BULLET_RETURN_IF_ERROR(replicas_[i]->read(b, candidate_span));
+      const Status st = replicas_[i]->read(b, candidate_span);
+      if (!st.ok()) {
+        // A replica the scrub cannot read is demoted and skipped; the
+        // scrub itself keeps auditing the replicas that remain.
+        ++health_.io_errors;
+        fail_replica(i, "scrub read failed");
+        continue;
+      }
       for (std::uint64_t blk = 0; blk < n; ++blk) {
         const ByteSpan a(golden.data() + blk * block_size_, block_size_);
         const ByteSpan c(candidate.data() + blk * block_size_, block_size_);
         if (equal(a, c)) continue;
         ++report.mismatched_blocks;
         if (repair) {
-          BULLET_RETURN_IF_ERROR(replicas_[i]->write(b + blk, a));
+          const Status wr = replicas_[i]->write(b + blk, a);
+          if (!wr.ok()) {
+            ++health_.io_errors;
+            fail_replica(i, "scrub repair write failed");
+            break;  // stop repairing a replica that no longer accepts writes
+          }
           ++report.repaired_blocks;
         }
       }

@@ -7,8 +7,12 @@
 //    done by copying the complete disk."
 //
 // Reads come from the first healthy replica; writes go to every healthy
-// replica. A replica whose write fails is marked failed and stops
-// participating; `resilver` brings a replaced replica back by a full copy.
+// replica. The failure model is per-block, not per-drive: a read error is
+// retried block by block, the bad block is served from the next healthy
+// replica and rewritten on the faulty one (read-repair), and a replica is
+// demoted only once a configurable error budget is exhausted or a write to
+// it persistently fails. `resilver` brings a replaced replica back by a
+// full copy; `scrub` audits the "identical replicas" invariant.
 #pragma once
 
 #include <cstdint>
@@ -49,12 +53,14 @@ class MirroredDisk final : public BlockDevice {
   void mark_failed(int replica);
 
   // Full-copy recovery of `replica` from the first healthy replica, then
-  // mark it healthy again.
+  // mark it healthy again (and zero its error tally).
   Status resilver(int replica);
 
   // Integrity scrub: compare every healthy replica against the main disk
   // ("identical replicas" is the paper's invariant). Divergent blocks are
-  // counted and, when `repair` is set, overwritten from the main disk.
+  // counted and, when `repair` is set, overwritten from the main disk. A
+  // replica that cannot be read or repaired is demoted and skipped rather
+  // than failing the scrub.
   struct ScrubReport {
     std::uint64_t blocks_checked = 0;
     std::uint64_t mismatched_blocks = 0;
@@ -62,13 +68,43 @@ class MirroredDisk final : public BlockDevice {
   };
   Result<ScrubReport> scrub(bool repair);
 
+  // --- degradation accounting ------------------------------------------
+  struct Health {
+    std::uint64_t io_errors = 0;         // device-level errors observed
+    std::uint64_t read_repairs = 0;      // blocks healed from a peer
+    std::uint64_t failovers = 0;         // replica demotions
+    std::uint64_t bg_write_failures = 0; // lazy (post-ack) writes that failed
+  };
+  const Health& health() const noexcept { return health_; }
+
+  // Read errors tolerated per replica before demotion. Writes are stricter:
+  // a write that still fails after one retry demotes immediately, because a
+  // replica that misses a write is no longer an identical replica.
+  void set_error_budget(std::uint64_t budget) noexcept {
+    error_budget_ = budget;
+  }
+  std::uint64_t error_budget() const noexcept { return error_budget_; }
+  std::uint64_t replica_errors(int replica) const {
+    return errors_.at(static_cast<std::size_t>(replica));
+  }
+
  private:
   explicit MirroredDisk(std::vector<BlockDevice*> replicas);
 
   Result<int> first_healthy() const;
+  void fail_replica(std::size_t replica, const char* why);
+  // One block of a failed read: serve from any healthy replica, repairing
+  // the main disk's copy when a peer had to provide it.
+  Status read_block_with_repair(std::uint64_t block, MutableByteSpan out);
+  // Write with one immediate retry (absorbs transient device errors).
+  Status write_with_retry(std::size_t replica, std::uint64_t first_block,
+                          ByteSpan data);
 
   std::vector<BlockDevice*> replicas_;
   std::vector<bool> healthy_;
+  std::vector<std::uint64_t> errors_;  // read-side errors per replica
+  Health health_;
+  std::uint64_t error_budget_ = 16;
   std::uint64_t block_size_ = 0;
   std::uint64_t num_blocks_ = 0;
 };

@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <list>
@@ -124,6 +125,17 @@ sockaddr_in loopback(std::uint16_t port) {
   return addr;
 }
 
+Status set_recv_timeout(int fd, int timeout_ms) {
+  if (timeout_ms <= 0) return Status::success();
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) != 0) {
+    return errno_error("setsockopt");
+  }
+  return Status::success();
+}
+
 Result<int> make_socket(std::uint16_t bind_port, int timeout_ms) {
   const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd < 0) return errno_error("socket");
@@ -141,15 +153,10 @@ Result<int> make_socket(std::uint16_t bind_port, int timeout_ms) {
                      sizeof kBufferBytes);
   (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &kBufferBytes,
                      sizeof kBufferBytes);
-  if (timeout_ms > 0) {
-    timeval tv{};
-    tv.tv_sec = timeout_ms / 1000;
-    tv.tv_usec = (timeout_ms % 1000) * 1000;
-    if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) != 0) {
-      const Error e = errno_error("setsockopt");
-      ::close(fd);
-      return e;
-    }
+  const Status st = set_recv_timeout(fd, timeout_ms);
+  if (!st.ok()) {
+    ::close(fd);
+    return Error(ErrorCode::io_error, st.to_string());
   }
   return fd;
 }
@@ -360,11 +367,32 @@ Result<std::unique_ptr<UdpTransport>> UdpTransport::connect(
   return std::unique_ptr<UdpTransport>(new UdpTransport(std::move(impl)));
 }
 
+int backoff_timeout_ms(const UdpClientOptions& options, int attempt) {
+  const std::int64_t base = std::max(1, options.timeout_ms);
+  const std::int64_t cap = std::max<std::int64_t>(base, options.max_timeout_ms);
+  // Cap the shift so the doubling cannot overflow; the cap clamps anyway.
+  const int shift = std::min(std::max(attempt, 0), 20);
+  const std::int64_t nominal = std::min(cap, base << shift);
+  // Deterministic jitter, uniform in [0.75 * nominal, 1.25 * nominal]:
+  // desynchronizes clients that share a timeout configuration without
+  // giving up reproducibility (same seed, same schedule).
+  Rng rng(options.backoff_seed * 0x9E3779B97F4A7C15ull +
+          static_cast<std::uint64_t>(attempt) + 1);
+  const std::int64_t spread = nominal / 2;
+  const std::int64_t jittered =
+      nominal - nominal / 4 +
+      static_cast<std::int64_t>(
+          rng.next_below(static_cast<std::uint64_t>(spread) + 1));
+  return static_cast<int>(std::min(cap, std::max<std::int64_t>(1, jittered)));
+}
+
 Result<Reply> UdpTransport::call(const Request& request) {
   const std::uint64_t message_id = impl_->next_message_id++;
   const Bytes wire = request.encode();
   for (int attempt = 0; attempt < impl_->options.max_attempts; ++attempt) {
     if (attempt > 0) ++retransmissions_;
+    BULLET_RETURN_IF_ERROR(set_recv_timeout(
+        impl_->fd, backoff_timeout_ms(impl_->options, attempt)));
     BULLET_RETURN_IF_ERROR(
         send_message(impl_->fd, impl_->server, message_id, wire));
     bool timed_out = false;

@@ -77,8 +77,18 @@ class UdpServer {
 struct UdpClientOptions {
   std::uint16_t server_udp_port = 0;  // required
   int max_attempts = 5;
-  int timeout_ms = 250;  // per attempt
+  int timeout_ms = 250;       // first-attempt timeout (backoff base)
+  int max_timeout_ms = 4000;  // backoff ceiling
+  // Seed for the deterministic retransmit jitter; same seed, same schedule.
+  std::uint64_t backoff_seed = 1;
 };
+
+// Receive timeout for the 0-based `attempt`: exponential backoff from
+// `timeout_ms` with deterministic +/-25% jitter drawn from `backoff_seed`,
+// clamped to [1, max_timeout_ms]. Doubling outruns the jitter band, so the
+// schedule is strictly increasing until it reaches the ceiling. Exposed so
+// tests can pin the schedule down.
+int backoff_timeout_ms(const UdpClientOptions& options, int attempt);
 
 // A Transport whose call() crosses the loopback network.
 class UdpTransport final : public Transport {

@@ -21,15 +21,19 @@ namespace {
 class ToolTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // ctest runs each TEST as its own process, possibly in parallel, so
+    // every case gets its own image/capture paths.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
     dir_ = ::testing::TempDir();
-    image_ = dir_ + "tooltest.img";
+    prefix_ = dir_ + "tooltest-" + info->name();
+    image_ = prefix_ + ".img";
     std::remove(image_.c_str());
   }
   void TearDown() override { std::remove(image_.c_str()); }
 
   // Run the tool; returns exit code and captures stdout into `out`.
   int run(const std::string& args, std::string* out = nullptr) {
-    const std::string capture = dir_ + "tooltest.out";
+    const std::string capture = prefix_ + ".out";
     const std::string command = std::string(BULLET_TOOL_PATH) + " " + args +
                                 " > " + capture + " 2>/dev/null";
     const int code = std::system(command.c_str());
@@ -44,7 +48,7 @@ class ToolTest : public ::testing::Test {
   }
 
   std::string write_temp(const std::string& name, const Bytes& data) {
-    const std::string path = dir_ + name;
+    const std::string path = prefix_ + "." + name;
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     out.write(reinterpret_cast<const char*>(data.data()),
               static_cast<std::streamsize>(data.size()));
@@ -52,6 +56,7 @@ class ToolTest : public ::testing::Test {
   }
 
   std::string dir_;
+  std::string prefix_;
   std::string image_;
 };
 
@@ -74,7 +79,7 @@ TEST_F(ToolTest, FullWorkflow) {
   EXPECT_NE(std::string::npos, listing.find("1 file(s)"));
 
   // get returns identical bytes.
-  const std::string fetched = dir_ + "out.bin";
+  const std::string fetched = prefix_ + ".out.bin";
   ASSERT_EQ(0, run("get " + image_ + " " + cap_text + " " + fetched));
   std::ifstream in(fetched, std::ios::binary);
   Bytes round((std::istreambuf_iterator<char>(in)),
@@ -118,6 +123,56 @@ TEST_F(ToolTest, ErrorsAreReported) {
   ASSERT_EQ(0, run("format " + image_ + " 4"));
   EXPECT_NE(0, run("get " + image_ + " not-a-capability"));
   EXPECT_NE(0, run("put " + image_ + " /nonexistent/file"));
+}
+
+TEST_F(ToolTest, ResilverBuildsAnIdenticalReplica) {
+  ASSERT_EQ(0, run("format " + image_ + " 4 256"));
+  const std::string local = write_temp("data.bin", testing::payload(9000, 5));
+  std::string cap_text;
+  ASSERT_EQ(0, run("put " + image_ + " " + local, &cap_text));
+  while (!cap_text.empty() && cap_text.back() == '\n') cap_text.pop_back();
+
+  const std::string copy = prefix_ + "-copy.img";
+  std::remove(copy.c_str());
+  std::string out;
+  ASSERT_EQ(0, run("resilver " + image_ + " " + copy, &out));
+  EXPECT_NE(std::string::npos, out.find("resilvered"));
+  // The copy is now a full replica: a clean scrub, and the file is
+  // readable from the copy alone.
+  ASSERT_EQ(0, run("scrub " + image_ + " " + copy, &out));
+  EXPECT_NE(std::string::npos, out.find("0 mismatched"));
+  ASSERT_EQ(0, run("get " + copy + " " + cap_text));
+  std::remove(copy.c_str());
+}
+
+TEST_F(ToolTest, ScrubFindsAndRepairsDivergence) {
+  ASSERT_EQ(0, run("format " + image_ + " 4 256"));
+  const std::string local = write_temp("data.bin", testing::payload(6000, 6));
+  ASSERT_EQ(0, run("put " + image_ + " " + local));
+
+  const std::string copy = prefix_ + "-copy.img";
+  std::remove(copy.c_str());
+  ASSERT_EQ(0, run("resilver " + image_ + " " + copy));
+
+  // Flip bytes in the copy behind the mirror's back (silent bit-rot).
+  {
+    std::fstream f(copy, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.good());
+    f.seekp(200 * 512 + 37);
+    const char rot = 0x5A;
+    f.write(&rot, 1);
+  }
+
+  // Detection alone exits non-zero and counts the block.
+  std::string out;
+  EXPECT_EQ(1, run("scrub " + image_ + " " + copy, &out));
+  EXPECT_NE(std::string::npos, out.find("1 mismatched, 0 repaired"));
+  // Repair fixes it; a second scrub is clean.
+  ASSERT_EQ(0, run("scrub " + image_ + " " + copy + " repair", &out));
+  EXPECT_NE(std::string::npos, out.find("1 mismatched, 1 repaired"));
+  ASSERT_EQ(0, run("scrub " + image_ + " " + copy, &out));
+  EXPECT_NE(std::string::npos, out.find("0 mismatched"));
+  std::remove(copy.c_str());
 }
 
 TEST_F(ToolTest, StatReportsGeometry) {

@@ -30,6 +30,9 @@ class UdpTest : public ::testing::Test {
     options.server_udp_port = udp_server_->port();
     options.timeout_ms = timeout_ms;
     options.max_attempts = max_attempts;
+    // Loopback tests keep the backoff ceiling low so heavy-loss cases do
+    // not pay multi-second late attempts.
+    options.max_timeout_ms = timeout_ms * 4;
     auto transport = rpc::UdpTransport::connect(options);
     EXPECT_TRUE(transport.ok());
     return std::move(transport).value();
@@ -145,6 +148,76 @@ TEST_F(UdpTest, TimeoutWhenServerGone) {
 TEST_F(UdpTest, ConnectRequiresPort) {
   EXPECT_CODE(bad_argument,
               status_of(rpc::UdpTransport::connect(rpc::UdpClientOptions{})));
+}
+
+// --- retransmit backoff schedule (pure function, no sockets) ------------
+
+TEST(UdpBackoffTest, ScheduleIsDeterministic) {
+  rpc::UdpClientOptions options;
+  options.timeout_ms = 250;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    EXPECT_EQ(rpc::backoff_timeout_ms(options, attempt),
+              rpc::backoff_timeout_ms(options, attempt))
+        << "attempt " << attempt;
+  }
+}
+
+TEST(UdpBackoffTest, GrowsExponentiallyBelowTheCap) {
+  rpc::UdpClientOptions options;
+  options.timeout_ms = 100;
+  options.max_timeout_ms = 100000;  // cap far away: observe pure growth
+  int prev = 0;
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    const int t = rpc::backoff_timeout_ms(options, attempt);
+    const int nominal = 100 << attempt;
+    // Jitter stays inside +/-25% of the doubled nominal...
+    EXPECT_GE(t, nominal - nominal / 4) << "attempt " << attempt;
+    EXPECT_LE(t, nominal + nominal / 4) << "attempt " << attempt;
+    // ...so the schedule is strictly increasing.
+    EXPECT_GT(t, prev) << "attempt " << attempt;
+    prev = t;
+  }
+}
+
+TEST(UdpBackoffTest, CapIsRespected) {
+  rpc::UdpClientOptions options;
+  options.timeout_ms = 250;
+  options.max_timeout_ms = 1000;
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    EXPECT_LE(rpc::backoff_timeout_ms(options, attempt), 1000);
+    EXPECT_GE(rpc::backoff_timeout_ms(options, attempt), 1);
+  }
+  // Deep attempts saturate near the cap (within the jitter band), never
+  // overflow or wrap.
+  EXPECT_GE(rpc::backoff_timeout_ms(options, 39), 750);
+}
+
+TEST(UdpBackoffTest, SeedChangesTheJitterNotTheEnvelope) {
+  rpc::UdpClientOptions a, b;
+  a.timeout_ms = b.timeout_ms = 200;
+  a.max_timeout_ms = b.max_timeout_ms = 100000;
+  a.backoff_seed = 1;
+  b.backoff_seed = 2;
+  bool differs = false;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const int ta = rpc::backoff_timeout_ms(a, attempt);
+    const int tb = rpc::backoff_timeout_ms(b, attempt);
+    if (ta != tb) differs = true;
+    const int nominal = 200 << attempt;
+    EXPECT_GE(tb, nominal - nominal / 4);
+    EXPECT_LE(tb, nominal + nominal / 4);
+  }
+  EXPECT_TRUE(differs) << "different seeds produced identical schedules";
+}
+
+TEST(UdpBackoffTest, DegenerateOptionsStaySane) {
+  rpc::UdpClientOptions options;
+  options.timeout_ms = 0;  // misconfigured: treated as 1 ms base
+  options.max_timeout_ms = 0;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    EXPECT_EQ(1, rpc::backoff_timeout_ms(options, attempt));
+  }
+  EXPECT_EQ(1, rpc::backoff_timeout_ms(options, -3));  // clamped attempt
 }
 
 TEST_F(UdpTest, TwoClientsOneServer) {

@@ -45,8 +45,29 @@ int usage() {
       "  put    <image> <file> [pfactor=1]            store a file, print cap\n"
       "  get    <image> <capability> [out]            fetch a file\n"
       "  rm     <image> <capability>                  delete a file\n"
-      "  compact <image>                              squeeze out the holes\n");
+      "  compact <image>                              squeeze out the holes\n"
+      "  scrub  <image> <mirror-image> [repair]       compare replicas\n"
+      "  resilver <image> <mirror-image>              rebuild a replica copy\n");
   return 2;
+}
+
+// Read the geometry a formatted image records in its descriptor block.
+struct Geometry {
+  std::uint64_t block_size = 0;
+  std::uint64_t blocks = 0;
+};
+
+Result<Geometry> probe_geometry(const std::string& path) {
+  BULLET_ASSIGN_OR_RETURN(FileDisk probe, FileDisk::open(path, kBlockSize, 1));
+  Bytes block0(kBlockSize);
+  BULLET_RETURN_IF_ERROR(probe.read(0, block0));
+  BULLET_ASSIGN_OR_RETURN(
+      const DiskDescriptor desc,
+      DiskDescriptor::decode(ByteSpan(block0.data(), DiskDescriptor::kDiskSize)));
+  Geometry g;
+  g.block_size = desc.block_size;
+  g.blocks = static_cast<std::uint64_t>(desc.control_blocks) + desc.data_blocks;
+  return g;
 }
 
 struct OpenImage {
@@ -59,18 +80,10 @@ struct OpenImage {
 
 // Probe the image size from the descriptor, then boot a server on it.
 Result<OpenImage> open_image(const std::string& path) {
-  // First open small to read the descriptor.
-  BULLET_ASSIGN_OR_RETURN(FileDisk probe, FileDisk::open(path, kBlockSize, 1));
-  Bytes block0(kBlockSize);
-  BULLET_RETURN_IF_ERROR(probe.read(0, block0));
+  BULLET_ASSIGN_OR_RETURN(const Geometry geometry, probe_geometry(path));
   BULLET_ASSIGN_OR_RETURN(
-      const DiskDescriptor desc,
-      DiskDescriptor::decode(ByteSpan(block0.data(), DiskDescriptor::kDiskSize)));
-  const std::uint64_t blocks =
-      static_cast<std::uint64_t>(desc.control_blocks) + desc.data_blocks;
-
-  BULLET_ASSIGN_OR_RETURN(FileDisk disk,
-                          FileDisk::open(path, desc.block_size, blocks));
+      FileDisk disk,
+      FileDisk::open(path, geometry.block_size, geometry.blocks));
   OpenImage image;
   image.disk = std::make_unique<FileDisk>(std::move(disk));
   auto mirror = MirroredDisk::create({image.disk.get()});
@@ -238,6 +251,70 @@ int cmd_compact(const std::string& image) {
   return 0;
 }
 
+// Open `path` and `mirror_path` as a two-replica mirror sharing the
+// geometry recorded in `path`'s descriptor (FileDisk::open creates or
+// extends `mirror_path` as needed).
+struct OpenPair {
+  std::unique_ptr<FileDisk> main_disk;
+  std::unique_ptr<FileDisk> copy_disk;
+  std::unique_ptr<MirroredDisk> mirror;
+};
+
+Result<OpenPair> open_pair(const std::string& path,
+                           const std::string& mirror_path) {
+  BULLET_ASSIGN_OR_RETURN(const Geometry geometry, probe_geometry(path));
+  BULLET_ASSIGN_OR_RETURN(
+      FileDisk main_disk,
+      FileDisk::open(path, geometry.block_size, geometry.blocks));
+  BULLET_ASSIGN_OR_RETURN(
+      FileDisk copy_disk,
+      FileDisk::open(mirror_path, geometry.block_size, geometry.blocks));
+  OpenPair pair;
+  pair.main_disk = std::make_unique<FileDisk>(std::move(main_disk));
+  pair.copy_disk = std::make_unique<FileDisk>(std::move(copy_disk));
+  auto mirror =
+      MirroredDisk::create({pair.main_disk.get(), pair.copy_disk.get()});
+  if (!mirror.ok()) return mirror.error();
+  pair.mirror = std::make_unique<MirroredDisk>(std::move(mirror).value());
+  return pair;
+}
+
+int cmd_scrub(const std::string& image, int argc, char** argv) {
+  if (argc < 1) return usage();
+  const bool repair = argc >= 2 && std::strcmp(argv[1], "repair") == 0;
+  auto pair = open_pair(image, argv[0]);
+  if (!pair.ok()) return fail(pair.error());
+  auto report = pair.value().mirror->scrub(repair);
+  if (!report.ok()) return fail(report.error());
+  if (repair) {
+    const Status st = pair.value().mirror->flush();
+    if (!st.ok()) return fail(st.error());
+  }
+  std::printf("checked %" PRIu64 " blocks: %" PRIu64 " mismatched, %" PRIu64
+              " repaired\n",
+              report.value().blocks_checked, report.value().mismatched_blocks,
+              report.value().repaired_blocks);
+  // Unrepaired divergence is a finding, like fsck's non-zero repair count.
+  return report.value().mismatched_blocks == report.value().repaired_blocks
+             ? 0
+             : 1;
+}
+
+int cmd_resilver(const std::string& image, int argc, char** argv) {
+  if (argc < 1) return usage();
+  auto pair = open_pair(image, argv[0]);
+  if (!pair.ok()) return fail(pair.error());
+  MirroredDisk& mirror = *pair.value().mirror;
+  mirror.mark_failed(1);  // the copy is presumed stale; rebuild it fully
+  const Status st = mirror.resilver(1);
+  if (!st.ok()) return fail(st.error());
+  const Status flushed = mirror.flush();
+  if (!flushed.ok()) return fail(flushed.error());
+  std::printf("resilvered %s from %s (%" PRIu64 " blocks)\n", argv[0],
+              image.c_str(), mirror.num_blocks());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -255,5 +332,7 @@ int main(int argc, char** argv) {
   if (command == "get") return cmd_get(image, rest_argc, rest_argv);
   if (command == "rm") return cmd_rm(image, rest_argc, rest_argv);
   if (command == "compact") return cmd_compact(image);
+  if (command == "scrub") return cmd_scrub(image, rest_argc, rest_argv);
+  if (command == "resilver") return cmd_resilver(image, rest_argc, rest_argv);
   return usage();
 }
