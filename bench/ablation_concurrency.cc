@@ -1,0 +1,204 @@
+// Ablation: concurrent request execution.
+//
+// Like ablation_zerocopy this measures *host* wall-clock: the thing the
+// worker-pool rework changes is how many requests the server can execute
+// at once, which the simulated 1989 clock abstracts away entirely.
+//
+// N client threads hammer one in-process BulletServer with cache-hit 64 KB
+// READ requests through the full RPC dispatch path (verify -> pin -> build
+// borrowed-payload reply). Two server configurations are compared at each
+// thread count:
+//
+//   - "shared":    the server as built — readers take the shared state
+//                  lock and pin the cache entry, so reads from different
+//                  clients execute concurrently.
+//   - "exclusive": the pre-rework discipline emulated via the legacy
+//                  read() entry point, which takes the exclusive lock —
+//                  requests serialize no matter how many threads call in.
+//
+// The single-thread "shared" row is the baseline; speedups are relative to
+// it. NOTE: aggregate scaling is bounded by the host's core count, which
+// is recorded in the emitted JSON ("host_cpus") — on a 1-CPU container
+// every row necessarily lands near 1x and the interesting signal is that
+// shared-lock overhead does not *lose* throughput vs the baseline.
+//
+// Emits JSON on stdout (snapshot: bench/BENCH_concurrency.json) and a
+// table on stderr.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bullet/client.h"
+#include "bullet/server.h"
+#include "disk/mem_disk.h"
+#include "disk/mirrored_disk.h"
+#include "rpc/transport.h"
+
+namespace bullet::bench {
+namespace {
+
+constexpr std::uint64_t kBlockSize = 512;
+constexpr std::uint64_t kDeviceBlocks = 1 << 15;  // 16 MB per replica
+constexpr std::uint64_t kCacheBytes = 4 << 20;
+constexpr std::uint64_t kFileBytes = 64 << 10;
+constexpr std::uint64_t kItersPerThread = 4000;
+constexpr unsigned kThreadCounts[] = {1, 2, 4, 8};
+
+// A minimal in-process deployment: mirrored MemDisks, no transport — the
+// benchmark drives rpc dispatch (BulletServer::handle) directly from the
+// client threads, exactly what a UDP worker does per request.
+class Rig {
+ public:
+  Rig() : raw0_(kBlockSize, kDeviceBlocks), raw1_(kBlockSize, kDeviceBlocks) {
+    Status st = BulletServer::format(raw0_, 1024);
+    if (!st.ok()) die(st.to_string());
+    st = raw1_.restore(raw0_.snapshot());
+    if (!st.ok()) die(st.to_string());
+    auto mirror = MirroredDisk::create({&raw0_, &raw1_});
+    if (!mirror.ok()) die(mirror.error().to_string());
+    mirror_ = std::make_unique<MirroredDisk>(std::move(mirror).value());
+    BulletConfig config;
+    config.cache_bytes = kCacheBytes;
+    auto server = BulletServer::start(mirror_.get(), config);
+    if (!server.ok()) die(server.error().to_string());
+    server_ = std::move(server).value();
+  }
+
+  BulletServer& server() { return *server_; }
+
+ private:
+  [[noreturn]] static void die(const std::string& message) {
+    std::fprintf(stderr, "bench setup failed: %s\n", message.c_str());
+    std::abort();
+  }
+
+  MemDisk raw0_, raw1_;
+  std::unique_ptr<MirroredDisk> mirror_;
+  std::unique_ptr<BulletServer> server_;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Aggregate cache-hit READ throughput (MB/s of payload) with `threads`
+// concurrent callers. `exclusive` routes through the legacy serialized
+// read() instead of the concurrent pinned path.
+double read_storm_mb_per_s(Rig& rig, unsigned threads, bool exclusive) {
+  Rng rng(threads + (exclusive ? 100 : 0));
+  const Bytes data = rng.next_bytes(kFileBytes);
+  auto cap = rig.server().create(data, 2);
+  if (!cap.ok()) std::abort();
+
+  rpc::Request req;
+  req.target = cap.value();
+  req.opcode = wire::kRead;
+
+  // Warm the cache so every measured request is a hit.
+  for (int i = 0; i < 4; ++i) {
+    if (rig.server().handle(req).status != ErrorCode::ok) std::abort();
+  }
+
+  std::atomic<bool> go{false};
+  std::atomic<std::uint64_t> sink{0};
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      std::uint64_t local = 0;
+      for (std::uint64_t i = 0; i < kItersPerThread; ++i) {
+        if (exclusive) {
+          auto r = rig.server().read(req.target);
+          if (!r.ok()) std::abort();
+          local += r.value().size();
+        } else {
+          rpc::Reply reply = rig.server().handle(req);
+          if (reply.status != ErrorCode::ok) std::abort();
+          local += reply.payload_size() - 4;  // minus the size prefix
+        }
+      }
+      sink.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& thread : pool) thread.join();
+  const double elapsed = seconds_since(start);
+
+  const std::uint64_t expected = kFileBytes * kItersPerThread * threads;
+  if (sink.load() != expected) std::abort();  // also defeats dead-code elim
+  Status st = rig.server().erase(cap.value());
+  if (!st.ok()) std::abort();
+  return static_cast<double>(expected) / (1 << 20) / elapsed;
+}
+
+}  // namespace
+}  // namespace bullet::bench
+
+int main() {
+  using namespace bullet::bench;
+
+  const unsigned host_cpus = std::thread::hardware_concurrency();
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("bench", "concurrency");
+  json.begin_object("config");
+  json.field("cache_bytes", kCacheBytes);
+  json.field("file_bytes", kFileBytes);
+  json.field("iters_per_thread", kItersPerThread);
+  json.field("dispatch", "in-process handle()");
+  json.field("clock", "host-steady");
+  json.field("host_cpus", static_cast<std::uint64_t>(host_cpus));
+  json.end_object();
+
+  std::fprintf(stderr,
+               "\nCache-hit 64 KB READ, aggregate MB/s by client threads "
+               "(host has %u cpu(s))\n",
+               host_cpus);
+  std::fprintf(stderr, "  %-8s %14s %14s %9s\n", "threads", "shared-lock",
+               "exclusive", "scaling");
+
+  // Single-thread shared-lock run first: the baseline every other row is
+  // normalized against.
+  Rig rig;
+  const double baseline = read_storm_mb_per_s(rig, 1, /*exclusive=*/false);
+
+  json.begin_array("read_scaling");
+  for (unsigned threads : kThreadCounts) {
+    const double shared =
+        threads == 1 ? baseline
+                     : read_storm_mb_per_s(rig, threads, /*exclusive=*/false);
+    const double serial = read_storm_mb_per_s(rig, threads, /*exclusive=*/true);
+    json.begin_object();
+    json.field("threads", static_cast<std::uint64_t>(threads));
+    json.field("shared_mb_s", shared);
+    json.field("exclusive_mb_s", serial);
+    json.field("speedup_vs_1thread", shared / baseline);
+    json.end_object();
+    std::fprintf(stderr, "  %-8u %14.1f %14.1f %8.2fx\n", threads, shared,
+                 serial, shared / baseline);
+  }
+  json.end_array();
+
+  // Lock-contention counters after the storm: lock_wait_ns is the time
+  // readers spent blocked (mostly behind the occasional exclusive op);
+  // pinned_evict_defers stays 0 here because the cache never fills.
+  const auto stats = rig.server().stats();
+  json.begin_object("counters");
+  json.field("lock_wait_ns", stats.lock_wait_ns);
+  json.field("pinned_evict_defers", stats.pinned_evict_defers);
+  json.field("cache_hits", stats.cache_hits);
+  json.field("bytes_copied", stats.bytes_copied);
+  json.end_object();
+
+  json.end_object();
+  std::printf("%s\n", json.str().c_str());
+  return 0;
+}

@@ -10,6 +10,46 @@ ExtentAllocator::ExtentAllocator(std::uint64_t start, std::uint64_t length)
   if (length > 0) add_hole(start, length);
 }
 
+ExtentAllocator::ExtentAllocator(const ExtentAllocator& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  start_ = other.start_;
+  length_ = other.length_;
+  total_free_ = other.total_free_;
+  holes_ = other.holes_;
+  hole_sizes_ = other.hole_sizes_;
+}
+
+ExtentAllocator::ExtentAllocator(ExtentAllocator&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  start_ = other.start_;
+  length_ = other.length_;
+  total_free_ = other.total_free_;
+  holes_ = std::move(other.holes_);
+  hole_sizes_ = std::move(other.hole_sizes_);
+}
+
+ExtentAllocator& ExtentAllocator::operator=(const ExtentAllocator& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  start_ = other.start_;
+  length_ = other.length_;
+  total_free_ = other.total_free_;
+  holes_ = other.holes_;
+  hole_sizes_ = other.hole_sizes_;
+  return *this;
+}
+
+ExtentAllocator& ExtentAllocator::operator=(ExtentAllocator&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  start_ = other.start_;
+  length_ = other.length_;
+  total_free_ = other.total_free_;
+  holes_ = std::move(other.holes_);
+  hole_sizes_ = std::move(other.hole_sizes_);
+  return *this;
+}
+
 void ExtentAllocator::add_hole(std::uint64_t offset, std::uint64_t length) {
   holes_.emplace(offset, length);
   hole_sizes_.insert(length);
@@ -24,6 +64,7 @@ void ExtentAllocator::drop_hole(
 }
 
 std::optional<std::uint64_t> ExtentAllocator::allocate(std::uint64_t length) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (length == 0 || length > total_free_) return std::nullopt;
   for (auto it = holes_.begin(); it != holes_.end(); ++it) {
     if (it->second < length) continue;
@@ -38,6 +79,7 @@ std::optional<std::uint64_t> ExtentAllocator::allocate(std::uint64_t length) {
 }
 
 Status ExtentAllocator::release(std::uint64_t offset, std::uint64_t length) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (length == 0) return Status::success();
   if (offset < start_ || offset + length > start_ + length_) {
     return Error(ErrorCode::bad_argument, "release out of range");
@@ -76,8 +118,9 @@ Status ExtentAllocator::release(std::uint64_t offset, std::uint64_t length) {
 }
 
 Status ExtentAllocator::reserve(std::uint64_t offset, std::uint64_t length) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (length == 0) return Status::success();
-  if (!is_free(offset, length)) {
+  if (!is_free_locked(offset, length)) {
     return Error(ErrorCode::bad_state, "range not free");
   }
   // The containing hole: the last hole starting at or before `offset`.
@@ -97,6 +140,12 @@ Status ExtentAllocator::reserve(std::uint64_t offset, std::uint64_t length) {
 
 bool ExtentAllocator::is_free(std::uint64_t offset,
                               std::uint64_t length) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return is_free_locked(offset, length);
+}
+
+bool ExtentAllocator::is_free_locked(std::uint64_t offset,
+                                     std::uint64_t length) const {
   if (length == 0) return true;
   if (offset < start_ || offset + length > start_ + length_) return false;
   auto it = holes_.upper_bound(offset);

@@ -34,6 +34,7 @@ const FileCache::Rnode& FileCache::slot(RnodeIndex index) const {
 }
 
 bool FileCache::contains(RnodeIndex index) const noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
   return index >= 1 && index <= rnodes_.size() && rnodes_[index - 1u].in_use;
 }
 
@@ -62,9 +63,23 @@ void FileCache::lru_unlink(RnodeIndex index) {
   node.lru_next = 0;
 }
 
+void FileCache::free_slot(RnodeIndex index) {
+  Rnode& node = slot(index);
+  assert(node.pins == 0);
+  if (node.alloc > 0) {
+    const Status st = arena_free_.release(node.offset, node.alloc);
+    assert(st.ok());
+    (void)st;
+  }
+  stats_.used -= node.alloc;
+  node = Rnode{};
+  free_rnodes_.push_back(index);
+}
+
 Result<RnodeIndex> FileCache::insert(std::uint32_t inode_index,
                                      std::uint32_t size,
                                      std::vector<std::uint32_t>* evicted) {
+  std::lock_guard<std::mutex> lock(mu_);
   const std::uint64_t alloc = padded(size);
   if (alloc > arena_.size()) {
     return Error(ErrorCode::too_large, "file exceeds cache");
@@ -80,20 +95,28 @@ Result<RnodeIndex> FileCache::insert(std::uint32_t inode_index,
   //  large enough to hold the file. If not, the least recently accessed
   //  file is removed from the RAM cache ... repeating until enough memory
   //  is found."
+  //
+  // With pinned entries in play compaction can no longer always produce a
+  // single hole (pins are immovable), so one compaction per layout is the
+  // cap: compact at most once between evictions, then fall through to
+  // eviction rather than spinning.
   std::optional<std::uint64_t> offset;
+  bool compacted = false;
   for (;;) {
     offset = alloc == 0 ? std::optional<std::uint64_t>(0)
                         : arena_free_.allocate(alloc);
     if (offset.has_value()) break;
-    if (arena_free_.total_free() >= alloc) {
+    if (!compacted && arena_free_.total_free() >= alloc) {
       // Enough bytes in total but no contiguous hole: compaction, not
       // eviction, is the remedy.
-      compact();
+      compact_locked();
+      compacted = true;
       continue;
     }
     if (!evict_lru(evicted)) {
       return Error(ErrorCode::no_space, "cache exhausted");
     }
+    compacted = false;  // the layout changed; compaction may pay off again
   }
 
   if (free_rnodes_.empty()) {
@@ -128,79 +151,152 @@ Result<RnodeIndex> FileCache::insert(std::uint32_t inode_index,
   return index;
 }
 
-void FileCache::remove(RnodeIndex index) {
-  if (!contains(index)) return;
+void FileCache::remove_locked(RnodeIndex index) {
+  if (index < 1 || index > rnodes_.size()) return;
   Rnode& node = slot(index);
-  if (node.alloc > 0) {
-    const Status st = arena_free_.release(node.offset, node.alloc);
-    assert(st.ok());
-    (void)st;
-  }
-  stats_.used -= node.alloc;
-  --stats_.entries;
+  if (!node.in_use) return;
   lru_unlink(index);
-  node = Rnode{};
-  free_rnodes_.push_back(index);
+  node.in_use = false;
+  --stats_.entries;
+  if (node.pins > 0) {
+    // A reader still holds the bytes: the mapping is gone (lookups now
+    // miss) but the arena space waits for the last unpin.
+    node.zombie = true;
+    deferred_.push_back(index);
+    return;
+  }
+  free_slot(index);
+}
+
+void FileCache::remove(RnodeIndex index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  remove_locked(index);
 }
 
 ByteSpan FileCache::data(RnodeIndex index) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const Rnode& node = slot(index);
   assert(node.in_use);
   return ByteSpan(arena_.data() + node.offset, node.size);
 }
 
 MutableByteSpan FileCache::mutable_data(RnodeIndex index) {
+  std::lock_guard<std::mutex> lock(mu_);
   Rnode& node = slot(index);
   assert(node.in_use);
   return MutableByteSpan(arena_.data() + node.offset, node.size);
 }
 
 ByteSpan FileCache::padded_data(RnodeIndex index) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const Rnode& node = slot(index);
   assert(node.in_use);
   return ByteSpan(arena_.data() + node.offset, node.alloc);
 }
 
 MutableByteSpan FileCache::mutable_padded_data(RnodeIndex index) {
+  std::lock_guard<std::mutex> lock(mu_);
   Rnode& node = slot(index);
   assert(node.in_use);
   return MutableByteSpan(arena_.data() + node.offset, node.alloc);
 }
 
 std::uint32_t FileCache::inode_of(RnodeIndex index) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return slot(index).inode_index;
 }
 
 void FileCache::touch(RnodeIndex index) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (lru_head_ == index) return;  // already most recent
   lru_unlink(index);
   lru_link_front(index);
 }
 
+std::optional<ByteSpan> FileCache::touch_and_pin(RnodeIndex index,
+                                                 std::uint32_t inode_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index < 1 || index > rnodes_.size()) return std::nullopt;
+  Rnode& node = slot(index);
+  if (!node.in_use || node.inode_index != inode_index) return std::nullopt;
+  if (lru_head_ != index) {
+    lru_unlink(index);
+    lru_link_front(index);
+  }
+  ++node.pins;
+  return ByteSpan(arena_.data() + node.offset, node.size);
+}
+
+void FileCache::pin(RnodeIndex index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Rnode& node = slot(index);
+  assert(node.in_use);
+  ++node.pins;
+}
+
+void FileCache::unpin(RnodeIndex index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Rnode& node = slot(index);
+  assert(node.pins > 0);
+  --node.pins;
+  if (node.pins == 0 && node.zombie) {
+    deferred_.erase(std::find(deferred_.begin(), deferred_.end(), index));
+    ++stats_.deferred_frees;
+    free_slot(index);
+  }
+}
+
 bool FileCache::evict_lru(std::vector<std::uint32_t>* evicted) {
   // The recency list makes the victim the tail: one rnode examined,
-  // regardless of how many are live (the paper scanned every age field).
-  const RnodeIndex victim = lru_tail_;
+  // regardless of how many are live (the paper scanned every age field) —
+  // unless readers hold pins, in which case the walk skips towards the
+  // head until it finds an unpinned victim.
+  RnodeIndex victim = lru_tail_;
+  while (victim != 0) {
+    ++stats_.evict_scans;
+    const Rnode& node = slot(victim);
+    if (node.pins == 0) break;
+    ++stats_.pinned_evict_defers;
+    victim = node.lru_prev;
+  }
   if (victim == 0) return false;
-  ++stats_.evict_scans;
   if (evicted != nullptr) evicted->push_back(slot(victim).inode_index);
-  remove(victim);
+  remove_locked(victim);
   ++stats_.evictions;
   return true;
 }
 
 void FileCache::compact() {
-  // Slide every live entry to the lowest available offset, in offset order.
-  std::vector<RnodeIndex> live;
+  std::lock_guard<std::mutex> lock(mu_);
+  compact_locked();
+}
+
+void FileCache::compact_locked() {
+  // Slide entries to the lowest available offset, in offset order. Pinned
+  // and zombie entries are immovable obstacles: a reader may be shipping
+  // their bytes right now. The cursor walk below never collides a moved
+  // entry with a later obstacle because entries are processed in offset
+  // order and the cursor never exceeds the current entry's own offset
+  // (each step advances it to at most offset + alloc, and entries do not
+  // overlap), so the destination [cursor, cursor + alloc) always ends at
+  // or before the next entry's start.
+  std::vector<RnodeIndex> occupied;
   for (std::size_t i = 0; i < rnodes_.size(); ++i) {
-    if (rnodes_[i].in_use) live.push_back(static_cast<RnodeIndex>(i + 1));
+    if (rnodes_[i].in_use || rnodes_[i].zombie) {
+      occupied.push_back(static_cast<RnodeIndex>(i + 1));
+    }
   }
-  std::sort(live.begin(), live.end(), [this](RnodeIndex a, RnodeIndex b) {
-    return slot(a).offset < slot(b).offset;
-  });
+  std::sort(occupied.begin(), occupied.end(),
+            [this](RnodeIndex a, RnodeIndex b) {
+              return slot(a).offset < slot(b).offset;
+            });
   std::uint64_t cursor = 0;
-  for (const RnodeIndex index : live) {
+  for (const RnodeIndex index : occupied) {
     Rnode& node = slot(index);
+    if (node.pins > 0 || node.zombie) {
+      cursor = std::max(cursor, node.offset + node.alloc);
+      continue;
+    }
     if (node.offset != cursor && node.alloc > 0) {
       std::memmove(arena_.data() + cursor, arena_.data() + node.offset,
                    node.alloc);
@@ -208,13 +304,30 @@ void FileCache::compact() {
     node.offset = cursor;
     cursor += node.alloc;
   }
+  // Rebuild the free map from the surviving layout.
   arena_free_ = ExtentAllocator(0, arena_.size());
-  if (cursor > 0) {
-    const Status st = arena_free_.reserve(0, cursor);
+  for (const RnodeIndex index : occupied) {
+    const Rnode& node = slot(index);
+    if (node.alloc == 0) continue;
+    const Status st = arena_free_.reserve(node.offset, node.alloc);
     assert(st.ok());
     (void)st;
   }
   ++stats_.compactions;
+}
+
+FileCache::Stats FileCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::uint64_t FileCache::free_bytes() const {
+  return arena_free_.total_free();
+}
+
+std::size_t FileCache::deferred_free_pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return deferred_.size();
 }
 
 }  // namespace bullet

@@ -13,7 +13,7 @@
 // time") — cheap here because inodes reference rnodes by index, not by
 // address, so moving cached bytes never touches an inode.
 //
-// Two deviations from the paper's description, both for the hot path:
+// Deviations from the paper's description, all for the hot path:
 //
 //  * The arena is *block-aligned*: entries are rounded up to whole device
 //    blocks (`block_size`), with the padding tail zeroed. The server can
@@ -27,11 +27,24 @@
 //    rnodes instead of the paper's age-field scan, making eviction O(1)
 //    rather than O(live entries) — the same victims in the same order,
 //    without the O(n²) scan storms a cache-thrashing workload provokes.
-//    `stats().evict_scans` counts rnodes examined while picking victims
-//    (exactly one per eviction here; n per eviction for an age scan).
+//    `stats().evict_scans` counts rnodes examined while picking victims.
+//
+//  * Concurrency (the paper's server was single-threaded; ours serves
+//    reads from a worker pool). The cache is internally synchronized by
+//    one mutex, and entries carry a *pin count*: a pinned entry's bytes
+//    are guaranteed valid and immobile — eviction skips pinned entries
+//    (walking past one costs an evict_scan and a pinned_evict_defer) and
+//    compaction treats them as fixed obstacles it slides other entries
+//    around. remove() of a pinned entry does not free the bytes; the entry
+//    becomes a *zombie* on the deferred-free list, unlinked from the LRU
+//    and invisible to lookups, and its arena space is reclaimed when the
+//    last pin drops. The arena itself is allocated once and never moves,
+//    so a pinned span survives any concurrent insert/evict/compact.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
+#include <optional>
 #include <vector>
 
 #include "bullet/extent_allocator.h"
@@ -49,10 +62,15 @@ class FileCache {
   struct Stats {
     std::uint64_t capacity = 0;  // arena bytes (a whole number of blocks)
     std::uint64_t used = 0;      // padded bytes allocated (block granular)
-    std::uint64_t entries = 0;
+    std::uint64_t entries = 0;   // live mappings (zombies excluded)
     std::uint64_t evictions = 0;
     std::uint64_t compactions = 0;
     std::uint64_t evict_scans = 0;  // rnodes examined choosing LRU victims
+    // Concurrency counters: victims skipped because a reader held a pin,
+    // and zombie entries whose space was reclaimed when the last pin
+    // dropped (each remove-while-pinned eventually becomes one).
+    std::uint64_t pinned_evict_defers = 0;
+    std::uint64_t deferred_frees = 0;
   };
 
   // `capacity_bytes` is rounded down to a whole number of blocks;
@@ -67,11 +85,13 @@ class FileCache {
   // fragmentation blocks an otherwise satisfiable request. The entry
   // occupies `size` rounded up to whole blocks; the padding tail is
   // zeroed. Fails with too_large when the padded size exceeds the whole
-  // cache.
+  // cache and no_space when everything else is pinned or zombie.
   Result<RnodeIndex> insert(std::uint32_t inode_index, std::uint32_t size,
                             std::vector<std::uint32_t>* evicted);
 
-  // Drop one entry (e.g. the file was deleted).
+  // Drop one entry (e.g. the file was deleted). If the entry is pinned the
+  // free is deferred: the mapping disappears now, the bytes when the last
+  // pin drops.
   void remove(RnodeIndex index);
 
   // Cached bytes of an entry (exactly the file's `size` bytes).
@@ -89,17 +109,38 @@ class FileCache {
   // the recent access").
   void touch(RnodeIndex index);
 
-  // Slide all entries to the front of the arena, erasing holes.
+  // The concurrent-read fast path, one lock acquisition: verify the entry
+  // is live and still maps `inode_index`, record a use, take a pin, and
+  // return the file bytes. nullopt when the entry is gone/recycled (the
+  // caller falls back to the miss path). Every success must be matched by
+  // exactly one unpin().
+  std::optional<ByteSpan> touch_and_pin(RnodeIndex index,
+                                        std::uint32_t inode_index);
+
+  // Additional pin on an entry known to be live (caller excludes
+  // concurrent removal, e.g. under the server's exclusive lock).
+  void pin(RnodeIndex index);
+
+  // Release one pin; reclaims the entry's space if it was removed while
+  // pinned and this was the last pin. Safe from any thread.
+  void unpin(RnodeIndex index);
+
+  // Slide all entries to the front of the arena, erasing holes. Pinned and
+  // zombie entries do not move; everything else packs around them.
   void compact();
 
   bool contains(RnodeIndex index) const noexcept;
-  const Stats& stats() const noexcept { return stats_; }
-  std::uint64_t free_bytes() const noexcept { return arena_free_.total_free(); }
+  Stats stats() const;
+  std::uint64_t free_bytes() const;
   std::uint32_t block_size() const noexcept { return block_size_; }
+  // Entries awaiting their last unpin before the space returns (tests).
+  std::size_t deferred_free_pending() const;
 
  private:
   struct Rnode {
     bool in_use = false;
+    bool zombie = false;       // removed while pinned; bytes not yet freed
+    std::uint32_t pins = 0;    // readers holding the bytes
     std::uint32_t inode_index = 0;
     std::uint64_t offset = 0;  // into arena_
     std::uint32_t size = 0;    // file bytes
@@ -117,18 +158,31 @@ class FileCache {
   }
 
   // Recency-list maintenance; head = most recent, tail = LRU victim.
+  // Callers hold mu_.
   void lru_link_front(RnodeIndex index);
   void lru_unlink(RnodeIndex index);
 
-  // Evict the least-recently-used entry; returns false when nothing is
-  // cached. The victim's inode index is appended to `evicted`.
+  // Evict the least-recently-used *unpinned* entry; returns false when
+  // every cached entry is pinned (or nothing is cached). The victim's
+  // inode index is appended to `evicted`. Caller holds mu_.
   bool evict_lru(std::vector<std::uint32_t>* evicted);
 
-  Bytes arena_;
+  // remove() body; caller holds mu_.
+  void remove_locked(RnodeIndex index);
+
+  // Free a (possibly zombie) entry's arena space and recycle its slot.
+  // Caller holds mu_; the entry must be unpinned and off the LRU list.
+  void free_slot(RnodeIndex index);
+
+  void compact_locked();
+
+  mutable std::mutex mu_;
+  Bytes arena_;                 // allocated once; never reallocates
   std::uint32_t block_size_ = 1;
   ExtentAllocator arena_free_;
   std::vector<Rnode> rnodes_;              // slot i <-> RnodeIndex i+1
   std::vector<RnodeIndex> free_rnodes_;    // free list of slots (1-based)
+  std::vector<RnodeIndex> deferred_;       // zombies awaiting last unpin
   RnodeIndex lru_head_ = 0;                // most recently used
   RnodeIndex lru_tail_ = 0;                // least recently used
   Stats stats_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <limits>
 #include <utility>
@@ -14,6 +16,43 @@ namespace {
 constexpr char kLog[] = "bullet";
 
 }  // namespace
+
+std::shared_lock<std::shared_mutex> BulletServer::lock_shared() const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    lock.lock();
+    lock_wait_ns_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count(),
+        std::memory_order_relaxed);
+  }
+  return lock;
+}
+
+std::unique_lock<std::shared_mutex> BulletServer::lock_exclusive() const {
+  std::unique_lock<std::shared_mutex> lock(state_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    lock.lock();
+    lock_wait_ns_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count(),
+        std::memory_order_relaxed);
+  }
+  return lock;
+}
+
+std::shared_ptr<const void> BulletServer::make_retainer(RnodeIndex rnode) {
+  FileCache* cache = &cache_;
+  // The pointer value is only a non-null token (so `if (retainer)` means
+  // "pinned"); the deleter carries the actual release.
+  return std::shared_ptr<const void>(
+      reinterpret_cast<const void*>(static_cast<std::uintptr_t>(rnode)),
+      [cache, rnode](const void*) { cache->unpin(rnode); });
+}
 
 Status BulletServer::format(BlockDevice& device, std::uint32_t inode_slots) {
   const std::uint64_t bs = device.block_size();
@@ -256,6 +295,11 @@ Capability BulletServer::super_capability(std::uint8_t rights) const {
 }
 
 Result<Capability> BulletServer::create(ByteSpan data, int pfactor) {
+  const auto lock = lock_exclusive();
+  return create_locked(data, pfactor);
+}
+
+Result<Capability> BulletServer::create_locked(ByteSpan data, int pfactor) {
   if (pfactor < 0 || pfactor > disk_->replica_count()) {
     return Error(ErrorCode::bad_argument, "pfactor exceeds replica count");
   }
@@ -275,7 +319,7 @@ Result<Capability> BulletServer::create(ByteSpan data, int pfactor) {
   if (blocks > 0) {
     std::optional<std::uint64_t> got = disk_free_.allocate(blocks);
     if (!got.has_value() && disk_free_.total_free() >= blocks) {
-      BULLET_ASSIGN_OR_RETURN(const std::uint64_t moved, compact_disk());
+      BULLET_ASSIGN_OR_RETURN(const std::uint64_t moved, compact_disk_locked());
       (void)moved;
       got = disk_free_.allocate(blocks);
     }
@@ -291,7 +335,22 @@ Result<Capability> BulletServer::create(ByteSpan data, int pfactor) {
   std::vector<std::uint32_t> evicted;
   auto rnode_result = cache_.insert(index, size, &evicted);
   drop_evicted(evicted);
-  if (!rnode_result.ok()) {
+  RnodeIndex rnode = 0;
+  Bytes bypass;
+  if (rnode_result.ok()) {
+    rnode = rnode_result.value();
+    if (size > 0) {
+      std::memcpy(cache_.mutable_data(rnode).data(), data.data(), size);
+    }
+  } else if (rnode_result.code() == ErrorCode::no_space) {
+    // Concurrent readers can pin the entire arena; creating must keep
+    // working. Stage the padded image in a scratch buffer, write it from
+    // there, and leave the file uncached (cache_index 0).
+    bypass.resize(blocks * layout_.block_size());
+    if (size > 0) std::memcpy(bypass.data(), data.data(), size);
+    ++scratch_allocs_;
+    bytes_copied_ += size;
+  } else {
     if (blocks > 0) {
       const Status st = disk_free_.release(first_block, blocks);
       assert(st.ok());
@@ -299,11 +358,7 @@ Result<Capability> BulletServer::create(ByteSpan data, int pfactor) {
     }
     return rnode_result.error();
   }
-  const RnodeIndex rnode = rnode_result.value();
   free_inodes_.pop_back();
-  if (size > 0) {
-    std::memcpy(cache_.mutable_data(rnode).data(), data.data(), size);
-  }
 
   // The RAM inode.
   Inode& inode = inodes_[index];
@@ -317,7 +372,7 @@ Result<Capability> BulletServer::create(ByteSpan data, int pfactor) {
   // behind the reply. The padded arena allocation is already whole zeroed
   // blocks, so the device writes straight from the cache — no tail
   // staging buffer.
-  const ByteSpan stored = cache_.padded_data(rnode);
+  const ByteSpan stored = rnode != 0 ? cache_.padded_data(rnode) : bypass;
   int written = 0;
   if (pfactor > 0) {
     auto data_written = write_file_data(first_block, stored, pfactor);
@@ -332,7 +387,7 @@ Result<Capability> BulletServer::create(ByteSpan data, int pfactor) {
       // the client can resume" — anything less means the create failed.
       // Undo so the inode table stays consistent (a zeroed inode is
       // written back to whatever replicas remain).
-      cache_.remove(rnode);
+      if (rnode != 0) cache_.remove(rnode);
       inodes_[index] = Inode{};
       (void)write_inode_block(index, disk_->replica_count());
       free_inodes_.push_back(index);
@@ -371,6 +426,7 @@ Result<Capability> BulletServer::create(ByteSpan data, int pfactor) {
 }
 
 Result<ByteSpan> BulletServer::read(const Capability& cap) {
+  const auto lock = lock_exclusive();
   BULLET_ASSIGN_OR_RETURN(const std::uint32_t index, verify(cap, rights::kRead));
   if (index == 0) {
     return Error(ErrorCode::bad_argument, "server object holds no data");
@@ -382,7 +438,80 @@ Result<ByteSpan> BulletServer::read(const Capability& cap) {
   return cache_.data(rnode);
 }
 
+Result<BulletServer::PinnedFile> BulletServer::read_pinned(
+    const Capability& cap) {
+  // Fast path, shared lock only: capability check against the inode table,
+  // then one cache lookup that touches LRU and pins in a single
+  // acquisition. Immutability does the rest — nothing to copy, nothing to
+  // coordinate with other readers.
+  {
+    const auto lock = lock_shared();
+    BULLET_ASSIGN_OR_RETURN(const std::uint32_t index,
+                            verify(cap, rights::kRead));
+    if (index == 0) {
+      return Error(ErrorCode::bad_argument, "server object holds no data");
+    }
+    const RnodeIndex hint = inodes_[index].cache_index;
+    if (hint != 0) {
+      const std::optional<ByteSpan> span = cache_.touch_and_pin(hint, index);
+      if (span.has_value()) {
+        ++cache_hits_;
+        ++reads_;
+        bytes_served_ += span->size();
+        return PinnedFile{*span, make_retainer(hint)};
+      }
+    }
+  }
+  // Miss: load from disk under the exclusive lock. Revalidate from scratch
+  // — the file may have been erased between the two acquisitions.
+  const auto lock = lock_exclusive();
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t index, verify(cap, rights::kRead));
+  if (index == 0) {
+    return Error(ErrorCode::bad_argument, "server object holds no data");
+  }
+  auto rnode_result = ensure_cached(index);
+  if (!rnode_result.ok()) {
+    if (rnode_result.code() != ErrorCode::no_space) {
+      return rnode_result.error();
+    }
+    // Concurrent readers can pin the entire arena; this read must still be
+    // served. Load into a private heap buffer the retainer owns — the
+    // reply borrows from it exactly as it would from the cache.
+    const Inode& inode = inodes_[index];
+    auto buffer = std::make_shared<Bytes>(layout_.blocks_for(inode.size_bytes) *
+                                          layout_.block_size());
+    const Status st = read_file_from_disk(inode, MutableByteSpan(*buffer));
+    if (!st.ok()) return st.error();
+    ++scratch_allocs_;
+    bytes_copied_ += inode.size_bytes;
+    ++reads_;
+    bytes_served_ += inode.size_bytes;
+    const ByteSpan span = ByteSpan(*buffer).first(inode.size_bytes);
+    return PinnedFile{span,
+                      std::shared_ptr<const void>(buffer, buffer->data())};
+  }
+  const RnodeIndex rnode = rnode_result.value();
+  cache_.touch(rnode);
+  cache_.pin(rnode);
+  ++reads_;
+  bytes_served_ += inodes_[index].size_bytes;
+  return PinnedFile{cache_.data(rnode), make_retainer(rnode)};
+}
+
+Result<BulletServer::PinnedFile> BulletServer::read_range_pinned(
+    const Capability& cap, std::uint32_t offset, std::uint32_t length) {
+  BULLET_ASSIGN_OR_RETURN(PinnedFile whole, read_pinned(cap));
+  if (offset > whole.data.size() || length > whole.data.size() - offset) {
+    return Error(ErrorCode::bad_argument, "range beyond end of file");
+  }
+  // The whole-file read above over-counted; correct to the range served.
+  bytes_served_ -= whole.data.size() - length;
+  whole.data = whole.data.subspan(offset, length);
+  return whole;
+}
+
 Result<std::uint32_t> BulletServer::size(const Capability& cap) {
+  const auto lock = lock_shared();
   BULLET_ASSIGN_OR_RETURN(const std::uint32_t index, verify(cap, rights::kRead));
   if (index == 0) {
     return Error(ErrorCode::bad_argument, "server object holds no data");
@@ -391,6 +520,7 @@ Result<std::uint32_t> BulletServer::size(const Capability& cap) {
 }
 
 Status BulletServer::erase(const Capability& cap) {
+  const auto lock = lock_exclusive();
   BULLET_ASSIGN_OR_RETURN(const std::uint32_t index, verify(cap, rights::kDelete));
   if (index == 0) {
     return Error(ErrorCode::bad_argument, "cannot delete the server object");
@@ -427,6 +557,7 @@ Status BulletServer::erase(const Capability& cap) {
 Result<Capability> BulletServer::create_from(
     const Capability& source, std::span<const wire::FileEdit> edits,
     int pfactor) {
+  const auto lock = lock_exclusive();
   BULLET_ASSIGN_OR_RETURN(const std::uint32_t index,
                           verify(source, rights::kRead));
   if (index == 0) {
@@ -441,12 +572,13 @@ Result<Capability> BulletServer::create_from(
   // zero staged bytes).
   ++scratch_allocs_;
   bytes_copied_ += updated.size();
-  return create(updated, pfactor);
+  return create_locked(updated, pfactor);
 }
 
 Result<ByteSpan> BulletServer::read_range(const Capability& cap,
                                           std::uint32_t offset,
                                           std::uint32_t length) {
+  const auto lock = lock_exclusive();
   BULLET_ASSIGN_OR_RETURN(const std::uint32_t index, verify(cap, rights::kRead));
   if (index == 0) {
     return Error(ErrorCode::bad_argument, "server object holds no data");
@@ -557,6 +689,11 @@ void BulletServer::drop_evicted(const std::vector<std::uint32_t>& evicted) {
 }
 
 Result<std::uint64_t> BulletServer::compact_disk() {
+  const auto lock = lock_exclusive();
+  return compact_disk_locked();
+}
+
+Result<std::uint64_t> BulletServer::compact_disk_locked() {
   // Slide every live file toward the start of the data region, in block
   // order ("disk fragmentation can be relieved by compaction every morning
   // at say 3 am when the system is lightly loaded").
@@ -686,6 +823,7 @@ Result<std::uint64_t> BulletServer::compact_disk() {
 }
 
 wire::FsckReport BulletServer::check_consistency() const {
+  const auto lock = lock_shared();
   wire::FsckReport report;
   report.inodes_scanned = inodes_.size() > 0 ? inodes_.size() - 1 : 0;
   struct Extent {
@@ -722,6 +860,7 @@ wire::FsckReport BulletServer::check_consistency() const {
 
 Result<Capability> BulletServer::restrict(const Capability& cap,
                                           std::uint8_t new_rights) {
+  const auto lock = lock_shared();
   // Holding a valid capability is the precondition; no specific right is
   // needed to give away less than you have.
   BULLET_ASSIGN_OR_RETURN(const std::uint32_t index, verify(cap, 0));
@@ -738,9 +877,13 @@ Result<Capability> BulletServer::restrict(const Capability& cap,
   return out;
 }
 
-Status BulletServer::sync() { return disk_->flush(); }
+Status BulletServer::sync() {
+  const auto lock = lock_exclusive();
+  return disk_->flush();
+}
 
 std::vector<BulletServer::ObjectInfo> BulletServer::list_objects() const {
+  const auto lock = lock_shared();
   std::vector<ObjectInfo> out;
   for (std::uint32_t i = 1; i < inodes_.size(); ++i) {
     const Inode& inode = inodes_[i];
@@ -752,13 +895,15 @@ std::vector<BulletServer::ObjectInfo> BulletServer::list_objects() const {
 }
 
 wire::ServerStats BulletServer::stats() const {
+  const auto lock = lock_shared();
+  const FileCache::Stats cache_stats = cache_.stats();
   wire::ServerStats s;
   s.creates = creates_;
   s.reads = reads_;
   s.deletes = deletes_;
   s.cache_hits = cache_hits_;
   s.cache_misses = cache_misses_;
-  s.cache_evictions = cache_.stats().evictions;
+  s.cache_evictions = cache_stats.evictions;
   s.bytes_stored = bytes_stored_;
   s.bytes_served = bytes_served_;
   s.files_live = live_files_;
@@ -769,12 +914,19 @@ wire::ServerStats BulletServer::stats() const {
   s.healthy_replicas = static_cast<std::uint64_t>(disk_->healthy_count());
   s.bytes_copied = bytes_copied_;
   s.scratch_allocs = scratch_allocs_;
-  s.evict_scans = cache_.stats().evict_scans;
+  s.evict_scans = cache_stats.evict_scans;
   const MirroredDisk::Health& health = disk_->health();
   s.io_errors = health.io_errors;
   s.read_repairs = health.read_repairs;
   s.failovers = health.failovers;
   s.bg_write_failures = health.bg_write_failures;
+  if (io_counters_ != nullptr) {
+    s.rx_batches = io_counters_->rx_batches.load(std::memory_order_relaxed);
+    s.worker_wakeups =
+        io_counters_->worker_wakeups.load(std::memory_order_relaxed);
+  }
+  s.lock_wait_ns = lock_wait_ns_.load(std::memory_order_relaxed);
+  s.pinned_evict_defers = cache_stats.pinned_evict_defers;
   return s;
 }
 

@@ -5,9 +5,19 @@
 // capabilities, with write-through replication to N mirrored disks and the
 // P-FACTOR durability knob on create. The same object serves requests both
 // as a plain C++ API (create/read/size/erase) and as an rpc::Service.
+//
+// Concurrency: handle() may be called from many threads at once (the UDP
+// worker pool). Files are immutable, so reads need no coordination with
+// each other — the hot path takes a reader (shared) lock, pins the cache
+// entry, and ships borrowed bytes whose lifetime the Reply's retainer
+// owns. Mutations (create/erase/create_from/compact/sync) serialize on the
+// writer (exclusive) lock. See DESIGN.md "Concurrency model" for the lock
+// hierarchy and the pin lifecycle.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "bullet/extent_allocator.h"
@@ -62,8 +72,26 @@ class BulletServer final : public rpc::Service {
   Result<Capability> create(ByteSpan data, int pfactor);
 
   // BULLET.READ: the whole file. The returned span views the RAM cache and
-  // is valid until the next server operation.
+  // is valid until the next server operation. Single-threaded callers only
+  // (takes the exclusive lock so nothing invalidates the span mid-copy);
+  // concurrent callers use read_pinned().
   Result<ByteSpan> read(const Capability& cap);
+
+  // BULLET.READ for concurrent callers: the span views the RAM cache and
+  // the `retainer` keeps the entry pinned (valid, immobile, exempt from
+  // eviction) until the last copy of the retainer drops. Cache hits take
+  // only the shared lock. The server must outlive every retainer.
+  struct PinnedFile {
+    ByteSpan data;
+    std::shared_ptr<const void> retainer;
+  };
+  Result<PinnedFile> read_pinned(const Capability& cap);
+
+  // read_range() with the same pinning contract; `data` is the requested
+  // sub-range (the pin covers the whole underlying file).
+  Result<PinnedFile> read_range_pinned(const Capability& cap,
+                                       std::uint32_t offset,
+                                       std::uint32_t length);
 
   // BULLET.SIZE.
   Result<std::uint32_t> size(const Capability& cap);
@@ -80,6 +108,7 @@ class BulletServer final : public rpc::Service {
                                  int pfactor);
 
   // Read a byte range, for clients whose memory cannot hold the file.
+  // Single-threaded callers only, like read().
   Result<ByteSpan> read_range(const Capability& cap, std::uint32_t offset,
                               std::uint32_t length);
 
@@ -91,6 +120,11 @@ class BulletServer final : public rpc::Service {
   // --- administration ---------------------------------------------------
 
   wire::ServerStats stats() const;
+  // Surface a transport's I/O counters (rx_batches, worker_wakeups) in
+  // stats(); `counters` must outlive the server or be detached (nullptr).
+  void attach_io_counters(const rpc::IoCounters* counters) {
+    io_counters_ = counters;
+  }
   Status sync();
   // Slide files together to squeeze out the holes; returns blocks moved.
   Result<std::uint64_t> compact_disk();
@@ -121,10 +155,29 @@ class BulletServer final : public rpc::Service {
   const DiskLayout& layout() const noexcept { return layout_; }
   const ExtentAllocator& disk_free() const noexcept { return disk_free_; }
   const FileCache& cache() const noexcept { return cache_; }
-  std::uint64_t live_files() const noexcept { return live_files_; }
+  std::uint64_t live_files() const noexcept {
+    return live_files_.load(std::memory_order_relaxed);
+  }
 
  private:
   BulletServer(MirroredDisk* disk, BulletConfig config, DiskLayout layout);
+
+  // Lock acquisition with contention accounting: try first (free when
+  // uncontended, the common case), time only blocked acquisitions into
+  // lock_wait_ns_.
+  std::shared_lock<std::shared_mutex> lock_shared() const;
+  std::unique_lock<std::shared_mutex> lock_exclusive() const;
+
+  // create() body; caller holds the exclusive lock (create_from() composes
+  // it with edit application under one critical section).
+  Result<Capability> create_locked(ByteSpan data, int pfactor);
+  // compact_disk() body; caller holds the exclusive lock (create's
+  // fragmentation fallback runs it mid-create).
+  Result<std::uint64_t> compact_disk_locked();
+
+  // Wrap a pin the caller already took (touch_and_pin()/pin()) in a
+  // Reply-attachable token; the last copy dropping releases the pin.
+  std::shared_ptr<const void> make_retainer(RnodeIndex rnode);
 
   // Startup: scan inodes, repair, build free lists.
   Status boot();
@@ -170,28 +223,40 @@ class BulletServer final : public rpc::Service {
   Rng rng_;
   std::uint64_t super_random_ = 0;
 
+  // Guards inodes_, free_inodes_, disk_free_ structure, and live-file
+  // bookkeeping: shared for reads of the table (the read hot path, stats,
+  // introspection), exclusive for any mutation. The cache and allocator
+  // carry their own leaf locks; lock order is state lock -> cache mutex ->
+  // allocator mutex, never the reverse.
+  mutable std::shared_mutex state_mu_;
+
   std::vector<Inode> inodes_;            // the RAM inode table (slot 0 unused)
   std::vector<std::uint32_t> free_inodes_;
   ExtentAllocator disk_free_;            // device blocks in the data region
   FileCache cache_;
 
   wire::FsckReport boot_report_;
-  std::uint64_t live_files_ = 0;
+  std::atomic<std::uint64_t> live_files_{0};
 
-  // Counters surfaced via stats().
-  mutable std::uint64_t creates_ = 0;
-  mutable std::uint64_t reads_ = 0;
-  mutable std::uint64_t deletes_ = 0;
-  mutable std::uint64_t cache_hits_ = 0;
-  mutable std::uint64_t cache_misses_ = 0;
-  mutable std::uint64_t bytes_stored_ = 0;
-  mutable std::uint64_t bytes_served_ = 0;
+  const rpc::IoCounters* io_counters_ = nullptr;
+
+  // Counters surfaced via stats(). Relaxed atomics: readers bump them
+  // under the shared lock, concurrently with each other.
+  mutable std::atomic<std::uint64_t> creates_{0};
+  mutable std::atomic<std::uint64_t> reads_{0};
+  mutable std::atomic<std::uint64_t> deletes_{0};
+  mutable std::atomic<std::uint64_t> cache_hits_{0};
+  mutable std::atomic<std::uint64_t> cache_misses_{0};
+  mutable std::atomic<std::uint64_t> bytes_stored_{0};
+  mutable std::atomic<std::uint64_t> bytes_served_{0};
   // Hot-path cost counters: payload bytes memcpy'd through temporary
   // staging buffers and the number of such buffers allocated. The READ and
   // CREATE fast paths contribute zero to both; what remains is create-from
   // edit application and disk compaction.
-  mutable std::uint64_t bytes_copied_ = 0;
-  mutable std::uint64_t scratch_allocs_ = 0;
+  mutable std::atomic<std::uint64_t> bytes_copied_{0};
+  mutable std::atomic<std::uint64_t> scratch_allocs_{0};
+  // Nanoseconds spent blocked acquiring state_mu_ (either mode).
+  mutable std::atomic<std::uint64_t> lock_wait_ns_{0};
 };
 
 }  // namespace bullet

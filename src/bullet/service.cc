@@ -20,10 +20,13 @@ rpc::Reply BulletServer::handle(const rpc::Request& request) {
         return rpc::Reply::error(ErrorCode::bad_argument);
       }
       // CREATE addresses the server object; require the write right on it.
-      const auto verified = verify(request.target, rights::kWrite);
-      if (!verified.ok()) return rpc::Reply::error(verified.code());
-      if (verified.value() != 0) {
-        return rpc::Reply::error(ErrorCode::bad_argument);
+      {
+        const auto lock = lock_shared();
+        const auto verified = verify(request.target, rights::kWrite);
+        if (!verified.ok()) return rpc::Reply::error(verified.code());
+        if (verified.value() != 0) {
+          return rpc::Reply::error(ErrorCode::bad_argument);
+        }
       }
       auto cap = create(data.value(), pfactor.value());
       if (!cap.ok()) return rpc::Reply::error(cap.code());
@@ -33,15 +36,18 @@ rpc::Reply BulletServer::handle(const rpc::Request& request) {
     }
     case wire::kRead: {
       if (!body.done()) return rpc::Reply::error(ErrorCode::bad_argument);
-      auto data = read(request.target);
+      auto data = read_pinned(request.target);
       if (!data.ok()) return rpc::Reply::error(data.code());
       // Zero-copy reply: own only the 4-byte blob length; borrow the file
-      // bytes from the cache arena (valid until the next operation, same
-      // contract as read() itself). Wire bytes are identical to the old
-      // Writer::blob() reply.
+      // bytes from the cache arena, pinned there by the retainer for as
+      // long as the Reply lives (so a concurrent worker can encode it
+      // while other requests evict and compact). Wire bytes are identical
+      // to the old Writer::blob() reply.
       Writer w(4);
-      w.u32(static_cast<std::uint32_t>(data.value().size()));
-      return rpc::Reply::success_borrowed(std::move(w).take(), data.value());
+      w.u32(static_cast<std::uint32_t>(data.value().data.size()));
+      return rpc::Reply::success_borrowed(std::move(w).take(),
+                                          data.value().data,
+                                          std::move(data.value().retainer));
     }
     case wire::kReadRange: {
       auto offset = body.u32();
@@ -49,11 +55,14 @@ rpc::Reply BulletServer::handle(const rpc::Request& request) {
       if (!length.ok() || !body.done()) {
         return rpc::Reply::error(ErrorCode::bad_argument);
       }
-      auto data = read_range(request.target, offset.value(), length.value());
+      auto data =
+          read_range_pinned(request.target, offset.value(), length.value());
       if (!data.ok()) return rpc::Reply::error(data.code());
       Writer w(4);
-      w.u32(static_cast<std::uint32_t>(data.value().size()));
-      return rpc::Reply::success_borrowed(std::move(w).take(), data.value());
+      w.u32(static_cast<std::uint32_t>(data.value().data.size()));
+      return rpc::Reply::success_borrowed(std::move(w).take(),
+                                          data.value().data,
+                                          std::move(data.value().retainer));
     }
     case wire::kSize: {
       if (!body.done()) return rpc::Reply::error(ErrorCode::bad_argument);
@@ -90,20 +99,29 @@ rpc::Reply BulletServer::handle(const rpc::Request& request) {
       return rpc::Reply::success(std::move(w).take());
     }
     case wire::kStats: {
-      const auto verified = verify(request.target, rights::kAdmin);
-      if (!verified.ok()) return rpc::Reply::error(verified.code());
+      {
+        const auto lock = lock_shared();
+        const auto verified = verify(request.target, rights::kAdmin);
+        if (!verified.ok()) return rpc::Reply::error(verified.code());
+      }
       Writer w(wire::ServerStats::kWireSize);
       stats().encode(w);
       return rpc::Reply::success(std::move(w).take());
     }
     case wire::kSync: {
-      const auto verified = verify(request.target, rights::kAdmin);
-      if (!verified.ok()) return rpc::Reply::error(verified.code());
+      {
+        const auto lock = lock_shared();
+        const auto verified = verify(request.target, rights::kAdmin);
+        if (!verified.ok()) return rpc::Reply::error(verified.code());
+      }
       return to_reply(sync());
     }
     case wire::kCompactDisk: {
-      const auto verified = verify(request.target, rights::kAdmin);
-      if (!verified.ok()) return rpc::Reply::error(verified.code());
+      {
+        const auto lock = lock_shared();
+        const auto verified = verify(request.target, rights::kAdmin);
+        if (!verified.ok()) return rpc::Reply::error(verified.code());
+      }
       auto moved = compact_disk();
       if (!moved.ok()) return rpc::Reply::error(moved.code());
       Writer w(8);
@@ -111,8 +129,11 @@ rpc::Reply BulletServer::handle(const rpc::Request& request) {
       return rpc::Reply::success(std::move(w).take());
     }
     case wire::kFsck: {
-      const auto verified = verify(request.target, rights::kAdmin);
-      if (!verified.ok()) return rpc::Reply::error(verified.code());
+      {
+        const auto lock = lock_shared();
+        const auto verified = verify(request.target, rights::kAdmin);
+        if (!verified.ok()) return rpc::Reply::error(verified.code());
+      }
       Writer w(5 * 8);
       check_consistency().encode(w);
       return rpc::Reply::success(std::move(w).take());

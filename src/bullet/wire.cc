@@ -131,6 +131,10 @@ void ServerStats::encode(Writer& w) const {
   w.u64(read_repairs);
   w.u64(failovers);
   w.u64(bg_write_failures);
+  w.u64(rx_batches);
+  w.u64(worker_wakeups);
+  w.u64(lock_wait_ns);
+  w.u64(pinned_evict_defers);
 }
 
 Result<ServerStats> ServerStats::decode(Reader& r) {
@@ -156,6 +160,10 @@ Result<ServerStats> ServerStats::decode(Reader& r) {
   BULLET_ASSIGN_OR_RETURN(s.read_repairs, r.u64());
   BULLET_ASSIGN_OR_RETURN(s.failovers, r.u64());
   BULLET_ASSIGN_OR_RETURN(s.bg_write_failures, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.rx_batches, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.worker_wakeups, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.lock_wait_ns, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.pinned_evict_defers, r.u64());
   return s;
 }
 

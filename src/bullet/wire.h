@@ -84,8 +84,14 @@ struct ServerStats {
   std::uint64_t read_repairs = 0;       // blocks healed from a mirror peer
   std::uint64_t failovers = 0;          // replica demotions since boot
   std::uint64_t bg_write_failures = 0;  // lazy (post-ack) replica writes lost
+  // Concurrency counters (appended in the worker-pool rework; 21 -> 25
+  // u64s, same append-only discipline).
+  std::uint64_t rx_batches = 0;          // batched socket receives (recvmmsg)
+  std::uint64_t worker_wakeups = 0;      // dispatch-thread wakeups
+  std::uint64_t lock_wait_ns = 0;        // time spent blocked on the state lock
+  std::uint64_t pinned_evict_defers = 0; // LRU victims skipped: reader pin held
 
-  static constexpr std::size_t kWireSize = 21 * 8;
+  static constexpr std::size_t kWireSize = 25 * 8;
 
   void encode(Writer& w) const;
   static Result<ServerStats> decode(Reader& r);

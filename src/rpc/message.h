@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "cap/capability.h"
 #include "common/bytes.h"
@@ -31,17 +32,24 @@ struct Request {
 
 // A reply's payload is the concatenation of `body` (owned, usually a small
 // header the handler serialized) and `segments` (borrowed views, usually
-// file bytes referencing the server's cache arena). Borrowed segments
-// follow the server's read() contract: they stay valid until the next
-// operation on the owning service. In-process transports pass the Reply
-// through without touching the payload, so a cache-hit read moves zero
-// bytes inside the server; only a real wire boundary (UDP) gathers the
-// segments, via encode(). On the wire the payload is indistinguishable
-// from an owned body: status u16 ‖ payload-length u32 ‖ payload.
+// file bytes referencing the server's cache arena). In-process transports
+// pass the Reply through without touching the payload, so a cache-hit read
+// moves zero bytes inside the server; only a real wire boundary (UDP)
+// gathers the segments, via encode(). On the wire the payload is
+// indistinguishable from an owned body: status u16 ‖ payload-length u32 ‖
+// payload.
+//
+// Lifetime of borrowed segments: when `retainer` is set, the segments stay
+// valid (and immobile) for as long as any copy of this Reply is alive —
+// the concurrent server pins the cache entry behind the span and releases
+// the pin when the retainer's last reference drops. When `retainer` is
+// empty the legacy single-threaded contract applies: segments are valid
+// until the next operation on the owning service.
 struct Reply {
   ErrorCode status = ErrorCode::ok;
   Bytes body;                      // owned payload prefix (valid when status==ok)
   std::vector<ByteSpan> segments;  // borrowed payload tail, in order
+  std::shared_ptr<const void> retainer;  // keeps `segments` alive (may be null)
 
   std::uint64_t payload_size() const noexcept {
     std::uint64_t n = body.size();
@@ -72,10 +80,13 @@ struct Reply {
     return r;
   }
   // An ok reply whose payload is `header` followed by borrowed `payload`.
-  static Reply success_borrowed(Bytes header, ByteSpan payload) {
+  // `retainer`, when provided, owns the payload's lifetime (see above).
+  static Reply success_borrowed(Bytes header, ByteSpan payload,
+                                std::shared_ptr<const void> retainer = nullptr) {
     Reply r;
     r.body = std::move(header);
     r.segments.push_back(payload);
+    r.retainer = std::move(retainer);
     return r;
   }
 };

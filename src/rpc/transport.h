@@ -7,6 +7,7 @@
 // CPU time to a virtual clock (benchmarks).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 
@@ -15,6 +16,14 @@
 #include "sim/net_model.h"
 
 namespace bullet::rpc {
+
+// Transport-level activity counters a concurrent transport (the UDP worker
+// pool) maintains and a service can surface through its own stats. All
+// relaxed atomics: these are monotonic tallies, not synchronization.
+struct IoCounters {
+  std::atomic<std::uint64_t> rx_batches{0};     // recvmmsg calls that got data
+  std::atomic<std::uint64_t> worker_wakeups{0}; // dispatch-thread wakeups
+};
 
 class Service {
  public:

@@ -6,12 +6,13 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cerrno>
+#include <condition_variable>
 #include <cstring>
-#include <list>
-#include <map>
+#include <deque>
+#include <set>
 #include <unordered_map>
-#include <vector>
 
 #include "common/log.h"
 #include "common/rng.h"
@@ -23,10 +24,23 @@ namespace {
 constexpr char kLog[] = "udp";
 constexpr std::uint32_t kFragMagic = 0x424C4652;  // "BLFR"
 constexpr std::size_t kFragHeader = 4 + 8 + 2 + 2 + 4;  // magic,id,idx,cnt,len
+// Datagrams per recvmmsg/sendmmsg batch.
+constexpr std::size_t kIoBatch = 32;
 
 Error errno_error(const char* what) {
   return Error(ErrorCode::io_error,
                std::string(what) + ": " + std::strerror(errno));
+}
+
+Bytes make_fragment_header(std::uint64_t message_id, std::uint16_t index,
+                           std::uint16_t count, std::uint32_t payload_len) {
+  Writer w(kFragHeader);
+  w.u32(kFragMagic);
+  w.u64(message_id);
+  w.u16(index);
+  w.u16(count);
+  w.u32(payload_len);
+  return std::move(w).take();
 }
 
 // One fragment on the wire: header + payload slice.
@@ -94,6 +108,8 @@ struct Assembly {
   }
 };
 
+// Fragment-and-send via individual sendto calls (client side: requests are
+// small, batching buys nothing).
 Status send_message(int fd, const sockaddr_in& to, std::uint64_t message_id,
                     ByteSpan message) {
   const std::size_t count =
@@ -113,6 +129,54 @@ Status send_message(int fd, const sockaddr_in& to, std::uint64_t message_id,
         ::sendto(fd, frag.data(), frag.size(), 0,
                  reinterpret_cast<const sockaddr*>(&to), sizeof to);
     if (sent < 0) return errno_error("sendto");
+  }
+  return Status::success();
+}
+
+// Fragment-and-send via sendmmsg, two iovecs per fragment: the 20-byte
+// header (stack) and a slice of `message` in place. The payload — often a
+// large borrowed-cache read reply — is never copied into per-fragment
+// buffers; the kernel gathers each datagram from the two pieces.
+Status send_message_batched(int fd, const sockaddr_in& to,
+                            std::uint64_t message_id, ByteSpan message) {
+  const std::size_t count =
+      message.empty() ? 1
+                      : (message.size() + kFragmentPayload - 1) /
+                            kFragmentPayload;
+  if (count > 0xFFFF) return Error(ErrorCode::too_large, "message too large");
+  sockaddr_in dest = to;
+  std::array<Bytes, kIoBatch> headers;
+  std::array<std::array<iovec, 2>, kIoBatch> iovs;
+  std::array<mmsghdr, kIoBatch> msgs;
+  for (std::size_t first = 0; first < count; first += kIoBatch) {
+    const std::size_t batch = std::min(kIoBatch, count - first);
+    for (std::size_t j = 0; j < batch; ++j) {
+      const std::size_t idx = first + j;
+      const std::size_t offset = idx * kFragmentPayload;
+      const std::size_t len =
+          message.empty() ? 0
+                          : std::min(kFragmentPayload, message.size() - offset);
+      headers[j] = make_fragment_header(
+          message_id, static_cast<std::uint16_t>(idx),
+          static_cast<std::uint16_t>(count), static_cast<std::uint32_t>(len));
+      iovs[j][0] = {headers[j].data(), kFragHeader};
+      iovs[j][1] = {const_cast<std::uint8_t*>(message.data() + offset), len};
+      msgs[j] = mmsghdr{};
+      msgs[j].msg_hdr.msg_name = &dest;
+      msgs[j].msg_hdr.msg_namelen = sizeof dest;
+      msgs[j].msg_hdr.msg_iov = iovs[j].data();
+      msgs[j].msg_hdr.msg_iovlen = len > 0 ? 2 : 1;
+    }
+    std::size_t done = 0;
+    while (done < batch) {
+      const int sent =
+          ::sendmmsg(fd, msgs.data() + done, static_cast<unsigned>(batch - done), 0);
+      if (sent < 0) {
+        if (errno == EINTR) continue;
+        return errno_error("sendmmsg");
+      }
+      done += static_cast<std::size_t>(sent);
+    }
   }
   return Status::success();
 }
@@ -178,94 +242,255 @@ std::uint64_t peer_key(const sockaddr_in& addr) {
 
 }  // namespace
 
+// --- reply cache -------------------------------------------------------------
+
+void ReplyCache::set_bounds(std::size_t max_entries, std::uint64_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_entries_ = max_entries;
+  max_bytes_ = max_bytes;
+}
+
+void ReplyCache::insert(std::uint64_t peer, std::uint64_t message_id,
+                        std::shared_ptr<const Bytes> reply) {
+  // Evicted payloads are collected here and destroyed after the lock is
+  // released (a large Bytes free has no business inside the critical
+  // section, and a concurrent sender may still hold its own reference).
+  std::vector<std::shared_ptr<const Bytes>> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Key key{peer, message_id};
+    const auto [it, inserted] = entries_.emplace(key, std::move(reply));
+    if (!inserted) return;  // already cached
+    bytes_ += it->second->size();
+    fifo_.push_back(key);
+    while (fifo_.size() > 1 &&
+           (fifo_.size() > max_entries_ || bytes_ > max_bytes_)) {
+      const Key victim = fifo_.front();
+      fifo_.pop_front();
+      const auto vit = entries_.find(victim);
+      bytes_ -= vit->second->size();
+      dropped.push_back(std::move(vit->second));
+      entries_.erase(vit);
+      ++evictions_;
+    }
+  }
+}
+
+std::shared_ptr<const Bytes> ReplyCache::find(std::uint64_t peer,
+                                              std::uint64_t message_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(Key{peer, message_id});
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+std::size_t ReplyCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::uint64_t ReplyCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+std::uint64_t ReplyCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
 // --- server ------------------------------------------------------------------
 
 struct UdpServer::Impl {
   int fd = -1;
   UdpServerOptions options;
+  ReplyCache replies{128, 8ull << 20};
+  IoCounters io;
+
+  std::mutex services_mu;
   std::unordered_map<std::uint64_t, Service*> services;  // by public port
-  std::thread thread;
+
+  std::thread rx_thread;
   std::atomic<bool> running{false};
   std::atomic<std::uint64_t> dropped{0};
   std::atomic<std::uint64_t> duplicates{0};
-  Rng loss_rng{1};
+  Rng loss_rng{1};  // RX thread only
 
-  // Reassembly per (peer, message id).
+  // Reassembly per (peer, message id); RX thread only.
   std::map<std::pair<std::uint64_t, std::uint64_t>, Assembly> assembling;
-  // Recently answered requests: (peer, id) -> encoded reply (LRU).
-  std::map<std::pair<std::uint64_t, std::uint64_t>, Bytes> answered;
-  std::list<std::pair<std::uint64_t, std::uint64_t>> answered_lru;
+
+  // Worker-pool state (workers > 0). Each client endpoint gets an ordered
+  // queue; at most one worker drains a given client at a time, so requests
+  // from one client execute in arrival order while different clients
+  // proceed in parallel. `pending_ids` suppresses re-execution of a
+  // retransmitted request that is already queued or executing (the reply
+  // cache covers the already-answered case). Client entries are never
+  // erased — one small record per distinct endpoint.
+  struct WorkItem {
+    sockaddr_in from{};
+    std::uint64_t message_id = 0;
+    Bytes wire;
+  };
+  struct ClientState {
+    std::deque<WorkItem> pending;
+    std::set<std::uint64_t> pending_ids;
+    bool scheduled = false;  // in `ready` or owned by a worker
+  };
+  std::mutex work_mu;
+  std::condition_variable work_cv;
+  std::unordered_map<std::uint64_t, ClientState> clients;
+  std::deque<std::uint64_t> ready;  // clients with work, not yet owned
+  bool shutdown_workers = false;
+  std::vector<std::thread> workers;
 
   ~Impl() {
     if (fd >= 0) ::close(fd);
   }
 
-  void remember(const std::pair<std::uint64_t, std::uint64_t>& key,
-                Bytes reply) {
-    answered.emplace(key, std::move(reply));
-    answered_lru.push_back(key);
-    while (answered_lru.size() > options.reply_cache_entries) {
-      answered.erase(answered_lru.front());
-      answered_lru.pop_front();
+  Service* find_service(std::uint64_t port) {
+    std::lock_guard<std::mutex> lock(services_mu);
+    const auto it = services.find(port);
+    return it == services.end() ? nullptr : it->second;
+  }
+
+  // Decode, dispatch, cache, reply. Runs on the RX thread (inline mode) or
+  // on a worker. The Reply may borrow pinned cache bytes; the pin lives
+  // until `reply` is destroyed, which is after encode() gathered them.
+  void execute(const sockaddr_in& from, std::uint64_t peer,
+               std::uint64_t message_id, const Bytes& wire) {
+    auto request = Request::decode(wire);
+    Reply reply;
+    if (!request.ok()) {
+      reply = Reply::error(ErrorCode::bad_argument);
+    } else {
+      Service* service = find_service(request.value().target.port.value());
+      reply = service == nullptr ? Reply::error(ErrorCode::unreachable)
+                                 : service->handle(request.value());
+    }
+    auto encoded = std::make_shared<const Bytes>(reply.encode());
+    // Cache before sending (and before the caller clears the in-flight
+    // mark): a retransmit arriving at any later instant finds either the
+    // in-flight mark or the cached reply — never a gap that re-executes.
+    replies.insert(peer, message_id, encoded);
+    (void)send_message_batched(fd, from, message_id,
+                               ByteSpan(encoded->data(), encoded->size()));
+  }
+
+  // True if `message_id` from `peer` is queued or executing right now.
+  bool in_flight(std::uint64_t peer, std::uint64_t message_id) {
+    std::lock_guard<std::mutex> lock(work_mu);
+    const auto it = clients.find(peer);
+    return it != clients.end() && it->second.pending_ids.count(message_id) > 0;
+  }
+
+  void enqueue(const sockaddr_in& from, std::uint64_t peer,
+               std::uint64_t message_id, Bytes wire) {
+    std::lock_guard<std::mutex> lock(work_mu);
+    ClientState& client = clients[peer];
+    if (!client.pending_ids.insert(message_id).second) {
+      duplicates.fetch_add(1);
+      return;
+    }
+    client.pending.push_back(WorkItem{from, message_id, std::move(wire)});
+    if (!client.scheduled) {
+      client.scheduled = true;
+      ready.push_back(peer);
+      work_cv.notify_one();
     }
   }
 
-  void loop() {
-    std::vector<std::uint8_t> buffer(kFragmentPayload + kFragHeader + 64);
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock(work_mu);
+    for (;;) {
+      while (!shutdown_workers && ready.empty()) work_cv.wait(lock);
+      if (shutdown_workers) return;
+      io.worker_wakeups.fetch_add(1, std::memory_order_relaxed);
+      const std::uint64_t peer = ready.front();
+      ready.pop_front();
+      ClientState& client = clients[peer];
+      while (!client.pending.empty()) {
+        WorkItem item = std::move(client.pending.front());
+        client.pending.pop_front();
+        lock.unlock();
+        execute(item.from, peer, item.message_id, item.wire);
+        lock.lock();
+        client.pending_ids.erase(item.message_id);
+        if (shutdown_workers) return;
+      }
+      client.scheduled = false;
+    }
+  }
+
+  void handle_datagram(const sockaddr_in& from, ByteSpan datagram) {
+    if (options.drop_one_in > 0 &&
+        loss_rng.next_below(options.drop_one_in) == 0) {
+      dropped.fetch_add(1);
+      return;
+    }
+    auto fragment = parse_fragment(datagram);
+    if (!fragment.ok()) return;
+
+    const std::uint64_t peer = peer_key(from);
+    const std::uint64_t message_id = fragment.value().message_id;
+    const auto key = std::make_pair(peer, message_id);
+
+    // Retransmit of something we already answered?
+    if (const auto hit = replies.find(peer, message_id); hit != nullptr) {
+      duplicates.fetch_add(1);
+      (void)send_message_batched(fd, from, message_id,
+                                 ByteSpan(hit->data(), hit->size()));
+      return;
+    }
+    // Retransmit of something queued or executing? The reply is on its
+    // way; answering again would double-execute.
+    if (!workers.empty() && in_flight(peer, message_id)) {
+      duplicates.fetch_add(1);
+      return;
+    }
+
+    Assembly& assembly = assembling[key];
+    if (!assembly.add(fragment.value())) return;
+    Bytes wire = assembly.join();
+    assembling.erase(key);
+
+    if (workers.empty()) {
+      execute(from, peer, message_id, wire);
+    } else {
+      enqueue(from, peer, message_id, std::move(wire));
+    }
+  }
+
+  void rx_loop() {
+    std::vector<std::vector<std::uint8_t>> buffers(
+        kIoBatch,
+        std::vector<std::uint8_t>(kFragmentPayload + kFragHeader + 64));
+    std::vector<sockaddr_in> addrs(kIoBatch);
+    std::vector<iovec> iovs(kIoBatch);
+    std::vector<mmsghdr> msgs(kIoBatch);
     while (running.load()) {
-      sockaddr_in from{};
-      socklen_t from_len = sizeof from;
-      const ssize_t n =
-          ::recvfrom(fd, buffer.data(), buffer.size(), 0,
-                     reinterpret_cast<sockaddr*>(&from), &from_len);
+      for (std::size_t i = 0; i < kIoBatch; ++i) {
+        iovs[i] = {buffers[i].data(), buffers[i].size()};
+        msgs[i] = mmsghdr{};
+        msgs[i].msg_hdr.msg_name = &addrs[i];
+        msgs[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+        msgs[i].msg_hdr.msg_iov = &iovs[i];
+        msgs[i].msg_hdr.msg_iovlen = 1;
+      }
+      // MSG_WAITFORONE: block (up to SO_RCVTIMEO) for the first datagram,
+      // then drain whatever else is already queued — bursts of fragments
+      // arrive as one batch, one syscall.
+      const int n =
+          ::recvmmsg(fd, msgs.data(), kIoBatch, MSG_WAITFORONE, nullptr);
       if (n < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
           continue;  // timeout: re-check running
         }
-        BULLET_LOG(warn, kLog) << "recvfrom: " << std::strerror(errno);
+        BULLET_LOG(warn, kLog) << "recvmmsg: " << std::strerror(errno);
         continue;
       }
-      if (options.drop_one_in > 0 &&
-          loss_rng.next_below(options.drop_one_in) == 0) {
-        dropped.fetch_add(1);
-        continue;
+      if (n > 0) io.rx_batches.fetch_add(1, std::memory_order_relaxed);
+      for (int i = 0; i < n; ++i) {
+        handle_datagram(addrs[i], ByteSpan(buffers[i].data(), msgs[i].msg_len));
       }
-      auto fragment = parse_fragment(
-          ByteSpan(buffer.data(), static_cast<std::size_t>(n)));
-      if (!fragment.ok()) continue;
-
-      const auto key =
-          std::make_pair(peer_key(from), fragment.value().message_id);
-
-      // Retransmit of something we already answered?
-      if (const auto hit = answered.find(key); hit != answered.end()) {
-        duplicates.fetch_add(1);
-        (void)send_message(fd, from, key.second, hit->second);
-        continue;
-      }
-
-      Assembly& assembly = assembling[key];
-      if (!assembly.add(fragment.value())) continue;
-      const Bytes wire = assembly.join();
-      assembling.erase(key);
-
-      auto request = Request::decode(wire);
-      Reply reply;
-      if (!request.ok()) {
-        reply = Reply::error(ErrorCode::bad_argument);
-      } else {
-        const auto it =
-            services.find(request.value().target.port.value());
-        reply = it == services.end()
-                    ? Reply::error(ErrorCode::unreachable)
-                    : it->second->handle(request.value());
-      }
-      // The real wire boundary: encode() gathers any borrowed payload
-      // segments into the datagram buffer while they are still valid (the
-      // owning service sees no further request until the next iteration).
-      Bytes encoded = reply.encode();
-      (void)send_message(fd, from, key.second, encoded);
-      remember(key, std::move(encoded));
     }
   }
 };
@@ -275,12 +500,18 @@ UdpServer::UdpServer(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
 Result<std::unique_ptr<UdpServer>> UdpServer::start(UdpServerOptions options) {
   auto impl = std::make_unique<Impl>();
   impl->options = options;
+  impl->replies.set_bounds(std::max<std::size_t>(1, options.reply_cache_entries),
+                           std::max<std::uint64_t>(1, options.reply_cache_bytes));
   impl->loss_rng.reseed(options.loss_seed);
   BULLET_ASSIGN_OR_RETURN(impl->fd,
                           make_socket(options.udp_port, /*timeout_ms=*/50));
   const std::uint16_t port = bound_port(impl->fd);
   impl->running.store(true);
-  impl->thread = std::thread([raw = impl.get()] { raw->loop(); });
+  impl->workers.reserve(options.workers);
+  for (unsigned i = 0; i < options.workers; ++i) {
+    impl->workers.emplace_back([raw = impl.get()] { raw->worker_loop(); });
+  }
+  impl->rx_thread = std::thread([raw = impl.get()] { raw->rx_loop(); });
   auto server = std::unique_ptr<UdpServer>(new UdpServer(std::move(impl)));
   server->udp_port_ = port;
   return server;
@@ -290,7 +521,13 @@ UdpServer::~UdpServer() { stop(); }
 
 void UdpServer::stop() {
   if (impl_ && impl_->running.exchange(false)) {
-    impl_->thread.join();
+    impl_->rx_thread.join();
+    {
+      std::lock_guard<std::mutex> lock(impl_->work_mu);
+      impl_->shutdown_workers = true;
+    }
+    impl_->work_cv.notify_all();
+    for (std::thread& worker : impl_->workers) worker.join();
   }
 }
 
@@ -298,6 +535,7 @@ Status UdpServer::register_service(Service* service) {
   if (service == nullptr) return Error(ErrorCode::bad_argument, "null service");
   const std::uint64_t port = service->public_port().value();
   if (port == 0) return Error(ErrorCode::bad_argument, "null port");
+  std::lock_guard<std::mutex> lock(impl_->services_mu);
   const auto [it, inserted] = impl_->services.emplace(port, service);
   (void)it;
   if (!inserted) {
@@ -312,6 +550,10 @@ std::uint64_t UdpServer::dropped() const noexcept {
 
 std::uint64_t UdpServer::duplicates_suppressed() const noexcept {
   return impl_->duplicates.load();
+}
+
+const IoCounters& UdpServer::io_counters() const noexcept {
+  return impl_->io;
 }
 
 // --- client ------------------------------------------------------------------

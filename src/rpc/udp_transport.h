@@ -8,19 +8,33 @@
 //    {message id, fragment index/count} header and reassembled on receipt;
 //  * the client retransmits the whole request on timeout (the reply is the
 //    acknowledgement, as in Amoeba RPC);
-//  * the server keeps a small cache of recently sent replies keyed by
+//  * the server keeps a bounded cache of recently sent replies keyed by
 //    (client, message id), so a retransmitted request is answered from the
 //    cache instead of re-executing — at-most-once execution;
 //  * optional deterministic packet-loss injection for tests.
 //
-// The server owns a background thread; registered services are called only
-// from that thread, so the (single-threaded) servers need no locking.
+// Threading: one receive thread drains the socket in recvmmsg batches and
+// reassembles fragments. With `workers == 0` (the default) it also executes
+// requests inline — the legacy single-threaded mode, where registered
+// services are called from exactly one thread. With `workers > 0` complete
+// requests are handed to a pool of dispatch threads through per-client
+// ordered queues: requests from one client endpoint execute one at a time
+// in arrival order (preserving the retransmit/dedup semantics), while
+// requests from different clients execute concurrently — services must be
+// thread-safe in this mode. Replies are sent with sendmmsg, two iovecs per
+// fragment (header + payload slice), so the payload is never copied into
+// per-fragment buffers.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <list>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "rpc/message.h"
 #include "rpc/transport.h"
@@ -31,6 +45,43 @@ namespace bullet::rpc {
 // the 20-byte fragment header is added.
 inline constexpr std::size_t kFragmentPayload = 16 * 1024;
 
+// The server's retransmit-suppression cache: (peer, message id) -> encoded
+// reply, FIFO-evicted when over the entry bound OR the byte bound. The byte
+// bound matters because replies can be large (a whole-file read): without
+// it, 128 cached 1 MB replies would quietly hold 128 MB. The newest entry
+// is always kept, even if it alone exceeds the byte bound — the cache must
+// be able to answer at least the retransmit of the last request. Internally
+// synchronized; entries are shared_ptrs so a found reply can be sent while
+// eviction concurrently drops it.
+class ReplyCache {
+ public:
+  ReplyCache(std::size_t max_entries, std::uint64_t max_bytes)
+      : max_entries_(max_entries), max_bytes_(max_bytes) {}
+
+  // Re-bound the cache (setup time; takes effect on the next insert).
+  void set_bounds(std::size_t max_entries, std::uint64_t max_bytes);
+
+  void insert(std::uint64_t peer, std::uint64_t message_id,
+              std::shared_ptr<const Bytes> reply);
+  std::shared_ptr<const Bytes> find(std::uint64_t peer,
+                                    std::uint64_t message_id) const;
+
+  std::size_t entries() const;
+  std::uint64_t bytes() const;
+  std::uint64_t evictions() const;
+
+ private:
+  using Key = std::pair<std::uint64_t, std::uint64_t>;
+
+  mutable std::mutex mu_;
+  std::size_t max_entries_;
+  std::uint64_t max_bytes_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::map<Key, std::shared_ptr<const Bytes>> entries_;
+  std::list<Key> fifo_;  // insertion order; front = oldest
+};
+
 struct UdpServerOptions {
   // Port 0 lets the kernel pick; the bound port is reported by port().
   std::uint16_t udp_port = 0;
@@ -38,13 +89,19 @@ struct UdpServerOptions {
   // under `loss_seed`. Test hook for exercising retransmission.
   std::uint32_t drop_one_in = 0;
   std::uint64_t loss_seed = 1;
-  // Replies remembered for retransmit suppression.
+  // Replies remembered for retransmit suppression, bounded both ways.
   std::size_t reply_cache_entries = 128;
+  std::uint64_t reply_cache_bytes = 8ull << 20;
+  // Dispatch threads. 0 = execute requests inline on the receive thread
+  // (single-threaded services); N > 0 = concurrent execution, services
+  // must be thread-safe.
+  unsigned workers = 0;
 };
 
 class UdpServer {
  public:
-  // Binds 127.0.0.1:<udp_port> and starts the service thread.
+  // Binds 127.0.0.1:<udp_port> and starts the receive thread plus
+  // `options.workers` dispatch threads.
   static Result<std::unique_ptr<UdpServer>> start(UdpServerOptions options);
 
   ~UdpServer();
@@ -52,8 +109,6 @@ class UdpServer {
   UdpServer& operator=(const UdpServer&) = delete;
 
   // Register before issuing requests; the service must outlive the server.
-  // (Registration is not synchronized with the service thread, so do it
-  // during setup, before clients start calling.)
   Status register_service(Service* service);
 
   // The UDP port actually bound.
@@ -61,8 +116,12 @@ class UdpServer {
 
   // Datagrams deliberately dropped by the loss injector.
   std::uint64_t dropped() const noexcept;
-  // Requests answered from the reply cache (suppressed re-execution).
+  // Requests whose re-execution was suppressed (answered from the reply
+  // cache, or already queued/executing when the retransmit arrived).
   std::uint64_t duplicates_suppressed() const noexcept;
+
+  // Batch/wakeup tallies; attach to a BulletServer to surface in stats().
+  const IoCounters& io_counters() const noexcept;
 
   void stop();
 

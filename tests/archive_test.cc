@@ -17,6 +17,7 @@ namespace {
 using testing::BulletHarness;
 using testing::payload;
 using testing::status_of;
+using testing::unique_temp_path;
 
 // --- WormDisk ----------------------------------------------------------------
 
@@ -191,7 +192,7 @@ TEST(WormDiskTest, RejectsUnalignedWrites) {
 TEST(VersionArchiveTest, PersistsOnRealFile) {
   // The archival story end to end on a file-backed medium: burn, close the
   // process ("eject"), reopen from the file alone.
-  const std::string path = ::testing::TempDir() + "bullet_worm_test.img";
+  const std::string path = unique_temp_path(".img");
   std::remove(path.c_str());
   std::uint64_t handle = 0;
   {

@@ -49,8 +49,8 @@ class DaemonTest : public ::testing::Test {
  protected:
   void SetUp() override {
     dir_ = ::testing::TempDir();
-    image_ = dir_ + "daemon_test.img";
-    banner_ = dir_ + "daemon_banner.txt";
+    image_ = testing::unique_temp_path(".img");
+    banner_ = testing::unique_temp_path("-banner.txt");
     std::remove(image_.c_str());
     std::remove((image_ + ".dircap").c_str());
   }
@@ -63,7 +63,7 @@ class DaemonTest : public ::testing::Test {
   }
 
   int run(const std::string& command, std::string* out = nullptr) {
-    const std::string capture = dir_ + "daemon_cmd.out";
+    const std::string capture = testing::unique_temp_path("-cmd.out");
     const int code =
         std::system((command + " > " + capture + " 2>/dev/null").c_str());
     if (out != nullptr) *out = slurp(capture);

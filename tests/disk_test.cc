@@ -98,7 +98,7 @@ TEST(MemDiskTest, CountsOperations) {
 class FileDiskTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "bullet_filedisk_test.img";
+    path_ = testing::unique_temp_path(".img");
     std::remove(path_.c_str());
   }
   void TearDown() override { std::remove(path_.c_str()); }

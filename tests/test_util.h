@@ -2,7 +2,9 @@
 #pragma once
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -106,6 +108,26 @@ class BulletHarness {
 inline Bytes payload(std::size_t n, std::uint64_t seed) {
   Rng rng(seed);
   return rng.next_bytes(n);
+}
+
+// A collision-free temp path ending in `suffix`. ctest runs every TEST as
+// its own process, possibly many in parallel, so fixed file names under
+// TempDir() collide across cases and across concurrent runs of the same
+// binary; this derives the name from the running test, the pid, and a
+// per-process counter.
+inline std::string unique_temp_path(const std::string& suffix) {
+  static std::atomic<unsigned> counter{0};
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string test = info != nullptr
+                         ? std::string(info->test_suite_name()) + "-" +
+                               std::string(info->name())
+                         : std::string("standalone");
+  for (char& c : test) {
+    if (c == '/' || c == '\\') c = '_';
+  }
+  return ::testing::TempDir() + "bullet-" + test + "-" +
+         std::to_string(::getpid()) + "-" +
+         std::to_string(counter.fetch_add(1)) + suffix;
 }
 
 // Collapse a Result<T> into a Status for EXPECT_CODE.

@@ -1,8 +1,11 @@
 // Concurrency stress over the real UDP transport: several client threads
-// hammer one server simultaneously. The server thread serializes request
-// handling, so the single-threaded server logic needs no locking — this
-// test pins that architectural claim (and would catch data races under
-// TSAN).
+// hammer one server simultaneously, in both server execution modes. With
+// workers = 0 the RX thread executes requests inline (serialized, the
+// paper's single-threaded architecture); with a worker pool, requests from
+// different clients execute concurrently and the server's internal locking
+// carries the consistency guarantees. Running the same storm in both modes
+// pins the claim that they are observably equivalent (and TSAN turns the
+// worker-mode run into a data-race check).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -19,14 +22,17 @@ namespace {
 
 using testing::BulletHarness;
 
-TEST(UdpStressTest, ParallelClientsKeepTheServerConsistent) {
+void run_mixed_op_storm(unsigned workers) {
   BulletHarness::Options options;
   options.disk_blocks = 1 << 14;  // 8 MB per replica
   options.inode_slots = 2048;
   BulletHarness h(options);
-  auto udp = rpc::UdpServer::start(rpc::UdpServerOptions{});
+  rpc::UdpServerOptions server_options;
+  server_options.workers = workers;
+  auto udp = rpc::UdpServer::start(server_options);
   ASSERT_TRUE(udp.ok());
   ASSERT_OK(udp.value()->register_service(&h.server()));
+  h.server().attach_io_counters(&udp.value()->io_counters());
 
   constexpr int kThreads = 4;
   constexpr int kOpsPerThread = 60;
@@ -82,17 +88,31 @@ TEST(UdpStressTest, ParallelClientsKeepTheServerConsistent) {
   EXPECT_EQ(0, failures.load());
   EXPECT_EQ(creates_confirmed.load(), h.server().stats().creates);
   EXPECT_EQ(0u, h.server().check_consistency().repairs());
+  if (workers > 0) {
+    EXPECT_GT(h.server().stats().worker_wakeups, 0u);
+  }
+  udp.value()->stop();
 
   // Disk state is sound after the storm.
   h.reboot();
   EXPECT_EQ(0u, h.server().boot_report().repairs());
 }
 
-TEST(UdpStressTest, InterleavedLargeTransfers) {
-  // Two threads moving multi-fragment messages concurrently: fragment
+TEST(UdpStressTest, ParallelClientsKeepTheServerConsistent) {
+  run_mixed_op_storm(/*workers=*/0);
+}
+
+TEST(UdpStressTest, ParallelClientsKeepTheServerConsistentWorkerPool) {
+  run_mixed_op_storm(/*workers=*/4);
+}
+
+void run_large_transfer_storm(unsigned workers) {
+  // Threads moving multi-fragment messages concurrently: fragment
   // reassembly keyed by (peer, message id) must never mix streams.
   BulletHarness h;
-  auto udp = rpc::UdpServer::start(rpc::UdpServerOptions{});
+  rpc::UdpServerOptions server_options;
+  server_options.workers = workers;
+  auto udp = rpc::UdpServer::start(server_options);
   ASSERT_TRUE(udp.ok());
   ASSERT_OK(udp.value()->register_service(&h.server()));
 
@@ -127,6 +147,15 @@ TEST(UdpStressTest, InterleavedLargeTransfers) {
   b.join();
   EXPECT_EQ(0, failures.load());
   EXPECT_EQ(0u, h.server().live_files());
+  udp.value()->stop();
+}
+
+TEST(UdpStressTest, InterleavedLargeTransfers) {
+  run_large_transfer_storm(/*workers=*/0);
+}
+
+TEST(UdpStressTest, InterleavedLargeTransfersWorkerPool) {
+  run_large_transfer_storm(/*workers=*/2);
 }
 
 }  // namespace

@@ -4,7 +4,7 @@
 // together with a directory server persisted in the Bullet store:
 //
 //   bullet_server --image a.img [--image b.img] [--port 4132]
-//                 [--cache-mb 64] [--dir-bootstrap FILE]
+//                 [--cache-mb 64] [--dir-bootstrap FILE] [--workers 4]
 //
 // On startup it prints the UDP port, the Bullet super capability, the
 // directory super capability, and the root directory capability; clients
@@ -19,6 +19,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -40,9 +41,27 @@ void handle_signal(int) { g_stop = 1; }
 int usage() {
   std::fprintf(stderr,
                "usage: bullet_server --image FILE [--image FILE] "
-               "[--port N] [--cache-mb N] [--dir-bootstrap FILE]\n");
+               "[--port N] [--cache-mb N] [--dir-bootstrap FILE] "
+               "[--workers N]\n");
   return 2;
 }
+
+// The directory server is single-threaded; when the UDP front door runs a
+// worker pool, its dispatch is serialized through this adapter (the Bullet
+// server itself is thread-safe and registered directly).
+class SerializedService final : public rpc::Service {
+ public:
+  explicit SerializedService(rpc::Service* inner) : inner_(inner) {}
+  Port public_port() const noexcept override { return inner_->public_port(); }
+  rpc::Reply handle(const rpc::Request& request) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->handle(request);
+  }
+
+ private:
+  rpc::Service* inner_;
+  std::mutex mu_;
+};
 
 struct BootstrapFile {
   // The persisted pair: directory-state snapshot + root directory cap.
@@ -79,6 +98,7 @@ int main(int argc, char** argv) {
   std::uint16_t udp_port = 4132;
   std::uint64_t cache_mb = 64;
   std::string bootstrap_path;
+  unsigned workers = 4;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -101,6 +121,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       bootstrap_path = v;
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      workers = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
     } else {
       return usage();
     }
@@ -176,13 +200,16 @@ int main(int argc, char** argv) {
   // Network front door.
   rpc::UdpServerOptions udp_options;
   udp_options.udp_port = udp_port;
+  udp_options.workers = workers;
   auto udp = rpc::UdpServer::start(udp_options);
   if (!udp.ok()) {
     std::fprintf(stderr, "udp: %s\n", udp.error().to_string().c_str());
     return 1;
   }
+  server.value()->attach_io_counters(&udp.value()->io_counters());
+  SerializedService dir_service(dir_server.value().get());
   (void)udp.value()->register_service(server.value().get());
-  (void)udp.value()->register_service(dir_server.value().get());
+  (void)udp.value()->register_service(&dir_service);
 
   std::printf("udp-port: %u\n", udp.value()->port());
   std::printf("bullet-cap: %s\n",
