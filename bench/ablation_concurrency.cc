@@ -36,6 +36,8 @@
 #include "bullet/server.h"
 #include "disk/mem_disk.h"
 #include "disk/mirrored_disk.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
 #include "rpc/transport.h"
 
 namespace bullet::bench {
@@ -86,10 +88,16 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+struct StormResult {
+  double mb_per_s = 0;
+  // Per-request service time, merged across the per-thread histograms.
+  obs::HistogramSnapshot latency_ns;
+};
+
 // Aggregate cache-hit READ throughput (MB/s of payload) with `threads`
 // concurrent callers. `exclusive` routes through the legacy serialized
 // read() instead of the concurrent pinned path.
-double read_storm_mb_per_s(Rig& rig, unsigned threads, bool exclusive) {
+StormResult read_storm(Rig& rig, unsigned threads, bool exclusive) {
   Rng rng(threads + (exclusive ? 100 : 0));
   const Bytes data = rng.next_bytes(kFileBytes);
   auto cap = rig.server().create(data, 2);
@@ -106,13 +114,16 @@ double read_storm_mb_per_s(Rig& rig, unsigned threads, bool exclusive) {
 
   std::atomic<bool> go{false};
   std::atomic<std::uint64_t> sink{0};
+  std::vector<obs::HistogramSnapshot> latencies(threads);
   std::vector<std::thread> pool;
   for (unsigned t = 0; t < threads; ++t) {
-    pool.emplace_back([&] {
+    pool.emplace_back([&, t] {
+      obs::HistogramSnapshot& lat = latencies[t];
       while (!go.load(std::memory_order_acquire)) {
       }
       std::uint64_t local = 0;
       for (std::uint64_t i = 0; i < kItersPerThread; ++i) {
+        const std::uint64_t t0 = obs::now_ns();
         if (exclusive) {
           auto r = rig.server().read(req.target);
           if (!r.ok()) std::abort();
@@ -122,6 +133,7 @@ double read_storm_mb_per_s(Rig& rig, unsigned threads, bool exclusive) {
           if (reply.status != ErrorCode::ok) std::abort();
           local += reply.payload_size() - 4;  // minus the size prefix
         }
+        lat.add(obs::now_ns() - t0);
       }
       sink.fetch_add(local, std::memory_order_relaxed);
     });
@@ -135,7 +147,11 @@ double read_storm_mb_per_s(Rig& rig, unsigned threads, bool exclusive) {
   if (sink.load() != expected) std::abort();  // also defeats dead-code elim
   Status st = rig.server().erase(cap.value());
   if (!st.ok()) std::abort();
-  return static_cast<double>(expected) / (1 << 20) / elapsed;
+
+  StormResult result;
+  result.mb_per_s = static_cast<double>(expected) / (1 << 20) / elapsed;
+  for (const obs::HistogramSnapshot& h : latencies) result.latency_ns.merge(h);
+  return result;
 }
 
 }  // namespace
@@ -162,28 +178,36 @@ int main() {
                "\nCache-hit 64 KB READ, aggregate MB/s by client threads "
                "(host has %u cpu(s))\n",
                host_cpus);
-  std::fprintf(stderr, "  %-8s %14s %14s %9s\n", "threads", "shared-lock",
-               "exclusive", "scaling");
+  std::fprintf(stderr, "  %-8s %14s %14s %9s %27s\n", "threads", "shared-lock",
+               "exclusive", "scaling", "shared p50/p90/p99 (us)");
 
   // Single-thread shared-lock run first: the baseline every other row is
   // normalized against.
   Rig rig;
-  const double baseline = read_storm_mb_per_s(rig, 1, /*exclusive=*/false);
+  const StormResult baseline = read_storm(rig, 1, /*exclusive=*/false);
 
   json.begin_array("read_scaling");
   for (unsigned threads : kThreadCounts) {
-    const double shared =
-        threads == 1 ? baseline
-                     : read_storm_mb_per_s(rig, threads, /*exclusive=*/false);
-    const double serial = read_storm_mb_per_s(rig, threads, /*exclusive=*/true);
+    const StormResult shared =
+        threads == 1 ? baseline : read_storm(rig, threads, /*exclusive=*/false);
+    const StormResult serial = read_storm(rig, threads, /*exclusive=*/true);
     json.begin_object();
     json.field("threads", static_cast<std::uint64_t>(threads));
-    json.field("shared_mb_s", shared);
-    json.field("exclusive_mb_s", serial);
-    json.field("speedup_vs_1thread", shared / baseline);
+    json.field("shared_mb_s", shared.mb_per_s);
+    json.field("exclusive_mb_s", serial.mb_per_s);
+    json.field("speedup_vs_1thread", shared.mb_per_s / baseline.mb_per_s);
+    json.field("shared_p50_ns", shared.latency_ns.quantile(0.50));
+    json.field("shared_p90_ns", shared.latency_ns.quantile(0.90));
+    json.field("shared_p99_ns", shared.latency_ns.quantile(0.99));
+    json.field("exclusive_p50_ns", serial.latency_ns.quantile(0.50));
+    json.field("exclusive_p99_ns", serial.latency_ns.quantile(0.99));
     json.end_object();
-    std::fprintf(stderr, "  %-8u %14.1f %14.1f %8.2fx\n", threads, shared,
-                 serial, shared / baseline);
+    std::fprintf(stderr, "  %-8u %14.1f %14.1f %8.2fx %8.1f/%6.1f/%6.1f\n",
+                 threads, shared.mb_per_s, serial.mb_per_s,
+                 shared.mb_per_s / baseline.mb_per_s,
+                 shared.latency_ns.quantile(0.50) / 1e3,
+                 shared.latency_ns.quantile(0.90) / 1e3,
+                 shared.latency_ns.quantile(0.99) / 1e3);
   }
   json.end_array();
 

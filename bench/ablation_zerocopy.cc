@@ -26,6 +26,8 @@
 #include "bullet/server.h"
 #include "disk/mem_disk.h"
 #include "disk/mirrored_disk.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
 #include "rpc/transport.h"
 
 namespace bullet::bench {
@@ -125,8 +127,13 @@ std::uint64_t iters_for(std::uint64_t size) {
                     kMaxIters);
 }
 
+struct ReadResult {
+  double mb_per_s = 0;
+  obs::HistogramSnapshot latency_ns;  // per-request service time
+};
+
 // Cache-hit READ throughput (MB/s of file payload) through the transport.
-double read_mb_per_s(Rig& rig, std::uint64_t size) {
+ReadResult read_mb_per_s(Rig& rig, std::uint64_t size) {
   Rng rng(size + 1);
   const Bytes data = rng.next_bytes(size);
   auto cap = rig.client().create(data, 2);
@@ -143,18 +150,22 @@ double read_mb_per_s(Rig& rig, std::uint64_t size) {
     auto r = rig.transport().call(req);
     if (!r.ok() || r.value().status != ErrorCode::ok) std::abort();
   }
+  ReadResult result;
   const auto start = std::chrono::steady_clock::now();
   for (std::uint64_t i = 0; i < iters; ++i) {
+    const std::uint64_t t0 = obs::now_ns();
     auto r = rig.transport().call(req);
     if (!r.ok() || r.value().status != ErrorCode::ok) std::abort();
     sink += r.value().payload_size();
+    result.latency_ns.add(obs::now_ns() - t0);
   }
   const double elapsed = seconds_since(start);
   if (sink != iters * (4 + size)) std::abort();  // defeats dead-code elim
   Status st = rig.client().erase(cap.value());
   if (!st.ok()) std::abort();
-  return static_cast<double>(size) * static_cast<double>(iters) / (1 << 20) /
-         elapsed;
+  result.mb_per_s = static_cast<double>(size) * static_cast<double>(iters) /
+                    (1 << 20) / elapsed;
+  return result;
 }
 
 // CREATE throughput (MB/s ingested) for `size`-byte files.
@@ -198,17 +209,22 @@ int main() {
   for (const SizeRow& row : kFileSizes) {
     Rig fast(/*copying=*/false);
     Rig slow(/*copying=*/true);
-    const double zc = read_mb_per_s(fast, row.bytes);
-    const double cp = read_mb_per_s(slow, row.bytes);
+    const ReadResult zc = read_mb_per_s(fast, row.bytes);
+    const ReadResult cp = read_mb_per_s(slow, row.bytes);
     json.begin_object();
     json.field("size", row.label);
     json.field("bytes", row.bytes);
-    json.field("zerocopy_mb_s", zc);
-    json.field("copying_mb_s", cp);
-    json.field("speedup", zc / cp);
+    json.field("zerocopy_mb_s", zc.mb_per_s);
+    json.field("copying_mb_s", cp.mb_per_s);
+    json.field("speedup", zc.mb_per_s / cp.mb_per_s);
+    json.field("zerocopy_p50_ns", zc.latency_ns.quantile(0.50));
+    json.field("zerocopy_p90_ns", zc.latency_ns.quantile(0.90));
+    json.field("zerocopy_p99_ns", zc.latency_ns.quantile(0.99));
+    json.field("copying_p50_ns", cp.latency_ns.quantile(0.50));
+    json.field("copying_p99_ns", cp.latency_ns.quantile(0.99));
     json.end_object();
-    std::fprintf(stderr, "  %-12s %12.1f %12.1f %8.2fx\n", row.label, zc, cp,
-                 zc / cp);
+    std::fprintf(stderr, "  %-12s %12.1f %12.1f %8.2fx\n", row.label,
+                 zc.mb_per_s, cp.mb_per_s, zc.mb_per_s / cp.mb_per_s);
   }
   json.end_array();
 

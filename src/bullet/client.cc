@@ -8,6 +8,7 @@ Result<Bytes> BulletClient::call(const Capability& target,
   request.target = target;
   request.opcode = opcode;
   request.body = std::move(body);
+  request.trace_id = trace_id_;
   BULLET_ASSIGN_OR_RETURN(rpc::Reply reply, transport_->call(request));
   if (reply.status != ErrorCode::ok) return Error(reply.status);
   // Borrowed segments (zero-copy READ replies) are only valid until the
@@ -99,6 +100,33 @@ Result<wire::ServerStats> BulletClient::stats() {
   BULLET_ASSIGN_OR_RETURN(Bytes body, call(server_, wire::kStats, {}));
   Reader r(body);
   return wire::ServerStats::decode(r);
+}
+
+Result<std::string> BulletClient::stats_text() {
+  BULLET_ASSIGN_OR_RETURN(Bytes body, call(server_, wire::kStats2, {}));
+  Reader r(body);
+  return r.str();
+}
+
+Result<std::vector<wire::TraceSpan>> BulletClient::trace_dump(
+    std::uint64_t threshold_ns, std::uint32_t max_spans) {
+  Writer w(12);
+  w.u64(threshold_ns);
+  w.u32(max_spans);
+  BULLET_ASSIGN_OR_RETURN(Bytes body,
+                          call(server_, wire::kTraceDump, std::move(w).take()));
+  Reader r(body);
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t count, r.u32());
+  if (count > r.remaining() / wire::TraceSpan::kWireSize) {
+    return Error(ErrorCode::bad_argument, "trace dump count out of range");
+  }
+  std::vector<wire::TraceSpan> spans;
+  spans.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    BULLET_ASSIGN_OR_RETURN(wire::TraceSpan span, wire::TraceSpan::decode(r));
+    spans.push_back(span);
+  }
+  return spans;
 }
 
 Status BulletClient::sync() {

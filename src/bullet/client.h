@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "bullet/wire.h"
@@ -47,9 +48,23 @@ class BulletClient {
 
   // Administration (server capability needs the admin right).
   Result<wire::ServerStats> stats();
+  // BS_STATS2: the server's named-metric exposition (Prometheus text).
+  Result<std::string> stats_text();
+  // BS_TRACE_DUMP: drain traced span chains whose wall-clock extent is at
+  // least `threshold_ns`, at most `max_spans` spans.
+  Result<std::vector<wire::TraceSpan>> trace_dump(std::uint64_t threshold_ns,
+                                                  std::uint32_t max_spans);
   Status sync();
   Result<std::uint64_t> compact_disk();
   Result<wire::FsckReport> fsck();
+
+  // Stamp every subsequent request from this client with `id` (0 = none).
+  // A nonzero id forces the server to trace those requests regardless of
+  // its sampling rate. The id rides in a request trailer that is absent
+  // when zero, so a client that never sets one emits the pre-tracing wire
+  // format byte for byte; setting one requires a trace-aware server.
+  void set_trace_id(std::uint64_t id) noexcept { trace_id_ = id; }
+  std::uint64_t trace_id() const noexcept { return trace_id_; }
 
   const Capability& server_capability() const noexcept { return server_; }
 
@@ -59,6 +74,7 @@ class BulletClient {
 
   rpc::Transport* transport_;
   Capability server_;
+  std::uint64_t trace_id_ = 0;
 };
 
 }  // namespace bullet

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace bullet {
 namespace {
@@ -18,6 +19,9 @@ constexpr char kLog[] = "bullet";
 }  // namespace
 
 std::shared_lock<std::shared_mutex> BulletServer::lock_shared() const {
+  // The trace span covers the whole acquisition (near-zero when the try
+  // succeeds); lock_wait_ns_ keeps counting only genuinely blocked time.
+  obs::ScopedSpan span(obs::Stage::kLockShared);
   std::shared_lock<std::shared_mutex> lock(state_mu_, std::try_to_lock);
   if (!lock.owns_lock()) {
     const auto t0 = std::chrono::steady_clock::now();
@@ -32,6 +36,7 @@ std::shared_lock<std::shared_mutex> BulletServer::lock_shared() const {
 }
 
 std::unique_lock<std::shared_mutex> BulletServer::lock_exclusive() const {
+  obs::ScopedSpan span(obs::Stage::kLockExcl);
   std::unique_lock<std::shared_mutex> lock(state_mu_, std::try_to_lock);
   if (!lock.owns_lock()) {
     const auto t0 = std::chrono::steady_clock::now();
@@ -96,6 +101,52 @@ BulletServer::BulletServer(MirroredDisk* disk, BulletConfig config,
   // is stable across reboots without being stored on disk.
   super_random_ = Speck64(config_.secret).encrypt(config_.private_port) & kMask48;
   if (super_random_ == 0) super_random_ = 1;
+
+  // The one metrics group this server exports (kStats2). Every ServerStats
+  // counter appears under a stable name, plus cache internals and the
+  // latency histograms; the canonical name list lives in docs/PROTOCOL.md
+  // and is pinned by the obs introspection test. Rendered lock-free here —
+  // stats() takes its own shared lock.
+  metrics_.register_group([this](obs::MetricEmitter& e) {
+    const wire::ServerStats s = stats();
+    const FileCache::Stats cs = cache_.stats();
+    e.value("bullet_creates_total", s.creates);
+    e.value("bullet_reads_total", s.reads);
+    e.value("bullet_deletes_total", s.deletes);
+    e.value("bullet_cache_hits_total", s.cache_hits);
+    e.value("bullet_cache_misses_total", s.cache_misses);
+    e.value("bullet_cache_evictions_total", s.cache_evictions);
+    e.value("bullet_bytes_stored_total", s.bytes_stored);
+    e.value("bullet_bytes_served_total", s.bytes_served);
+    e.value("bullet_files_live", s.files_live);
+    e.value("bullet_disk_free_bytes", s.disk_free_bytes);
+    e.value("bullet_disk_largest_hole_bytes", s.disk_largest_hole_bytes);
+    e.value("bullet_disk_holes", s.disk_holes);
+    e.value("bullet_cache_free_bytes", s.cache_free_bytes);
+    e.value("bullet_healthy_replicas", s.healthy_replicas);
+    e.value("bullet_bytes_copied_total", s.bytes_copied);
+    e.value("bullet_scratch_allocs_total", s.scratch_allocs);
+    e.value("bullet_evict_scans_total", s.evict_scans);
+    e.value("bullet_io_errors_total", s.io_errors);
+    e.value("bullet_read_repairs_total", s.read_repairs);
+    e.value("bullet_failovers_total", s.failovers);
+    e.value("bullet_bg_write_failures_total", s.bg_write_failures);
+    e.value("bullet_rx_batches_total", s.rx_batches);
+    e.value("bullet_worker_wakeups_total", s.worker_wakeups);
+    e.value("bullet_lock_wait_ns_total", s.lock_wait_ns);
+    e.value("bullet_pinned_evict_defers_total", s.pinned_evict_defers);
+    e.value("bullet_cache_capacity_bytes", cs.capacity);
+    e.value("bullet_cache_used_bytes", cs.used);
+    e.value("bullet_cache_entries", cs.entries);
+    e.value("bullet_cache_compactions_total", cs.compactions);
+    e.value("bullet_cache_deferred_frees_total", cs.deferred_frees);
+    e.histogram("bullet_read_latency_ns", read_latency_ns_.snapshot());
+    e.histogram("bullet_create_latency_ns", create_latency_ns_.snapshot());
+    e.histogram("bullet_delete_latency_ns", delete_latency_ns_.snapshot());
+    e.histogram("bullet_disk_read_latency_ns", disk_read_latency_ns_.snapshot());
+    e.histogram("bullet_disk_write_latency_ns",
+                disk_write_latency_ns_.snapshot());
+  });
 }
 
 Result<std::unique_ptr<BulletServer>> BulletServer::start(
@@ -453,6 +504,7 @@ Result<BulletServer::PinnedFile> BulletServer::read_pinned(
     }
     const RnodeIndex hint = inodes_[index].cache_index;
     if (hint != 0) {
+      obs::ScopedSpan cache_span(obs::Stage::kCache);
       const std::optional<ByteSpan> span = cache_.touch_and_pin(hint, index);
       if (span.has_value()) {
         ++cache_hits_;
@@ -595,6 +647,8 @@ Result<ByteSpan> BulletServer::read_range(const Capability& cap,
 }
 
 Result<RnodeIndex> BulletServer::ensure_cached(std::uint32_t index) {
+  // Cache span: ~0 on a hit, disk fill time on a miss.
+  obs::ScopedSpan cache_span(obs::Stage::kCache);
   Inode& inode = inodes_[index];
   if (inode.cache_index != 0 && cache_.contains(inode.cache_index) &&
       cache_.inode_of(inode.cache_index) == index) {
@@ -625,14 +679,31 @@ Status BulletServer::read_file_from_disk(const Inode& inode,
   assert(out.size() ==
          layout_.blocks_for(inode.size_bytes) * layout_.block_size());
   if (out.empty()) return Status::success();
-  return disk_->read(inode.first_block, out);
+  // Disk I/O is µs-scale and off the cache-hit path, so its histogram
+  // records every operation (not just sampled requests); the trace span
+  // reuses the same clock reads.
+  const std::uint64_t t0 = obs::now_ns();
+  const Status st = disk_->read(inode.first_block, out);
+  const std::uint64_t dur = obs::now_ns() - t0;
+  disk_read_latency_ns_.record(dur);
+  if (auto* trace = obs::RequestTrace::current()) {
+    trace->add_span(obs::Stage::kDiskRead, t0, dur);
+  }
+  return st;
 }
 
 Result<int> BulletServer::write_file_data(std::uint64_t first_block,
                                           ByteSpan data, int max_replicas) {
   if (data.empty()) return max_replicas;
   assert(data.size() % layout_.block_size() == 0);
-  return disk_->write_partial(first_block, data, max_replicas);
+  const std::uint64_t t0 = obs::now_ns();
+  auto written = disk_->write_partial(first_block, data, max_replicas);
+  const std::uint64_t dur = obs::now_ns() - t0;
+  disk_write_latency_ns_.record(dur);
+  if (auto* trace = obs::RequestTrace::current()) {
+    trace->add_span(obs::Stage::kDiskWrite, t0, dur);
+  }
+  return written;
 }
 
 Status BulletServer::write_file_data_remaining(std::uint64_t first_block,
@@ -666,8 +737,15 @@ Bytes BulletServer::serialize_inode_block(std::uint64_t device_block) const {
 Result<int> BulletServer::write_inode_block(std::uint32_t index,
                                             int max_replicas) {
   const std::uint64_t device_block = layout_.inode_device_block(index);
-  return disk_->write_partial(device_block, serialize_inode_block(device_block),
-                              max_replicas);
+  const std::uint64_t t0 = obs::now_ns();
+  auto written = disk_->write_partial(
+      device_block, serialize_inode_block(device_block), max_replicas);
+  const std::uint64_t dur = obs::now_ns() - t0;
+  disk_write_latency_ns_.record(dur);
+  if (auto* trace = obs::RequestTrace::current()) {
+    trace->add_span(obs::Stage::kDiskWrite, t0, dur);
+  }
+  return written;
 }
 
 Status BulletServer::write_inode_block_remaining(std::uint32_t index,
@@ -894,26 +972,47 @@ std::vector<BulletServer::ObjectInfo> BulletServer::list_objects() const {
   return out;
 }
 
+BulletServer::CounterSnapshot BulletServer::snapshot_counters() const noexcept {
+  // One relaxed pass, front to back, into a plain struct. Workers keep
+  // mutating concurrently, but every field is read exactly once here
+  // instead of interleaved with the derived-stat computations below, so a
+  // snapshot is as internally consistent as relaxed counters allow.
+  CounterSnapshot c;
+  c.creates = creates_.load(std::memory_order_relaxed);
+  c.reads = reads_.load(std::memory_order_relaxed);
+  c.deletes = deletes_.load(std::memory_order_relaxed);
+  c.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  c.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  c.bytes_stored = bytes_stored_.load(std::memory_order_relaxed);
+  c.bytes_served = bytes_served_.load(std::memory_order_relaxed);
+  c.bytes_copied = bytes_copied_.load(std::memory_order_relaxed);
+  c.scratch_allocs = scratch_allocs_.load(std::memory_order_relaxed);
+  c.lock_wait_ns = lock_wait_ns_.load(std::memory_order_relaxed);
+  c.live_files = live_files_.load(std::memory_order_relaxed);
+  return c;
+}
+
 wire::ServerStats BulletServer::stats() const {
   const auto lock = lock_shared();
+  const CounterSnapshot c = snapshot_counters();
   const FileCache::Stats cache_stats = cache_.stats();
   wire::ServerStats s;
-  s.creates = creates_;
-  s.reads = reads_;
-  s.deletes = deletes_;
-  s.cache_hits = cache_hits_;
-  s.cache_misses = cache_misses_;
+  s.creates = c.creates;
+  s.reads = c.reads;
+  s.deletes = c.deletes;
+  s.cache_hits = c.cache_hits;
+  s.cache_misses = c.cache_misses;
   s.cache_evictions = cache_stats.evictions;
-  s.bytes_stored = bytes_stored_;
-  s.bytes_served = bytes_served_;
-  s.files_live = live_files_;
+  s.bytes_stored = c.bytes_stored;
+  s.bytes_served = c.bytes_served;
+  s.files_live = c.live_files;
   s.disk_free_bytes = disk_free_.total_free() * layout_.block_size();
   s.disk_largest_hole_bytes = disk_free_.largest_hole() * layout_.block_size();
   s.disk_holes = disk_free_.hole_count();
   s.cache_free_bytes = cache_.free_bytes();
   s.healthy_replicas = static_cast<std::uint64_t>(disk_->healthy_count());
-  s.bytes_copied = bytes_copied_;
-  s.scratch_allocs = scratch_allocs_;
+  s.bytes_copied = c.bytes_copied;
+  s.scratch_allocs = c.scratch_allocs;
   s.evict_scans = cache_stats.evict_scans;
   const MirroredDisk::Health& health = disk_->health();
   s.io_errors = health.io_errors;
@@ -925,9 +1024,11 @@ wire::ServerStats BulletServer::stats() const {
     s.worker_wakeups =
         io_counters_->worker_wakeups.load(std::memory_order_relaxed);
   }
-  s.lock_wait_ns = lock_wait_ns_.load(std::memory_order_relaxed);
+  s.lock_wait_ns = c.lock_wait_ns;
   s.pinned_evict_defers = cache_stats.pinned_evict_defers;
   return s;
 }
+
+std::string BulletServer::metrics_text() const { return metrics_.render(); }
 
 }  // namespace bullet

@@ -28,6 +28,8 @@
 #include "common/rng.h"
 #include "crypto/oneway.h"
 #include "disk/mirrored_disk.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
 #include "rpc/transport.h"
 #include "sim/clock.h"
 
@@ -120,6 +122,10 @@ class BulletServer final : public rpc::Service {
   // --- administration ---------------------------------------------------
 
   wire::ServerStats stats() const;
+  // The full named-metrics exposition (kStats2 reply payload): every
+  // stats() counter plus the per-operation latency histograms, rendered in
+  // Prometheus text format. See docs/PROTOCOL.md for the metric table.
+  std::string metrics_text() const;
   // Surface a transport's I/O counters (rx_batches, worker_wakeups) in
   // stats(); `counters` must outlive the server or be detached (nullptr).
   void attach_io_counters(const rpc::IoCounters* counters) {
@@ -257,6 +263,25 @@ class BulletServer final : public rpc::Service {
   mutable std::atomic<std::uint64_t> scratch_allocs_{0};
   // Nanoseconds spent blocked acquiring state_mu_ (either mode).
   mutable std::atomic<std::uint64_t> lock_wait_ns_{0};
+
+  // A relaxed-load pass over the counters above, decoupling the snapshot
+  // from the field-by-field reads stats()/metrics_text() render from.
+  struct CounterSnapshot {
+    std::uint64_t creates, reads, deletes, cache_hits, cache_misses;
+    std::uint64_t bytes_stored, bytes_served, bytes_copied, scratch_allocs;
+    std::uint64_t lock_wait_ns, live_files;
+  };
+  CounterSnapshot snapshot_counters() const noexcept;
+
+  // Per-operation service latencies (sampled requests only — the sampling
+  // decision is shared with tracing, see obs/trace.h) and per-op disk I/O
+  // latencies (every traced request's disk phase). Exposed via kStats2.
+  obs::LatencyHistogram read_latency_ns_;
+  obs::LatencyHistogram create_latency_ns_;
+  obs::LatencyHistogram delete_latency_ns_;
+  obs::LatencyHistogram disk_read_latency_ns_;
+  obs::LatencyHistogram disk_write_latency_ns_;
+  obs::MetricsRegistry metrics_;
 };
 
 }  // namespace bullet

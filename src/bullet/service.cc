@@ -1,6 +1,8 @@
 // RPC surface of the BulletServer: opcode dispatch and payload codecs.
 #include "bullet/server.h"
 
+#include "obs/trace.h"
+
 namespace bullet {
 namespace {
 
@@ -11,6 +13,28 @@ rpc::Reply to_reply(const Status& status) {
 }  // namespace
 
 rpc::Reply BulletServer::handle(const rpc::Request& request) {
+  // Start (or join) this request's trace. Over UDP the transport already
+  // created one after decode, so this is a no-op; over an in-process
+  // transport this is where sampling happens. The handle span doubles as
+  // the per-operation service-latency sample: the histogram and the trace
+  // share one sampling decision and one pair of clock reads.
+  obs::RequestTrace trace(request.opcode, request.trace_id);
+  obs::LatencyHistogram* latency = nullptr;
+  switch (request.opcode) {
+    case wire::kRead:
+    case wire::kReadRange:
+      latency = &read_latency_ns_;
+      break;
+    case wire::kCreate:
+    case wire::kCreateFrom:
+      latency = &create_latency_ns_;
+      break;
+    case wire::kDelete:
+      latency = &delete_latency_ns_;
+      break;
+  }
+  obs::ScopedSpan handle_span(obs::Stage::kHandle, latency);
+
   Reader body(request.body);
   switch (request.opcode) {
     case wire::kCreate: {
@@ -136,6 +160,48 @@ rpc::Reply BulletServer::handle(const rpc::Request& request) {
       }
       Writer w(5 * 8);
       check_consistency().encode(w);
+      return rpc::Reply::success(std::move(w).take());
+    }
+    case wire::kStats2: {
+      if (!body.done()) return rpc::Reply::error(ErrorCode::bad_argument);
+      {
+        const auto lock = lock_shared();
+        const auto verified = verify(request.target, rights::kAdmin);
+        if (!verified.ok()) return rpc::Reply::error(verified.code());
+      }
+      Writer w;
+      w.str(metrics_text());
+      return rpc::Reply::success(std::move(w).take());
+    }
+    case wire::kTraceDump: {
+      auto threshold_ns = body.u64();
+      auto max_spans = threshold_ns.ok()
+                           ? body.u32()
+                           : Result<std::uint32_t>(threshold_ns.error());
+      if (!max_spans.ok() || !body.done()) {
+        return rpc::Reply::error(ErrorCode::bad_argument);
+      }
+      {
+        const auto lock = lock_shared();
+        const auto verified = verify(request.target, rights::kAdmin);
+        if (!verified.ok()) return rpc::Reply::error(verified.code());
+      }
+      // Note the sink is process-wide (traces cross transport and server
+      // layers), so a dump through any server drains all of them.
+      const auto spans = obs::TraceSink::instance().drain(threshold_ns.value(),
+                                                          max_spans.value());
+      Writer w(4 + spans.size() * wire::TraceSpan::kWireSize);
+      w.u32(static_cast<std::uint32_t>(spans.size()));
+      for (const obs::SpanRecord& s : spans) {
+        wire::TraceSpan out;
+        out.trace_id = s.trace_id;
+        out.seq = s.seq;
+        out.opcode = s.opcode;
+        out.stage = static_cast<std::uint8_t>(s.stage);
+        out.start_ns = s.start_ns;
+        out.dur_ns = s.dur_ns;
+        out.encode(w);
+      }
       return rpc::Reply::success(std::move(w).take());
     }
     case wire::kRestrict: {

@@ -185,4 +185,24 @@ Result<FsckReport> FsckReport::decode(Reader& r) {
   return f;
 }
 
+void TraceSpan::encode(Writer& w) const {
+  w.u64(trace_id);
+  w.u64(seq);
+  w.u16(opcode);
+  w.u8(stage);
+  w.u64(start_ns);
+  w.u64(dur_ns);
+}
+
+Result<TraceSpan> TraceSpan::decode(Reader& r) {
+  TraceSpan s;
+  BULLET_ASSIGN_OR_RETURN(s.trace_id, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.seq, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.opcode, r.u16());
+  BULLET_ASSIGN_OR_RETURN(s.stage, r.u8());
+  BULLET_ASSIGN_OR_RETURN(s.start_ns, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.dur_ns, r.u64());
+  return s;
+}
+
 }  // namespace bullet::wire

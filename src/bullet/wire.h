@@ -26,6 +26,8 @@ inline constexpr std::uint16_t kSync = 8;        // admin
 inline constexpr std::uint16_t kCompactDisk = 9; // admin ("3 am" compaction)
 inline constexpr std::uint16_t kFsck = 10;       // admin
 inline constexpr std::uint16_t kRestrict = 11;   // mint a sub-rights cap
+inline constexpr std::uint16_t kStats2 = 12;     // admin: metrics exposition
+inline constexpr std::uint16_t kTraceDump = 13;  // admin: drain trace spans
 
 // One step of a CREATE-FROM edit script, applied in order to a copy of the
 // source file. Offsets refer to the file as it stands when the edit runs.
@@ -95,6 +97,23 @@ struct ServerStats {
 
   void encode(Writer& w) const;
   static Result<ServerStats> decode(Reader& r);
+};
+
+// One traced request stage (kTraceDump reply: u32 count ‖ count spans).
+// Matches obs::SpanRecord; kept as a separate wire type so the in-memory
+// trace layout can evolve without a protocol change.
+struct TraceSpan {
+  std::uint64_t trace_id = 0;  // client-supplied id (0 = server-sampled)
+  std::uint64_t seq = 0;       // server-assigned per-request sequence
+  std::uint16_t opcode = 0;
+  std::uint8_t stage = 0;      // obs::Stage value
+  std::uint64_t start_ns = 0;  // server steady-clock
+  std::uint64_t dur_ns = 0;
+
+  static constexpr std::size_t kWireSize = 8 + 8 + 2 + 1 + 8 + 8;
+
+  void encode(Writer& w) const;
+  static Result<TraceSpan> decode(Reader& r);
 };
 
 // Startup / on-demand consistency-check report (kFsck reply payload).

@@ -1,0 +1,44 @@
+#include "obs/histogram.h"
+
+#include <cmath>
+
+namespace bullet::obs {
+
+std::uint64_t HistogramSnapshot::quantile(double q) const noexcept {
+  if (total_ == 0) return 0;
+  if (q >= 1.0) return max_;
+  if (q < 0.0) q = 0.0;
+  // Rank of the q-th value (1-based): ceil(q * total), at least 1.
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_)));
+  if (rank == 0) rank = 1;
+  if (rank > total_) rank = total_;
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kHistBuckets; ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) {
+      const std::uint64_t ceiling = histogram_bucket_ceiling(i);
+      // Never report past the true maximum (the top occupied bucket's
+      // ceiling can overshoot the largest recorded value by a bucket
+      // width).
+      return ceiling < max_ ? ceiling : max_;
+    }
+  }
+  return max_;
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const noexcept {
+  HistogramSnapshot out;
+  std::uint64_t total = 0;
+  for (int i = 0; i < kHistBuckets; ++i) {
+    const std::uint64_t n = counts_[i].load(std::memory_order_relaxed);
+    out.counts_[i] = n;
+    total += n;
+  }
+  out.total_ = total;
+  out.sum_ = sum_.load(std::memory_order_relaxed);
+  out.max_ = max_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace bullet::obs

@@ -1,0 +1,137 @@
+// Log-linear latency histograms (the measurement core of the observability
+// subsystem).
+//
+// The paper's whole evaluation is measured delay (Figs. 2-3); a mean alone
+// hides exactly the tail this server's concurrency work targets, so every
+// latency-bearing path records into one of these and the introspection
+// plane (BS_STATS2) exposes p50/p90/p99/max.
+//
+// Bucketing is HdrHistogram-style log-linear: values below kSubBuckets are
+// exact; above that each power-of-two octave is split into kSubBuckets
+// linear sub-buckets, so the relative quantile error is bounded by
+// 1/kSubBuckets (12.5%) at every magnitude from 1 ns to the full u64
+// range. Two flavours:
+//
+//  * LatencyHistogram — the shared recorder. record() is three relaxed
+//    atomic RMWs (bucket, sum, max), safe from any number of worker
+//    threads with no lock and no false sharing on the hot counters a
+//    single opcode hammers.
+//  * HistogramSnapshot — a plain-value copy for querying and merging.
+//    merge() is element-wise addition (exactly associative and
+//    commutative), which is how per-thread or per-worker histograms
+//    combine into one distribution.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace bullet::obs {
+
+// Bucket geometry, shared by recorder and snapshot.
+inline constexpr int kHistSubBits = 3;                     // 8 sub-buckets
+inline constexpr int kHistSubBuckets = 1 << kHistSubBits;  // per octave
+inline constexpr int kHistBuckets = (64 - kHistSubBits + 1) * kHistSubBuckets;
+
+// Bucket holding `value`: identity below kHistSubBuckets, then
+// (octave, linear position within the octave).
+constexpr int histogram_bucket(std::uint64_t value) noexcept {
+  if (value < kHistSubBuckets) return static_cast<int>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int sub =
+      static_cast<int>((value >> (msb - kHistSubBits)) & (kHistSubBuckets - 1));
+  return (msb - kHistSubBits + 1) * kHistSubBuckets + sub;
+}
+
+// Smallest value mapping to bucket `index` (inverse of histogram_bucket).
+constexpr std::uint64_t histogram_bucket_floor(int index) noexcept {
+  const int octave = index >> kHistSubBits;
+  const std::uint64_t sub = static_cast<std::uint64_t>(index) &
+                            (kHistSubBuckets - 1);
+  if (octave == 0) return sub;
+  const int msb = octave + kHistSubBits - 1;
+  return (std::uint64_t{1} << msb) | (sub << (msb - kHistSubBits));
+}
+
+// Largest value mapping to bucket `index`; quantiles report this bound, so
+// a reported quantile is never below the true one and overshoots by at
+// most one bucket width (12.5% relative).
+constexpr std::uint64_t histogram_bucket_ceiling(int index) noexcept {
+  return index + 1 >= kHistBuckets ? ~std::uint64_t{0}
+                                   : histogram_bucket_floor(index + 1) - 1;
+}
+
+// A plain-value histogram: query and merge side. Also usable directly as a
+// single-threaded recorder (benchmark worker loops record into a local
+// snapshot and merge at the end).
+class HistogramSnapshot {
+ public:
+  void add(std::uint64_t value, std::uint64_t count = 1) noexcept {
+    counts_[histogram_bucket(value)] += count;
+    total_ += count;
+    sum_ += value * count;
+    if (count > 0 && value > max_) max_ = value;
+  }
+
+  // Element-wise addition: exactly associative and commutative, so any
+  // merge order over any partition of recorders yields the same result.
+  void merge(const HistogramSnapshot& other) noexcept {
+    for (int i = 0; i < kHistBuckets; ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  std::uint64_t count() const noexcept { return total_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  std::uint64_t max() const noexcept { return max_; }
+  std::uint64_t bucket_count(int index) const noexcept {
+    return counts_[index];
+  }
+  double mean() const noexcept {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(total_);
+  }
+
+  // Value at quantile q in [0, 1]: the ceiling of the bucket where the
+  // cumulative count first reaches ceil(q * count), clamped to the exact
+  // recorded max (so quantile(1) == max() and the estimate never exceeds
+  // any recorded value's bucket by more than its width). 0 when empty.
+  std::uint64_t quantile(double q) const noexcept;
+
+ private:
+  friend class LatencyHistogram;  // snapshot() fills fields directly
+
+  std::array<std::uint64_t, kHistBuckets> counts_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+// The shared recorder: one instance per metric, hammered concurrently by
+// every worker thread.
+class LatencyHistogram {
+ public:
+  void record(std::uint64_t value) noexcept {
+    counts_[histogram_bucket(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  // A relaxed single pass over the buckets. Counters mutated mid-pass land
+  // in either the old or the new state per bucket — fine for monitoring,
+  // which is the only consumer.
+  HistogramSnapshot snapshot() const noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kHistBuckets> counts_{};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace bullet::obs

@@ -1,0 +1,53 @@
+#include "obs/metrics.h"
+
+namespace bullet::obs {
+
+namespace {
+
+void append_sample(std::string* out, std::string_view name,
+                   std::string_view labels, std::uint64_t v) {
+  out->append(name);
+  out->append(labels);
+  out->push_back(' ');
+  out->append(std::to_string(v));
+  out->push_back('\n');
+}
+
+}  // namespace
+
+void MetricEmitter::value(std::string_view name, std::uint64_t v) {
+  append_sample(&out_, name, {}, v);
+}
+
+void MetricEmitter::histogram(std::string_view name,
+                              const HistogramSnapshot& snap) {
+  append_sample(&out_, name, "{quantile=\"0.5\"}", snap.quantile(0.50));
+  append_sample(&out_, name, "{quantile=\"0.9\"}", snap.quantile(0.90));
+  append_sample(&out_, name, "{quantile=\"0.99\"}", snap.quantile(0.99));
+  std::string suffixed(name);
+  const std::size_t base = suffixed.size();
+  suffixed += "_count";
+  append_sample(&out_, suffixed, {}, snap.count());
+  suffixed.replace(base, std::string::npos, "_sum");
+  append_sample(&out_, suffixed, {}, snap.sum());
+  suffixed.replace(base, std::string::npos, "_max");
+  append_sample(&out_, suffixed, {}, snap.max());
+}
+
+void MetricsRegistry::register_group(Group group) {
+  std::lock_guard<std::mutex> lock(mu_);
+  groups_.push_back(std::move(group));
+}
+
+std::string MetricsRegistry::render() const {
+  std::vector<Group> groups;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    groups = groups_;
+  }
+  MetricEmitter emitter;
+  for (const auto& group : groups) group(emitter);
+  return std::move(emitter.out_);
+}
+
+}  // namespace bullet::obs

@@ -1,0 +1,185 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <mutex>
+
+#include "obs/histogram.h"
+
+namespace bullet::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+std::atomic<std::uint32_t> g_sample_every{kDefaultSampleEvery};
+std::atomic<std::uint64_t> g_next_seq{1};
+
+thread_local RequestTrace* t_current = nullptr;
+thread_local std::uint32_t t_sample_tick = 0;
+
+// Shards live here (not in the header) so TraceSink stays an opaque
+// handle; spans of one request always land in one shard (seq % kShards),
+// keeping chains contiguous.
+constexpr std::size_t kShards = 4;
+constexpr std::size_t kShardCapacity = 4096;
+
+struct SinkShard {
+  std::mutex mu;
+  std::deque<SpanRecord> spans;  // bounded at kShardCapacity, oldest dropped
+};
+
+SinkShard g_shards[kShards];
+
+}  // namespace
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+const char* stage_name(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kRx: return "rx";
+    case Stage::kQueue: return "queue";
+    case Stage::kHandle: return "handle";
+    case Stage::kLockShared: return "lock_shared";
+    case Stage::kLockExcl: return "lock_excl";
+    case Stage::kCache: return "cache";
+    case Stage::kDiskRead: return "disk_read";
+    case Stage::kDiskWrite: return "disk_write";
+    case Stage::kEncode: return "encode";
+    case Stage::kTx: return "tx";
+  }
+  return "unknown";
+}
+
+void set_tracing_enabled(bool enabled) noexcept {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool tracing_enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_sample_every(std::uint32_t every) noexcept {
+  g_sample_every.store(every, std::memory_order_relaxed);
+}
+
+TraceSink& TraceSink::instance() {
+  static TraceSink sink;
+  return sink;
+}
+
+void TraceSink::publish(const SpanRecord* spans, std::size_t count) {
+  if (count == 0) return;
+  SinkShard& shard = g_shards[spans[0].seq % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // Evict whole chains from the front so a partially-dropped request never
+  // masquerades as a complete timeline.
+  while (shard.spans.size() + count > kShardCapacity && !shard.spans.empty()) {
+    const std::uint64_t victim = shard.spans.front().seq;
+    while (!shard.spans.empty() && shard.spans.front().seq == victim) {
+      shard.spans.pop_front();
+    }
+  }
+  shard.spans.insert(shard.spans.end(), spans, spans + count);
+}
+
+std::vector<SpanRecord> TraceSink::drain(std::uint64_t threshold_ns,
+                                         std::size_t max_spans) {
+  std::vector<SpanRecord> all;
+  for (auto& shard : g_shards) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    all.insert(all.end(), shard.spans.begin(), shard.spans.end());
+    shard.spans.clear();
+  }
+  // Group into chains by seq (stable: publish() appends chains whole, so a
+  // sort by (seq, start) reassembles them in recording order).
+  std::sort(all.begin(), all.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.seq != b.seq) return a.seq < b.seq;
+              return a.start_ns < b.start_ns;
+            });
+  std::vector<SpanRecord> kept;
+  std::size_t begin = 0;
+  while (begin < all.size()) {
+    std::size_t end = begin + 1;
+    while (end < all.size() && all[end].seq == all[begin].seq) ++end;
+    std::uint64_t lo = ~std::uint64_t{0}, hi = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      lo = std::min(lo, all[i].start_ns);
+      hi = std::max(hi, all[i].start_ns + all[i].dur_ns);
+    }
+    if (hi - lo >= threshold_ns) {
+      kept.insert(kept.end(), all.begin() + begin, all.begin() + end);
+    }
+    begin = end;
+  }
+  // Truncate from the front (oldest seqs) at a chain boundary, so the
+  // newest whole chains survive.
+  if (kept.size() > max_spans) {
+    std::size_t start = kept.size() - max_spans;
+    while (start > 0 && kept[start].seq == kept[start - 1].seq) --start;
+    kept.erase(kept.begin(), kept.begin() + start);
+  }
+  return kept;
+}
+
+void TraceSink::clear() {
+  for (auto& shard : g_shards) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.spans.clear();
+  }
+}
+
+RequestTrace::RequestTrace(std::uint16_t opcode,
+                           std::uint64_t trace_id) noexcept {
+  if (t_current != nullptr) return;  // outer trace owns this request
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  bool sampled = trace_id != 0;
+  if (!sampled) {
+    const std::uint32_t every = g_sample_every.load(std::memory_order_relaxed);
+    sampled = every != 0 && ++t_sample_tick >= every;
+    if (sampled) t_sample_tick = 0;
+  }
+  if (!sampled) return;
+  active_ = true;
+  owns_tls_ = true;
+  trace_id_ = trace_id;
+  opcode_ = opcode;
+  seq_ = g_next_seq.fetch_add(1, std::memory_order_relaxed);
+  t_current = this;
+}
+
+RequestTrace::~RequestTrace() {
+  if (!owns_tls_) return;
+  t_current = nullptr;
+  if (count_ > 0) TraceSink::instance().publish(spans_.data(), count_);
+}
+
+RequestTrace* RequestTrace::current() noexcept { return t_current; }
+
+void RequestTrace::add_span(Stage stage, std::uint64_t start_ns,
+                            std::uint64_t dur_ns) noexcept {
+  if (!active_ || count_ >= kMaxSpans) return;
+  SpanRecord& span = spans_[count_++];
+  span.trace_id = trace_id_;
+  span.seq = seq_;
+  span.opcode = opcode_;
+  span.stage = stage;
+  span.start_ns = start_ns;
+  span.dur_ns = dur_ns;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (trace_ == nullptr) return;
+  const std::uint64_t dur = now_ns() - start_ns_;
+  trace_->add_span(stage_, start_ns_, dur);
+  if (hist_ != nullptr) hist_->record(dur);
+}
+
+}  // namespace bullet::obs

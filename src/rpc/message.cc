@@ -7,6 +7,7 @@ Bytes Request::encode() const {
   target.encode(w);
   w.u16(opcode);
   w.blob(body);
+  if (trace_id != 0) w.u64(trace_id);
   return std::move(w).take();
 }
 
@@ -17,6 +18,11 @@ Result<Request> Request::decode(ByteSpan wire) {
   BULLET_ASSIGN_OR_RETURN(req.opcode, r.u16());
   BULLET_ASSIGN_OR_RETURN(ByteSpan body, r.blob());
   req.body.assign(body.begin(), body.end());
+  // Exactly one trailing u64 is the optional trace id (see message.h);
+  // anything else trailing is still malformed.
+  if (r.remaining() == 8) {
+    BULLET_ASSIGN_OR_RETURN(req.trace_id, r.u64());
+  }
   if (!r.done()) return Error(ErrorCode::bad_argument, "trailing bytes");
   return req;
 }

@@ -21,9 +21,18 @@ struct Request {
   std::uint16_t opcode = 0; // service-specific operation
   Bytes body;               // operation arguments
 
+  // Optional client-chosen trace id (see obs/trace.h). Encoded as a
+  // trailing u64 after the body blob, but only when nonzero, so requests
+  // from clients that never set it are byte-identical to the pre-tracing
+  // wire format, and old servers never see the extra tail from old
+  // clients. A server that does see exactly 8 bytes past the body treats
+  // them as the trace id; any other trailer remains an error.
+  std::uint64_t trace_id = 0;
+
   // Bytes this request occupies on the wire (for the network model).
   std::uint64_t wire_size() const noexcept {
-    return Capability::kWireSize + 2 + 4 + body.size();
+    return Capability::kWireSize + 2 + 4 + body.size() +
+           (trace_id != 0 ? 8 : 0);
   }
 
   Bytes encode() const;

@@ -17,6 +17,7 @@
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/serde.h"
+#include "obs/trace.h"
 
 namespace bullet::rpc {
 namespace {
@@ -85,6 +86,7 @@ Result<FragmentView> parse_fragment(ByteSpan datagram) {
 struct Assembly {
   std::uint16_t count = 0;
   std::uint16_t received = 0;
+  std::uint64_t first_ns = 0;  // first-fragment arrival (0 = not tracing)
   std::vector<Bytes> parts;
 
   // Returns true once complete.
@@ -329,6 +331,10 @@ struct UdpServer::Impl {
     sockaddr_in from{};
     std::uint64_t message_id = 0;
     Bytes wire;
+    // Trace timestamps, 0 when tracing is off: first-fragment arrival and
+    // reassembly-complete/enqueue time (the queue span's start).
+    std::uint64_t rx_first_ns = 0;
+    std::uint64_t rx_done_ns = 0;
   };
   struct ClientState {
     std::deque<WorkItem> pending;
@@ -355,22 +361,52 @@ struct UdpServer::Impl {
   // Decode, dispatch, cache, reply. Runs on the RX thread (inline mode) or
   // on a worker. The Reply may borrow pinned cache bytes; the pin lives
   // until `reply` is destroyed, which is after encode() gathered them.
+  //
+  // `rx_first_ns`/`rx_done_ns`/`dequeue_ns` are trace timestamps captured
+  // by the RX thread and worker loop (all 0 when tracing is off): the rx
+  // span covers fragment reassembly, the queue span covers enqueue→worker
+  // pickup. The RequestTrace is constructed here — after decode, so it
+  // knows the opcode and the client's trace id — and becomes the thread's
+  // current trace for the whole dispatch; the service's own spans (lock,
+  // cache, disk) attach to it.
   void execute(const sockaddr_in& from, std::uint64_t peer,
-               std::uint64_t message_id, const Bytes& wire) {
+               std::uint64_t message_id, const Bytes& wire,
+               std::uint64_t rx_first_ns = 0, std::uint64_t rx_done_ns = 0,
+               std::uint64_t dequeue_ns = 0) {
     auto request = Request::decode(wire);
-    Reply reply;
     if (!request.ok()) {
-      reply = Reply::error(ErrorCode::bad_argument);
-    } else {
-      Service* service = find_service(request.value().target.port.value());
-      reply = service == nullptr ? Reply::error(ErrorCode::unreachable)
-                                 : service->handle(request.value());
+      auto encoded = std::make_shared<const Bytes>(
+          Reply::error(ErrorCode::bad_argument).encode());
+      replies.insert(peer, message_id, encoded);
+      (void)send_message_batched(fd, from, message_id,
+                                 ByteSpan(encoded->data(), encoded->size()));
+      return;
     }
-    auto encoded = std::make_shared<const Bytes>(reply.encode());
+    obs::RequestTrace trace(request.value().opcode,
+                            request.value().trace_id);
+    if (trace.active()) {
+      if (rx_first_ns != 0 && rx_done_ns >= rx_first_ns) {
+        trace.add_span(obs::Stage::kRx, rx_first_ns,
+                       rx_done_ns - rx_first_ns);
+      }
+      if (dequeue_ns != 0 && dequeue_ns >= rx_done_ns && rx_done_ns != 0) {
+        trace.add_span(obs::Stage::kQueue, rx_done_ns,
+                       dequeue_ns - rx_done_ns);
+      }
+    }
+    Service* service = find_service(request.value().target.port.value());
+    Reply reply = service == nullptr ? Reply::error(ErrorCode::unreachable)
+                                     : service->handle(request.value());
+    std::shared_ptr<const Bytes> encoded;
+    {
+      obs::ScopedSpan span(obs::Stage::kEncode);
+      encoded = std::make_shared<const Bytes>(reply.encode());
+    }
     // Cache before sending (and before the caller clears the in-flight
     // mark): a retransmit arriving at any later instant finds either the
     // in-flight mark or the cached reply — never a gap that re-executes.
     replies.insert(peer, message_id, encoded);
+    obs::ScopedSpan span(obs::Stage::kTx);
     (void)send_message_batched(fd, from, message_id,
                                ByteSpan(encoded->data(), encoded->size()));
   }
@@ -383,14 +419,16 @@ struct UdpServer::Impl {
   }
 
   void enqueue(const sockaddr_in& from, std::uint64_t peer,
-               std::uint64_t message_id, Bytes wire) {
+               std::uint64_t message_id, Bytes wire,
+               std::uint64_t rx_first_ns, std::uint64_t rx_done_ns) {
     std::lock_guard<std::mutex> lock(work_mu);
     ClientState& client = clients[peer];
     if (!client.pending_ids.insert(message_id).second) {
       duplicates.fetch_add(1);
       return;
     }
-    client.pending.push_back(WorkItem{from, message_id, std::move(wire)});
+    client.pending.push_back(
+        WorkItem{from, message_id, std::move(wire), rx_first_ns, rx_done_ns});
     if (!client.scheduled) {
       client.scheduled = true;
       ready.push_back(peer);
@@ -411,7 +449,10 @@ struct UdpServer::Impl {
         WorkItem item = std::move(client.pending.front());
         client.pending.pop_front();
         lock.unlock();
-        execute(item.from, peer, item.message_id, item.wire);
+        const std::uint64_t dequeue_ns =
+            item.rx_done_ns != 0 ? obs::now_ns() : 0;
+        execute(item.from, peer, item.message_id, item.wire, item.rx_first_ns,
+                item.rx_done_ns, dequeue_ns);
         lock.lock();
         client.pending_ids.erase(item.message_id);
         if (shutdown_workers) return;
@@ -448,14 +489,20 @@ struct UdpServer::Impl {
     }
 
     Assembly& assembly = assembling[key];
+    if (assembly.count == 0 && obs::tracing_enabled()) {
+      assembly.first_ns = obs::now_ns();
+    }
     if (!assembly.add(fragment.value())) return;
+    const std::uint64_t rx_first_ns = assembly.first_ns;
+    const std::uint64_t rx_done_ns = rx_first_ns != 0 ? obs::now_ns() : 0;
     Bytes wire = assembly.join();
     assembling.erase(key);
 
     if (workers.empty()) {
-      execute(from, peer, message_id, wire);
+      execute(from, peer, message_id, wire, rx_first_ns, rx_done_ns);
     } else {
-      enqueue(from, peer, message_id, std::move(wire));
+      enqueue(from, peer, message_id, std::move(wire), rx_first_ns,
+              rx_done_ns);
     }
   }
 

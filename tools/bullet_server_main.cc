@@ -29,6 +29,7 @@
 #include "dir/server.h"
 #include "disk/file_disk.h"
 #include "disk/mirrored_disk.h"
+#include "obs/trace.h"
 #include "rpc/udp_transport.h"
 
 using namespace bullet;
@@ -42,7 +43,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: bullet_server --image FILE [--image FILE] "
                "[--port N] [--cache-mb N] [--dir-bootstrap FILE] "
-               "[--workers N]\n");
+               "[--workers N] [--no-trace] [--trace-sample N]\n");
   return 2;
 }
 
@@ -125,6 +126,15 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       workers = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--no-trace") {
+      // Disables sampling AND client-forced traces (the overhead baseline).
+      obs::set_tracing_enabled(false);
+    } else if (arg == "--trace-sample") {
+      // Trace 1 in N id-less requests (default obs::kDefaultSampleEvery).
+      const char* v = next();
+      if (v == nullptr) return usage();
+      obs::set_sample_every(
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10)));
     } else {
       return usage();
     }

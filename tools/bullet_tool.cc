@@ -1,6 +1,7 @@
-// bullet_tool — offline administration of Bullet disk images.
+// bullet_tool — administration of Bullet servers and disk images.
 //
-// Operates on one file-backed replica image (dumpe2fs/debugfs style):
+// Offline commands operate on one file-backed replica image
+// (dumpe2fs/debugfs style):
 //
 //   bullet_tool format <image> <size-mb> [inode-slots]
 //   bullet_tool fsck   <image>
@@ -11,22 +12,35 @@
 //   bullet_tool rm     <image> <capability>
 //   bullet_tool compact <image>
 //
+// Live commands talk to a running bullet_server over UDP (the port and
+// admin capability are what the daemon prints at startup):
+//
+//   bullet_tool stats <port> <cap>                     metrics exposition
+//   bullet_tool top   <port> <cap> [seconds]           rates over an interval
+//   bullet_tool trace <port> <cap> [--slow DUR] [--max N]  span chains
+//
 // Capabilities are printed and accepted in the textual form
 // "port:object:rights:check" (hex). The tool uses the library's default
 // server secret, so capabilities minted by `put` keep working across
 // invocations; production deployments configure their own secret.
+#include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "bullet/client.h"
 #include "bullet/server.h"
 #include "common/crc.h"
 #include "disk/file_disk.h"
 #include "disk/mirrored_disk.h"
+#include "obs/trace.h"
+#include "rpc/udp_transport.h"
 
 using namespace bullet;
 
@@ -47,7 +61,11 @@ int usage() {
       "  rm     <image> <capability>                  delete a file\n"
       "  compact <image>                              squeeze out the holes\n"
       "  scrub  <image> <mirror-image> [repair]       compare replicas\n"
-      "  resilver <image> <mirror-image>              rebuild a replica copy\n");
+      "  resilver <image> <mirror-image>              rebuild a replica copy\n"
+      "  stats  <port> <cap>                          live metrics exposition\n"
+      "  top    <port> <cap> [seconds=1]              live rates over interval\n"
+      "  trace  <port> <cap> [--slow DUR] [--max N]   live span chains\n"
+      "         (DUR accepts ns/us/ms/s suffixes, default 0 = everything)\n");
   return 2;
 }
 
@@ -315,6 +333,196 @@ int cmd_resilver(const std::string& image, int argc, char** argv) {
   return 0;
 }
 
+// --- live-server commands (UDP) ---------------------------------------------
+
+struct LiveConnection {
+  std::unique_ptr<rpc::UdpTransport> transport;
+  std::unique_ptr<BulletClient> client;
+};
+
+Result<LiveConnection> connect_live(const std::string& port_text,
+                                    const std::string& cap_text) {
+  const unsigned long port = std::strtoul(port_text.c_str(), nullptr, 10);
+  if (port == 0 || port > 0xFFFF) {
+    return Error(ErrorCode::bad_argument, "bad port: " + port_text);
+  }
+  const auto cap = Capability::from_string(cap_text);
+  if (!cap) return Error(ErrorCode::bad_argument, "bad capability");
+  rpc::UdpClientOptions options;
+  options.server_udp_port = static_cast<std::uint16_t>(port);
+  BULLET_ASSIGN_OR_RETURN(auto transport, rpc::UdpTransport::connect(options));
+  LiveConnection conn;
+  conn.client = std::make_unique<BulletClient>(transport.get(), *cap);
+  conn.transport = std::move(transport);
+  return conn;
+}
+
+// "5ms" / "250us" / "1s" / "12345" (plain = ns) -> nanoseconds.
+Result<std::uint64_t> parse_duration_ns(const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || value < 0) {
+    return Error(ErrorCode::bad_argument, "bad duration: " + text);
+  }
+  const std::string unit(end);
+  double scale = 1.0;
+  if (unit == "ns" || unit.empty()) scale = 1.0;
+  else if (unit == "us") scale = 1e3;
+  else if (unit == "ms") scale = 1e6;
+  else if (unit == "s") scale = 1e9;
+  else return Error(ErrorCode::bad_argument, "bad duration unit: " + unit);
+  return static_cast<std::uint64_t>(value * scale);
+}
+
+std::string format_ns(std::uint64_t ns) {
+  char buf[32];
+  if (ns >= 1000000000ull) {
+    std::snprintf(buf, sizeof buf, "%.2fs", ns / 1e9);
+  } else if (ns >= 1000000ull) {
+    std::snprintf(buf, sizeof buf, "%.2fms", ns / 1e6);
+  } else if (ns >= 1000ull) {
+    std::snprintf(buf, sizeof buf, "%.2fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%" PRIu64 "ns", ns);
+  }
+  return buf;
+}
+
+const char* opcode_name(std::uint16_t opcode) {
+  switch (opcode) {
+    case wire::kCreate: return "CREATE";
+    case wire::kRead: return "READ";
+    case wire::kSize: return "SIZE";
+    case wire::kDelete: return "DELETE";
+    case wire::kCreateFrom: return "CREATE-FROM";
+    case wire::kReadRange: return "READ-RANGE";
+    case wire::kStats: return "STATS";
+    case wire::kSync: return "SYNC";
+    case wire::kCompactDisk: return "COMPACT";
+    case wire::kFsck: return "FSCK";
+    case wire::kRestrict: return "RESTRICT";
+    case wire::kStats2: return "STATS2";
+    case wire::kTraceDump: return "TRACE-DUMP";
+  }
+  return "?";
+}
+
+int cmd_live_stats(int argc, char** argv) {
+  if (argc < 2) return usage();
+  auto conn = connect_live(argv[0], argv[1]);
+  if (!conn.ok()) return fail(conn.error());
+  auto text = conn.value().client->stats_text();
+  if (!text.ok()) return fail(text.error());
+  std::fputs(text.value().c_str(), stdout);
+  return 0;
+}
+
+// Find `name` in an exposition text; -1 when absent.
+long long metric_value(const std::string& text, const std::string& name) {
+  std::size_t pos = 0;
+  const std::string needle = name + " ";
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string line =
+        text.substr(pos, eol == std::string::npos ? eol : eol - pos);
+    if (line.rfind(needle, 0) == 0) {
+      return std::strtoll(line.c_str() + needle.size(), nullptr, 10);
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  return -1;
+}
+
+int cmd_top(int argc, char** argv) {
+  if (argc < 2) return usage();
+  auto conn = connect_live(argv[0], argv[1]);
+  if (!conn.ok()) return fail(conn.error());
+  const double seconds = argc >= 3 ? std::strtod(argv[2], nullptr) : 1.0;
+  if (seconds <= 0) return usage();
+  auto before = conn.value().client->stats_text();
+  if (!before.ok()) return fail(before.error());
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<long>(seconds * 1000)));
+  auto after = conn.value().client->stats_text();
+  if (!after.ok()) return fail(after.error());
+
+  auto rate = [&](const char* name) {
+    const long long a = metric_value(before.value(), name);
+    const long long b = metric_value(after.value(), name);
+    return a < 0 || b < 0 ? 0.0 : (b - a) / seconds;
+  };
+  std::printf("interval: %.1fs\n", seconds);
+  std::printf("reads/s:        %10.1f\n", rate("bullet_reads_total"));
+  std::printf("creates/s:      %10.1f\n", rate("bullet_creates_total"));
+  std::printf("deletes/s:      %10.1f\n", rate("bullet_deletes_total"));
+  std::printf("served MB/s:    %10.2f\n",
+              rate("bullet_bytes_served_total") / 1e6);
+  std::printf("stored MB/s:    %10.2f\n",
+              rate("bullet_bytes_stored_total") / 1e6);
+  std::printf("cache hits/s:   %10.1f\n", rate("bullet_cache_hits_total"));
+  std::printf("cache misses/s: %10.1f\n", rate("bullet_cache_misses_total"));
+  std::printf("lock wait/s:    %10s\n",
+              format_ns(static_cast<std::uint64_t>(
+                            rate("bullet_lock_wait_ns_total")))
+                  .c_str());
+  std::printf("files live:     %10lld\n",
+              metric_value(after.value(), "bullet_files_live"));
+  std::printf("cache free:     %10lld\n",
+              metric_value(after.value(), "bullet_cache_free_bytes"));
+  return 0;
+}
+
+int cmd_trace(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::uint64_t threshold_ns = 0;
+  std::uint32_t max_spans = 1024;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--slow" && i + 1 < argc) {
+      auto parsed = parse_duration_ns(argv[++i]);
+      if (!parsed.ok()) return fail(parsed.error());
+      threshold_ns = parsed.value();
+    } else if (arg == "--max" && i + 1 < argc) {
+      max_spans = static_cast<std::uint32_t>(
+          std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      return usage();
+    }
+  }
+  auto conn = connect_live(argv[0], argv[1]);
+  if (!conn.ok()) return fail(conn.error());
+  auto spans = conn.value().client->trace_dump(threshold_ns, max_spans);
+  if (!spans.ok()) return fail(spans.error());
+
+  // Group into chains by seq (the dump keeps chains contiguous).
+  std::size_t begin = 0;
+  std::size_t chains = 0;
+  const auto& all = spans.value();
+  while (begin < all.size()) {
+    std::size_t end = begin + 1;
+    while (end < all.size() && all[end].seq == all[begin].seq) ++end;
+    std::uint64_t lo = ~std::uint64_t{0}, hi = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      lo = std::min(lo, all[i].start_ns);
+      hi = std::max(hi, all[i].start_ns + all[i].dur_ns);
+    }
+    std::printf("seq=%" PRIu64 " op=%s id=%" PRIx64 " total=%s\n",
+                all[begin].seq, opcode_name(all[begin].opcode),
+                all[begin].trace_id, format_ns(hi - lo).c_str());
+    for (std::size_t i = begin; i < end; ++i) {
+      std::printf("  %-11s +%-10s %s\n",
+                  obs::stage_name(static_cast<obs::Stage>(all[i].stage)),
+                  format_ns(all[i].start_ns - lo).c_str(),
+                  format_ns(all[i].dur_ns).c_str());
+    }
+    ++chains;
+    begin = end;
+  }
+  std::printf("%zu chain(s), %zu span(s)\n", chains, all.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -334,5 +542,9 @@ int main(int argc, char** argv) {
   if (command == "compact") return cmd_compact(image);
   if (command == "scrub") return cmd_scrub(image, rest_argc, rest_argv);
   if (command == "resilver") return cmd_resilver(image, rest_argc, rest_argv);
+  // Live commands: argv[2] is a UDP port, argv[3] an admin capability.
+  if (command == "stats") return cmd_live_stats(argc - 2, argv + 2);
+  if (command == "top") return cmd_top(argc - 2, argv + 2);
+  if (command == "trace") return cmd_trace(argc - 2, argv + 2);
   return usage();
 }
