@@ -27,7 +27,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <limits>
 #include <memory>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -50,12 +52,18 @@ constexpr std::uint64_t kFileBytes = 64 << 10;
 constexpr std::uint64_t kItersPerThread = 4000;
 constexpr unsigned kThreadCounts[] = {1, 2, 4, 8};
 
+[[noreturn]] void die(const std::string& message) {
+  std::fprintf(stderr, "bench failed: %s\n", message.c_str());
+  std::abort();
+}
+
 // A minimal in-process deployment: mirrored MemDisks, no transport — the
 // benchmark drives rpc dispatch (BulletServer::handle) directly from the
 // client threads, exactly what a UDP worker does per request.
 class Rig {
  public:
-  Rig() : raw0_(kBlockSize, kDeviceBlocks), raw1_(kBlockSize, kDeviceBlocks) {
+  explicit Rig(unsigned io_threads = 0)
+      : raw0_(kBlockSize, kDeviceBlocks), raw1_(kBlockSize, kDeviceBlocks) {
     Status st = BulletServer::format(raw0_, 1024);
     if (!st.ok()) die(st.to_string());
     st = raw1_.restore(raw0_.snapshot());
@@ -65,6 +73,7 @@ class Rig {
     mirror_ = std::make_unique<MirroredDisk>(std::move(mirror).value());
     BulletConfig config;
     config.cache_bytes = kCacheBytes;
+    config.io_threads = io_threads;
     auto server = BulletServer::start(mirror_.get(), config);
     if (!server.ok()) die(server.error().to_string());
     server_ = std::move(server).value();
@@ -154,11 +163,231 @@ StormResult read_storm(Rig& rig, unsigned threads, bool exclusive) {
   return result;
 }
 
+// --- concurrent-compaction scenario (--compaction) -------------------------
+//
+// What the incremental rework buys: reader tail latency while compaction is
+// running. Three phases, same reader storm (cache-hit 64 KB READs through
+// handle()) each time:
+//
+//   - "idle":       no compaction — the baseline tail.
+//   - "stepped":    a compactor thread loops compact_step(kCompactStepBlocks);
+//                   the exclusive lock is held only per bounded slide step.
+//                   A churn pass re-fragments the disk whenever a pass
+//                   finishes, so block moves keep happening for the whole
+//                   measurement.
+//   - "unbounded":  compact_step() with an unbounded block budget — every
+//                   call copies an entire file move under one exclusive-lock
+//                   hold (the per-file holds of the pre-rework code; the old
+//                   monolithic pass additionally held the lock across the
+//                   whole scan, so this is a lower bound on the old stalls).
+//
+// Emits JSON on stdout (snapshot: bench/BENCH_async.json) including the
+// p99(compacting)/p99(idle) ratio the roadmap holds under 2x for the
+// stepped mode, plus the async-queue counters showing reads never executed
+// a disk op inline on the caller.
+constexpr std::uint64_t kChurnFiles = 48;
+constexpr std::uint64_t kCompactIters = 6000;
+constexpr unsigned kCompactReaders = 2;
+
+enum class CompactMode { kIdle, kStepped, kUnbounded };
+
+// Erase every other churn file and recreate it at a slightly different
+// size. First-fit cannot slot the replacement exactly back into the hole it
+// left, so the data region stays fragmented and the next compaction pass
+// has real moves to do (both disjoint and overlapping slides).
+void refragment(BulletServer& server, std::vector<Capability>& files,
+                Rng& rng) {
+  for (std::size_t i = 0; i < files.size(); i += 2) {
+    Status st = server.erase(files[i]);
+    if (!st.ok()) die(st.to_string());
+    const std::uint64_t bytes = rng.next_range(40 << 10, 64 << 10);
+    auto cap = server.create(rng.next_bytes(bytes), 2);
+    if (!cap.ok()) die(cap.error().to_string());
+    files[i] = cap.value();
+  }
+}
+
+struct CompactRow {
+  obs::HistogramSnapshot latency_ns;
+  double mb_per_s = 0;
+  std::uint64_t compactor_calls = 0;  // compact_step() invocations
+  std::uint64_t passes = 0;           // full passes completed (done == true)
+};
+
+CompactRow compaction_storm(Rig& rig, std::vector<Capability>& churn,
+                            const rpc::Request& req, CompactMode mode) {
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> sink{0};
+  std::vector<obs::HistogramSnapshot> latencies(kCompactReaders);
+  std::vector<std::thread> readers;
+  for (unsigned t = 0; t < kCompactReaders; ++t) {
+    readers.emplace_back([&, t] {
+      obs::HistogramSnapshot& lat = latencies[t];
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      std::uint64_t local = 0;
+      for (std::uint64_t i = 0; i < kCompactIters; ++i) {
+        const std::uint64_t t0 = obs::now_ns();
+        rpc::Reply reply = rig.server().handle(req);
+        if (reply.status != ErrorCode::ok) std::abort();
+        local += reply.payload_size() - 4;
+        lat.add(obs::now_ns() - t0);
+      }
+      sink.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+
+  CompactRow row;
+  std::thread compactor;
+  if (mode != CompactMode::kIdle) {
+    compactor = std::thread([&] {
+      Rng churn_rng(0xC0);
+      const std::uint64_t budget =
+          mode == CompactMode::kStepped
+              ? BulletServer::kCompactStepBlocks
+              : std::numeric_limits<std::uint64_t>::max();
+      while (!stop.load(std::memory_order_acquire)) {
+        auto progress = rig.server().compact_step(budget);
+        if (!progress.ok()) die(progress.error().to_string());
+        ++row.compactor_calls;
+        if (progress.value().done) {
+          ++row.passes;
+          refragment(rig.server(), churn, churn_rng);
+        }
+      }
+    });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& thread : readers) thread.join();
+  const double elapsed = seconds_since(start);
+  stop.store(true, std::memory_order_release);
+  if (compactor.joinable()) compactor.join();
+
+  const std::uint64_t expected = kFileBytes * kCompactIters * kCompactReaders;
+  if (sink.load() != expected) std::abort();
+  row.mb_per_s = static_cast<double>(expected) / (1 << 20) / elapsed;
+  for (const obs::HistogramSnapshot& h : latencies) row.latency_ns.merge(h);
+  return row;
+}
+
+void emit_compact_row(JsonWriter& json, const char* key,
+                      const CompactRow& row) {
+  json.begin_object(key);
+  json.field("mb_s", row.mb_per_s);
+  json.field("p50_ns", row.latency_ns.quantile(0.50));
+  json.field("p90_ns", row.latency_ns.quantile(0.90));
+  json.field("p99_ns", row.latency_ns.quantile(0.99));
+  json.field("compactor_calls", row.compactor_calls);
+  json.field("compaction_passes", row.passes);
+  json.end_object();
+}
+
+int compaction_main() {
+  Rig rig(/*io_threads=*/2);
+  Rng rng(0xA51);
+
+  // The read target every reader hammers; warmed so all reads are hits and
+  // the only disk activity during the storm is the compactor's.
+  const Bytes data = rng.next_bytes(kFileBytes);
+  auto target = rig.server().create(data, 2);
+  if (!target.ok()) die(target.error().to_string());
+  rpc::Request req;
+  req.target = target.value();
+  req.opcode = wire::kRead;
+  if (rig.server().handle(req).status != ErrorCode::ok) std::abort();
+
+  // Lay down the churn files and fragment once up front.
+  std::vector<Capability> churn;
+  for (std::uint64_t i = 0; i < kChurnFiles; ++i) {
+    auto cap = rig.server().create(rng.next_bytes(rng.next_range(40 << 10,
+                                                                 64 << 10)),
+                                   2);
+    if (!cap.ok()) die(cap.error().to_string());
+    churn.push_back(cap.value());
+  }
+  refragment(rig.server(), churn, rng);
+
+  const CompactRow idle =
+      compaction_storm(rig, churn, req, CompactMode::kIdle);
+  const CompactRow stepped =
+      compaction_storm(rig, churn, req, CompactMode::kStepped);
+  // Read the stepped lock-hold high-water mark before the unbounded phase
+  // pushes the (monotonic) maximum into the milliseconds.
+  const std::uint64_t stepped_hold_ns_max =
+      rig.server().stats().compact_lock_hold_ns_max;
+  const CompactRow unbounded =
+      compaction_storm(rig, churn, req, CompactMode::kUnbounded);
+
+  const double p99_idle = idle.latency_ns.quantile(0.99);
+  const double ratio_stepped = stepped.latency_ns.quantile(0.99) / p99_idle;
+  const double ratio_unbounded =
+      unbounded.latency_ns.quantile(0.99) / p99_idle;
+
+  const auto stats = rig.server().stats();
+  const auto io = rig.server().io_queue().stats();
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("bench", "async_compaction");
+  json.begin_object("config");
+  json.field("cache_bytes", kCacheBytes);
+  json.field("file_bytes", kFileBytes);
+  json.field("iters_per_reader", kCompactIters);
+  json.field("readers", static_cast<std::uint64_t>(kCompactReaders));
+  json.field("io_threads", 2);
+  json.field("step_blocks", BulletServer::kCompactStepBlocks);
+  json.field("dispatch", "in-process handle()");
+  json.field("clock", "host-steady");
+  json.field("host_cpus",
+             static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  json.end_object();
+  emit_compact_row(json, "idle", idle);
+  emit_compact_row(json, "compact_stepped", stepped);
+  emit_compact_row(json, "compact_unbounded", unbounded);
+  json.field("p99_ratio_stepped_vs_idle", ratio_stepped);
+  json.field("p99_ratio_unbounded_vs_idle", ratio_unbounded);
+  json.field("stepped_p99_within_2x_idle", ratio_stepped <= 2.0 ? 1 : 0);
+  json.begin_object("counters");
+  json.field("compact_steps", stats.compact_steps);
+  json.field("compact_lock_hold_ns_max_stepped", stepped_hold_ns_max);
+  json.field("compact_lock_hold_ns_max_overall",
+             stats.compact_lock_hold_ns_max);
+  json.field("disk_submitted", io.submitted);
+  json.field("disk_completed", io.completed);
+  json.field("disk_inline_completions", io.inline_completions);
+  json.field("disk_queue_depth_max", io.queue_depth_max);
+  json.field("lock_wait_ns", stats.lock_wait_ns);
+  json.end_object();
+  json.end_object();
+
+  std::fprintf(stderr,
+               "\nCache-hit 64 KB READ p50/p99 (us), %u readers, "
+               "compaction alongside\n",
+               kCompactReaders);
+  std::fprintf(stderr, "  %-12s %10.1f %10.1f\n", "idle",
+               idle.latency_ns.quantile(0.50) / 1e3, p99_idle / 1e3);
+  std::fprintf(stderr, "  %-12s %10.1f %10.1f  (%.2fx idle p99)\n", "stepped",
+               stepped.latency_ns.quantile(0.50) / 1e3,
+               stepped.latency_ns.quantile(0.99) / 1e3, ratio_stepped);
+  std::fprintf(stderr, "  %-12s %10.1f %10.1f  (%.2fx idle p99)\n",
+               "unbounded", unbounded.latency_ns.quantile(0.50) / 1e3,
+               unbounded.latency_ns.quantile(0.99) / 1e3, ratio_unbounded);
+
+  std::printf("%s\n", json.str().c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace bullet::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bullet::bench;
+  if (argc > 1 && std::string_view(argv[1]) == "--compaction") {
+    return compaction_main();
+  }
 
   const unsigned host_cpus = std::thread::hardware_concurrency();
 

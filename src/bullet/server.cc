@@ -96,7 +96,8 @@ BulletServer::BulletServer(MirroredDisk* disk, BulletConfig config,
       disk_free_(layout.data_start_block(), layout.data_blocks()),
       // Block-aligned arena: cache allocations round up to device blocks
       // so create/miss traffic moves directly between disk and arena.
-      cache_(config.cache_bytes, layout.block_size()) {
+      cache_(config.cache_bytes, layout.block_size()),
+      io_(disk, config.io_threads) {
   // The super capability's random is derived from the server secret so it
   // is stable across reboots without being stored on disk.
   super_random_ = Speck64(config_.secret).encrypt(config_.private_port) & kMask48;
@@ -135,6 +136,10 @@ BulletServer::BulletServer(MirroredDisk* disk, BulletConfig config,
     e.value("bullet_worker_wakeups_total", s.worker_wakeups);
     e.value("bullet_lock_wait_ns_total", s.lock_wait_ns);
     e.value("bullet_pinned_evict_defers_total", s.pinned_evict_defers);
+    e.value("bullet_disk_inflight", s.disk_inflight);
+    e.value("bullet_disk_queue_depth_max", s.disk_queue_depth_max);
+    e.value("bullet_compact_steps_total", s.compact_steps);
+    e.value("bullet_compact_lock_hold_ns_max", s.compact_lock_hold_ns_max);
     e.value("bullet_cache_capacity_bytes", cs.capacity);
     e.value("bullet_cache_used_bytes", cs.used);
     e.value("bullet_cache_entries", cs.entries);
@@ -562,6 +567,619 @@ Result<BulletServer::PinnedFile> BulletServer::read_range_pinned(
   return whole;
 }
 
+void BulletServer::read_pinned_async(const Capability& cap, ReadCallback done) {
+  // Fast path: identical to read_pinned()'s shared-lock hit probe.
+  {
+    std::optional<Result<PinnedFile>> immediate;
+    {
+      const auto lock = lock_shared();
+      const Result<std::uint32_t> verified = verify(cap, rights::kRead);
+      if (!verified.ok()) {
+        immediate = verified.error();
+      } else if (verified.value() == 0) {
+        immediate =
+            Error(ErrorCode::bad_argument, "server object holds no data");
+      } else {
+        const std::uint32_t index = verified.value();
+        const RnodeIndex hint = inodes_[index].cache_index;
+        if (hint != 0) {
+          obs::ScopedSpan cache_span(obs::Stage::kCache);
+          const std::optional<ByteSpan> span = cache_.touch_and_pin(hint, index);
+          if (span.has_value()) {
+            ++cache_hits_;
+            ++reads_;
+            bytes_served_ += span->size();
+            immediate = PinnedFile{*span, make_retainer(hint)};
+          }
+        }
+      }
+    }
+    if (immediate.has_value()) {
+      done(std::move(*immediate));
+      return;
+    }
+  }
+
+  // Miss: register (or join) a fill under the exclusive lock, submit the
+  // device read, and return — the handler thread is free the moment
+  // submit_read() enqueues. complete_read_fill() finishes on a queue
+  // thread (or inline, when io_threads == 0).
+  auto lock = lock_exclusive();
+  const Result<std::uint32_t> verified = verify(cap, rights::kRead);
+  if (!verified.ok()) {
+    lock.unlock();
+    done(verified.error());
+    return;
+  }
+  const std::uint32_t index = verified.value();
+  if (index == 0) {
+    lock.unlock();
+    done(Error(ErrorCode::bad_argument, "server object holds no data"));
+    return;
+  }
+  Inode& inode = inodes_[index];
+  // Re-probe under the exclusive lock: a racing fill may have published
+  // the entry between the two acquisitions.
+  if (inode.cache_index != 0 && cache_.contains(inode.cache_index) &&
+      cache_.inode_of(inode.cache_index) == index) {
+    const RnodeIndex rnode = inode.cache_index;
+    cache_.touch(rnode);
+    cache_.pin(rnode);
+    ++cache_hits_;
+    ++reads_;
+    bytes_served_ += inode.size_bytes;
+    PinnedFile hit{cache_.data(rnode), make_retainer(rnode)};
+    lock.unlock();
+    done(std::move(hit));
+    return;
+  }
+  ++cache_misses_;
+  if (const auto it = fills_.find(index); it != fills_.end()) {
+    // A fill (or a create's write-through) is already in flight for this
+    // file: join it rather than issuing a duplicate device read. The
+    // request's trace detaches here and reattaches at delivery.
+    it->second.waiters.push_back(
+        {obs::RequestTrace::suspend(), std::move(done)});
+    return;
+  }
+  const std::uint64_t blocks = layout_.blocks_for(inode.size_bytes);
+  if (blocks == 0) {
+    // Empty file: nothing to read; serve an empty span, no pin needed.
+    ++reads_;
+    lock.unlock();
+    done(PinnedFile{ByteSpan(), nullptr});
+    return;
+  }
+  std::vector<std::uint32_t> evicted;
+  auto rnode_result = cache_.insert(index, inode.size_bytes, &evicted);
+  drop_evicted(evicted);
+  RnodeIndex rnode = 0;
+  std::shared_ptr<Bytes> heap;
+  MutableByteSpan dst;
+  if (rnode_result.ok()) {
+    rnode = rnode_result.value();
+    // Pin before the lock drops: an unfilled entry must stay valid and
+    // immobile while the device writes into its arena bytes. The inode's
+    // cache_index stays unset until completion, so no probe can hit the
+    // half-filled entry.
+    cache_.pin(rnode);
+    dst = cache_.mutable_padded_data(rnode);
+  } else if (rnode_result.code() == ErrorCode::no_space) {
+    // Pinned-full arena: fall back to a private heap buffer the waiters'
+    // retainers will own, same as the sync path.
+    heap = std::make_shared<Bytes>(blocks * layout_.block_size());
+    dst = MutableByteSpan(*heap);
+  } else {
+    lock.unlock();
+    done(rnode_result.error());
+    return;
+  }
+  Fill fill;
+  fill.rnode = rnode;
+  fill.random = inode.random;
+  fill.first_block = inode.first_block;
+  fill.blocks = blocks;
+  fill.waiters.push_back({obs::RequestTrace::suspend(), std::move(done)});
+  fills_.emplace(index, std::move(fill));
+  const std::uint64_t first_block = inode.first_block;
+  lock.unlock();
+  io_.submit_read(first_block, dst,
+                  [this, index, heap](Status st, const DiskOpTiming& timing) {
+                    complete_read_fill(index, st, timing, heap);
+                  });
+}
+
+void BulletServer::read_range_pinned_async(const Capability& cap,
+                                           std::uint32_t offset,
+                                           std::uint32_t length,
+                                           ReadCallback done) {
+  read_pinned_async(
+      cap, [this, offset, length,
+            done = std::move(done)](Result<PinnedFile> whole) mutable {
+        if (!whole.ok()) {
+          done(std::move(whole));
+          return;
+        }
+        PinnedFile file = std::move(whole).value();
+        if (offset > file.data.size() || length > file.data.size() - offset) {
+          done(Error(ErrorCode::bad_argument, "range beyond end of file"));
+          return;
+        }
+        // The whole-file read over-counted; correct to the range served.
+        bytes_served_ -= file.data.size() - length;
+        file.data = file.data.subspan(offset, length);
+        done(std::move(file));
+      });
+}
+
+void BulletServer::complete_read_fill(std::uint32_t index, Status st,
+                                      const DiskOpTiming& timing,
+                                      std::shared_ptr<Bytes> heap) {
+  disk_read_latency_ns_.record(timing.end_ns - timing.start_ns);
+  std::vector<std::pair<obs::RequestTrace*, ReadCallback>> waiters;
+  std::vector<Result<PinnedFile>> results;
+  {
+    auto lock = lock_exclusive();
+    const auto it = fills_.find(index);
+    assert(it != fills_.end());
+    Fill fill = std::move(it->second);
+    fills_.erase(it);
+    waiters = std::move(fill.waiters);
+
+    if (!st.ok() || fill.erased) {
+      if (fill.rnode != 0) {
+        cache_.unpin(fill.rnode);
+        cache_.remove(fill.rnode);
+      }
+      Error error = fill.erased ? Error(ErrorCode::no_such_object,
+                                        "file deleted during read")
+                                : st.error();
+      if (fill.erased) {
+        // The deferred half of erase(): the extent and inode slot were
+        // kept off the free lists while the read was in flight.
+        if (fill.blocks > 0) {
+          const Status rel = disk_free_.release(fill.first_block, fill.blocks);
+          assert(rel.ok());
+          (void)rel;
+        }
+        free_inodes_.push_back(index);
+      }
+      results.assign(waiters.size(), Result<PinnedFile>(error));
+    } else {
+      Inode& inode = inodes_[index];
+      // Compaction treats filling files as immobile and erase defers, so
+      // the identity recorded at submit must still hold.
+      assert(inode.random == fill.random &&
+             inode.first_block == fill.first_block);
+      if (heap == nullptr) {
+        // Publish: the entry becomes the file's cached image. One pin per
+        // waiter, then drop the fill's own.
+        inode.cache_index = fill.rnode;
+        cache_.touch(fill.rnode);
+        for (std::size_t i = 0; i < waiters.size(); ++i) {
+          cache_.pin(fill.rnode);
+          results.push_back(
+              PinnedFile{cache_.data(fill.rnode), make_retainer(fill.rnode)});
+        }
+        cache_.unpin(fill.rnode);
+      } else {
+        ++scratch_allocs_;
+        bytes_copied_ += inode.size_bytes;
+        const ByteSpan span = ByteSpan(*heap).first(inode.size_bytes);
+        for (std::size_t i = 0; i < waiters.size(); ++i) {
+          results.push_back(
+              PinnedFile{span, std::shared_ptr<const void>(heap, heap->data())});
+        }
+      }
+      reads_ += waiters.size();
+      bytes_served_ += waiters.size() * inode.size_bytes;
+    }
+  }
+  // Deliver outside the lock. Each waiter's trace reattaches on this
+  // thread, so its reply-side spans (encode, tx) land on the right
+  // timeline, prefixed by the queue wait and — for the initiating request
+  // — the device read itself.
+  bool initiator = true;
+  for (std::size_t i = 0; i < waiters.size(); ++i) {
+    obs::RequestTrace::resume(waiters[i].first);
+    if (auto* trace = obs::RequestTrace::current()) {
+      trace->add_span(obs::Stage::kDiskQueue, timing.submit_ns,
+                      timing.start_ns - timing.submit_ns);
+      if (initiator) {
+        trace->add_span(obs::Stage::kDiskRead, timing.start_ns,
+                        timing.end_ns - timing.start_ns);
+      }
+    }
+    initiator = false;
+    waiters[i].second(std::move(results[i]));
+  }
+}
+
+std::vector<std::function<void()>> BulletServer::release_fill_locked(
+    std::uint32_t index) {
+  std::vector<std::function<void()>> deliveries;
+  const auto it = fills_.find(index);
+  if (it == fills_.end()) return deliveries;
+  Fill fill = std::move(it->second);
+  fills_.erase(it);
+
+  if (fill.erased) {
+    // erase() arrived while the replica writes were in flight; its zeroed
+    // inode block may have raced a stale background image to the replicas,
+    // so rewrite the final word before freeing anything.
+    (void)write_inode_block(index, disk_->replica_count());
+    if (fill.rnode != 0) {
+      cache_.unpin(fill.rnode);
+      cache_.remove(fill.rnode);
+    }
+    if (fill.blocks > 0) {
+      const Status rel = disk_free_.release(fill.first_block, fill.blocks);
+      assert(rel.ok());
+      (void)rel;
+    }
+    free_inodes_.push_back(index);
+    for (auto& [trace, cb] : fill.waiters) {
+      deliveries.push_back([trace, cb = std::move(cb)]() mutable {
+        obs::RequestTrace::resume(trace);
+        cb(Error(ErrorCode::no_such_object, "file deleted during create"));
+      });
+    }
+    return deliveries;
+  }
+
+  if (fill.rnode != 0) cache_.unpin(fill.rnode);
+  if (fill.waiters.empty()) return deliveries;
+
+  // Read waiters that joined while the create's writes were in flight.
+  const Inode& inode = inodes_[index];
+  if (fill.rnode != 0) {
+    for (auto& [trace, cb] : fill.waiters) {
+      cache_.pin(fill.rnode);
+      PinnedFile file{cache_.data(fill.rnode), make_retainer(fill.rnode)};
+      ++reads_;
+      bytes_served_ += file.data.size();
+      deliveries.push_back([trace, cb = std::move(cb), file]() mutable {
+        obs::RequestTrace::resume(trace);
+        cb(std::move(file));
+      });
+    }
+    return deliveries;
+  }
+  // Cache-bypass create: the image never entered the arena, but its writes
+  // are durable by now, so serve the waiters from a private heap read (the
+  // same degraded path a pinned-full arena forces on sync reads).
+  auto buffer = std::make_shared<Bytes>(layout_.blocks_for(inode.size_bytes) *
+                                        layout_.block_size());
+  const Status read_st = read_file_from_disk(inode, MutableByteSpan(*buffer));
+  ++scratch_allocs_;
+  bytes_copied_ += inode.size_bytes;
+  for (auto& [trace, cb] : fill.waiters) {
+    Result<PinnedFile> r =
+        read_st.ok()
+            ? Result<PinnedFile>(PinnedFile{
+                  ByteSpan(*buffer).first(inode.size_bytes),
+                  std::shared_ptr<const void>(buffer, buffer->data())})
+            : Result<PinnedFile>(read_st.error());
+    if (read_st.ok()) {
+      ++reads_;
+      bytes_served_ += inode.size_bytes;
+    }
+    deliveries.push_back(
+        [trace, cb = std::move(cb), r = std::move(r)]() mutable {
+          obs::RequestTrace::resume(trace);
+          cb(std::move(r));
+        });
+  }
+  return deliveries;
+}
+
+// create_async's continuation state: everything the queued writes and their
+// completions need once the request itself is gone.
+struct BulletServer::CreateCtx {
+  Bytes data;         // owned request payload
+  Bytes bypass;       // padded image when the arena had no room
+  Bytes inode_block;  // serialized under the lock for background writes
+  std::uint32_t index = 0;
+  RnodeIndex rnode = 0;
+  std::uint64_t first_block = 0;
+  std::uint64_t blocks = 0;
+  std::uint32_t size = 0;
+  int pfactor = 0;
+  int written = 0;
+  obs::RequestTrace* trace = nullptr;
+  CreateCallback done;
+};
+
+void BulletServer::create_async(Bytes data, int pfactor, CreateCallback done) {
+  auto ctx = std::make_shared<CreateCtx>();
+  ctx->data = std::move(data);
+  ctx->pfactor = pfactor;
+  ctx->done = std::move(done);
+
+  // Phase 1 mirrors create_locked() up to the first disk write: allocate,
+  // ingest into the cache, set the RAM inode — synchronously, under one
+  // exclusive hold. The disk writes then run on the queue.
+  auto lock = lock_exclusive();
+  if (pfactor < 0 || pfactor > disk_->replica_count()) {
+    lock.unlock();
+    ctx->done(Error(ErrorCode::bad_argument, "pfactor exceeds replica count"));
+    return;
+  }
+  if (ctx->data.size() > std::numeric_limits<std::uint32_t>::max()) {
+    lock.unlock();
+    ctx->done(Error(ErrorCode::too_large, "file exceeds 4 GB"));
+    return;
+  }
+  const auto size = static_cast<std::uint32_t>(ctx->data.size());
+  if (free_inodes_.empty()) {
+    lock.unlock();
+    ctx->done(Error(ErrorCode::no_space, "inode table full"));
+    return;
+  }
+  const std::uint64_t blocks = layout_.blocks_for(size);
+  std::uint64_t first_block = layout_.data_start_block();
+  if (blocks > 0) {
+    std::optional<std::uint64_t> got = disk_free_.allocate(blocks);
+    if (!got.has_value() && disk_free_.total_free() >= blocks) {
+      const auto moved = compact_disk_locked();
+      if (!moved.ok()) {
+        lock.unlock();
+        ctx->done(moved.error());
+        return;
+      }
+      got = disk_free_.allocate(blocks);
+    }
+    if (!got.has_value()) {
+      lock.unlock();
+      ctx->done(Error(ErrorCode::no_space, "disk full"));
+      return;
+    }
+    first_block = *got;
+  }
+  const std::uint32_t index = free_inodes_.back();
+  std::vector<std::uint32_t> evicted;
+  auto rnode_result = cache_.insert(index, size, &evicted);
+  drop_evicted(evicted);
+  RnodeIndex rnode = 0;
+  if (rnode_result.ok()) {
+    rnode = rnode_result.value();
+    if (size > 0) {
+      std::memcpy(cache_.mutable_data(rnode).data(), ctx->data.data(), size);
+    }
+    // The device reads straight from the arena while the lock is down; the
+    // pin keeps those bytes valid and immobile until the writes land.
+    cache_.pin(rnode);
+  } else if (rnode_result.code() == ErrorCode::no_space) {
+    ctx->bypass.resize(blocks * layout_.block_size());
+    if (size > 0) std::memcpy(ctx->bypass.data(), ctx->data.data(), size);
+    ++scratch_allocs_;
+    bytes_copied_ += size;
+  } else {
+    if (blocks > 0) {
+      const Status rel = disk_free_.release(first_block, blocks);
+      assert(rel.ok());
+      (void)rel;
+    }
+    lock.unlock();
+    ctx->done(rnode_result.error());
+    return;
+  }
+  free_inodes_.pop_back();
+
+  Inode& inode = inodes_[index];
+  inode.random = rng_.next() & kMask48;
+  if (inode.random == 0) inode.random = 1;
+  inode.cache_index = rnode;
+  inode.first_block = static_cast<std::uint32_t>(first_block);
+  inode.size_bytes = size;
+
+  ctx->index = index;
+  ctx->rnode = rnode;
+  ctx->first_block = first_block;
+  ctx->blocks = blocks;
+  ctx->size = size;
+
+  // The fill keeps the file immobile to compaction and defers any erase()
+  // cleanup until the queued writes are done with its blocks.
+  Fill fill;
+  fill.rnode = rnode;
+  fill.random = inode.random;
+  fill.first_block = first_block;
+  fill.blocks = blocks;
+  fill.create = true;
+  fills_.emplace(index, std::move(fill));
+
+  const ByteSpan stored =
+      rnode != 0 ? cache_.padded_data(rnode) : ByteSpan(ctx->bypass);
+
+  if (pfactor == 0) {
+    // "0 = as soon as it is in the RAM cache": ack now, replicate behind.
+    ++creates_;
+    ++live_files_;
+    bytes_stored_ += size;
+    Capability cap;
+    cap.port = public_port_;
+    cap.object = index;
+    cap.rights = rights::kAll;
+    cap.check = sealer_.seal(rights::kAll, inode.random);
+    const std::uint64_t device_block = layout_.inode_device_block(index);
+    ctx->inode_block = serialize_inode_block(device_block);
+    lock.unlock();
+    ctx->done(cap);
+    io_.submit_job(
+        [this, ctx, stored, device_block]() -> Status {
+          sim::BackgroundSection bg(config_.clock);
+          const Status data_st =
+              ctx->blocks == 0
+                  ? Status::success()
+                  : disk_->write_remaining(ctx->first_block, stored, 0);
+          const Status inode_st =
+              disk_->write_remaining(device_block, ctx->inode_block, 0);
+          if (!data_st.ok() || !inode_st.ok()) {
+            BULLET_LOG(warn, kLog) << "background replication incomplete";
+          }
+          return Status::success();
+        },
+        [this, ctx](Status, const DiskOpTiming&) {
+          auto relock = lock_exclusive();
+          auto deliveries = release_fill_locked(ctx->index);
+          relock.unlock();
+          for (auto& deliver : deliveries) deliver();
+        });
+    return;
+  }
+
+  // P-FACTOR > 0: the ack waits on the queue for `pfactor` data replicas;
+  // the inode write and the capability seal happen in the completion.
+  ctx->trace = obs::RequestTrace::suspend();
+  lock.unlock();
+  io_.submit_job(
+      [this, ctx, stored]() -> Status {
+        if (ctx->blocks == 0) {
+          ctx->written = ctx->pfactor;
+          return Status::success();
+        }
+        const Result<int> w =
+            write_file_data(ctx->first_block, stored, ctx->pfactor);
+        if (!w.ok()) return w.error();
+        ctx->written = w.value();
+        return Status::success();
+      },
+      [this, ctx, stored](Status st, const DiskOpTiming& timing) {
+        auto lock = lock_exclusive();
+        const Result<int> inode_written =
+            st.ok() ? write_inode_block(ctx->index, ctx->pfactor)
+                    : Result<int>(st.error());
+        const int written = st.ok() && inode_written.ok()
+                                ? std::min(ctx->written, inode_written.value())
+                                : 0;
+        if (written < ctx->pfactor) {
+          // "If the P-FACTOR is N, the file will be stored on N disks
+          // before the client can resume" — anything less means the create
+          // failed. Undo exactly as the sync path does. No capability was
+          // issued yet, so the fill can have neither waiters nor an erase.
+          if (ctx->rnode != 0) {
+            cache_.unpin(ctx->rnode);
+            cache_.remove(ctx->rnode);
+          }
+          inodes_[ctx->index] = Inode{};
+          (void)write_inode_block(ctx->index, disk_->replica_count());
+          fills_.erase(ctx->index);
+          free_inodes_.push_back(ctx->index);
+          if (ctx->blocks > 0) {
+            const Status rel =
+                disk_free_.release(ctx->first_block, ctx->blocks);
+            assert(rel.ok());
+            (void)rel;
+          }
+          lock.unlock();
+          obs::RequestTrace::resume(ctx->trace);
+          if (auto* trace = obs::RequestTrace::current()) {
+            trace->add_span(obs::Stage::kDiskQueue, timing.submit_ns,
+                            timing.start_ns - timing.submit_ns);
+            trace->add_span(obs::Stage::kDiskWrite, timing.start_ns,
+                            timing.end_ns - timing.start_ns);
+          }
+          if (!st.ok()) {
+            ctx->done(st.error());
+          } else if (!inode_written.ok()) {
+            ctx->done(inode_written.error());
+          } else {
+            ctx->done(Error(ErrorCode::io_error,
+                            "only " + std::to_string(written) + " of " +
+                                std::to_string(ctx->pfactor) +
+                                " replicas written"));
+          }
+          return;
+        }
+        ++creates_;
+        ++live_files_;
+        bytes_stored_ += ctx->size;
+        Capability cap;
+        cap.port = public_port_;
+        cap.object = ctx->index;
+        cap.rights = rights::kAll;
+        cap.check = sealer_.seal(rights::kAll, inodes_[ctx->index].random);
+        const std::uint64_t device_block =
+            layout_.inode_device_block(ctx->index);
+        ctx->inode_block = serialize_inode_block(device_block);
+        ctx->written = written;
+        lock.unlock();
+        obs::RequestTrace::resume(ctx->trace);
+        if (auto* trace = obs::RequestTrace::current()) {
+          trace->add_span(obs::Stage::kDiskQueue, timing.submit_ns,
+                          timing.start_ns - timing.submit_ns);
+          trace->add_span(obs::Stage::kDiskWrite, timing.start_ns,
+                          timing.end_ns - timing.start_ns);
+        }
+        ctx->done(cap);
+        // Remaining replicas complete behind the reply.
+        io_.submit_job(
+            [this, ctx, stored, device_block]() -> Status {
+              sim::BackgroundSection bg(config_.clock);
+              const Status data_st =
+                  ctx->blocks == 0
+                      ? Status::success()
+                      : disk_->write_remaining(ctx->first_block, stored,
+                                               ctx->written);
+              const Status inode_st = disk_->write_remaining(
+                  device_block, ctx->inode_block, ctx->written);
+              if (!data_st.ok() || !inode_st.ok()) {
+                BULLET_LOG(warn, kLog) << "background replication incomplete";
+              }
+              return Status::success();
+            },
+            [this, ctx](Status, const DiskOpTiming&) {
+              auto relock = lock_exclusive();
+              auto deliveries = release_fill_locked(ctx->index);
+              relock.unlock();
+              for (auto& deliver : deliveries) deliver();
+            });
+      });
+}
+
+void BulletServer::compact_disk_async(CompactCallback done) {
+  if (io_.threads() == 0) {
+    // Inline queue: stepping through submit_job would recurse; the
+    // synchronous loop has identical semantics.
+    done(compact_disk());
+    return;
+  }
+  // Run one bounded step per queue job, resubmitting until the pass
+  // completes; traffic interleaves between steps.
+  struct Stepper {
+    CompactCallback done;
+    obs::RequestTrace* trace = nullptr;
+    Result<CompactProgress> last{CompactProgress{}};
+    std::function<void()> submit;
+  };
+  auto stepper = std::make_shared<Stepper>();
+  stepper->done = std::move(done);
+  stepper->trace = obs::RequestTrace::suspend();
+  stepper->submit = [this, stepper]() {
+    io_.submit_job(
+        [this, stepper]() -> Status {
+          stepper->last = compact_step(kCompactStepBlocks);
+          return Status::success();
+        },
+        [stepper](Status, const DiskOpTiming&) {
+          if (stepper->last.ok() && !stepper->last.value().done) {
+            stepper->submit();
+            return;
+          }
+          obs::RequestTrace::resume(stepper->trace);
+          CompactCallback finish = std::move(stepper->done);
+          Result<std::uint64_t> result =
+              stepper->last.ok()
+                  ? Result<std::uint64_t>(stepper->last.value().moved_blocks)
+                  : Result<std::uint64_t>(stepper->last.error());
+          stepper->submit = nullptr;  // break the self-reference cycle
+          finish(std::move(result));
+        });
+  };
+  stepper->submit();
+}
+
 Result<std::uint32_t> BulletServer::size(const Capability& cap) {
   const auto lock = lock_shared();
   BULLET_ASSIGN_OR_RETURN(const std::uint32_t index, verify(cap, rights::kRead));
@@ -583,17 +1201,30 @@ Status BulletServer::erase(const Capability& cap) {
 
   // "Deleting a file involves checking the capability, freeing an inode by
   //  zeroing it and writing it back to the disk."
-  if (inode.cache_index != 0) {
-    cache_.remove(inode.cache_index);
+  const auto fill = fills_.find(index);
+  if (fill != fills_.end()) {
+    // An async disk op is mid-flight on this file's extent. The delete
+    // takes effect now (zeroed inode, no new capability verifies), but the
+    // blocks, the inode slot, and the cache entry stay off the free lists
+    // until the fill completes — the same deferral a pinned cache entry
+    // gets on remove.
+    fill->second.erased = true;
+    inode = Inode{};
+  } else {
+    if (inode.cache_index != 0) {
+      cache_.remove(inode.cache_index);
+    }
+    inode = Inode{};
   }
-  inode = Inode{};
   const Result<int> written = write_inode_block(index, disk_->replica_count());
-  if (blocks > 0) {
-    const Status st = disk_free_.release(first_block, blocks);
-    assert(st.ok());
-    (void)st;
+  if (fill == fills_.end()) {
+    if (blocks > 0) {
+      const Status st = disk_free_.release(first_block, blocks);
+      assert(st.ok());
+      (void)st;
+    }
+    free_inodes_.push_back(index);
   }
-  free_inodes_.push_back(index);
   --live_files_;
   ++deletes_;
   if (!written.ok()) {
@@ -767,137 +1398,256 @@ void BulletServer::drop_evicted(const std::vector<std::uint32_t>& evicted) {
 }
 
 Result<std::uint64_t> BulletServer::compact_disk() {
-  const auto lock = lock_exclusive();
-  return compact_disk_locked();
+  // Slide every live file toward the start of the data region, in block
+  // order ("disk fragmentation can be relieved by compaction every morning
+  // at say 3 am when the system is lightly loaded") — but incrementally:
+  // the exclusive lock is dropped and retaken between bounded steps, so
+  // readers and creates interleave with a compaction in progress instead
+  // of stalling behind a whole-disk slide.
+  for (;;) {
+    const auto lock = lock_exclusive();
+    BULLET_ASSIGN_OR_RETURN(const CompactProgress p,
+                            compact_step_locked(kCompactStepBlocks));
+    if (p.done) return p.moved_blocks;
+  }
 }
 
 Result<std::uint64_t> BulletServer::compact_disk_locked() {
-  // Slide every live file toward the start of the data region, in block
-  // order ("disk fragmentation can be relieved by compaction every morning
-  // at say 3 am when the system is lightly loaded").
-  struct Entry {
-    std::uint64_t first;
-    std::uint64_t blocks;
-    std::uint32_t index;
-  };
-  std::vector<Entry> files;
-  for (std::uint32_t i = 1; i < inodes_.size(); ++i) {
-    if (inodes_[i].is_free()) continue;
-    const std::uint64_t blocks = layout_.blocks_for(inodes_[i].size_bytes);
-    if (blocks > 0) files.push_back({inodes_[i].first_block, blocks, i});
+  // Create's fragmentation fallback: the caller already holds the lock and
+  // needs the space now, so the incremental machine runs to completion
+  // without yielding.
+  for (;;) {
+    BULLET_ASSIGN_OR_RETURN(const CompactProgress p,
+                            compact_step_locked(kCompactStepBlocks));
+    if (p.done) return p.moved_blocks;
   }
-  std::sort(files.begin(), files.end(),
-            [](const Entry& a, const Entry& b) { return a.first < b.first; });
+}
 
+Result<BulletServer::CompactProgress> BulletServer::compact_step(
+    std::uint64_t max_blocks) {
+  const auto lock = lock_exclusive();
+  return compact_step_locked(max_blocks);
+}
+
+void BulletServer::compact_abandon_move_locked() {
+  for (const auto& [first, blocks] : compact_.held) {
+    const Status st = disk_free_.release(first, blocks);
+    assert(st.ok());
+    (void)st;
+  }
+  compact_.held.clear();
+  compact_.moving = false;
+  compact_.staging = 0;
+}
+
+Result<BulletServer::CompactProgress> BulletServer::compact_step_locked(
+    std::uint64_t max_blocks) {
+  // Crash-safety invariant, held at every step boundary: every block the
+  // on-disk inode table points at is intact. Data always lands in blocks
+  // reserved out of disk_free_ before the inode is flipped to it; when the
+  // target overlaps the file's own extent, the file bounces through a
+  // disjoint staging extent (two copies, two inode flips). Because the
+  // reservations live in the real allocator, traffic interleaved between
+  // steps can never allocate into a move's landing zone.
+  const std::uint64_t t0 = obs::now_ns();
+  if (max_blocks == 0) max_blocks = 1;
   const std::uint64_t bs = layout_.block_size();
+
+  if (!compact_.active) {
+    compact_ = CompactState{};
+    compact_.active = true;
+    compact_.cursor = layout_.data_start_block();
+  }
+
   // Files move through one fixed-size reusable chunk, not a per-file
   // buffer sized to the whole file (a 1 GB file must not demand a 1 GB
   // bounce).
   constexpr std::uint64_t kCompactionChunkBytes = 256 << 10;
   const std::uint64_t chunk_blocks =
       std::max<std::uint64_t>(1, kCompactionChunkBytes / bs);
-  Bytes chunk;
-  auto copy_extent = [&](std::uint64_t src, std::uint64_t dst,
-                         std::uint64_t blocks) -> Status {
-    if (chunk.empty()) {
-      chunk.resize(chunk_blocks * bs);
-      ++scratch_allocs_;
-    }
-    for (std::uint64_t done = 0; done < blocks; done += chunk_blocks) {
-      const std::uint64_t n = std::min(chunk_blocks, blocks - done);
-      const MutableByteSpan piece(chunk.data(), n * bs);
-      BULLET_RETURN_IF_ERROR(disk_->read(src + done, piece));
-      BULLET_RETURN_IF_ERROR(disk_->write(dst + done, piece));
+  if (compact_chunk_.empty()) {
+    compact_chunk_.resize(chunk_blocks * bs);
+    ++scratch_allocs_;
+  }
+  auto copy_blocks = [&](std::uint64_t src, std::uint64_t dst,
+                         std::uint64_t offset, std::uint64_t n) -> Status {
+    for (std::uint64_t done = 0; done < n; done += chunk_blocks) {
+      const std::uint64_t m = std::min(chunk_blocks, n - done);
+      const MutableByteSpan piece(compact_chunk_.data(), m * bs);
+      BULLET_RETURN_IF_ERROR(disk_->read(src + offset + done, piece));
+      BULLET_RETURN_IF_ERROR(disk_->write(dst + offset + done, piece));
       bytes_copied_ += piece.size();
     }
     return Status::success();
   };
-
-  // Crash-safety invariant: every block the on-disk inode table points at
-  // is intact at all times. Data always lands in free blocks before the
-  // inode is flipped to it; when the target extent overlaps the file's own
-  // extent, the file bounces through a disjoint staging extent (two copies,
-  // two inode flips) instead of sliding over itself. The `work` allocator
-  // tracks free space as files move so staging never lands on live data.
-  const auto run = [&]() -> Result<std::uint64_t> {
-    ExtentAllocator work(layout_.data_start_block(), layout_.data_blocks());
-    for (const Entry& f : files) {
-      if (!work.reserve(f.first, f.blocks).ok()) {
-        return Error(ErrorCode::corrupt, "live files overlap");
-      }
+  auto account = [&](Result<CompactProgress> r) {
+    compact_steps_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t held_ns = obs::now_ns() - t0;
+    std::uint64_t prev =
+        compact_lock_hold_ns_max_.load(std::memory_order_relaxed);
+    while (held_ns > prev && !compact_lock_hold_ns_max_.compare_exchange_weak(
+                                 prev, held_ns, std::memory_order_relaxed)) {
     }
-    std::uint64_t cursor = layout_.data_start_block();
-    std::uint64_t moved = 0;
-    for (const Entry& f : files) {
-      const std::uint64_t target = cursor;
-      if (f.first == target) {
-        cursor += f.blocks;
-        continue;
-      }
-      // [target, f.first) is free: earlier files were packed below target
-      // and later files lie above f.first.
-      const std::uint64_t hole = f.first - target;
-      if (target + f.blocks <= f.first) {
-        // Disjoint slide: copy, then flip the inode.
-        BULLET_RETURN_IF_ERROR(copy_extent(f.first, target, f.blocks));
-        inodes_[f.index].first_block = static_cast<std::uint32_t>(target);
-        BULLET_ASSIGN_OR_RETURN(
-            int w, write_inode_block(f.index, disk_->replica_count()));
-        (void)w;
-        const Status rel = work.release(f.first, f.blocks);
-        const Status res = work.reserve(target, f.blocks);
-        assert(rel.ok() && res.ok());
-        (void)rel;
-        (void)res;
-      } else {
-        // Overlapping slide: bounce through staging. Keep the hole
-        // reserved while choosing staging so it cannot alias the target.
-        const Status hold = work.reserve(target, hole);
-        assert(hold.ok());
-        (void)hold;
-        const auto staging = work.allocate(f.blocks);
-        if (!staging.has_value()) {
-          // No room to bounce; leave this file where it is and pack the
-          // rest after it.
-          const Status unhold = work.release(target, hole);
-          assert(unhold.ok());
-          (void)unhold;
-          cursor = f.first + f.blocks;
-          continue;
-        }
-        BULLET_RETURN_IF_ERROR(copy_extent(f.first, *staging, f.blocks));
-        inodes_[f.index].first_block = static_cast<std::uint32_t>(*staging);
-        BULLET_ASSIGN_OR_RETURN(
-            int w1, write_inode_block(f.index, disk_->replica_count()));
-        (void)w1;
-        // The old extent is dead; the tail the target overlaps is free to
-        // overwrite. Staging is disjoint from the target by construction.
-        const Status rel_old = work.release(f.first, f.blocks);
-        assert(rel_old.ok());
-        (void)rel_old;
-        BULLET_RETURN_IF_ERROR(copy_extent(*staging, target, f.blocks));
-        inodes_[f.index].first_block = static_cast<std::uint32_t>(target);
-        BULLET_ASSIGN_OR_RETURN(
-            int w2, write_inode_block(f.index, disk_->replica_count()));
-        (void)w2;
-        const Status res = work.reserve(f.first, f.blocks - hole);
-        const Status rel_stage = work.release(*staging, f.blocks);
-        assert(res.ok() && rel_stage.ok());
-        (void)res;
-        (void)rel_stage;
-      }
-      moved += f.blocks;
-      cursor = target + f.blocks;
-    }
-    return moved;
+    return r;
   };
 
-  const Result<std::uint64_t> moved = run();
-  // However compaction ended — complete, partial after an I/O error, or a
-  // skipped bounce — some inodes have moved, so the free list is rebuilt
-  // from the table rather than patched incrementally.
-  BULLET_RETURN_IF_ERROR(rebuild_disk_free());
-  return moved;
+  if (!compact_.moving) {
+    // Scan for the next entry at or above the cursor: the lowest-placed
+    // live file, or an extent pinned under an in-flight erased fill.
+    // Entries with async I/O in flight (fills_) are immobile obstacles,
+    // exactly like pinned entries in FileCache::compact — the cursor
+    // slides past them.
+    for (;;) {
+      std::uint64_t best_first = ~std::uint64_t{0};
+      std::uint64_t best_blocks = 0;
+      std::uint32_t best_inode = 0;
+      bool movable = false;
+      for (std::uint32_t i = 1; i < inodes_.size(); ++i) {
+        if (inodes_[i].is_free()) continue;
+        const std::uint64_t blocks = layout_.blocks_for(inodes_[i].size_bytes);
+        if (blocks == 0 || inodes_[i].first_block < compact_.cursor) continue;
+        if (inodes_[i].first_block < best_first) {
+          best_first = inodes_[i].first_block;
+          best_blocks = blocks;
+          best_inode = i;
+          movable = fills_.count(i) == 0;
+        }
+      }
+      for (const auto& [index, fill] : fills_) {
+        // An erased fill's extent is no longer in any inode but its blocks
+        // are still in flight; it sits in place until the fill completes.
+        if (!fill.erased || fill.blocks == 0) continue;
+        if (fill.first_block < compact_.cursor) continue;
+        if (fill.first_block < best_first) {
+          best_first = fill.first_block;
+          best_blocks = fill.blocks;
+          best_inode = 0;
+          movable = false;
+        }
+      }
+      if (best_first == ~std::uint64_t{0}) {
+        // Nothing above the cursor: the pass is complete.
+        const CompactProgress p{compact_.moved_total, true};
+        compact_.active = false;
+        return account(p);
+      }
+      if (best_first == compact_.cursor || !movable) {
+        compact_.cursor = best_first + best_blocks;
+        continue;
+      }
+      // Begin a move. Reserve the landing zone first; if a concurrent
+      // create squatted part of the gap since the last step, yield and let
+      // the rescan see the new file.
+      const std::uint64_t target = compact_.cursor;
+      const std::uint64_t hole = best_first - target;
+      if (target + best_blocks <= best_first) {
+        if (!disk_free_.reserve(target, best_blocks).ok()) {
+          return account(CompactProgress{compact_.moved_total, false});
+        }
+        compact_.held.push_back({target, best_blocks});
+        compact_.hop = 0;
+      } else {
+        if (!disk_free_.reserve(target, hole).ok()) {
+          return account(CompactProgress{compact_.moved_total, false});
+        }
+        compact_.held.push_back({target, hole});
+        const auto staging = disk_free_.allocate(best_blocks);
+        if (!staging.has_value()) {
+          // No room to bounce; leave this file and pack beyond it.
+          compact_abandon_move_locked();
+          compact_.cursor = best_first + best_blocks;
+          continue;
+        }
+        compact_.staging = *staging;
+        compact_.held.push_back({*staging, best_blocks});
+        compact_.hop = 1;
+        compact_.hole = hole;
+      }
+      compact_.moving = true;
+      compact_.inode = best_inode;
+      compact_.random = inodes_[best_inode].random;
+      compact_.src = best_first;
+      compact_.target = target;
+      compact_.blocks = best_blocks;
+      compact_.copied = 0;
+      break;
+    }
+  } else {
+    // Identity check before touching a single block: between steps the
+    // file may have been erased, or an async fill may have started on it.
+    const std::uint64_t expected =
+        compact_.hop == 2 ? compact_.staging : compact_.src;
+    const bool intact = compact_.inode < inodes_.size() &&
+                        !inodes_[compact_.inode].is_free() &&
+                        inodes_[compact_.inode].random == compact_.random &&
+                        inodes_[compact_.inode].first_block == expected &&
+                        fills_.count(compact_.inode) == 0;
+    if (!intact) {
+      compact_abandon_move_locked();
+      return account(CompactProgress{compact_.moved_total, false});
+    }
+  }
+
+  // Copy at most max_blocks of the current hop.
+  const std::uint64_t from =
+      compact_.hop == 2 ? compact_.staging : compact_.src;
+  const std::uint64_t to =
+      compact_.hop == 1 ? compact_.staging : compact_.target;
+  const std::uint64_t n =
+      std::min(max_blocks, compact_.blocks - compact_.copied);
+  const Status copied = copy_blocks(from, to, compact_.copied, n);
+  if (!copied.ok()) {
+    compact_abandon_move_locked();
+    return account(Result<CompactProgress>(copied.error()));
+  }
+  compact_.copied += n;
+  if (compact_.copied < compact_.blocks) {
+    return account(CompactProgress{compact_.moved_total, false});
+  }
+
+  // Hop complete: flip the inode to the freshly written extent.
+  Inode& inode = inodes_[compact_.inode];
+  if (compact_.hop == 1) {
+    // src -> staging done. Flip to staging; the old extent dies, except
+    // that its leading (blocks - hole) blocks become the tail of the
+    // landing zone, which stays reserved for hop 2.
+    inode.first_block = static_cast<std::uint32_t>(compact_.staging);
+    const Result<int> w = write_inode_block(compact_.inode,
+                                            disk_->replica_count());
+    const Status rel = disk_free_.release(compact_.src, compact_.blocks);
+    const Status res =
+        disk_free_.reserve(compact_.src, compact_.blocks - compact_.hole);
+    assert(rel.ok() && res.ok());
+    (void)rel;
+    (void)res;
+    // Staging is owned by the inode now; the whole landing zone is held.
+    compact_.held.clear();
+    compact_.held.push_back({compact_.target, compact_.blocks});
+    compact_.hop = 2;
+    compact_.copied = 0;
+    if (!w.ok()) {
+      compact_abandon_move_locked();
+      return account(Result<CompactProgress>(w.error()));
+    }
+    return account(CompactProgress{compact_.moved_total, false});
+  }
+  // Final flip (disjoint move, or hop 2 of a bounce): the landing zone
+  // becomes the file; the source extent (old location or staging) dies.
+  const std::uint64_t dead =
+      compact_.hop == 2 ? compact_.staging : compact_.src;
+  inode.first_block = static_cast<std::uint32_t>(compact_.target);
+  const Result<int> w =
+      write_inode_block(compact_.inode, disk_->replica_count());
+  compact_.held.clear();  // landing zone now owned by the inode
+  const Status rel = disk_free_.release(dead, compact_.blocks);
+  assert(rel.ok());
+  (void)rel;
+  compact_.moved_total += compact_.blocks;
+  compact_.cursor = compact_.target + compact_.blocks;
+  compact_.moving = false;
+  compact_.staging = 0;
+  if (!w.ok()) return account(Result<CompactProgress>(w.error()));
+  return account(CompactProgress{compact_.moved_total, false});
 }
 
 wire::FsckReport BulletServer::check_consistency() const {
@@ -1026,6 +1776,12 @@ wire::ServerStats BulletServer::stats() const {
   }
   s.lock_wait_ns = c.lock_wait_ns;
   s.pinned_evict_defers = cache_stats.pinned_evict_defers;
+  const AsyncDiskQueue::Stats qs = io_.stats();
+  s.disk_inflight = qs.inflight;
+  s.disk_queue_depth_max = qs.queue_depth_max;
+  s.compact_steps = compact_steps_.load(std::memory_order_relaxed);
+  s.compact_lock_hold_ns_max =
+      compact_lock_hold_ns_max_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -16,8 +16,11 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
+#include <map>
 #include <memory>
 #include <shared_mutex>
+#include <utility>
 #include <vector>
 
 #include "bullet/extent_allocator.h"
@@ -27,9 +30,11 @@
 #include "cap/capability.h"
 #include "common/rng.h"
 #include "crypto/oneway.h"
+#include "disk/async_queue.h"
 #include "disk/mirrored_disk.h"
 #include "obs/histogram.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rpc/transport.h"
 #include "sim/clock.h"
 
@@ -53,6 +58,11 @@ struct BulletConfig {
   // the server performs after replying (replica writes beyond the
   // requested paranoia) is charged as background time.
   sim::Clock* clock = nullptr;
+  // Completion threads for the async disk pipeline. 0 = inline
+  // deterministic completions (single-threaded and virtual-time callers);
+  // N > 0 = cache-miss reads and creates submitted through handle_async()
+  // never touch the device on the handler thread.
+  unsigned io_threads = 0;
 };
 
 class BulletServer final : public rpc::Service {
@@ -95,6 +105,36 @@ class BulletServer final : public rpc::Service {
                                        std::uint32_t offset,
                                        std::uint32_t length);
 
+  // --- continuation forms (the async disk pipeline) ---------------------
+  //
+  // Each delivers its result through the callback, invoked exactly once
+  // with no server lock held: synchronously for work that needed no disk
+  // wait (cache hits, validation failures, io_threads == 0), or later
+  // from a disk-queue completion thread. A handler thread that submits a
+  // miss returns immediately to its pool. Callbacks that run later find
+  // the initiating request's trace reattached (RequestTrace::resume), so
+  // the reply-side spans land on the right timeline.
+  using ReadCallback = std::function<void(Result<PinnedFile>)>;
+  using CreateCallback = std::function<void(Result<Capability>)>;
+  using CompactCallback = std::function<void(Result<std::uint64_t>)>;
+
+  // read_pinned(), continuation form. A cache hit completes inline under
+  // the shared lock only; a miss registers a fill, submits the device read
+  // and parks. Concurrent misses for the same file join the in-flight fill
+  // instead of issuing duplicate reads.
+  void read_pinned_async(const Capability& cap, ReadCallback done);
+  // read_range_pinned(), continuation form.
+  void read_range_pinned_async(const Capability& cap, std::uint32_t offset,
+                               std::uint32_t length, ReadCallback done);
+  // create(), continuation form. Allocation, cache ingest, and the RAM
+  // inode happen synchronously under the exclusive lock; the P-FACTOR disk
+  // writes run on the queue and the callback fires once the requested
+  // paranoia holds (remaining replicas complete in the background).
+  void create_async(Bytes data, int pfactor, CreateCallback done);
+  // compact_disk(), continuation form: runs the incremental steps on the
+  // disk queue, interleaving with normal traffic between steps.
+  void compact_disk_async(CompactCallback done);
+
   // BULLET.SIZE.
   Result<std::uint32_t> size(const Capability& cap);
 
@@ -133,7 +173,25 @@ class BulletServer final : public rpc::Service {
   }
   Status sync();
   // Slide files together to squeeze out the holes; returns blocks moved.
+  // Internally a loop of compact_step() calls — the exclusive lock is
+  // released and reacquired between steps, so concurrent traffic
+  // interleaves even through the synchronous entry point.
   Result<std::uint64_t> compact_disk();
+
+  // One bounded slice of incremental compaction: at most `max_blocks`
+  // blocks copied under one exclusive-lock hold. The crash-safe
+  // copy-then-flip protocol holds at every step boundary (an on-disk inode
+  // only ever points at fully written data). Files with an in-flight
+  // async fill or write are treated as immobile obstacles, like pinned
+  // entries in FileCache::compact. Progress persists across calls; `done`
+  // flips true when a full pass found everything packed.
+  struct CompactProgress {
+    std::uint64_t moved_blocks = 0;  // total for the current pass
+    bool done = false;
+  };
+  static constexpr std::uint64_t kCompactStepBlocks = 64;
+  Result<CompactProgress> compact_step(
+      std::uint64_t max_blocks = kCompactStepBlocks);
   // Re-run the consistency checks against the in-RAM state.
   wire::FsckReport check_consistency() const;
   // Report from the startup scan.
@@ -146,6 +204,11 @@ class BulletServer final : public rpc::Service {
   // --- rpc::Service -----------------------------------------------------
   Port public_port() const noexcept override { return public_port_; }
   rpc::Reply handle(const rpc::Request& request) override;
+  // Continuation dispatch: READ/READ_RANGE/CREATE/COMPACT_DISK route to
+  // their *_async forms (the handler thread never blocks in the device on
+  // a cache miss); every other opcode answers synchronously via handle().
+  void handle_async(const rpc::Request& request,
+                    rpc::Responder respond) override;
 
   // --- introspection (tests, offline tools) -------------------------------
   struct ObjectInfo {
@@ -161,6 +224,10 @@ class BulletServer final : public rpc::Service {
   const DiskLayout& layout() const noexcept { return layout_; }
   const ExtentAllocator& disk_free() const noexcept { return disk_free_; }
   const FileCache& cache() const noexcept { return cache_; }
+  // The async disk pipeline (tests/bench assert on its stats — e.g. that
+  // inline_completions stays 0 with a thread pool, proving no handler
+  // thread ever executed a device op in submit).
+  AsyncDiskQueue& io_queue() noexcept { return io_; }
   std::uint64_t live_files() const noexcept {
     return live_files_.load(std::memory_order_relaxed);
   }
@@ -178,8 +245,66 @@ class BulletServer final : public rpc::Service {
   // it with edit application under one critical section).
   Result<Capability> create_locked(ByteSpan data, int pfactor);
   // compact_disk() body; caller holds the exclusive lock (create's
-  // fragmentation fallback runs it mid-create).
+  // fragmentation fallback runs it mid-create). Runs compact_step_locked()
+  // to completion without releasing the lock.
   Result<std::uint64_t> compact_disk_locked();
+  // One incremental step; caller holds the exclusive lock.
+  Result<CompactProgress> compact_step_locked(std::uint64_t max_blocks);
+
+  // An in-flight asynchronous fill (read miss loading the cache) or drain
+  // (create writing through). While one exists for an inode index, that
+  // file is immobile to compaction and its extent/index release on erase
+  // is deferred to the fill's completion — the async analogue of a cache
+  // pin.
+  struct Fill {
+    RnodeIndex rnode = 0;         // pinned cache entry (0 = heap/bypass)
+    std::uint64_t random = 0;     // identity check at completion
+    std::uint64_t first_block = 0;
+    std::uint64_t blocks = 0;
+    bool create = false;          // write-side (create) vs read-side fill
+    bool erased = false;          // erase() arrived mid-fill: cleanup deferred
+    // Requests waiting on this fill (read side): the initiator first, then
+    // any concurrent misses that joined instead of re-reading. Each entry
+    // carries the request's suspended trace (may be null).
+    std::vector<std::pair<obs::RequestTrace*, ReadCallback>> waiters;
+  };
+  // Completion of a read fill: validate identity, publish or roll back the
+  // cache entry, deliver every waiter. Takes the exclusive lock.
+  void complete_read_fill(std::uint32_t index, Status st,
+                          const DiskOpTiming& timing,
+                          std::shared_ptr<Bytes> heap);
+  // Release a create fill's bookkeeping once its disk writes are done;
+  // caller holds the exclusive lock. Returns the deliveries owed to read
+  // waiters that joined mid-create — the caller invokes them after
+  // unlocking (callbacks never run under the state lock).
+  std::vector<std::function<void()>> release_fill_locked(std::uint32_t index);
+
+  struct CreateCtx;  // create_async's continuation state (server.cc)
+
+  // Incremental compaction state machine; guarded by state_mu_. At most
+  // one move is in flight; `held` ranges are reserved in disk_free_ so
+  // data always lands in free blocks before an inode flips to them (the
+  // same crash-safe copy-then-flip protocol as the monolithic pass), and
+  // concurrent creates can never allocate into a move's target.
+  struct CompactState {
+    bool active = false;     // a pass is underway (cursor/moved_total valid)
+    bool moving = false;     // a file move is in flight
+    std::uint32_t inode = 0;
+    std::uint64_t random = 0;   // identity of the moving file at move start
+    std::uint64_t src = 0;      // extent the inode currently points at
+    std::uint64_t target = 0;
+    std::uint64_t staging = 0;  // bounce extent (overlapping moves)
+    std::uint64_t hole = 0;     // free prefix [target, src) of an overlap move
+    std::uint64_t blocks = 0;
+    std::uint64_t copied = 0;   // blocks copied within the current hop
+    int hop = 0;  // 0: src->target; 1: src->staging; 2: staging->target
+    std::uint64_t cursor = 0;
+    std::uint64_t moved_total = 0;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> held;
+  };
+  // Abandon the in-flight move (identity changed, I/O error): release every
+  // held range back to disk_free_. Caller holds the exclusive lock.
+  void compact_abandon_move_locked();
 
   // Wrap a pin the caller already took (touch_and_pin()/pin()) in a
   // Reply-attachable token; the last copy dropping releases the pin.
@@ -244,6 +369,13 @@ class BulletServer final : public rpc::Service {
   wire::FsckReport boot_report_;
   std::atomic<std::uint64_t> live_files_{0};
 
+  // In-flight async fills by inode index; guarded by state_mu_.
+  std::map<std::uint32_t, Fill> fills_;
+  // Incremental-compaction cursor/move state and its reusable bounce
+  // chunk; guarded by state_mu_.
+  CompactState compact_;
+  Bytes compact_chunk_;
+
   const rpc::IoCounters* io_counters_ = nullptr;
 
   // Counters surfaced via stats(). Relaxed atomics: readers bump them
@@ -263,6 +395,11 @@ class BulletServer final : public rpc::Service {
   mutable std::atomic<std::uint64_t> scratch_allocs_{0};
   // Nanoseconds spent blocked acquiring state_mu_ (either mode).
   mutable std::atomic<std::uint64_t> lock_wait_ns_{0};
+  // Incremental-compaction accounting: steps executed, and the longest
+  // exclusive-lock hold any single step cost (the headline bound the
+  // incremental design exists to keep small).
+  std::atomic<std::uint64_t> compact_steps_{0};
+  std::atomic<std::uint64_t> compact_lock_hold_ns_max_{0};
 
   // A relaxed-load pass over the counters above, decoupling the snapshot
   // from the field-by-field reads stats()/metrics_text() render from.
@@ -282,6 +419,11 @@ class BulletServer final : public rpc::Service {
   obs::LatencyHistogram disk_read_latency_ns_;
   obs::LatencyHistogram disk_write_latency_ns_;
   obs::MetricsRegistry metrics_;
+
+  // Last member on purpose: destroyed first, so its destructor drains
+  // every pending completion while the rest of the server (cache, inode
+  // table, allocator) is still alive.
+  AsyncDiskQueue io_;
 };
 
 }  // namespace bullet

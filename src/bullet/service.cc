@@ -220,4 +220,162 @@ rpc::Reply BulletServer::handle(const rpc::Request& request) {
   }
 }
 
+void BulletServer::handle_async(const rpc::Request& request,
+                                rpc::Responder respond) {
+  switch (request.opcode) {
+    case wire::kRead:
+    case wire::kReadRange:
+    case wire::kCreate:
+    case wire::kCompactDisk:
+      break;  // continuation forms below
+    default:
+      // Everything else answers synchronously; the adapter keeps the
+      // exactly-once respond contract.
+      respond(handle(request));
+      return;
+  }
+
+  // `request` dies when this call returns, so each continuation copies out
+  // what it needs before parking. The kHandle span and the service-latency
+  // sample are recorded manually at completion (a ScopedSpan cannot
+  // straddle a parked request); like the sync path, both fire only for
+  // sampled requests — the transport created the trace before dispatching
+  // here, and the continuation machinery suspends/resumes it across the
+  // disk queue.
+  obs::LatencyHistogram* latency = nullptr;
+  switch (request.opcode) {
+    case wire::kRead:
+    case wire::kReadRange:
+      latency = &read_latency_ns_;
+      break;
+    case wire::kCreate:
+      latency = &create_latency_ns_;
+      break;
+  }
+  const std::uint64_t t0 = obs::now_ns();
+  auto finish_span = [latency, t0]() {
+    if (auto* trace = obs::RequestTrace::current()) {
+      const std::uint64_t dur = obs::now_ns() - t0;
+      trace->add_span(obs::Stage::kHandle, t0, dur);
+      if (latency != nullptr) latency->record(dur);
+    }
+  };
+
+  Reader body(request.body);
+  switch (request.opcode) {
+    case wire::kRead: {
+      if (!body.done()) {
+        finish_span();
+        respond(rpc::Reply::error(ErrorCode::bad_argument));
+        return;
+      }
+      read_pinned_async(
+          request.target,
+          [respond = std::move(respond), finish_span](Result<PinnedFile> data) {
+            if (!data.ok()) {
+              finish_span();
+              respond(rpc::Reply::error(data.code()));
+              return;
+            }
+            Writer w(4);
+            w.u32(static_cast<std::uint32_t>(data.value().data.size()));
+            finish_span();
+            respond(rpc::Reply::success_borrowed(
+                std::move(w).take(), data.value().data,
+                std::move(data.value().retainer)));
+          });
+      return;
+    }
+    case wire::kReadRange: {
+      auto offset = body.u32();
+      auto length = offset.ok() ? body.u32() : offset;
+      if (!length.ok() || !body.done()) {
+        finish_span();
+        respond(rpc::Reply::error(ErrorCode::bad_argument));
+        return;
+      }
+      read_range_pinned_async(
+          request.target, offset.value(), length.value(),
+          [respond = std::move(respond), finish_span](Result<PinnedFile> data) {
+            if (!data.ok()) {
+              finish_span();
+              respond(rpc::Reply::error(data.code()));
+              return;
+            }
+            Writer w(4);
+            w.u32(static_cast<std::uint32_t>(data.value().data.size()));
+            finish_span();
+            respond(rpc::Reply::success_borrowed(
+                std::move(w).take(), data.value().data,
+                std::move(data.value().retainer)));
+          });
+      return;
+    }
+    case wire::kCreate: {
+      auto pfactor = body.u8();
+      auto data = pfactor.ok() ? body.blob() : Result<ByteSpan>(pfactor.error());
+      if (!data.ok() || !body.done()) {
+        finish_span();
+        respond(rpc::Reply::error(ErrorCode::bad_argument));
+        return;
+      }
+      {
+        const auto lock = lock_shared();
+        const auto verified = verify(request.target, rights::kWrite);
+        if (!verified.ok()) {
+          finish_span();
+          respond(rpc::Reply::error(verified.code()));
+          return;
+        }
+        if (verified.value() != 0) {
+          finish_span();
+          respond(rpc::Reply::error(ErrorCode::bad_argument));
+          return;
+        }
+      }
+      // The payload must outlive the request: hand create_async an owned
+      // copy (this is the one copy the async create path makes).
+      Bytes owned(data.value().begin(), data.value().end());
+      create_async(
+          std::move(owned), pfactor.value(),
+          [respond = std::move(respond), finish_span](Result<Capability> cap) {
+            if (!cap.ok()) {
+              finish_span();
+              respond(rpc::Reply::error(cap.code()));
+              return;
+            }
+            Writer w(Capability::kWireSize);
+            cap.value().encode(w);
+            finish_span();
+            respond(rpc::Reply::success(std::move(w).take()));
+          });
+      return;
+    }
+    case wire::kCompactDisk: {
+      {
+        const auto lock = lock_shared();
+        const auto verified = verify(request.target, rights::kAdmin);
+        if (!verified.ok()) {
+          finish_span();
+          respond(rpc::Reply::error(verified.code()));
+          return;
+        }
+      }
+      compact_disk_async([respond = std::move(respond),
+                          finish_span](Result<std::uint64_t> moved) {
+        if (!moved.ok()) {
+          finish_span();
+          respond(rpc::Reply::error(moved.code()));
+          return;
+        }
+        Writer w(8);
+        w.u64(moved.value());
+        finish_span();
+        respond(rpc::Reply::success(std::move(w).take()));
+      });
+      return;
+    }
+  }
+}
+
 }  // namespace bullet

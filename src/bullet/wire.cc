@@ -135,6 +135,10 @@ void ServerStats::encode(Writer& w) const {
   w.u64(worker_wakeups);
   w.u64(lock_wait_ns);
   w.u64(pinned_evict_defers);
+  w.u64(disk_inflight);
+  w.u64(disk_queue_depth_max);
+  w.u64(compact_steps);
+  w.u64(compact_lock_hold_ns_max);
 }
 
 Result<ServerStats> ServerStats::decode(Reader& r) {
@@ -164,6 +168,10 @@ Result<ServerStats> ServerStats::decode(Reader& r) {
   BULLET_ASSIGN_OR_RETURN(s.worker_wakeups, r.u64());
   BULLET_ASSIGN_OR_RETURN(s.lock_wait_ns, r.u64());
   BULLET_ASSIGN_OR_RETURN(s.pinned_evict_defers, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.disk_inflight, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.disk_queue_depth_max, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.compact_steps, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.compact_lock_hold_ns_max, r.u64());
   return s;
 }
 

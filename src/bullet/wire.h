@@ -92,8 +92,14 @@ struct ServerStats {
   std::uint64_t worker_wakeups = 0;      // dispatch-thread wakeups
   std::uint64_t lock_wait_ns = 0;        // time spent blocked on the state lock
   std::uint64_t pinned_evict_defers = 0; // LRU victims skipped: reader pin held
+  // Async-pipeline counters (appended in the disk-queue rework; 25 -> 29
+  // u64s, same append-only discipline).
+  std::uint64_t disk_inflight = 0;         // disk ops submitted, not completed
+  std::uint64_t disk_queue_depth_max = 0;  // high-water mark of disk_inflight
+  std::uint64_t compact_steps = 0;         // incremental compaction steps run
+  std::uint64_t compact_lock_hold_ns_max = 0;  // longest per-step lock hold
 
-  static constexpr std::size_t kWireSize = 25 * 8;
+  static constexpr std::size_t kWireSize = 29 * 8;
 
   void encode(Writer& w) const;
   static Result<ServerStats> decode(Reader& r);

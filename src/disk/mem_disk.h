@@ -1,6 +1,7 @@
 // RAM-backed block device with fault injection, for tests and simulation.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 
@@ -38,17 +39,25 @@ class MemDisk final : public BlockDevice {
   // Load raw contents (must match capacity).
   Status restore(ByteSpan image);
 
-  std::uint64_t reads() const noexcept { return reads_; }
-  std::uint64_t writes() const noexcept { return writes_; }
+  std::uint64_t reads() const noexcept {
+    return reads_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t writes() const noexcept {
+    return writes_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::uint64_t block_size_;
   std::uint64_t num_blocks_;
   Bytes data_;
-  bool failed_ = false;
-  std::uint64_t writes_left_ = std::numeric_limits<std::uint64_t>::max();
-  std::uint64_t reads_ = 0;
-  std::uint64_t writes_ = 0;
+  // Atomics so the async disk queue's completion threads can drive reads
+  // and writes concurrently (the Bullet server never issues overlapping
+  // accesses to the same blocks; only the bookkeeping here is shared).
+  std::atomic<bool> failed_{false};
+  std::atomic<std::uint64_t> writes_left_{
+      std::numeric_limits<std::uint64_t>::max()};
+  std::atomic<std::uint64_t> reads_{0};
+  std::atomic<std::uint64_t> writes_{0};
 };
 
 }  // namespace bullet

@@ -53,6 +53,7 @@ const char* stage_name(Stage stage) noexcept {
     case Stage::kDiskWrite: return "disk_write";
     case Stage::kEncode: return "encode";
     case Stage::kTx: return "tx";
+    case Stage::kDiskQueue: return "disk_queue";
   }
   return "unknown";
 }
@@ -148,7 +149,6 @@ RequestTrace::RequestTrace(std::uint16_t opcode,
   }
   if (!sampled) return;
   active_ = true;
-  owns_tls_ = true;
   trace_id_ = trace_id;
   opcode_ = opcode;
   seq_ = g_next_seq.fetch_add(1, std::memory_order_relaxed);
@@ -156,12 +156,28 @@ RequestTrace::RequestTrace(std::uint16_t opcode,
 }
 
 RequestTrace::~RequestTrace() {
-  if (!owns_tls_) return;
-  t_current = nullptr;
-  if (count_ > 0) TraceSink::instance().publish(spans_.data(), count_);
+  // May run on a different thread than construction (a request parked on
+  // async I/O is destroyed by whoever ran its continuation): clear the
+  // destroying thread's TLS slot only if it points here, and publish
+  // exactly the spans this trace collected.
+  if (t_current == this) t_current = nullptr;
+  if (active_ && count_ > 0) {
+    TraceSink::instance().publish(spans_.data(), count_);
+  }
 }
 
 RequestTrace* RequestTrace::current() noexcept { return t_current; }
+
+RequestTrace* RequestTrace::suspend() noexcept {
+  RequestTrace* trace = t_current;
+  t_current = nullptr;
+  return trace;
+}
+
+void RequestTrace::resume(RequestTrace* trace) noexcept {
+  if (trace == nullptr || t_current != nullptr) return;
+  t_current = trace;
+}
 
 void RequestTrace::add_span(Stage stage, std::uint64_t start_ns,
                             std::uint64_t dur_ns) noexcept {

@@ -21,8 +21,10 @@
 //  3. Instrumentation points must not thread context through APIs. The
 //     active trace lives in a thread_local; ScopedSpan picks it up from
 //     wherever it is constructed (transport, server, cache, disk). A
-//     request is handled start-to-finish on one thread in every transport
-//     in-tree, so the TLS handoff is exact.
+//     request normally runs start-to-finish on one thread; a request that
+//     parks on asynchronous disk I/O detaches its trace with suspend()
+//     and the completion thread reattaches it with resume(), so the TLS
+//     handoff stays exact across the continuation boundary.
 #pragma once
 
 #include <array>
@@ -49,6 +51,7 @@ enum class Stage : std::uint8_t {
   kDiskWrite = 7,   // block-device write
   kEncode = 8,      // reply gathered/encoded for the wire
   kTx = 9,          // encoded reply → sendmmsg complete
+  kDiskQueue = 10,  // async disk op queued: submit → execution start
 };
 
 const char* stage_name(Stage stage) noexcept;
@@ -116,6 +119,16 @@ class RequestTrace {
   // The thread's active trace, or nullptr when this request is unsampled.
   static RequestTrace* current() noexcept;
 
+  // Continuation support (requests parked on async disk I/O). suspend()
+  // detaches the calling thread's active trace and returns it (nullptr if
+  // none): the TLS slot clears, the trace object stays alive and keeps
+  // accepting add_span(). resume(t) reattaches it on the resuming thread
+  // (no-op for nullptr or when that thread already has a trace). The
+  // object may then be destroyed on the resuming thread; destruction
+  // clears whichever TLS slot currently points at it and publishes.
+  static RequestTrace* suspend() noexcept;
+  static void resume(RequestTrace* trace) noexcept;
+
   bool active() const noexcept { return active_; }
   std::uint64_t trace_id() const noexcept { return trace_id_; }
   std::uint64_t seq() const noexcept { return seq_; }
@@ -127,7 +140,6 @@ class RequestTrace {
 
  private:
   bool active_ = false;
-  bool owns_tls_ = false;
   std::uint64_t trace_id_ = 0;
   std::uint64_t seq_ = 0;
   std::uint16_t opcode_ = 0;

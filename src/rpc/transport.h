@@ -9,7 +9,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
+#include <utility>
 
 #include "rpc/message.h"
 #include "sim/clock.h"
@@ -25,6 +27,11 @@ struct IoCounters {
   std::atomic<std::uint64_t> worker_wakeups{0}; // dispatch-thread wakeups
 };
 
+// Continuation a service invokes (exactly once) to deliver the reply of an
+// asynchronously handled request. May run synchronously inside
+// handle_async() or later from another thread (a disk-completion thread).
+using Responder = std::function<void(Reply&&)>;
+
 class Service {
  public:
   virtual ~Service() = default;
@@ -34,6 +41,17 @@ class Service {
 
   // Handle one request. Must not throw; failures are error Replies.
   virtual Reply handle(const Request& request) = 0;
+
+  // Continuation-style handling: instead of returning the Reply, deliver
+  // it through `respond` — possibly after this call returns, from a disk
+  // completion thread, so a handler thread parked on storage goes back to
+  // its pool instead of blocking. The default adapter dispatches handle()
+  // and responds inline, so synchronous services work unchanged under an
+  // async transport. `request` is only guaranteed alive until this call
+  // returns; implementations that defer must copy what they still need.
+  virtual void handle_async(const Request& request, Responder respond) {
+    respond(handle(request));
+  }
 };
 
 class Transport {

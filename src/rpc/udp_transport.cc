@@ -302,7 +302,7 @@ std::uint64_t ReplyCache::evictions() const {
 
 // --- server ------------------------------------------------------------------
 
-struct UdpServer::Impl {
+struct UdpServer::Impl : std::enable_shared_from_this<UdpServer::Impl> {
   int fd = -1;
   UdpServerOptions options;
   ReplyCache replies{128, 8ull << 20};
@@ -348,6 +348,15 @@ struct UdpServer::Impl {
   bool shutdown_workers = false;
   std::vector<std::thread> workers;
 
+  // Inline-mode (workers == 0) in-flight marks. When execution was
+  // synchronous a request was answered before handle_datagram returned, so
+  // the reply-cache probe alone sufficed for dedup; a parked continuation
+  // opens a window between dispatch and reply where a retransmit would
+  // re-execute. Keyed (peer, message id); inserted before dispatch on the
+  // RX thread, erased by finish() after the reply is cached.
+  std::mutex inline_mu;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> inline_inflight;
+
   ~Impl() {
     if (fd >= 0) ::close(fd);
   }
@@ -358,57 +367,143 @@ struct UdpServer::Impl {
     return it == services.end() ? nullptr : it->second;
   }
 
-  // Decode, dispatch, cache, reply. Runs on the RX thread (inline mode) or
-  // on a worker. The Reply may borrow pinned cache bytes; the pin lives
-  // until `reply` is destroyed, which is after encode() gathered them.
+  // Everything a deferred reply needs to find its way back to the wire
+  // after the dispatching thread has moved on. Holds a shared_ptr to the
+  // Impl so the socket and queue state outlive even a stopped server while
+  // a continuation is pending.
+  struct RespondCtx {
+    std::shared_ptr<Impl> impl;
+    sockaddr_in from{};
+    std::uint64_t peer = 0;
+    std::uint64_t message_id = 0;
+    bool pooled = false;  // dispatched by a worker (vs. inline on RX)
+    // The trace is heap-owned by the context (not stack-owned by
+    // execute()) so it survives a park; finish() destroys it on whichever
+    // thread delivers the reply, publishing the spans.
+    std::unique_ptr<obs::RequestTrace> trace;
+    // Handoff flag between the dispatching worker and finish(): whoever
+    // flips it second does the queue bookkeeping, so the sync case (finish
+    // ran inside handle_async) and the parked case (finish runs later from
+    // a completion thread) both clean up exactly once.
+    std::atomic<bool> completed{false};
+  };
+
+  // Decode and dispatch. Runs on the RX thread (inline mode) or on a
+  // worker; the reply path — encode, cache, send — lives in finish(),
+  // which the service's responder invokes either synchronously inside
+  // handle_async() or later from a disk-completion thread. The returned
+  // context lets the caller detect a park (completed still false).
   //
   // `rx_first_ns`/`rx_done_ns`/`dequeue_ns` are trace timestamps captured
   // by the RX thread and worker loop (all 0 when tracing is off): the rx
   // span covers fragment reassembly, the queue span covers enqueue→worker
   // pickup. The RequestTrace is constructed here — after decode, so it
   // knows the opcode and the client's trace id — and becomes the thread's
-  // current trace for the whole dispatch; the service's own spans (lock,
-  // cache, disk) attach to it.
-  void execute(const sockaddr_in& from, std::uint64_t peer,
-               std::uint64_t message_id, const Bytes& wire,
-               std::uint64_t rx_first_ns = 0, std::uint64_t rx_done_ns = 0,
-               std::uint64_t dequeue_ns = 0) {
+  // current trace for the dispatch; the service's own spans (lock, cache,
+  // disk) attach to it, and a service that parks carries it across the
+  // continuation via RequestTrace::suspend()/resume().
+  std::shared_ptr<RespondCtx> execute(const sockaddr_in& from,
+                                      std::uint64_t peer,
+                                      std::uint64_t message_id,
+                                      const Bytes& wire, bool pooled,
+                                      std::uint64_t rx_first_ns = 0,
+                                      std::uint64_t rx_done_ns = 0,
+                                      std::uint64_t dequeue_ns = 0) {
+    auto ctx = std::make_shared<RespondCtx>();
+    ctx->impl = shared_from_this();
+    ctx->from = from;
+    ctx->peer = peer;
+    ctx->message_id = message_id;
+    ctx->pooled = pooled;
     auto request = Request::decode(wire);
     if (!request.ok()) {
-      auto encoded = std::make_shared<const Bytes>(
-          Reply::error(ErrorCode::bad_argument).encode());
-      replies.insert(peer, message_id, encoded);
-      (void)send_message_batched(fd, from, message_id,
-                                 ByteSpan(encoded->data(), encoded->size()));
-      return;
+      finish(ctx, Reply::error(ErrorCode::bad_argument));
+      return ctx;
     }
-    obs::RequestTrace trace(request.value().opcode,
-                            request.value().trace_id);
-    if (trace.active()) {
+    ctx->trace = std::make_unique<obs::RequestTrace>(request.value().opcode,
+                                                     request.value().trace_id);
+    if (ctx->trace->active()) {
       if (rx_first_ns != 0 && rx_done_ns >= rx_first_ns) {
-        trace.add_span(obs::Stage::kRx, rx_first_ns,
-                       rx_done_ns - rx_first_ns);
+        ctx->trace->add_span(obs::Stage::kRx, rx_first_ns,
+                             rx_done_ns - rx_first_ns);
       }
       if (dequeue_ns != 0 && dequeue_ns >= rx_done_ns && rx_done_ns != 0) {
-        trace.add_span(obs::Stage::kQueue, rx_done_ns,
-                       dequeue_ns - rx_done_ns);
+        ctx->trace->add_span(obs::Stage::kQueue, rx_done_ns,
+                             dequeue_ns - rx_done_ns);
       }
     }
     Service* service = find_service(request.value().target.port.value());
-    Reply reply = service == nullptr ? Reply::error(ErrorCode::unreachable)
-                                     : service->handle(request.value());
+    if (service == nullptr) {
+      finish(ctx, Reply::error(ErrorCode::unreachable));
+      return ctx;
+    }
+    service->handle_async(request.value(), [ctx](Reply&& reply) {
+      ctx->impl->finish(ctx, std::move(reply));
+    });
+    // If the service parked without detaching the trace (it should suspend
+    // before releasing this thread), detach it here so this thread does
+    // not carry a stale TLS pointer into the next request it dispatches.
+    if (!ctx->completed.load(std::memory_order_acquire) &&
+        obs::RequestTrace::current() == ctx->trace.get()) {
+      (void)obs::RequestTrace::suspend();
+    }
+    return ctx;
+  }
+
+  // Encode, cache, send, and release the request's dedup/ordering marks.
+  // Runs on the dispatching thread (synchronous services) or on whatever
+  // thread completes a parked request's disk I/O. The Reply may borrow
+  // pinned cache bytes; the pin lives until `reply` is destroyed, after
+  // encode() gathered them.
+  void finish(const std::shared_ptr<RespondCtx>& ctx, Reply&& reply) {
     std::shared_ptr<const Bytes> encoded;
     {
       obs::ScopedSpan span(obs::Stage::kEncode);
       encoded = std::make_shared<const Bytes>(reply.encode());
     }
-    // Cache before sending (and before the caller clears the in-flight
-    // mark): a retransmit arriving at any later instant finds either the
-    // in-flight mark or the cached reply — never a gap that re-executes.
-    replies.insert(peer, message_id, encoded);
-    obs::ScopedSpan span(obs::Stage::kTx);
-    (void)send_message_batched(fd, from, message_id,
-                               ByteSpan(encoded->data(), encoded->size()));
+    // Cache before sending (and before the in-flight marks clear): a
+    // retransmit arriving at any later instant finds either the in-flight
+    // mark or the cached reply — never a gap that re-executes.
+    replies.insert(ctx->peer, ctx->message_id, encoded);
+    {
+      obs::ScopedSpan span(obs::Stage::kTx);
+      (void)send_message_batched(fd, ctx->from, ctx->message_id,
+                                 ByteSpan(encoded->data(), encoded->size()));
+    }
+    // Publish the trace (destructor clears this thread's TLS slot if the
+    // trace is attached here — sync dispatch or a resumed continuation).
+    ctx->trace.reset();
+    if (ctx->pooled) {
+      // Second one through does the bookkeeping: if the dispatching worker
+      // already saw completed == true it continued draining the client
+      // itself; otherwise the client sat parked and is released here.
+      if (ctx->completed.exchange(true, std::memory_order_acq_rel)) {
+        unpark(*ctx);
+      }
+    } else {
+      ctx->completed.store(true, std::memory_order_release);
+      std::lock_guard<std::mutex> lock(inline_mu);
+      inline_inflight.erase({ctx->peer, ctx->message_id});
+    }
+  }
+
+  // Release a client whose head-of-queue request parked: drop the request
+  // from the dedup set (its reply is cached now) and hand the client back
+  // to the pool if more work queued up behind the parked request.
+  void unpark(const RespondCtx& ctx) {
+    bool notify = false;
+    {
+      std::lock_guard<std::mutex> lock(work_mu);
+      ClientState& client = clients[ctx.peer];
+      client.pending_ids.erase(ctx.message_id);
+      if (!client.pending.empty() && !shutdown_workers) {
+        ready.push_back(ctx.peer);
+        notify = true;
+      } else {
+        client.scheduled = false;
+      }
+    }
+    if (notify) work_cv.notify_one();
   }
 
   // True if `message_id` from `peer` is queued or executing right now.
@@ -445,19 +540,32 @@ struct UdpServer::Impl {
       const std::uint64_t peer = ready.front();
       ready.pop_front();
       ClientState& client = clients[peer];
+      bool parked = false;
       while (!client.pending.empty()) {
         WorkItem item = std::move(client.pending.front());
         client.pending.pop_front();
         lock.unlock();
         const std::uint64_t dequeue_ns =
             item.rx_done_ns != 0 ? obs::now_ns() : 0;
-        execute(item.from, peer, item.message_id, item.wire, item.rx_first_ns,
-                item.rx_done_ns, dequeue_ns);
+        auto ctx = execute(item.from, peer, item.message_id, item.wire,
+                           /*pooled=*/true, item.rx_first_ns, item.rx_done_ns,
+                           dequeue_ns);
+        const bool finished =
+            ctx->completed.exchange(true, std::memory_order_acq_rel);
         lock.lock();
+        if (!finished) {
+          // The request parked on async I/O. Leave the client owned
+          // (scheduled stays true, pending_id stays set) so later requests
+          // from this endpoint cannot overtake the deferred reply; this
+          // worker goes back to the pool and finish() releases the client
+          // once the reply is on the wire.
+          parked = true;
+          break;
+        }
         client.pending_ids.erase(item.message_id);
         if (shutdown_workers) return;
       }
-      client.scheduled = false;
+      if (!parked) client.scheduled = false;
     }
   }
 
@@ -481,11 +589,20 @@ struct UdpServer::Impl {
                                  ByteSpan(hit->data(), hit->size()));
       return;
     }
-    // Retransmit of something queued or executing? The reply is on its
-    // way; answering again would double-execute.
-    if (!workers.empty() && in_flight(peer, message_id)) {
-      duplicates.fetch_add(1);
-      return;
+    // Retransmit of something queued or executing (including parked on
+    // async I/O)? The reply is on its way; answering again would
+    // double-execute.
+    if (!workers.empty()) {
+      if (in_flight(peer, message_id)) {
+        duplicates.fetch_add(1);
+        return;
+      }
+    } else {
+      std::lock_guard<std::mutex> lock(inline_mu);
+      if (inline_inflight.count({peer, message_id}) > 0) {
+        duplicates.fetch_add(1);
+        return;
+      }
     }
 
     Assembly& assembly = assembling[key];
@@ -499,7 +616,12 @@ struct UdpServer::Impl {
     assembling.erase(key);
 
     if (workers.empty()) {
-      execute(from, peer, message_id, wire, rx_first_ns, rx_done_ns);
+      {
+        std::lock_guard<std::mutex> lock(inline_mu);
+        inline_inflight.insert({peer, message_id});
+      }
+      (void)execute(from, peer, message_id, wire, /*pooled=*/false,
+                    rx_first_ns, rx_done_ns);
     } else {
       enqueue(from, peer, message_id, std::move(wire), rx_first_ns,
               rx_done_ns);
@@ -542,10 +664,10 @@ struct UdpServer::Impl {
   }
 };
 
-UdpServer::UdpServer(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+UdpServer::UdpServer(std::shared_ptr<Impl> impl) : impl_(std::move(impl)) {}
 
 Result<std::unique_ptr<UdpServer>> UdpServer::start(UdpServerOptions options) {
-  auto impl = std::make_unique<Impl>();
+  auto impl = std::make_shared<Impl>();
   impl->options = options;
   impl->replies.set_bounds(std::max<std::size_t>(1, options.reply_cache_entries),
                            std::max<std::uint64_t>(1, options.reply_cache_bytes));

@@ -24,6 +24,17 @@
 // thread-safe in this mode. Replies are sent with sendmmsg, two iovecs per
 // fragment (header + payload slice), so the payload is never copied into
 // per-fragment buffers.
+//
+// Continuations: requests are dispatched through Service::handle_async().
+// A service may defer its reply (e.g. a cache-miss read that submits disk
+// I/O and resumes in the completion callback); the dispatching worker then
+// *parks* the client — it returns to the pool and serves other clients,
+// while the parked client's queue stays owned so no later request from the
+// same endpoint can overtake the deferred reply. When the reply arrives it
+// is encoded, cached for retransmit suppression, and sent from the
+// completing thread, and only then is the client released back to the
+// ready list — per-client ordering and at-most-once execution hold exactly
+// as in the synchronous path.
 #pragma once
 
 #include <atomic>
@@ -127,9 +138,13 @@ class UdpServer {
 
  private:
   struct Impl;
-  explicit UdpServer(std::unique_ptr<Impl> impl);
+  explicit UdpServer(std::shared_ptr<Impl> impl);
 
-  std::unique_ptr<Impl> impl_;
+  // Shared, not unique: a request parked on async disk I/O holds a
+  // reference from its responder context, so the socket and the per-client
+  // queue state stay alive until the last deferred reply is sent — even if
+  // the UdpServer itself is stopped and destroyed first.
+  std::shared_ptr<Impl> impl_;
   std::uint16_t udp_port_ = 0;
 };
 

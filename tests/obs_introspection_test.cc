@@ -59,6 +59,10 @@ const char* const kCounterMetrics[] = {
     "bullet_worker_wakeups_total",
     "bullet_lock_wait_ns_total",
     "bullet_pinned_evict_defers_total",
+    "bullet_disk_inflight",
+    "bullet_disk_queue_depth_max",
+    "bullet_compact_steps_total",
+    "bullet_compact_lock_hold_ns_max",
     "bullet_cache_capacity_bytes",
     "bullet_cache_used_bytes",
     "bullet_cache_entries",

@@ -5,6 +5,7 @@
 //
 //   bullet_server --image a.img [--image b.img] [--port 4132]
 //                 [--cache-mb 64] [--dir-bootstrap FILE] [--workers 4]
+//                 [--io-threads 2]
 //
 // On startup it prints the UDP port, the Bullet super capability, the
 // directory super capability, and the root directory capability; clients
@@ -43,7 +44,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: bullet_server --image FILE [--image FILE] "
                "[--port N] [--cache-mb N] [--dir-bootstrap FILE] "
-               "[--workers N] [--no-trace] [--trace-sample N]\n");
+               "[--workers N] [--io-threads N] [--no-trace] "
+               "[--trace-sample N]\n");
   return 2;
 }
 
@@ -100,6 +102,9 @@ int main(int argc, char** argv) {
   std::uint64_t cache_mb = 64;
   std::string bootstrap_path;
   unsigned workers = 4;
+  // Disk submissions run on a completion pool so no UDP worker ever blocks
+  // inside a device read/write; 0 executes ops inline (pre-pipeline mode).
+  unsigned io_threads = 2;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -126,6 +131,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       workers = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--io-threads") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      io_threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--no-trace") {
       // Disables sampling AND client-forced traces (the overhead baseline).
       obs::set_tracing_enabled(false);
@@ -178,6 +187,7 @@ int main(int argc, char** argv) {
 
   BulletConfig config;
   config.cache_bytes = cache_mb << 20;
+  config.io_threads = io_threads;
   auto server = BulletServer::start(&mirror_disk, config);
   if (!server.ok()) {
     std::fprintf(stderr, "boot: %s\n", server.error().to_string().c_str());
