@@ -65,6 +65,13 @@ class CachingBulletClient {
   std::uint64_t bytes_cached() const noexcept { return stats_.bytes_cached; }
   BulletClient& underlying() noexcept { return inner_; }
 
+  // Stamp every pass-through RPC (misses, creates, deletes) with a
+  // per-call time budget; cache hits are local and never wait. See
+  // BulletClient::set_deadline_budget_ms for the overload contract.
+  void set_deadline_budget_ms(std::uint32_t ms) noexcept {
+    inner_.set_deadline_budget_ms(ms);
+  }
+
  private:
   struct Entry {
     Bytes data;

@@ -9,6 +9,7 @@ Result<Bytes> BulletClient::call(const Capability& target,
   request.opcode = opcode;
   request.body = std::move(body);
   request.trace_id = trace_id_;
+  request.deadline_us = deadline_budget_us_;
   BULLET_ASSIGN_OR_RETURN(rpc::Reply reply, transport_->call(request));
   if (reply.status != ErrorCode::ok) return Error(reply.status);
   // Borrowed segments (zero-copy READ replies) are only valid until the

@@ -66,6 +66,20 @@ class BulletClient {
   void set_trace_id(std::uint64_t id) noexcept { trace_id_ = id; }
   std::uint64_t trace_id() const noexcept { return trace_id_; }
 
+  // Per-call time budget (0 = none). A nonzero budget rides the request
+  // trailer as a remaining-microseconds deadline: the transport re-stamps
+  // it on every retransmit, an overloaded server answers with BS_PUSHBACK
+  // instead of silently queueing, expired requests are dropped at dequeue
+  // rather than executed, and the call fails with deadline_expired once
+  // the budget is gone. Like trace ids, a nonzero budget widens the
+  // trailer, so setting one requires an overload-aware server.
+  void set_deadline_budget_ms(std::uint32_t ms) noexcept {
+    deadline_budget_us_ = static_cast<std::uint64_t>(ms) * 1000;
+  }
+  std::uint64_t deadline_budget_us() const noexcept {
+    return deadline_budget_us_;
+  }
+
   const Capability& server_capability() const noexcept { return server_; }
 
  private:
@@ -75,6 +89,7 @@ class BulletClient {
   rpc::Transport* transport_;
   Capability server_;
   std::uint64_t trace_id_ = 0;
+  std::uint64_t deadline_budget_us_ = 0;
 };
 
 }  // namespace bullet

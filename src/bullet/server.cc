@@ -140,6 +140,11 @@ BulletServer::BulletServer(MirroredDisk* disk, BulletConfig config,
     e.value("bullet_disk_queue_depth_max", s.disk_queue_depth_max);
     e.value("bullet_compact_steps_total", s.compact_steps);
     e.value("bullet_compact_lock_hold_ns_max", s.compact_lock_hold_ns_max);
+    e.value("bullet_shed_pushback_total", s.shed_pushback);
+    e.value("bullet_shed_dropped_total", s.shed_dropped);
+    e.value("bullet_deadline_expired_total", s.deadline_expired);
+    e.value("bullet_rx_queue_depth_max", s.rx_queue_depth_max);
+    e.value("bullet_inflight_sheds_total", s.inflight_sheds);
     e.value("bullet_cache_capacity_bytes", cs.capacity);
     e.value("bullet_cache_used_bytes", cs.used);
     e.value("bullet_cache_entries", cs.entries);
@@ -637,9 +642,22 @@ void BulletServer::read_pinned_async(const Capability& cap, ReadCallback done) {
   if (const auto it = fills_.find(index); it != fills_.end()) {
     // A fill (or a create's write-through) is already in flight for this
     // file: join it rather than issuing a duplicate device read. The
-    // request's trace detaches here and reattaches at delivery.
+    // request's trace detaches here and reattaches at delivery. Joining is
+    // always admitted — it adds no disk work.
     it->second.waiters.push_back(
         {obs::RequestTrace::suspend(), std::move(done)});
+    return;
+  }
+  // Admission: a new fill means a new device read; at the bound, shed now
+  // — before any cache allocation or queue submission — so overload costs
+  // O(1) and the disk path stays clear for admitted work. The transport
+  // turns retry_later into BS_PUSHBACK (or a silent drop for clients that
+  // cannot parse it).
+  if (config_.max_inflight_fills > 0 &&
+      fills_.size() >= config_.max_inflight_fills) {
+    ++inflight_sheds_;
+    lock.unlock();
+    done(Error(ErrorCode::retry_later, "disk fill bound reached"));
     return;
   }
   const std::uint64_t blocks = layout_.blocks_for(inode.size_bytes);
@@ -914,6 +932,16 @@ void BulletServer::create_async(Bytes data, int pfactor, CreateCallback done) {
   if (free_inodes_.empty()) {
     lock.unlock();
     ctx->done(Error(ErrorCode::no_space, "inode table full"));
+    return;
+  }
+  // Same admission bound as the read-miss path: a create registers a fill
+  // whose queued writes occupy the disk pipeline, so at the bound it is
+  // shed before allocating anything.
+  if (config_.max_inflight_fills > 0 &&
+      fills_.size() >= config_.max_inflight_fills) {
+    ++inflight_sheds_;
+    lock.unlock();
+    ctx->done(Error(ErrorCode::retry_later, "disk fill bound reached"));
     return;
   }
   const std::uint64_t blocks = layout_.blocks_for(size);
@@ -1773,7 +1801,16 @@ wire::ServerStats BulletServer::stats() const {
     s.rx_batches = io_counters_->rx_batches.load(std::memory_order_relaxed);
     s.worker_wakeups =
         io_counters_->worker_wakeups.load(std::memory_order_relaxed);
+    s.shed_pushback =
+        io_counters_->shed_pushback.load(std::memory_order_relaxed);
+    s.shed_dropped =
+        io_counters_->shed_dropped.load(std::memory_order_relaxed);
+    s.deadline_expired =
+        io_counters_->deadline_expired.load(std::memory_order_relaxed);
+    s.rx_queue_depth_max =
+        io_counters_->rx_queue_depth_max.load(std::memory_order_relaxed);
   }
+  s.inflight_sheds = inflight_sheds_.load(std::memory_order_relaxed);
   s.lock_wait_ns = c.lock_wait_ns;
   s.pinned_evict_defers = cache_stats.pinned_evict_defers;
   const AsyncDiskQueue::Stats qs = io_.stats();

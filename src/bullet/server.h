@@ -63,6 +63,12 @@ struct BulletConfig {
   // N > 0 = cache-miss reads and creates submitted through handle_async()
   // never touch the device on the handler thread.
   unsigned io_threads = 0;
+  // Admission bound on concurrent async disk fills (miss reads + creates
+  // with queued writes). When `fills_` is at the bound, a request that
+  // would register a new fill is shed with ErrorCode::retry_later before
+  // any allocation or device submission; joining an existing fill is
+  // always admitted (no new disk work). 0 = unbounded.
+  std::size_t max_inflight_fills = 0;
 };
 
 class BulletServer final : public rpc::Service {
@@ -400,6 +406,9 @@ class BulletServer final : public rpc::Service {
   // incremental design exists to keep small).
   std::atomic<std::uint64_t> compact_steps_{0};
   std::atomic<std::uint64_t> compact_lock_hold_ns_max_{0};
+  // Requests shed at the service layer because the in-flight disk-fill
+  // bound (BulletConfig::max_inflight_fills) was hit.
+  mutable std::atomic<std::uint64_t> inflight_sheds_{0};
 
   // A relaxed-load pass over the counters above, decoupling the snapshot
   // from the field-by-field reads stats()/metrics_text() render from.

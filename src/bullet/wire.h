@@ -98,8 +98,15 @@ struct ServerStats {
   std::uint64_t disk_queue_depth_max = 0;  // high-water mark of disk_inflight
   std::uint64_t compact_steps = 0;         // incremental compaction steps run
   std::uint64_t compact_lock_hold_ns_max = 0;  // longest per-step lock hold
+  // Overload-control counters (appended in the admission-control rework;
+  // 29 -> 34 u64s, same append-only discipline).
+  std::uint64_t shed_pushback = 0;      // requests shed with a BS_PUSHBACK reply
+  std::uint64_t shed_dropped = 0;       // requests shed by silent drop
+  std::uint64_t deadline_expired = 0;   // expired requests dropped at dequeue
+  std::uint64_t rx_queue_depth_max = 0; // high-water mark of queued requests
+  std::uint64_t inflight_sheds = 0;     // service sheds: disk-fill bound hit
 
-  static constexpr std::size_t kWireSize = 29 * 8;
+  static constexpr std::size_t kWireSize = 34 * 8;
 
   void encode(Writer& w) const;
   static Result<ServerStats> decode(Reader& r);

@@ -19,6 +19,8 @@ std::string_view to_string(ErrorCode code) noexcept {
     case ErrorCode::too_large: return "too large";
     case ErrorCode::not_supported: return "not supported";
     case ErrorCode::bad_state: return "bad state";
+    case ErrorCode::retry_later: return "retry later";
+    case ErrorCode::deadline_expired: return "deadline expired";
   }
   return "unknown error";
 }

@@ -32,6 +32,8 @@ enum class ErrorCode : std::uint16_t {
   too_large = 12,       // file exceeds server memory / addressable size
   not_supported = 13,   // opcode unknown to this server
   bad_state = 14,       // e.g. operating on a closed fd / failed disk
+  retry_later = 15,     // server overloaded; reply body advises retry-after
+  deadline_expired = 16,  // the caller's time budget ran out
 };
 
 std::string_view to_string(ErrorCode code) noexcept;

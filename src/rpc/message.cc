@@ -7,7 +7,12 @@ Bytes Request::encode() const {
   target.encode(w);
   w.u16(opcode);
   w.blob(body);
-  if (trace_id != 0) w.u64(trace_id);
+  if (deadline_us != 0) {
+    w.u64(trace_id);
+    w.u64(deadline_us);
+  } else if (trace_id != 0) {
+    w.u64(trace_id);
+  }
   return std::move(w).take();
 }
 
@@ -18,10 +23,14 @@ Result<Request> Request::decode(ByteSpan wire) {
   BULLET_ASSIGN_OR_RETURN(req.opcode, r.u16());
   BULLET_ASSIGN_OR_RETURN(ByteSpan body, r.blob());
   req.body.assign(body.begin(), body.end());
-  // Exactly one trailing u64 is the optional trace id (see message.h);
-  // anything else trailing is still malformed.
+  // Exactly one trailing u64 is the optional trace id; exactly two are
+  // trace id ‖ deadline (see message.h). Anything else trailing is still
+  // malformed.
   if (r.remaining() == 8) {
     BULLET_ASSIGN_OR_RETURN(req.trace_id, r.u64());
+  } else if (r.remaining() == 16) {
+    BULLET_ASSIGN_OR_RETURN(req.trace_id, r.u64());
+    BULLET_ASSIGN_OR_RETURN(req.deadline_us, r.u64());
   }
   if (!r.done()) return Error(ErrorCode::bad_argument, "trailing bytes");
   return req;

@@ -29,10 +29,23 @@ struct Request {
   // them as the trace id; any other trailer remains an error.
   std::uint64_t trace_id = 0;
 
+  // Optional remaining time budget in microseconds (0 = no deadline).
+  // Relative, not absolute — no clock synchronization is assumed; the
+  // client re-stamps the remaining budget on every retransmit and the
+  // server measures expiry from arrival. A nonzero deadline widens the
+  // trailer to 16 bytes: trace_id u64 ‖ deadline_us u64. The 16-byte form
+  // also marks the client as overload-aware: only requests carrying it are
+  // answered with BS_PUSHBACK (ErrorCode::retry_later) when shed; requests
+  // in the two older formats are shed by silent drop, degrading to the
+  // existing timeout/backoff retransmit path. Old servers reject the
+  // 16-byte trailer, so setting a deadline requires an overload-aware
+  // server (the same contract as trace ids).
+  std::uint64_t deadline_us = 0;
+
   // Bytes this request occupies on the wire (for the network model).
   std::uint64_t wire_size() const noexcept {
     return Capability::kWireSize + 2 + 4 + body.size() +
-           (trace_id != 0 ? 8 : 0);
+           (deadline_us != 0 ? 16 : (trace_id != 0 ? 8 : 0));
   }
 
   Bytes encode() const;

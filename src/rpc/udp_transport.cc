@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -242,6 +243,68 @@ std::uint64_t peer_key(const sockaddr_in& addr) {
          addr.sin_port;
 }
 
+std::uint32_t load_le_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t load_le_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(load_le_u32(p)) |
+         (static_cast<std::uint64_t>(load_le_u32(p + 4)) << 32);
+}
+
+void store_le_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+// O(1) peek at a reassembled request's optional trailer without decoding
+// the request: capability ‖ opcode u16 ‖ body-length u32 ‖ body ‖ trailer.
+// A 16-byte trailer means the client is overload-aware (can be answered
+// with BS_PUSHBACK) and its last 8 bytes are the remaining time budget in
+// microseconds. Malformed wires peek as "no trailer" — the shed path then
+// drops them, and the execute path reports bad_argument as before.
+struct TrailerPeek {
+  bool deadline_capable = false;
+  std::uint64_t deadline_us = 0;
+};
+
+TrailerPeek peek_trailer(ByteSpan wire) {
+  TrailerPeek out;
+  const std::size_t header = Capability::kWireSize + 2 + 4;
+  if (wire.size() < header) return out;
+  const std::uint64_t body_len = load_le_u32(wire.data() + header - 4);
+  if (wire.size() < header + body_len) return out;
+  if (wire.size() - header - body_len == 16) {
+    out.deadline_capable = true;
+    out.deadline_us = load_le_u64(wire.data() + wire.size() - 8);
+  }
+  return out;
+}
+
+// The encoded BS_PUSHBACK reply: status retry_later, payload = u32
+// retry-after milliseconds. Built directly on the RX thread — shedding a
+// request costs one small allocation and one sendmmsg, never a service
+// dispatch or a disk touch.
+Bytes make_pushback_wire(std::uint32_t retry_after_ms) {
+  Reply reply = Reply::error(ErrorCode::retry_later);
+  Writer w(4);
+  w.u32(retry_after_ms);
+  reply.body = std::move(w).take();
+  return reply.encode();
+}
+
+// Parse a pushback reply's advised delay (client side).
+std::uint32_t pushback_retry_after_ms(const Reply& reply, int fallback_ms) {
+  Reader r(reply.body);
+  const auto ms = r.u32();
+  if (!ms.ok() || !r.done()) {
+    return static_cast<std::uint32_t>(std::max(1, fallback_ms));
+  }
+  return std::max<std::uint32_t>(1, ms.value());
+}
+
 }  // namespace
 
 // --- reply cache -------------------------------------------------------------
@@ -265,10 +328,21 @@ void ReplyCache::insert(std::uint64_t peer, std::uint64_t message_id,
     if (!inserted) return;  // already cached
     bytes_ += it->second->size();
     fifo_.push_back(key);
+    // Held keys (requests currently executing, or whose reply is between
+    // insert and first transmission) are rotated to the back instead of
+    // evicted; `rotations` bounds the scan so the loop terminates when
+    // everything left is held (the bounds are then exceeded transiently).
+    std::size_t rotations = 0;
     while (fifo_.size() > 1 &&
-           (fifo_.size() > max_entries_ || bytes_ > max_bytes_)) {
+           (fifo_.size() > max_entries_ || bytes_ > max_bytes_) &&
+           rotations < fifo_.size()) {
       const Key victim = fifo_.front();
       fifo_.pop_front();
+      if (held_.count(victim) > 0) {
+        fifo_.push_back(victim);
+        ++rotations;
+        continue;
+      }
       const auto vit = entries_.find(victim);
       bytes_ -= vit->second->size();
       dropped.push_back(std::move(vit->second));
@@ -276,6 +350,16 @@ void ReplyCache::insert(std::uint64_t peer, std::uint64_t message_id,
       ++evictions_;
     }
   }
+}
+
+void ReplyCache::hold(std::uint64_t peer, std::uint64_t message_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  held_.insert(Key{peer, message_id});
+}
+
+void ReplyCache::release(std::uint64_t peer, std::uint64_t message_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  held_.erase(Key{peer, message_id});
 }
 
 std::shared_ptr<const Bytes> ReplyCache::find(std::uint64_t peer,
@@ -335,6 +419,10 @@ struct UdpServer::Impl : std::enable_shared_from_this<UdpServer::Impl> {
     // reassembly-complete/enqueue time (the queue span's start).
     std::uint64_t rx_first_ns = 0;
     std::uint64_t rx_done_ns = 0;
+    // Absolute steady-clock expiry (0 = no deadline), stamped at admission
+    // from the request's relative budget. Checked again at dequeue so an
+    // expired request costs the worker an O(1) drop, not a dispatch.
+    std::uint64_t deadline_ns = 0;
   };
   struct ClientState {
     std::deque<WorkItem> pending;
@@ -345,6 +433,7 @@ struct UdpServer::Impl : std::enable_shared_from_this<UdpServer::Impl> {
   std::condition_variable work_cv;
   std::unordered_map<std::uint64_t, ClientState> clients;
   std::deque<std::uint64_t> ready;  // clients with work, not yet owned
+  std::size_t total_pending = 0;    // queued (not yet dequeued) across clients
   bool shutdown_workers = false;
   std::vector<std::thread> workers;
 
@@ -377,6 +466,10 @@ struct UdpServer::Impl : std::enable_shared_from_this<UdpServer::Impl> {
     std::uint64_t peer = 0;
     std::uint64_t message_id = 0;
     bool pooled = false;  // dispatched by a worker (vs. inline on RX)
+    // The request carried a deadline trailer, i.e. the client understands
+    // BS_PUSHBACK. A service-level retry_later reply to anyone else is
+    // converted into a silent drop (timeout/backoff handles it).
+    bool pushback_ok = false;
     // The trace is heap-owned by the context (not stack-owned by
     // execute()) so it survives a park; finish() destroys it on whichever
     // thread delivers the reply, publishing the spans.
@@ -415,11 +508,17 @@ struct UdpServer::Impl : std::enable_shared_from_this<UdpServer::Impl> {
     ctx->peer = peer;
     ctx->message_id = message_id;
     ctx->pooled = pooled;
+    // Exempt this request from reply-cache eviction for the whole
+    // execute->reply window (released in finish()): shed-driven churn must
+    // not evict a reply before its first transmission, or a lost send plus
+    // a retransmit would re-execute.
+    replies.hold(peer, message_id);
     auto request = Request::decode(wire);
     if (!request.ok()) {
       finish(ctx, Reply::error(ErrorCode::bad_argument));
       return ctx;
     }
+    ctx->pushback_ok = request.value().deadline_us != 0;
     ctx->trace = std::make_unique<obs::RequestTrace>(request.value().opcode,
                                                      request.value().trace_id);
     if (ctx->trace->active()) {
@@ -456,20 +555,44 @@ struct UdpServer::Impl : std::enable_shared_from_this<UdpServer::Impl> {
   // pinned cache bytes; the pin lives until `reply` is destroyed, after
   // encode() gathered them.
   void finish(const std::shared_ptr<RespondCtx>& ctx, Reply&& reply) {
-    std::shared_ptr<const Bytes> encoded;
-    {
-      obs::ScopedSpan span(obs::Stage::kEncode);
-      encoded = std::make_shared<const Bytes>(reply.encode());
+    // A retry_later reply is a shed, not an answer: never cache it (the
+    // retransmit should be re-admitted once load clears — nothing was
+    // executed, so at-most-once is not at stake), and only put it on the
+    // wire for overload-aware clients; everyone else degrades to their
+    // timeout/backoff retransmit path via a silent drop.
+    bool send_reply = true;
+    bool cache_reply = true;
+    if (reply.status == ErrorCode::retry_later) {
+      cache_reply = false;
+      if (ctx->pushback_ok) {
+        if (reply.body.empty() && reply.segments.empty()) {
+          Writer w(4);
+          w.u32(std::max<std::uint32_t>(1, options.shed_retry_ms));
+          reply.body = std::move(w).take();
+        }
+        io.shed_pushback.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        send_reply = false;
+        io.shed_dropped.fetch_add(1, std::memory_order_relaxed);
+      }
     }
-    // Cache before sending (and before the in-flight marks clear): a
-    // retransmit arriving at any later instant finds either the in-flight
-    // mark or the cached reply — never a gap that re-executes.
-    replies.insert(ctx->peer, ctx->message_id, encoded);
-    {
-      obs::ScopedSpan span(obs::Stage::kTx);
-      (void)send_message_batched(fd, ctx->from, ctx->message_id,
-                                 ByteSpan(encoded->data(), encoded->size()));
+    if (send_reply) {
+      std::shared_ptr<const Bytes> encoded;
+      {
+        obs::ScopedSpan span(obs::Stage::kEncode);
+        encoded = std::make_shared<const Bytes>(reply.encode());
+      }
+      // Cache before sending (and before the in-flight marks clear): a
+      // retransmit arriving at any later instant finds either the in-flight
+      // mark or the cached reply — never a gap that re-executes.
+      if (cache_reply) replies.insert(ctx->peer, ctx->message_id, encoded);
+      {
+        obs::ScopedSpan span(obs::Stage::kTx);
+        (void)send_message_batched(fd, ctx->from, ctx->message_id,
+                                   ByteSpan(encoded->data(), encoded->size()));
+      }
     }
+    replies.release(ctx->peer, ctx->message_id);
     // Publish the trace (destructor clears this thread's TLS slot if the
     // trace is attached here — sync dispatch or a resumed continuation).
     ctx->trace.reset();
@@ -513,21 +636,71 @@ struct UdpServer::Impl : std::enable_shared_from_this<UdpServer::Impl> {
     return it != clients.end() && it->second.pending_ids.count(message_id) > 0;
   }
 
+  // Retry-after advised to a shed client: proportional to the observed
+  // queue depth (a fuller queue sends clients away for longer), clamped to
+  // [1, 10 * shed_retry_ms].
+  std::uint32_t retry_after_ms(std::size_t depth) const {
+    const std::uint64_t unit = std::max<std::uint32_t>(1, options.shed_retry_ms);
+    const std::uint64_t denom = std::max<std::size_t>(1, options.max_queue);
+    const std::uint64_t scaled = unit * depth / denom;
+    return static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(std::max<std::uint64_t>(1, scaled), 10 * unit));
+  }
+
+  // Admission + enqueue; RX thread only. A request over the total or
+  // per-client queue bound is shed in O(1): a BS_PUSHBACK reply for
+  // overload-aware clients (16-byte trailer), a silent drop for the rest.
+  // Retransmits of queued/executing or already-answered requests never get
+  // here (handle_datagram's dedup probes run first), so a shed can only
+  // hit a request the server holds no state for.
   void enqueue(const sockaddr_in& from, std::uint64_t peer,
                std::uint64_t message_id, Bytes wire,
-               std::uint64_t rx_first_ns, std::uint64_t rx_done_ns) {
-    std::lock_guard<std::mutex> lock(work_mu);
-    ClientState& client = clients[peer];
-    if (!client.pending_ids.insert(message_id).second) {
-      duplicates.fetch_add(1);
-      return;
+               std::uint64_t rx_first_ns, std::uint64_t rx_done_ns,
+               std::uint64_t deadline_ns, bool pushback_ok) {
+    bool shed = false;
+    std::uint32_t advise_ms = 0;
+    {
+      std::lock_guard<std::mutex> lock(work_mu);
+      ClientState& client = clients[peer];
+      if (!client.pending_ids.insert(message_id).second) {
+        duplicates.fetch_add(1);
+        return;
+      }
+      const bool over_total =
+          options.max_queue > 0 && total_pending >= options.max_queue;
+      const bool over_client = options.max_client_queue > 0 &&
+                               client.pending.size() >= options.max_client_queue;
+      if (over_total || over_client) {
+        client.pending_ids.erase(message_id);
+        shed = true;
+        advise_ms = retry_after_ms(total_pending);
+      } else {
+        client.pending.push_back(WorkItem{from, message_id, std::move(wire),
+                                          rx_first_ns, rx_done_ns,
+                                          deadline_ns});
+        ++total_pending;
+        std::uint64_t depth_max =
+            io.rx_queue_depth_max.load(std::memory_order_relaxed);
+        while (depth_max < total_pending &&
+               !io.rx_queue_depth_max.compare_exchange_weak(
+                   depth_max, total_pending, std::memory_order_relaxed)) {
+        }
+        if (!client.scheduled) {
+          client.scheduled = true;
+          ready.push_back(peer);
+          work_cv.notify_one();
+        }
+      }
     }
-    client.pending.push_back(
-        WorkItem{from, message_id, std::move(wire), rx_first_ns, rx_done_ns});
-    if (!client.scheduled) {
-      client.scheduled = true;
-      ready.push_back(peer);
-      work_cv.notify_one();
+    if (shed) {
+      if (pushback_ok) {
+        io.shed_pushback.fetch_add(1, std::memory_order_relaxed);
+        const Bytes pushback = make_pushback_wire(advise_ms);
+        (void)send_message_batched(fd, from, message_id,
+                                   ByteSpan(pushback.data(), pushback.size()));
+      } else {
+        io.shed_dropped.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
 
@@ -544,6 +717,17 @@ struct UdpServer::Impl : std::enable_shared_from_this<UdpServer::Impl> {
       while (!client.pending.empty()) {
         WorkItem item = std::move(client.pending.front());
         client.pending.pop_front();
+        if (total_pending > 0) --total_pending;
+        // Deadline check at dequeue: a request whose budget ran out while
+        // it sat queued is dead work — its client has already timed out or
+        // moved on, so drop it in O(1) instead of dispatching. No reply is
+        // sent and nothing is cached: a retransmit (with a fresh remaining
+        // budget) is admitted as a new attempt.
+        if (item.deadline_ns != 0 && obs::now_ns() > item.deadline_ns) {
+          io.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+          client.pending_ids.erase(item.message_id);
+          continue;
+        }
         lock.unlock();
         const std::uint64_t dequeue_ns =
             item.rx_done_ns != 0 ? obs::now_ns() : 0;
@@ -616,6 +800,8 @@ struct UdpServer::Impl : std::enable_shared_from_this<UdpServer::Impl> {
     assembling.erase(key);
 
     if (workers.empty()) {
+      // Inline mode executes immediately — there is no queue to bound and
+      // no queueing delay to expire, so admission control does not apply.
       {
         std::lock_guard<std::mutex> lock(inline_mu);
         inline_inflight.insert({peer, message_id});
@@ -623,8 +809,12 @@ struct UdpServer::Impl : std::enable_shared_from_this<UdpServer::Impl> {
       (void)execute(from, peer, message_id, wire, /*pooled=*/false,
                     rx_first_ns, rx_done_ns);
     } else {
+      const TrailerPeek peek = peek_trailer(ByteSpan(wire));
+      const std::uint64_t deadline_ns =
+          peek.deadline_us != 0 ? obs::now_ns() + peek.deadline_us * 1000
+                                : 0;
       enqueue(from, peer, message_id, std::move(wire), rx_first_ns,
-              rx_done_ns);
+              rx_done_ns, deadline_ns, peek.deadline_capable);
     }
   }
 
@@ -799,17 +989,72 @@ int backoff_timeout_ms(const UdpClientOptions& options, int attempt) {
 
 Result<Reply> UdpTransport::call(const Request& request) {
   const std::uint64_t message_id = impl_->next_message_id++;
-  const Bytes wire = request.encode();
+  Bytes wire = request.encode();
+  // With a deadline, the trailer's last 8 bytes are the remaining budget;
+  // each attempt re-stamps them in place (the rest of the wire is
+  // identical), so the server always sees how much time this call has
+  // left, not the original budget.
+  const bool has_deadline = request.deadline_us != 0;
+  const auto start = std::chrono::steady_clock::now();
+  bool last_was_pushback = false;
   for (int attempt = 0; attempt < impl_->options.max_attempts; ++attempt) {
+    std::int64_t remaining_us = 0;
+    if (has_deadline) {
+      const auto elapsed_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      remaining_us = static_cast<std::int64_t>(request.deadline_us) - elapsed_us;
+      if (remaining_us <= 0) {
+        return Error(ErrorCode::deadline_expired, "call budget exhausted");
+      }
+      store_le_u64(wire.data() + wire.size() - 8,
+                   static_cast<std::uint64_t>(remaining_us));
+    }
     if (attempt > 0) ++retransmissions_;
-    BULLET_RETURN_IF_ERROR(set_recv_timeout(
-        impl_->fd, backoff_timeout_ms(impl_->options, attempt)));
+    int timeout_ms = backoff_timeout_ms(impl_->options, attempt);
+    if (has_deadline) {
+      timeout_ms = static_cast<int>(std::min<std::int64_t>(
+          timeout_ms, std::max<std::int64_t>(1, remaining_us / 1000)));
+    }
+    BULLET_RETURN_IF_ERROR(set_recv_timeout(impl_->fd, timeout_ms));
     BULLET_RETURN_IF_ERROR(
         send_message(impl_->fd, impl_->server, message_id, wire));
     bool timed_out = false;
     BULLET_ASSIGN_OR_RETURN(Bytes reply_wire,
                             impl_->await_reply(message_id, &timed_out));
-    if (!timed_out) return Reply::decode(reply_wire);
+    if (timed_out) {
+      last_was_pushback = false;
+      continue;
+    }
+    BULLET_ASSIGN_OR_RETURN(Reply reply, Reply::decode(reply_wire));
+    if (reply.status != ErrorCode::retry_later) return reply;
+    last_was_pushback = true;
+    // BS_PUSHBACK: the server shed this request without executing it and
+    // advised when to come back. Sleep that long (overriding the backoff
+    // schedule — the server knows its queue better than our timer does)
+    // and resend; the same message id is reused, which is safe because
+    // nothing was executed or cached, and keeps the dedup guarantees if a
+    // stale earlier copy is still in flight.
+    ++pushbacks_;
+    std::int64_t sleep_ms =
+        pushback_retry_after_ms(reply, backoff_timeout_ms(impl_->options,
+                                                          attempt));
+    if (has_deadline) {
+      const auto elapsed_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      const std::int64_t left_ms =
+          (static_cast<std::int64_t>(request.deadline_us) - elapsed_us) / 1000;
+      sleep_ms = std::min(sleep_ms, std::max<std::int64_t>(0, left_ms));
+    }
+    if (sleep_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+  }
+  if (last_was_pushback) {
+    return Error(ErrorCode::retry_later, "server overloaded after retries");
   }
   return Error(ErrorCode::unreachable, "no reply after retries");
 }

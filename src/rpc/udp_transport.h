@@ -43,6 +43,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -64,6 +65,14 @@ inline constexpr std::size_t kFragmentPayload = 16 * 1024;
 // be able to answer at least the retransmit of the last request. Internally
 // synchronized; entries are shared_ptrs so a found reply can be sent while
 // eviction concurrently drops it.
+//
+// hold()/release() protect in-flight requests from eviction churn: the
+// server holds (peer, id) for the whole execute->reply window, so a burst
+// of other clients' inserts can never evict a reply between its insert and
+// its first transmission — the gap that would let a lost send plus a
+// retransmit re-execute a request. Held keys are skipped by eviction
+// (rotated back, still FIFO for everything else); the bounds may be
+// exceeded transiently while more than max_entries requests are executing.
 class ReplyCache {
  public:
   ReplyCache(std::size_t max_entries, std::uint64_t max_bytes)
@@ -76,6 +85,12 @@ class ReplyCache {
               std::shared_ptr<const Bytes> reply);
   std::shared_ptr<const Bytes> find(std::uint64_t peer,
                                     std::uint64_t message_id) const;
+
+  // Exempt (peer, id) from eviction until release(). Idempotent; the key
+  // need not be cached yet (the usual case — hold at dispatch, insert at
+  // reply time).
+  void hold(std::uint64_t peer, std::uint64_t message_id);
+  void release(std::uint64_t peer, std::uint64_t message_id);
 
   std::size_t entries() const;
   std::uint64_t bytes() const;
@@ -91,6 +106,7 @@ class ReplyCache {
   std::uint64_t evictions_ = 0;
   std::map<Key, std::shared_ptr<const Bytes>> entries_;
   std::list<Key> fifo_;  // insertion order; front = oldest
+  std::set<Key> held_;   // executing requests, exempt from eviction
 };
 
 struct UdpServerOptions {
@@ -107,6 +123,19 @@ struct UdpServerOptions {
   // (single-threaded services); N > 0 = concurrent execution, services
   // must be thread-safe.
   unsigned workers = 0;
+  // Admission control (worker-pool mode only; inline mode has no queue to
+  // bound). A request that arrives when `max_queue` requests are already
+  // queued across all clients, or `max_client_queue` from its own
+  // endpoint, is shed in O(1) without touching a service: overload-aware
+  // clients (16-byte deadline trailer) get a BS_PUSHBACK reply carrying a
+  // retry-after delay scaled by the current queue depth; everyone else is
+  // silently dropped and falls back to timeout/backoff retransmission.
+  // 0 = unbounded (the historical behaviour).
+  std::size_t max_queue = 0;
+  std::size_t max_client_queue = 0;
+  // Retry-after advised when shedding at exactly max_queue depth; scaled
+  // proportionally with occupancy and clamped to [1, 10 * shed_retry_ms].
+  std::uint32_t shed_retry_ms = 50;
 };
 
 class UdpServer {
@@ -174,9 +203,18 @@ class UdpTransport final : public Transport {
   UdpTransport(const UdpTransport&) = delete;
   UdpTransport& operator=(const UdpTransport&) = delete;
 
+  // Overload behaviour: when `request.deadline_us` is nonzero the call
+  // carries a time budget — every retransmit is re-stamped with the
+  // *remaining* budget, the per-attempt receive timeout never exceeds it,
+  // and the call fails with ErrorCode::deadline_expired once it runs out.
+  // A BS_PUSHBACK reply (ErrorCode::retry_later) makes the client sleep
+  // the server-advised retry-after — overriding the backoff schedule —
+  // and resend; attempts spent this way still count against max_attempts.
   Result<Reply> call(const Request& request) override;
 
   std::uint64_t retransmissions() const noexcept { return retransmissions_; }
+  // BS_PUSHBACK replies honored (slept and retried).
+  std::uint64_t pushbacks() const noexcept { return pushbacks_; }
 
  private:
   struct Impl;
@@ -184,6 +222,7 @@ class UdpTransport final : public Transport {
 
   std::unique_ptr<Impl> impl_;
   std::uint64_t retransmissions_ = 0;
+  std::uint64_t pushbacks_ = 0;
 };
 
 }  // namespace bullet::rpc

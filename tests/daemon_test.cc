@@ -48,7 +48,6 @@ std::string banner_field(const std::string& banner, const std::string& key) {
 class DaemonTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir();
     image_ = testing::unique_temp_path(".img");
     banner_ = testing::unique_temp_path("-banner.txt");
     std::remove(image_.c_str());
@@ -109,7 +108,6 @@ class DaemonTest : public ::testing::Test {
            std::to_string(port_) + " " + args;
   }
 
-  std::string dir_;
   std::string image_;
   std::string banner_;
   int port_ = 0;
@@ -129,7 +127,7 @@ TEST_F(DaemonTest, FullOperatorWorkflowWithRestart) {
   ASSERT_FALSE(root_cap.empty());
 
   // put a file over the network, name it, read it back by path.
-  const std::string local = dir_ + "payload.bin";
+  const std::string local = testing::unique_temp_path("-payload.bin");
   {
     std::ofstream out(local, std::ios::binary);
     const Bytes data = testing::payload(30000, 9);
@@ -139,6 +137,7 @@ TEST_F(DaemonTest, FullOperatorWorkflowWithRestart) {
   std::string cap_text;
   ASSERT_EQ(0, run(client("--cap " + bullet_cap + " put " + local),
                    &cap_text));
+  std::remove(local.c_str());
   while (!cap_text.empty() && cap_text.back() == '\n') cap_text.pop_back();
   ASSERT_TRUE(Capability::from_string(cap_text).has_value()) << cap_text;
 

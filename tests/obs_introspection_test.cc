@@ -68,6 +68,11 @@ const char* const kCounterMetrics[] = {
     "bullet_cache_entries",
     "bullet_cache_compactions_total",
     "bullet_cache_deferred_frees_total",
+    "bullet_shed_pushback_total",
+    "bullet_shed_dropped_total",
+    "bullet_deadline_expired_total",
+    "bullet_rx_queue_depth_max",
+    "bullet_inflight_sheds_total",
 };
 
 const char* const kHistogramMetrics[] = {
@@ -223,7 +228,7 @@ TEST_F(ObsIntrospectionTest, StatsTopAndTraceAgainstLiveDaemon) {
         << "unparseable line: " << line;
     ++parsed;
   }
-  EXPECT_GE(parsed, 48u);  // 30 counters + 5 histograms x 6 lines
+  EXPECT_GE(parsed, 53u);  // 35 counters + 5 histograms x 6 lines
   for (const char* name : kCounterMetrics) {
     EXPECT_NE(std::string::npos, stats.find(std::string(name) + " "))
         << "missing metric " << name;

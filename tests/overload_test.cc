@@ -1,0 +1,460 @@
+// The overload-control plane end to end: admission control at the UDP
+// dispatch queue (BS_PUSHBACK for deadline-capable clients, silent drop for
+// legacy ones), deadline propagation and expiry at dequeue, and the
+// in-flight disk-fill bound at the Bullet service layer.
+//
+// The server-side scenarios use a GateService whose handler parks on a
+// condition variable: with one worker the test controls exactly when the
+// queue drains, so "queue full" is a constructed state, not a race to win.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "bullet/client.h"
+#include "bullet/server.h"
+#include "disk/mem_disk.h"
+#include "disk/mirrored_disk.h"
+#include "rpc/udp_transport.h"
+#include "tests/test_util.h"
+
+namespace bullet {
+namespace {
+
+using testing::status_of;
+
+// An rpc::Service whose handler blocks until the gate opens. Echoes the
+// request body so callers can verify they got *their* reply (and not, say,
+// a stale cached pushback — pushbacks must never enter the reply cache).
+class GateService final : public rpc::Service {
+ public:
+  Port public_port() const noexcept override { return Port(0xB10C); }
+
+  rpc::Reply handle(const rpc::Request& request) override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++executing_;
+      cv_.notify_all();
+      cv_.wait(lock, [&] { return open_; });
+      ++executed_;
+    }
+    return rpc::Reply::success(request.body);
+  }
+
+  void open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+  // Block until `n` handler invocations have started.
+  void wait_executing(int n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return executing_ >= n; });
+  }
+
+  int executed() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return executed_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+  int executing_ = 0;
+  int executed_ = 0;
+};
+
+rpc::Request gate_request(std::uint64_t tag, std::uint64_t deadline_us = 0) {
+  rpc::Request request;
+  request.target.port = Port(0xB10C);
+  Writer w(8);
+  w.u64(tag);
+  request.body = std::move(w).take();
+  request.deadline_us = deadline_us;
+  return request;
+}
+
+class OverloadTest : public ::testing::Test {
+ protected:
+  void start_server(rpc::UdpServerOptions options) {
+    options.workers = 1;  // one executing request; everything else queues
+    auto server = rpc::UdpServer::start(options);
+    ASSERT_TRUE(server.ok()) << server.error().to_string();
+    udp_server_ = std::move(server).value();
+    ASSERT_OK(udp_server_->register_service(&gate_));
+  }
+
+  std::unique_ptr<rpc::UdpTransport> connect(int timeout_ms,
+                                             int max_attempts) {
+    rpc::UdpClientOptions options;
+    options.server_udp_port = udp_server_->port();
+    options.timeout_ms = timeout_ms;
+    options.max_attempts = max_attempts;
+    options.max_timeout_ms = timeout_ms * 4;
+    auto transport = rpc::UdpTransport::connect(options);
+    EXPECT_TRUE(transport.ok());
+    return std::move(transport).value();
+  }
+
+  // Spin until `cond` holds or ~5 s pass (never expected in a healthy run).
+  template <typename F>
+  static bool poll(F cond) {
+    for (int i = 0; i < 5000; ++i) {
+      if (cond()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return false;
+  }
+
+  GateService gate_;
+  std::unique_ptr<rpc::UdpServer> udp_server_;
+};
+
+TEST_F(OverloadTest, FullQueueShedsWithPushbackAndNothingExecutesTwice) {
+  // One worker, one queue slot: with A executing and one request queued,
+  // the next arrival is shed. A is a legacy client (no trailer); B and C
+  // carry deadlines, so whichever of them finds the queue full gets an
+  // explicit BS_PUSHBACK and retries on the server's advice — the
+  // mixed-version deployment the wire format promises to keep working.
+  rpc::UdpServerOptions options;
+  options.max_queue = 1;
+  options.shed_retry_ms = 5;
+  start_server(options);
+
+  auto ta = connect(/*timeout_ms=*/200, /*max_attempts=*/40);
+  auto tb = connect(/*timeout_ms=*/100, /*max_attempts=*/100);
+  auto tc = connect(/*timeout_ms=*/100, /*max_attempts=*/100);
+
+  auto fa = std::async(std::launch::async,
+                       [&] { return ta->call(gate_request(1)); });
+  gate_.wait_executing(1);  // A owns the only worker
+
+  constexpr std::uint64_t kBudgetUs = 10'000'000;
+  auto fb = std::async(std::launch::async,
+                       [&] { return tb->call(gate_request(2, kBudgetUs)); });
+  auto fc = std::async(std::launch::async,
+                       [&] { return tc->call(gate_request(3, kBudgetUs)); });
+
+  // One of B/C occupies the queue slot; the other is shed with pushback
+  // and keeps retrying (5 ms advised) until the gate opens.
+  const auto& io = udp_server_->io_counters();
+  ASSERT_TRUE(poll([&] {
+    return io.shed_pushback.load(std::memory_order_relaxed) >= 1;
+  }));
+  gate_.open();
+
+  auto ra = fa.get();
+  auto rb = fb.get();
+  auto rc = fc.get();
+  ASSERT_TRUE(ra.ok()) << ra.error().to_string();
+  ASSERT_TRUE(rb.ok()) << rb.error().to_string();
+  ASSERT_TRUE(rc.ok()) << rc.error().to_string();
+  EXPECT_EQ(ErrorCode::ok, ra.value().status);
+  EXPECT_EQ(ErrorCode::ok, rb.value().status);
+  EXPECT_EQ(ErrorCode::ok, rc.value().status);
+  // Each caller got its own echo back: a pushback answered from the reply
+  // cache would have pinned the shed client to retry_later forever.
+  Reader b_payload(rb.value().body);
+  Reader c_payload(rc.value().body);
+  EXPECT_EQ(2u, b_payload.u64().value());
+  EXPECT_EQ(3u, c_payload.u64().value());
+
+  EXPECT_GE(io.shed_pushback.load(std::memory_order_relaxed), 1u);
+  EXPECT_GE(tb->pushbacks() + tc->pushbacks(), 1u);
+  // At-most-once held through the shed/retry churn.
+  EXPECT_EQ(3, gate_.executed());
+}
+
+TEST_F(OverloadTest, LegacyClientsShedByDropFallBackToRetransmit) {
+  // Same full-queue setup, but no client carries a deadline trailer: sheds
+  // are silent drops, and the old timeout/backoff retransmit path must
+  // carry every request to completion once the overload clears.
+  rpc::UdpServerOptions options;
+  options.max_queue = 1;
+  options.shed_retry_ms = 5;
+  start_server(options);
+
+  auto ta = connect(/*timeout_ms=*/200, /*max_attempts=*/40);
+  auto tb = connect(/*timeout_ms=*/25, /*max_attempts=*/60);
+  auto tc = connect(/*timeout_ms=*/25, /*max_attempts=*/60);
+
+  auto fa = std::async(std::launch::async,
+                       [&] { return ta->call(gate_request(1)); });
+  gate_.wait_executing(1);
+
+  auto fb = std::async(std::launch::async,
+                       [&] { return tb->call(gate_request(2)); });
+  auto fc = std::async(std::launch::async,
+                       [&] { return tc->call(gate_request(3)); });
+
+  const auto& io = udp_server_->io_counters();
+  ASSERT_TRUE(poll([&] {
+    return io.shed_dropped.load(std::memory_order_relaxed) >= 1;
+  }));
+  gate_.open();
+
+  auto ra = fa.get();
+  auto rb = fb.get();
+  auto rc = fc.get();
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok()) << rb.error().to_string();
+  ASSERT_TRUE(rc.ok()) << rc.error().to_string();
+  EXPECT_EQ(ErrorCode::ok, rb.value().status);
+  EXPECT_EQ(ErrorCode::ok, rc.value().status);
+
+  EXPECT_GE(io.shed_dropped.load(std::memory_order_relaxed), 1u);
+  EXPECT_EQ(0u, io.shed_pushback.load(std::memory_order_relaxed));
+  // The shed client recovered by retransmitting, not by magic.
+  EXPECT_GE(tb->retransmissions() + tc->retransmissions(), 1u);
+  EXPECT_EQ(3, gate_.executed());
+}
+
+TEST_F(OverloadTest, ExpiredDeadlineIsDroppedAtDequeueWithoutExecuting) {
+  // B's budget runs out while it waits behind A: the client gives up with
+  // deadline_expired, and when the worker finally reaches the stale item
+  // it drops it instead of burning a handler invocation on a reply nobody
+  // is waiting for.
+  start_server(rpc::UdpServerOptions{});  // unbounded queue
+
+  auto ta = connect(/*timeout_ms=*/200, /*max_attempts=*/40);
+  auto tb = connect(/*timeout_ms=*/30, /*max_attempts=*/10);
+
+  auto fa = std::async(std::launch::async,
+                       [&] { return ta->call(gate_request(1)); });
+  gate_.wait_executing(1);
+
+  auto rb = tb->call(gate_request(2, /*deadline_us=*/80'000));
+  EXPECT_CODE(deadline_expired, status_of(rb));
+
+  // Let the server-side deadline (started at arrival, slightly after the
+  // client's) pass as well before draining the queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  gate_.open();
+  ASSERT_TRUE(fa.get().ok());
+
+  const auto& io = udp_server_->io_counters();
+  EXPECT_TRUE(poll([&] {
+    return io.deadline_expired.load(std::memory_order_relaxed) >= 1;
+  }));
+  EXPECT_EQ(1, gate_.executed());  // A only; B's request never ran
+}
+
+TEST_F(OverloadTest, QueueDepthHighWaterMarkIsTracked) {
+  start_server(rpc::UdpServerOptions{});
+  auto ta = connect(/*timeout_ms=*/200, /*max_attempts=*/40);
+  auto tb = connect(/*timeout_ms=*/200, /*max_attempts=*/40);
+  auto fa = std::async(std::launch::async,
+                       [&] { return ta->call(gate_request(1)); });
+  gate_.wait_executing(1);
+  auto fb = std::async(std::launch::async,
+                       [&] { return tb->call(gate_request(2)); });
+  const auto& io = udp_server_->io_counters();
+  EXPECT_TRUE(poll([&] {
+    return io.rx_queue_depth_max.load(std::memory_order_relaxed) >= 1;
+  }));
+  gate_.open();
+  ASSERT_TRUE(fa.get().ok());
+  ASSERT_TRUE(fb.get().ok());
+}
+
+// --- deadline propagation over the real Bullet stack ----------------------
+
+TEST_F(OverloadTest, DeadlineBudgetRidesTheWireEndToEnd) {
+  // A BulletClient with a generous per-call budget against a real server:
+  // the 16-byte trailer must decode on the service path and change nothing
+  // about successful calls.
+  testing::BulletHarness h;
+  rpc::UdpServerOptions options;
+  options.workers = 2;
+  auto server = rpc::UdpServer::start(options);
+  ASSERT_TRUE(server.ok());
+  ASSERT_OK(server.value()->register_service(&h.server()));
+
+  rpc::UdpClientOptions copts;
+  copts.server_udp_port = server.value()->port();
+  auto transport = rpc::UdpTransport::connect(copts);
+  ASSERT_TRUE(transport.ok());
+
+  BulletClient client(transport.value().get(), h.server().super_capability());
+  client.set_deadline_budget_ms(5000);
+  auto cap = client.create(as_span("with a deadline"), 1);
+  ASSERT_TRUE(cap.ok()) << cap.error().to_string();
+  auto data = client.read_whole(cap.value());
+  ASSERT_TRUE(data.ok()) << data.error().to_string();
+  EXPECT_EQ("with a deadline", to_string(data.value()));
+}
+
+// --- request-trailer wire format ------------------------------------------
+
+TEST(DeadlineTrailerTest, SixteenByteTrailerRoundTrips) {
+  rpc::Request request;
+  request.target.port = Port(0xAB);
+  request.opcode = 7;
+  request.body = {1, 2, 3};
+  request.trace_id = 0x1234;
+  request.deadline_us = 250'000;
+  const Bytes wire = request.encode();
+  EXPECT_EQ(request.wire_size(), wire.size());
+  auto decoded = rpc::Request::decode(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(0x1234u, decoded.value().trace_id);
+  EXPECT_EQ(250'000u, decoded.value().deadline_us);
+}
+
+TEST(DeadlineTrailerTest, DeadlineWithoutTraceIdStillWidensTheTrailer) {
+  rpc::Request request;
+  request.deadline_us = 9;
+  const Bytes wire = request.encode();
+  auto decoded = rpc::Request::decode(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(0u, decoded.value().trace_id);
+  EXPECT_EQ(9u, decoded.value().deadline_us);
+}
+
+TEST(DeadlineTrailerTest, LegacyFormsAreByteIdenticalAndAccepted) {
+  rpc::Request request;
+  request.body = {42};
+  const Bytes bare = request.encode();
+  request.trace_id = 5;
+  const Bytes traced = request.encode();
+  EXPECT_EQ(bare.size() + 8, traced.size());
+  auto decoded = rpc::Request::decode(traced);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(5u, decoded.value().trace_id);
+  EXPECT_EQ(0u, decoded.value().deadline_us);
+}
+
+TEST(DeadlineTrailerTest, OtherTrailerLengthsRemainErrors) {
+  rpc::Request request;
+  Bytes wire = request.encode();
+  wire.resize(wire.size() + 4);  // neither 8 nor 16 trailing bytes
+  EXPECT_FALSE(rpc::Request::decode(wire).ok());
+}
+
+// --- disk-fill admission at the Bullet service layer ----------------------
+
+// BlockDevice wrapper whose reads park on a latch while armed; boot-time
+// scrub traffic runs with the gate disarmed.
+class GateDisk final : public BlockDevice {
+ public:
+  explicit GateDisk(BlockDevice* inner) : inner_(inner) {}
+
+  std::uint64_t block_size() const noexcept override {
+    return inner_->block_size();
+  }
+  std::uint64_t num_blocks() const noexcept override {
+    return inner_->num_blocks();
+  }
+
+  Status read(std::uint64_t first_block, MutableByteSpan out) override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (armed_) {
+        ++blocked_;
+        cv_.notify_all();
+        cv_.wait(lock, [&] { return !armed_; });
+      }
+    }
+    return inner_->read(first_block, out);
+  }
+  Status write(std::uint64_t first_block, ByteSpan data) override {
+    return inner_->write(first_block, data);
+  }
+  Status flush() override { return inner_->flush(); }
+
+  void arm() {
+    std::lock_guard<std::mutex> lock(mu_);
+    armed_ = true;
+  }
+  void open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    armed_ = false;
+    cv_.notify_all();
+  }
+  void wait_blocked(int n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return blocked_ >= n; });
+  }
+
+ private:
+  BlockDevice* inner_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool armed_ = false;
+  int blocked_ = 0;
+};
+
+TEST(FillAdmissionTest, FillBoundShedsNewFillsButAdmitsJoins) {
+  MemDisk raw(512, 4096);
+  ASSERT_OK(BulletServer::format(raw, 64));
+  GateDisk gate(&raw);
+  auto mirror = MirroredDisk::create({&gate});
+  ASSERT_TRUE(mirror.ok());
+  auto mirror_disk = std::move(mirror).value();
+
+  // Seed two files with a warm server, then boot a cold one whose only
+  // route to the bytes is a disk fill through the (armed) gate.
+  Capability cap_a, cap_b;
+  {
+    BulletConfig config;
+    auto warm = BulletServer::start(&mirror_disk, config);
+    ASSERT_TRUE(warm.ok());
+    auto a = warm.value()->create(testing::payload(2048, 1), 1);
+    auto b = warm.value()->create(testing::payload(2048, 2), 1);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    cap_a = a.value();
+    cap_b = b.value();
+  }
+  BulletConfig config;
+  config.io_threads = 1;
+  config.max_inflight_fills = 1;
+  auto server = BulletServer::start(&mirror_disk, config);
+  ASSERT_TRUE(server.ok()) << server.error().to_string();
+  gate.arm();
+
+  // First miss registers the only permitted fill and parks on the device.
+  std::promise<Status> first;
+  auto first_done = first.get_future();
+  server.value()->read_pinned_async(cap_a, [&](Result<BulletServer::PinnedFile> r) {
+    first.set_value(status_of(r));
+  });
+  gate.wait_blocked(1);
+
+  // A different file at the bound: shed synchronously, before any
+  // allocation or device submission.
+  Status second = Status::success();
+  server.value()->read_pinned_async(cap_b, [&](Result<BulletServer::PinnedFile> r) {
+    second = status_of(r);
+  });
+  EXPECT_CODE(retry_later, second);
+
+  // The same file joins the in-flight fill instead of being shed: joining
+  // adds no disk work, so the bound does not apply.
+  std::promise<Status> join;
+  auto join_done = join.get_future();
+  server.value()->read_pinned_async(cap_a, [&](Result<BulletServer::PinnedFile> r) {
+    join.set_value(status_of(r));
+  });
+
+  gate.open();
+  EXPECT_OK(first_done.get());
+  EXPECT_OK(join_done.get());
+  EXPECT_EQ(1u, server.value()->stats().inflight_sheds);
+
+  // With the device unblocked the shed file is readable again.
+  std::promise<Status> retry;
+  auto retry_done = retry.get_future();
+  server.value()->read_pinned_async(cap_b, [&](Result<BulletServer::PinnedFile> r) {
+    retry.set_value(status_of(r));
+  });
+  EXPECT_OK(retry_done.get());
+}
+
+}  // namespace
+}  // namespace bullet

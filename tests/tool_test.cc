@@ -21,11 +21,11 @@ namespace {
 class ToolTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    // ctest runs each TEST as its own process, possibly in parallel, so
-    // every case gets its own image/capture paths.
-    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
-    dir_ = ::testing::TempDir();
-    prefix_ = dir_ + "tooltest-" + info->name();
+    // ctest runs each TEST as its own process, possibly in parallel, and
+    // the same binary may run twice concurrently: unique_temp_path (test
+    // name + pid + counter) keeps every case's image/capture paths
+    // collision-free.
+    prefix_ = testing::unique_temp_path("");
     image_ = prefix_ + ".img";
     std::remove(image_.c_str());
   }
@@ -55,7 +55,6 @@ class ToolTest : public ::testing::Test {
     return path;
   }
 
-  std::string dir_;
   std::string prefix_;
   std::string image_;
 };

@@ -210,6 +210,45 @@ TEST(UdpBackoffTest, SeedChangesTheJitterNotTheEnvelope) {
   EXPECT_TRUE(differs) << "different seeds produced identical schedules";
 }
 
+TEST(UdpBackoffTest, PropertyClampedEnvelopeMonotoneDeterministic) {
+  // Randomized sweep over option sets: for every (base, cap, seed) the
+  // schedule stays inside [1, cap], tracks the +/-25% jitter envelope of
+  // the capped nominal, grows strictly while successive envelopes are
+  // disjoint (i.e. until the ceiling), and replays identically.
+  Rng meta(0xB0FF);
+  for (int set = 0; set < 50; ++set) {
+    rpc::UdpClientOptions options;
+    options.timeout_ms = static_cast<int>(meta.next_range(1, 500));
+    options.max_timeout_ms = static_cast<int>(meta.next_range(0, 8000));
+    options.backoff_seed = meta.next();
+    const std::int64_t base = std::max(1, options.timeout_ms);
+    const std::int64_t cap =
+        std::max<std::int64_t>(base, options.max_timeout_ms);
+    std::int64_t prev = 0;
+    std::int64_t prev_hi = 0;
+    for (int attempt = 0; attempt <= 40; ++attempt) {
+      const int t = rpc::backoff_timeout_ms(options, attempt);
+      ASSERT_GE(t, 1) << "set " << set << " attempt " << attempt;
+      ASSERT_LE(t, cap) << "set " << set << " attempt " << attempt;
+      const std::int64_t nominal =
+          std::min(cap, base << std::min(attempt, 20));
+      const std::int64_t lo = nominal - nominal / 4;
+      const std::int64_t hi = lo + nominal / 2;
+      ASSERT_GE(t, std::max<std::int64_t>(1, lo))
+          << "set " << set << " attempt " << attempt;
+      ASSERT_LE(t, std::min(cap, hi))
+          << "set " << set << " attempt " << attempt;
+      if (attempt > 0 && lo > prev_hi) {
+        ASSERT_GT(t, prev) << "set " << set << " attempt " << attempt;
+      }
+      ASSERT_EQ(t, rpc::backoff_timeout_ms(options, attempt))
+          << "schedule not reproducible";
+      prev = t;
+      prev_hi = std::min(cap, hi);
+    }
+  }
+}
+
 TEST(UdpBackoffTest, DegenerateOptionsStaySane) {
   rpc::UdpClientOptions options;
   options.timeout_ms = 0;  // misconfigured: treated as 1 ms base

@@ -45,7 +45,8 @@ int usage() {
                "usage: bullet_server --image FILE [--image FILE] "
                "[--port N] [--cache-mb N] [--dir-bootstrap FILE] "
                "[--workers N] [--io-threads N] [--no-trace] "
-               "[--trace-sample N]\n");
+               "[--trace-sample N] [--max-queue N] [--max-client-queue N] "
+               "[--max-inflight N] [--shed-retry-ms N]\n");
   return 2;
 }
 
@@ -105,6 +106,14 @@ int main(int argc, char** argv) {
   // Disk submissions run on a completion pool so no UDP worker ever blocks
   // inside a device read/write; 0 executes ops inline (pre-pipeline mode).
   unsigned io_threads = 2;
+  // Overload control (docs/OPERATIONS.md "Overload and pushback"): bound
+  // the dispatch queue and the in-flight disk fills so open-loop overload
+  // is shed in O(1) with BS_PUSHBACK instead of collapsing p99. 0 disables
+  // a bound.
+  std::size_t max_queue = 1024;
+  std::size_t max_client_queue = 0;
+  std::size_t max_inflight = 256;
+  std::uint32_t shed_retry_ms = 50;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -135,6 +144,23 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       io_threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--max-queue") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      max_queue = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--max-client-queue") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      max_client_queue =
+          static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--max-inflight") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      max_inflight = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--shed-retry-ms") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      shed_retry_ms = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--no-trace") {
       // Disables sampling AND client-forced traces (the overhead baseline).
       obs::set_tracing_enabled(false);
@@ -188,6 +214,7 @@ int main(int argc, char** argv) {
   BulletConfig config;
   config.cache_bytes = cache_mb << 20;
   config.io_threads = io_threads;
+  config.max_inflight_fills = max_inflight;
   auto server = BulletServer::start(&mirror_disk, config);
   if (!server.ok()) {
     std::fprintf(stderr, "boot: %s\n", server.error().to_string().c_str());
@@ -221,6 +248,9 @@ int main(int argc, char** argv) {
   rpc::UdpServerOptions udp_options;
   udp_options.udp_port = udp_port;
   udp_options.workers = workers;
+  udp_options.max_queue = max_queue;
+  udp_options.max_client_queue = max_client_queue;
+  udp_options.shed_retry_ms = shed_retry_ms;
   auto udp = rpc::UdpServer::start(udp_options);
   if (!udp.ok()) {
     std::fprintf(stderr, "udp: %s\n", udp.error().to_string().c_str());
