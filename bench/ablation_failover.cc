@@ -1,0 +1,331 @@
+// Failover ablation: what does a primary kill cost a reading client?
+//
+// A replicated pair (shared private port + secret, so every capability
+// verifies at either side) serves a closed-loop read workload through a
+// FailoverTransport. The bench preloads a working set through the
+// replication path (each create is pushed to the backup before the ack),
+// then repeatedly kills whichever replica the client is stuck to — the
+// link starts answering unreachable, exactly what a crashed machine looks
+// like to the RPC layer — and measures:
+//
+//   * the read-goodput timeline around the first kill (reads per second
+//     in fixed windows, with the kill instant marked): goodput must drop
+//     for at most the failover moment and recover on the survivor;
+//   * failover latency over many kill cycles (the latency of the first
+//     read after each kill, which pays the unreachable detection plus the
+//     retry on the next replica), reported as p50/p99/max;
+//   * read-loss: every read of an acked file must succeed throughout —
+//     failover is invisible to correctness, only to latency.
+//
+// In-process loopback makes "unreachable" detection instant, so these
+// failover latencies are the floor set by the failover machinery itself;
+// over UDP the same path adds one retransmit timeout. The shape of the
+// timeline (dip, recovery, no failures) is substrate-independent.
+//
+// Emits JSON on stdout (snapshot: bench/BENCH_failover.json) and a table
+// on stderr. Flags:
+//   --smoke     short phases, 3 kill cycles (CI)
+//   --check     exit 1 on any failed read, unrecovered goodput, or a
+//               missing failover
+//   --seed N    workload RNG seed (default 0xFA11)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bullet/client.h"
+#include "bullet/server.h"
+#include "disk/mem_disk.h"
+#include "disk/mirrored_disk.h"
+#include "rpc/failover_transport.h"
+#include "rpc/fault_transport.h"
+
+namespace bullet::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t now_us(Clock::time_point origin) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            origin)
+          .count());
+}
+
+std::uint64_t percentile(std::vector<std::uint64_t> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(p / 100.0 *
+                                             static_cast<double>(values.size()));
+  return values[std::min(rank, values.size() - 1)];
+}
+
+// One replica: its own disk and server, the shared config defaults making
+// it half of the pair.
+struct Replica {
+  explicit Replica(std::uint64_t rng_seed) : raw(512, 16384) {
+    auto st = BulletServer::format(raw, 512);
+    if (!st.ok()) die(st.to_string());
+    std::vector<BlockDevice*> devices{&raw};
+    auto mirror_result = MirroredDisk::create(std::move(devices));
+    if (!mirror_result.ok()) die(mirror_result.error().to_string());
+    mirror = std::make_unique<MirroredDisk>(std::move(mirror_result).value());
+    BulletConfig config;
+    config.cache_bytes = 8u << 20;
+    config.rng_seed = rng_seed;
+    auto started = BulletServer::start(mirror.get(), config);
+    if (!started.ok()) die(started.error().to_string());
+    server = std::move(started).value();
+  }
+
+  [[noreturn]] static void die(const std::string& message) {
+    std::fprintf(stderr, "bench setup failed: %s\n", message.c_str());
+    std::abort();
+  }
+
+  MemDisk raw;
+  std::unique_ptr<MirroredDisk> mirror;
+  std::unique_ptr<BulletServer> server;
+};
+
+int run(bool smoke, bool check, std::uint64_t seed) {
+  Replica a(seed * 2 + 1), b(seed * 2 + 2);
+
+  // Both replicas answer on the same public port, so each client link is
+  // its own loopback; the FaultTransport wrappers are the kill switches.
+  rpc::LoopbackTransport net_a, net_b, peer_of_a, peer_of_b;
+  if (!net_a.register_service(a.server.get()).ok() ||
+      !net_b.register_service(b.server.get()).ok() ||
+      !peer_of_a.register_service(b.server.get()).ok() ||
+      !peer_of_b.register_service(a.server.get()).ok()) {
+    Replica::die("loopback registration failed");
+  }
+  rpc::FaultTransport link_a(&net_a), link_b(&net_b);
+  a.server->attach_replica(&peer_of_a, BulletServer::ReplRole::kPrimary);
+  b.server->attach_replica(&peer_of_b, BulletServer::ReplRole::kBackup);
+
+  rpc::FailoverTransport failover({&link_a, &link_b});
+  BulletClient client(&failover, a.server->super_capability());
+  client.enable_message_ids(seed | 1);
+
+  // Working set, replicated by the create path itself.
+  const int file_count = 64;
+  const std::size_t file_bytes = 8 * 1024;
+  Rng rng(seed);
+  std::vector<Capability> caps;
+  std::vector<Bytes> contents;
+  for (int i = 0; i < file_count; ++i) {
+    contents.push_back(rng.next_bytes(file_bytes));
+    auto cap = client.create(contents.back(), 1);
+    if (!cap.ok()) Replica::die("preload create failed");
+    caps.push_back(cap.value());
+  }
+  if (a.server->live_files() != static_cast<std::uint64_t>(file_count) ||
+      b.server->live_files() != static_cast<std::uint64_t>(file_count)) {
+    Replica::die("preload did not replicate");
+  }
+
+  const int cycles = smoke ? 3 : 16;
+  const auto pre_kill = std::chrono::milliseconds(smoke ? 10 : 40);
+  const auto post_kill = std::chrono::milliseconds(smoke ? 10 : 40);
+  const std::uint64_t window_us = smoke ? 2000 : 5000;
+
+  struct Window {
+    std::uint64_t t_us = 0;  // window start, relative to timeline origin
+    std::uint64_t reads = 0;
+    std::vector<std::uint64_t> lat_us;
+  };
+
+  std::uint64_t total_reads = 0, failed_reads = 0;
+  std::uint64_t pre_reads = 0, pre_elapsed_us = 0;
+  std::uint64_t post_reads = 0, post_elapsed_us = 0;
+  std::vector<std::uint64_t> failover_lat_us;
+  std::vector<Window> timeline;
+  std::uint64_t kill_at_us = 0;
+
+  const auto one_read = [&](std::vector<std::uint64_t>* lat_sink) {
+    const auto& cap = caps[rng.next_below(caps.size())];
+    const auto start = Clock::now();
+    auto data = client.read(cap);
+    const auto lat = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start)
+            .count());
+    ++total_reads;
+    if (!data.ok() || data.value().size() != file_bytes) ++failed_reads;
+    if (lat_sink != nullptr) lat_sink->push_back(lat);
+    return lat;
+  };
+
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    const bool record = cycle == 0;  // timeline covers the first kill only
+    const auto origin = Clock::now();
+    const auto window_of = [&](std::uint64_t t_us) -> Window& {
+      const std::uint64_t start = t_us - t_us % window_us;
+      if (timeline.empty() || timeline.back().t_us != start) {
+        timeline.push_back(Window{start, 0, {}});
+      }
+      return timeline.back();
+    };
+
+    // Steady state on the sticky replica.
+    while (Clock::now() - origin < pre_kill) {
+      const std::uint64_t t = now_us(origin);
+      const std::uint64_t lat = one_read(nullptr);
+      ++pre_reads;
+      if (record) {
+        Window& w = window_of(t);
+        ++w.reads;
+        w.lat_us.push_back(lat);
+      }
+    }
+    pre_elapsed_us += now_us(origin);
+
+    // Kill whichever replica the client is stuck to; the next read pays
+    // the failover.
+    const std::size_t victim = failover.current_replica();
+    rpc::FaultTransport& victim_link = victim == 0 ? link_a : link_b;
+    victim_link.set_partition(rpc::FaultTransport::Partition::kFull);
+    if (record) kill_at_us = now_us(origin);
+
+    const std::uint64_t fo_t = now_us(origin);
+    const std::uint64_t fo_lat = one_read(nullptr);
+    failover_lat_us.push_back(fo_lat);
+    if (record) {
+      Window& w = window_of(fo_t);
+      ++w.reads;
+      w.lat_us.push_back(fo_lat);
+    }
+
+    // Recovery on the survivor.
+    const auto post_origin = Clock::now();
+    while (Clock::now() - post_origin < post_kill) {
+      const std::uint64_t t = now_us(origin);
+      const std::uint64_t lat = one_read(nullptr);
+      ++post_reads;
+      if (record) {
+        Window& w = window_of(t);
+        ++w.reads;
+        w.lat_us.push_back(lat);
+      }
+    }
+    post_elapsed_us += now_us(post_origin);
+
+    // Revive the victim for the next cycle (the client stays sticky on
+    // the survivor, so the next kill exercises the other direction).
+    victim_link.set_partition(rpc::FaultTransport::Partition::kNone);
+  }
+
+  const double pre_rps =
+      pre_elapsed_us > 0
+          ? static_cast<double>(pre_reads) * 1e6 / static_cast<double>(pre_elapsed_us)
+          : 0.0;
+  const double post_rps =
+      post_elapsed_us > 0
+          ? static_cast<double>(post_reads) * 1e6 / static_cast<double>(post_elapsed_us)
+          : 0.0;
+  const double recovery = pre_rps > 0 ? post_rps / pre_rps : 0.0;
+  const std::uint64_t fo_p50 = percentile(failover_lat_us, 50);
+  const std::uint64_t fo_p99 = percentile(failover_lat_us, 99);
+  const std::uint64_t fo_max =
+      failover_lat_us.empty()
+          ? 0
+          : *std::max_element(failover_lat_us.begin(), failover_lat_us.end());
+
+  JsonWriter json;
+  json.begin_object()
+      .field("bench", "ablation_failover")
+      .begin_object("config")
+      .field("smoke", smoke ? 1 : 0)
+      .field("seed", seed)
+      .field("files", file_count)
+      .field("file_bytes", static_cast<std::uint64_t>(file_bytes))
+      .field("kill_cycles", cycles)
+      .field("window_us", window_us)
+      .end_object();
+  json.begin_array("timeline");
+  for (const auto& w : timeline) {
+    const double secs = static_cast<double>(window_us) / 1e6;
+    json.begin_object()
+        .field("t_us", w.t_us)
+        .field("reads_per_s", static_cast<double>(w.reads) / secs)
+        .field("p99_us", static_cast<double>(percentile(w.lat_us, 99)))
+        .field("kill_in_window",
+               (kill_at_us >= w.t_us && kill_at_us < w.t_us + window_us) ? 1
+                                                                         : 0)
+        .end_object();
+  }
+  json.end_array();
+  json.begin_object("failover")
+      .field("cycles", static_cast<std::uint64_t>(failover_lat_us.size()))
+      .field("transport_failovers", failover.failovers())
+      .field("p50_us", static_cast<double>(fo_p50))
+      .field("p99_us", static_cast<double>(fo_p99))
+      .field("max_us", static_cast<double>(fo_max))
+      .end_object();
+  json.begin_object("goodput")
+      .field("pre_kill_reads_per_s", pre_rps)
+      .field("post_kill_reads_per_s", post_rps)
+      .field("recovery_ratio", recovery)
+      .end_object();
+  json.begin_object("reads")
+      .field("total", total_reads)
+      .field("failed", failed_reads)
+      .end_object();
+  json.end_object();
+  std::printf("%s\n", json.str().c_str());
+
+  std::fprintf(stderr, "\nfailover ablation (%d kill cycles)\n", cycles);
+  std::fprintf(stderr, "  goodput pre-kill  %12.0f reads/s\n", pre_rps);
+  std::fprintf(stderr, "  goodput post-kill %12.0f reads/s (%.0f%% recovered)\n",
+               post_rps, recovery * 100);
+  std::fprintf(stderr, "  failover latency  p50 %6.0f us   p99 %6.0f us   max %6.0f us\n",
+               static_cast<double>(fo_p50), static_cast<double>(fo_p99),
+               static_cast<double>(fo_max));
+  std::fprintf(stderr, "  reads total %llu, failed %llu\n",
+               static_cast<unsigned long long>(total_reads),
+               static_cast<unsigned long long>(failed_reads));
+
+  if (check) {
+    const bool ok = failed_reads == 0 && recovery >= 0.5 &&
+                    failover.failovers() >= static_cast<std::uint64_t>(cycles);
+    if (!ok) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: failed=%llu recovery=%.2f failovers=%llu\n",
+                   static_cast<unsigned long long>(failed_reads), recovery,
+                   static_cast<unsigned long long>(failover.failovers()));
+      return 1;
+    }
+    std::fprintf(stderr, "CHECK OK: zero read loss, goodput recovered\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bullet::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool check = false;
+  std::uint64_t seed = 0xFA11;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 0);
+    } else {
+      std::fprintf(stderr,
+                   "usage: ablation_failover [--smoke] [--check] [--seed N]\n");
+      return 2;
+    }
+  }
+  return bullet::bench::run(smoke, check, seed);
+}

@@ -10,6 +10,20 @@ Result<Bytes> BulletClient::call(const Capability& target,
   request.body = std::move(body);
   request.trace_id = trace_id_;
   request.deadline_us = deadline_budget_us_;
+  if (next_message_id_ != 0) {
+    switch (opcode) {
+      case wire::kCreate:
+      case wire::kCreateFrom:
+      case wire::kDelete:
+        // One fresh id per logical operation; the transport layer re-sends
+        // the same Request on retransmit and failover, so every copy of
+        // this operation carries the same id.
+        request.message_id = next_message_id_;
+        last_message_id_ = next_message_id_;
+        if (++next_message_id_ == 0) ++next_message_id_;
+        break;
+    }
+  }
   BULLET_ASSIGN_OR_RETURN(rpc::Reply reply, transport_->call(request));
   if (reply.status != ErrorCode::ok) return Error(reply.status);
   // Borrowed segments (zero-copy READ replies) are only valid until the
@@ -146,6 +160,12 @@ Result<wire::FsckReport> BulletClient::fsck() {
   BULLET_ASSIGN_OR_RETURN(Bytes body, call(server_, wire::kFsck, {}));
   Reader r(body);
   return wire::FsckReport::decode(r);
+}
+
+Result<wire::ReplResyncReport> BulletClient::repl_resync() {
+  BULLET_ASSIGN_OR_RETURN(Bytes body, call(server_, wire::kReplResync, {}));
+  Reader r(body);
+  return wire::ReplResyncReport::decode(r);
 }
 
 }  // namespace bullet

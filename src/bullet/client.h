@@ -58,6 +58,9 @@ class BulletClient {
   Result<std::uint64_t> compact_disk();
   Result<wire::FsckReport> fsck();
 
+  // BS_REPL_RESYNC: ask the server to reconcile with its replica peer.
+  Result<wire::ReplResyncReport> repl_resync();
+
   // Stamp every subsequent request from this client with `id` (0 = none).
   // A nonzero id forces the server to trace those requests regardless of
   // its sampling rate. The id rides in a request trailer that is absent
@@ -80,6 +83,21 @@ class BulletClient {
     return deadline_budget_us_;
   }
 
+  // Stamp every subsequent *mutating* request (create, create-from,
+  // delete) with a fresh nonzero message id drawn from a counter starting
+  // at `seed | 1`. The id is stable across retransmits and across replica
+  // failover — a FailoverTransport re-sends the same Request object — so a
+  // replicated server applies the operation exactly once no matter which
+  // replica finally answers. Distinct clients must use disjoint seed
+  // ranges (e.g. client index in the high bits). Like trace ids, a
+  // nonzero id widens the request trailer, so enabling ids requires a
+  // replication-aware server.
+  void enable_message_ids(std::uint64_t seed) noexcept {
+    next_message_id_ = seed | 1;
+  }
+  void disable_message_ids() noexcept { next_message_id_ = 0; }
+  std::uint64_t last_message_id() const noexcept { return last_message_id_; }
+
   const Capability& server_capability() const noexcept { return server_; }
 
  private:
@@ -90,6 +108,8 @@ class BulletClient {
   Capability server_;
   std::uint64_t trace_id_ = 0;
   std::uint64_t deadline_budget_us_ = 0;
+  std::uint64_t next_message_id_ = 0;  // 0 = message ids disabled
+  std::uint64_t last_message_id_ = 0;
 };
 
 }  // namespace bullet

@@ -145,6 +145,14 @@ BulletServer::BulletServer(MirroredDisk* disk, BulletConfig config,
     e.value("bullet_deadline_expired_total", s.deadline_expired);
     e.value("bullet_rx_queue_depth_max", s.rx_queue_depth_max);
     e.value("bullet_inflight_sheds_total", s.inflight_sheds);
+    e.value("bullet_repl_role", s.repl_role);
+    e.value("bullet_repl_peer_healthy", s.repl_peer_healthy);
+    e.value("bullet_repl_pushes_total", s.repl_pushes);
+    e.value("bullet_repl_push_failures_total", s.repl_push_failures);
+    e.value("bullet_repl_installs_total", s.repl_installs);
+    e.value("bullet_repl_resyncs_total", s.repl_resyncs);
+    e.value("bullet_repl_resync_files_total", s.repl_resync_files);
+    e.value("bullet_repl_dedup_hits_total", s.repl_dedup_hits);
     e.value("bullet_cache_capacity_bytes", cs.capacity);
     e.value("bullet_cache_used_bytes", cs.used);
     e.value("bullet_cache_entries", cs.entries);
@@ -361,6 +369,12 @@ Result<Capability> BulletServer::create(ByteSpan data, int pfactor) {
 }
 
 Result<Capability> BulletServer::create_locked(ByteSpan data, int pfactor) {
+  return create_at_locked(data, pfactor, /*index=*/0, /*random=*/0);
+}
+
+Result<Capability> BulletServer::create_at_locked(ByteSpan data, int pfactor,
+                                                  std::uint32_t want_index,
+                                                  std::uint64_t want_random) {
   if (pfactor < 0 || pfactor > disk_->replica_count()) {
     return Error(ErrorCode::bad_argument, "pfactor exceeds replica count");
   }
@@ -369,7 +383,19 @@ Result<Capability> BulletServer::create_locked(ByteSpan data, int pfactor) {
   }
   const auto size = static_cast<std::uint32_t>(data.size());
 
-  if (free_inodes_.empty()) {
+  if (want_index != 0) {
+    // Replication install: the peer already assigned the slot.
+    if (want_index >= inodes_.size()) {
+      return Error(ErrorCode::bad_argument, "install slot out of range");
+    }
+    if (!inodes_[want_index].is_free() ||
+        std::find(free_inodes_.begin(), free_inodes_.end(), want_index) ==
+            free_inodes_.end()) {
+      // Occupied, or zeroed with cleanup deferred behind an async fill —
+      // either way the slot is not installable right now.
+      return Error(ErrorCode::conflict, "install slot occupied");
+    }
+  } else if (free_inodes_.empty()) {
     return Error(ErrorCode::no_space, "inode table full");
   }
 
@@ -392,7 +418,7 @@ Result<Capability> BulletServer::create_locked(ByteSpan data, int pfactor) {
 
   // Cache space ("creating files is much the same as reading files that
   // were not in the cache").
-  const std::uint32_t index = free_inodes_.back();
+  const std::uint32_t index = want_index != 0 ? want_index : free_inodes_.back();
   std::vector<std::uint32_t> evicted;
   auto rnode_result = cache_.insert(index, size, &evicted);
   drop_evicted(evicted);
@@ -419,11 +445,19 @@ Result<Capability> BulletServer::create_locked(ByteSpan data, int pfactor) {
     }
     return rnode_result.error();
   }
-  free_inodes_.pop_back();
+  if (want_index == 0 || (!free_inodes_.empty() && free_inodes_.back() == index)) {
+    free_inodes_.pop_back();
+  } else {
+    // Install at a peer-chosen slot: unlink it from wherever it sits.
+    const auto it = std::find(free_inodes_.begin(), free_inodes_.end(), index);
+    assert(it != free_inodes_.end());
+    free_inodes_.erase(it);
+  }
 
   // The RAM inode.
   Inode& inode = inodes_[index];
-  inode.random = rng_.next() & kMask48;
+  inode.random = want_random != 0 ? (want_random & kMask48)
+                                  : (rng_.next() & kMask48);
   if (inode.random == 0) inode.random = 1;
   inode.cache_index = rnode;
   inode.first_block = static_cast<std::uint32_t>(first_block);
@@ -1223,6 +1257,10 @@ Status BulletServer::erase(const Capability& cap) {
   if (index == 0) {
     return Error(ErrorCode::bad_argument, "cannot delete the server object");
   }
+  return erase_index_locked(index);
+}
+
+Status BulletServer::erase_index_locked(std::uint32_t index) {
   Inode& inode = inodes_[index];
   const std::uint64_t blocks = layout_.blocks_for(inode.size_bytes);
   const std::uint64_t first_block = inode.first_block;
@@ -1819,6 +1857,17 @@ wire::ServerStats BulletServer::stats() const {
   s.compact_steps = compact_steps_.load(std::memory_order_relaxed);
   s.compact_lock_hold_ns_max =
       compact_lock_hold_ns_max_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard repl_lock(repl_mu_);
+    s.repl_role = static_cast<std::uint64_t>(repl_.role);
+    s.repl_peer_healthy = repl_.peer_healthy ? 1 : 0;
+  }
+  s.repl_pushes = repl_pushes_.load(std::memory_order_relaxed);
+  s.repl_push_failures = repl_push_failures_.load(std::memory_order_relaxed);
+  s.repl_installs = repl_installs_.load(std::memory_order_relaxed);
+  s.repl_resyncs = repl_resyncs_.load(std::memory_order_relaxed);
+  s.repl_resync_files = repl_resync_files_.load(std::memory_order_relaxed);
+  s.repl_dedup_hits = repl_dedup_hits_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -16,9 +16,11 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <utility>
 #include <vector>
@@ -207,6 +209,58 @@ class BulletServer final : public rpc::Service {
   // CREATE and the admin operations.
   Capability super_capability(std::uint8_t rights = rights::kAll) const;
 
+  // --- replication (replicated pairs; see DESIGN.md §14) ----------------
+  //
+  // Two Bullet servers sharing one private port and secret form a pair:
+  // every capability verifies at either side, so clients read from
+  // whichever replica answers and fail over freely. Mutations are
+  // propagated to the peer before the ack (creates as kReplInstall at the
+  // same slot with the same random, deletes as kReplErase plus a local
+  // tombstone); a propagation failure degrades the pair to solo mode until
+  // resync_with_peer() reconciles the two stores by manifest diff and
+  // plain file copy. To keep independently accepted creates from fighting
+  // over slots, the primary allocates inode slots from the bottom of the
+  // table and the backup from the top.
+  enum class ReplRole : std::uint8_t { kSolo = 0, kPrimary = 1, kBackup = 2 };
+
+  struct ReplStatusInfo {
+    ReplRole role = ReplRole::kSolo;
+    bool peer_healthy = false;
+    bool peer_incompatible = false;  // legacy peer rejected kReplicate
+    bool resyncing = false;
+    std::uint64_t resync_total = 0;  // files the running resync must move
+    std::uint64_t resync_done = 0;
+  };
+
+  // Pair this server with its peer, reachable through `transport` (which
+  // must outlive the server or be detached). Marks the peer healthy if it
+  // answers a ping; otherwise the pair starts degraded and a later
+  // resync_with_peer() brings it up.
+  void attach_replica(rpc::Transport* transport, ReplRole role);
+  void detach_replica();
+  ReplStatusInfo repl_status() const;
+
+  // Manifest of live files, tombstones, and recent create dedup records.
+  wire::ReplManifest replica_manifest() const;
+
+  // Reconcile the pair: exchange manifests, replay tombstones first, copy
+  // missing files in both directions, resolve duplicate creates (same
+  // message id applied on both sides of a partition), then clear
+  // tombstones. Marks the peer healthy on success. Safe to run while
+  // serving traffic; concurrent mutations propagate live once the peer is
+  // marked healthy and installs are idempotent.
+  Result<wire::ReplResyncReport> resync_with_peer();
+
+  // Apply one peer-originated create at a fixed slot. Idempotent: the
+  // same (object, random) already in place returns the existing
+  // capability; a different live file at the slot is a conflict. A
+  // matching local tombstone wins (the delete happened after the create).
+  Result<Capability> install_object(std::uint32_t object, std::uint64_t random,
+                                    ByteSpan data, std::uint64_t message_id);
+  // Apply one peer-originated delete. Idempotent: already-gone is ok.
+  Status erase_object(std::uint32_t object, std::uint64_t random,
+                      std::uint64_t message_id);
+
   // --- rpc::Service -----------------------------------------------------
   Port public_port() const noexcept override { return public_port_; }
   rpc::Reply handle(const rpc::Request& request) override;
@@ -250,6 +304,16 @@ class BulletServer final : public rpc::Service {
   // create() body; caller holds the exclusive lock (create_from() composes
   // it with edit application under one critical section).
   Result<Capability> create_locked(ByteSpan data, int pfactor);
+  // The full create machinery at a caller-chosen slot. `index` must be a
+  // free slot (or 0 = pick per the allocation direction); `random` 0 means
+  // draw a fresh one — the replication install path pins both so the peer
+  // mints byte-identical capabilities.
+  Result<Capability> create_at_locked(ByteSpan data, int pfactor,
+                                      std::uint32_t index,
+                                      std::uint64_t random);
+  // erase() body after capability verification; caller holds the
+  // exclusive lock (the replication erase path resolves by slot).
+  Status erase_index_locked(std::uint32_t index);
   // compact_disk() body; caller holds the exclusive lock (create's
   // fragmentation fallback runs it mid-create). Runs compact_step_locked()
   // to completion without releasing the lock.
@@ -352,6 +416,62 @@ class BulletServer final : public rpc::Service {
   void clear_cache_index(std::uint32_t inode_index);
   void drop_evicted(const std::vector<std::uint32_t>& evicted);
 
+  // --- replication internals (replica.cc) -------------------------------
+  //
+  // repl_mu_ is a leaf lock: never held while acquiring state_mu_, and
+  // never held across a peer RPC — a pair of servers propagating to each
+  // other from worker threads would deadlock otherwise.
+
+  // The recorded reply of a completed mutating operation, keyed by the
+  // client's message_id (rpc/message.h): the cross-replica ReplyCache.
+  struct DedupEntry {
+    std::uint16_t opcode = 0;
+    Bytes body;                  // the ok reply's body, replayed verbatim
+    std::uint32_t object = 0;    // for creates: what the reply named
+    std::uint64_t random = 0;
+  };
+  bool dedup_lookup(std::uint64_t message_id, rpc::Reply* out);
+  void dedup_record(std::uint64_t message_id, std::uint16_t opcode,
+                    Bytes body, std::uint32_t object, std::uint64_t random);
+
+  void record_tombstone(std::uint32_t object, std::uint64_t random);
+  bool tombstoned(std::uint32_t object, std::uint64_t random) const;
+
+  // Propagate a completed local mutation to the peer (no-op in solo mode
+  // or while the peer is down; a failed push degrades to solo). Called
+  // with no locks held, after the local apply succeeded.
+  void replicate_create(std::uint32_t object, std::uint64_t message_id);
+  void replicate_erase(std::uint32_t object, std::uint64_t random,
+                       std::uint64_t message_id);
+
+  // kReplicate / kReplResync dispatch (called from handle()).
+  rpc::Reply handle_replicate(const rpc::Request& request);
+  rpc::Reply handle_repl_resync();
+
+  // One kReplicate RPC to the peer's super capability (the pair shares
+  // port and secret, so our super capability verifies there). Updates
+  // peer health: a transport failure marks the peer down, not_supported
+  // marks it permanently incompatible (legacy server), any answer marks
+  // it up. Returns the ok reply's payload.
+  Result<Bytes> peer_call(Bytes body);
+
+  // resync_with_peer() body (the wrapper manages the resyncing flag).
+  Status resync_body(wire::ReplResyncReport& report);
+
+  // The sealed random of a live object (0 if free/out of range).
+  std::uint64_t object_random(std::uint32_t object) const;
+
+  // Snapshot a live file's identity and bytes for pushing to the peer.
+  struct ObjectSnapshot {
+    std::uint64_t random = 0;
+    Bytes data;
+  };
+  Result<ObjectSnapshot> copy_object_bytes(std::uint32_t object);
+
+  // Re-sort free_inodes_ so back() matches the allocation direction for
+  // `role`. Caller holds the exclusive lock.
+  void set_alloc_direction_locked(ReplRole role);
+
   MirroredDisk* disk_;
   BulletConfig config_;
   DiskLayout layout_;
@@ -409,6 +529,31 @@ class BulletServer final : public rpc::Service {
   // Requests shed at the service layer because the in-flight disk-fill
   // bound (BulletConfig::max_inflight_fills) was hit.
   mutable std::atomic<std::uint64_t> inflight_sheds_{0};
+
+  // Replication pair state; guarded by repl_mu_ (leaf lock, see above).
+  struct ReplState {
+    rpc::Transport* peer = nullptr;
+    ReplRole role = ReplRole::kSolo;
+    bool peer_healthy = false;
+    bool peer_incompatible = false;
+    bool resyncing = false;
+    std::uint64_t resync_total = 0;
+    std::uint64_t resync_done = 0;
+  };
+  static constexpr std::size_t kDedupCap = 8192;
+  static constexpr std::size_t kTombstoneCap = 65536;
+  mutable std::mutex repl_mu_;
+  ReplState repl_;
+  std::vector<wire::ReplManifest::Tombstone> tombstones_;
+  std::map<std::uint64_t, DedupEntry> dedup_;
+  std::deque<std::uint64_t> dedup_fifo_;  // FIFO eviction at kDedupCap
+  // Replication counters surfaced via stats().
+  mutable std::atomic<std::uint64_t> repl_pushes_{0};
+  mutable std::atomic<std::uint64_t> repl_push_failures_{0};
+  mutable std::atomic<std::uint64_t> repl_installs_{0};
+  mutable std::atomic<std::uint64_t> repl_resyncs_{0};
+  mutable std::atomic<std::uint64_t> repl_resync_files_{0};
+  mutable std::atomic<std::uint64_t> repl_dedup_hits_{0};
 
   // A relaxed-load pass over the counters above, decoupling the snapshot
   // from the field-by-field reads stats()/metrics_text() render from.

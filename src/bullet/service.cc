@@ -35,6 +35,19 @@ rpc::Reply BulletServer::handle(const rpc::Request& request) {
   }
   obs::ScopedSpan handle_span(obs::Stage::kHandle, latency);
 
+  // Mutations carrying a message id consult the cross-replica dedup record
+  // first: a retried (or failed-over) create/delete whose original already
+  // completed is answered from the recorded reply, never re-executed.
+  switch (request.opcode) {
+    case wire::kCreate:
+    case wire::kCreateFrom:
+    case wire::kDelete: {
+      rpc::Reply recorded;
+      if (dedup_lookup(request.message_id, &recorded)) return recorded;
+      break;
+    }
+  }
+
   Reader body(request.body);
   switch (request.opcode) {
     case wire::kCreate: {
@@ -54,8 +67,11 @@ rpc::Reply BulletServer::handle(const rpc::Request& request) {
       }
       auto cap = create(data.value(), pfactor.value());
       if (!cap.ok()) return rpc::Reply::error(cap.code());
+      replicate_create(cap.value().object, request.message_id);
       Writer w(Capability::kWireSize);
       cap.value().encode(w);
+      dedup_record(request.message_id, wire::kCreate, w.data(),
+                   cap.value().object, object_random(cap.value().object));
       return rpc::Reply::success(std::move(w).take());
     }
     case wire::kRead: {
@@ -98,7 +114,16 @@ rpc::Reply BulletServer::handle(const rpc::Request& request) {
     }
     case wire::kDelete: {
       if (!body.done()) return rpc::Reply::error(ErrorCode::bad_argument);
-      return to_reply(erase(request.target));
+      // Capture the doomed file's identity before it goes: the tombstone
+      // and the peer push both need (object, random).
+      const std::uint64_t random = object_random(request.target.object);
+      const Status st = erase(request.target);
+      if (st.ok() && random != 0) {
+        replicate_erase(request.target.object, random, request.message_id);
+        dedup_record(request.message_id, wire::kDelete, Bytes{},
+                     request.target.object, random);
+      }
+      return to_reply(st);
     }
     case wire::kCreateFrom: {
       auto pfactor = body.u8();
@@ -118,8 +143,11 @@ rpc::Reply BulletServer::handle(const rpc::Request& request) {
       if (!body.done()) return rpc::Reply::error(ErrorCode::bad_argument);
       auto cap = create_from(request.target, edits, pfactor.value());
       if (!cap.ok()) return rpc::Reply::error(cap.code());
+      replicate_create(cap.value().object, request.message_id);
       Writer w(Capability::kWireSize);
       cap.value().encode(w);
+      dedup_record(request.message_id, wire::kCreateFrom, w.data(),
+                   cap.value().object, object_random(cap.value().object));
       return rpc::Reply::success(std::move(w).take());
     }
     case wire::kStats: {
@@ -203,6 +231,31 @@ rpc::Reply BulletServer::handle(const rpc::Request& request) {
         out.encode(w);
       }
       return rpc::Reply::success(std::move(w).take());
+    }
+    case wire::kReplicate: {
+      // Peer-originated replication traffic, sealed with the pair's shared
+      // admin capability (the peer addresses our super capability).
+      {
+        const auto lock = lock_shared();
+        const auto verified = verify(request.target, rights::kAdmin);
+        if (!verified.ok()) return rpc::Reply::error(verified.code());
+        if (verified.value() != 0) {
+          return rpc::Reply::error(ErrorCode::bad_argument);
+        }
+      }
+      return handle_replicate(request);
+    }
+    case wire::kReplResync: {
+      if (!body.done()) return rpc::Reply::error(ErrorCode::bad_argument);
+      {
+        const auto lock = lock_shared();
+        const auto verified = verify(request.target, rights::kAdmin);
+        if (!verified.ok()) return rpc::Reply::error(verified.code());
+        if (verified.value() != 0) {
+          return rpc::Reply::error(ErrorCode::bad_argument);
+        }
+      }
+      return handle_repl_resync();
     }
     case wire::kRestrict: {
       auto new_rights = body.u8();
@@ -320,6 +373,14 @@ void BulletServer::handle_async(const rpc::Request& request,
         return;
       }
       {
+        rpc::Reply recorded;
+        if (dedup_lookup(request.message_id, &recorded)) {
+          finish_span();
+          respond(std::move(recorded));
+          return;
+        }
+      }
+      {
         const auto lock = lock_shared();
         const auto verified = verify(request.target, rights::kWrite);
         if (!verified.ok()) {
@@ -338,14 +399,19 @@ void BulletServer::handle_async(const rpc::Request& request,
       Bytes owned(data.value().begin(), data.value().end());
       create_async(
           std::move(owned), pfactor.value(),
-          [respond = std::move(respond), finish_span](Result<Capability> cap) {
+          [this, respond = std::move(respond), finish_span,
+           message_id = request.message_id](Result<Capability> cap) {
             if (!cap.ok()) {
               finish_span();
               respond(rpc::Reply::error(cap.code()));
               return;
             }
+            replicate_create(cap.value().object, message_id);
             Writer w(Capability::kWireSize);
             cap.value().encode(w);
+            dedup_record(message_id, wire::kCreate, w.data(),
+                         cap.value().object,
+                         object_random(cap.value().object));
             finish_span();
             respond(rpc::Reply::success(std::move(w).take()));
           });

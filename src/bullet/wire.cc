@@ -144,6 +144,14 @@ void ServerStats::encode(Writer& w) const {
   w.u64(deadline_expired);
   w.u64(rx_queue_depth_max);
   w.u64(inflight_sheds);
+  w.u64(repl_role);
+  w.u64(repl_peer_healthy);
+  w.u64(repl_pushes);
+  w.u64(repl_push_failures);
+  w.u64(repl_installs);
+  w.u64(repl_resyncs);
+  w.u64(repl_resync_files);
+  w.u64(repl_dedup_hits);
 }
 
 Result<ServerStats> ServerStats::decode(Reader& r) {
@@ -182,7 +190,86 @@ Result<ServerStats> ServerStats::decode(Reader& r) {
   BULLET_ASSIGN_OR_RETURN(s.deadline_expired, r.u64());
   BULLET_ASSIGN_OR_RETURN(s.rx_queue_depth_max, r.u64());
   BULLET_ASSIGN_OR_RETURN(s.inflight_sheds, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.repl_role, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.repl_peer_healthy, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.repl_pushes, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.repl_push_failures, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.repl_installs, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.repl_resyncs, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.repl_resync_files, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.repl_dedup_hits, r.u64());
   return s;
+}
+
+void ReplManifest::encode(Writer& w) const {
+  w.u64(role);
+  w.u32(static_cast<std::uint32_t>(files.size()));
+  for (const File& f : files) {
+    w.u32(f.object);
+    w.u64(f.random);
+    w.u32(f.size);
+  }
+  w.u32(static_cast<std::uint32_t>(tombstones.size()));
+  for (const Tombstone& t : tombstones) {
+    w.u32(t.object);
+    w.u64(t.random);
+  }
+  w.u32(static_cast<std::uint32_t>(dedups.size()));
+  for (const DedupRecord& d : dedups) {
+    w.u64(d.message_id);
+    w.u32(d.object);
+    w.u64(d.random);
+  }
+}
+
+Result<ReplManifest> ReplManifest::decode(Reader& r) {
+  ReplManifest m;
+  BULLET_ASSIGN_OR_RETURN(m.role, r.u64());
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t nfiles, r.u32());
+  m.files.reserve(nfiles);
+  for (std::uint32_t i = 0; i < nfiles; ++i) {
+    File f;
+    BULLET_ASSIGN_OR_RETURN(f.object, r.u32());
+    BULLET_ASSIGN_OR_RETURN(f.random, r.u64());
+    BULLET_ASSIGN_OR_RETURN(f.size, r.u32());
+    m.files.push_back(f);
+  }
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t ntombs, r.u32());
+  m.tombstones.reserve(ntombs);
+  for (std::uint32_t i = 0; i < ntombs; ++i) {
+    Tombstone t;
+    BULLET_ASSIGN_OR_RETURN(t.object, r.u32());
+    BULLET_ASSIGN_OR_RETURN(t.random, r.u64());
+    m.tombstones.push_back(t);
+  }
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t ndedups, r.u32());
+  m.dedups.reserve(ndedups);
+  for (std::uint32_t i = 0; i < ndedups; ++i) {
+    DedupRecord d;
+    BULLET_ASSIGN_OR_RETURN(d.message_id, r.u64());
+    BULLET_ASSIGN_OR_RETURN(d.object, r.u32());
+    BULLET_ASSIGN_OR_RETURN(d.random, r.u64());
+    m.dedups.push_back(d);
+  }
+  return m;
+}
+
+void ReplResyncReport::encode(Writer& w) const {
+  w.u64(files_pulled);
+  w.u64(files_pushed);
+  w.u64(erases_applied);
+  w.u64(duplicates_reconciled);
+  w.u64(conflicts);
+}
+
+Result<ReplResyncReport> ReplResyncReport::decode(Reader& r) {
+  ReplResyncReport p;
+  BULLET_ASSIGN_OR_RETURN(p.files_pulled, r.u64());
+  BULLET_ASSIGN_OR_RETURN(p.files_pushed, r.u64());
+  BULLET_ASSIGN_OR_RETURN(p.erases_applied, r.u64());
+  BULLET_ASSIGN_OR_RETURN(p.duplicates_reconciled, r.u64());
+  BULLET_ASSIGN_OR_RETURN(p.conflicts, r.u64());
+  return p;
 }
 
 void FsckReport::encode(Writer& w) const {

@@ -28,6 +28,20 @@ inline constexpr std::uint16_t kFsck = 10;       // admin
 inline constexpr std::uint16_t kRestrict = 11;   // mint a sub-rights cap
 inline constexpr std::uint16_t kStats2 = 12;     // admin: metrics exposition
 inline constexpr std::uint16_t kTraceDump = 13;  // admin: drain trace spans
+inline constexpr std::uint16_t kReplicate = 14;  // admin: peer replication ops
+inline constexpr std::uint16_t kReplResync = 15; // admin: reconcile with peer
+
+// kReplicate sub-operations (first u8 of the request body). The two
+// replicas of a pair share private port and secret, so a peer addresses
+// these at the other side's super capability — a legacy server answers
+// kReplicate itself with ErrorCode::not_supported, which the sender treats
+// as "peer is replication-unaware" and degrades to solo mode.
+inline constexpr std::uint8_t kReplInstall = 0;    // create at fixed slot
+inline constexpr std::uint8_t kReplErase = 1;      // propagate a delete
+inline constexpr std::uint8_t kReplManifest = 2;   // list files + tombstones
+inline constexpr std::uint8_t kReplFetch = 3;      // read one file's bytes
+inline constexpr std::uint8_t kReplPing = 4;       // liveness probe
+inline constexpr std::uint8_t kReplTombClear = 5;  // resync done, drop tombs
 
 // One step of a CREATE-FROM edit script, applied in order to a copy of the
 // source file. Offsets refer to the file as it stands when the edit runs.
@@ -105,11 +119,64 @@ struct ServerStats {
   std::uint64_t deadline_expired = 0;   // expired requests dropped at dequeue
   std::uint64_t rx_queue_depth_max = 0; // high-water mark of queued requests
   std::uint64_t inflight_sheds = 0;     // service sheds: disk-fill bound hit
+  // Replication counters (appended in the replicated-pairs rework; 34 ->
+  // 42 u64s, same append-only discipline).
+  std::uint64_t repl_role = 0;          // 0 solo, 1 primary, 2 backup
+  std::uint64_t repl_peer_healthy = 0;  // 1 when the peer answers
+  std::uint64_t repl_pushes = 0;        // creates + erases propagated OK
+  std::uint64_t repl_push_failures = 0; // propagations lost -> solo degrade
+  std::uint64_t repl_installs = 0;      // peer ops applied locally
+  std::uint64_t repl_resyncs = 0;       // completed resync passes
+  std::uint64_t repl_resync_files = 0;  // files copied by resync, cumulative
+  std::uint64_t repl_dedup_hits = 0;    // retried ops answered from record
 
-  static constexpr std::size_t kWireSize = 34 * 8;
+  static constexpr std::size_t kWireSize = 42 * 8;
 
   void encode(Writer& w) const;
   static Result<ServerStats> decode(Reader& r);
+};
+
+// Replication manifest (kReplicate/kReplManifest reply payload): every
+// live file's identity, the tombstones of deletes accepted while the peer
+// was unreachable, and the reply-dedup records of recent creates so a
+// resync can detect the same client operation applied independently on
+// both sides of a partition. Randoms ride in the clear — this opcode is
+// only reachable with the pair's shared admin capability.
+struct ReplManifest {
+  struct File {
+    std::uint32_t object = 0;
+    std::uint64_t random = 0;
+    std::uint32_t size = 0;
+  };
+  struct Tombstone {
+    std::uint32_t object = 0;
+    std::uint64_t random = 0;
+  };
+  struct DedupRecord {
+    std::uint64_t message_id = 0;
+    std::uint32_t object = 0;
+    std::uint64_t random = 0;
+  };
+
+  std::uint64_t role = 0;  // sender's ReplRole, for status display
+  std::vector<File> files;
+  std::vector<Tombstone> tombstones;
+  std::vector<DedupRecord> dedups;
+
+  void encode(Writer& w) const;
+  static Result<ReplManifest> decode(Reader& r);
+};
+
+// kReplResync reply payload.
+struct ReplResyncReport {
+  std::uint64_t files_pulled = 0;   // copied from the peer to us
+  std::uint64_t files_pushed = 0;   // copied from us to the peer
+  std::uint64_t erases_applied = 0; // tombstones replayed, either direction
+  std::uint64_t duplicates_reconciled = 0;  // same message id on both sides
+  std::uint64_t conflicts = 0;      // same slot, different file (skipped)
+
+  void encode(Writer& w) const;
+  static Result<ReplResyncReport> decode(Reader& r);
 };
 
 // One traced request stage (kTraceDump reply: u32 count ‖ count spans).

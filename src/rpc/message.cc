@@ -7,7 +7,11 @@ Bytes Request::encode() const {
   target.encode(w);
   w.u16(opcode);
   w.blob(body);
-  if (deadline_us != 0) {
+  if (message_id != 0) {
+    w.u64(trace_id);
+    w.u64(deadline_us);
+    w.u64(message_id);
+  } else if (deadline_us != 0) {
     w.u64(trace_id);
     w.u64(deadline_us);
   } else if (trace_id != 0) {
@@ -24,13 +28,17 @@ Result<Request> Request::decode(ByteSpan wire) {
   BULLET_ASSIGN_OR_RETURN(ByteSpan body, r.blob());
   req.body.assign(body.begin(), body.end());
   // Exactly one trailing u64 is the optional trace id; exactly two are
-  // trace id ‖ deadline (see message.h). Anything else trailing is still
-  // malformed.
+  // trace id ‖ deadline; exactly three add the operation id (see
+  // message.h). Anything else trailing is still malformed.
   if (r.remaining() == 8) {
     BULLET_ASSIGN_OR_RETURN(req.trace_id, r.u64());
   } else if (r.remaining() == 16) {
     BULLET_ASSIGN_OR_RETURN(req.trace_id, r.u64());
     BULLET_ASSIGN_OR_RETURN(req.deadline_us, r.u64());
+  } else if (r.remaining() == 24) {
+    BULLET_ASSIGN_OR_RETURN(req.trace_id, r.u64());
+    BULLET_ASSIGN_OR_RETURN(req.deadline_us, r.u64());
+    BULLET_ASSIGN_OR_RETURN(req.message_id, r.u64());
   }
   if (!r.done()) return Error(ErrorCode::bad_argument, "trailing bytes");
   return req;

@@ -42,10 +42,24 @@ struct Request {
   // server (the same contract as trace ids).
   std::uint64_t deadline_us = 0;
 
+  // Optional client-chosen operation id (0 = none), stable across
+  // retransmits AND across replica failover — unlike the UDP fragment
+  // header's message id, which is per-transport. A replication-aware
+  // server remembers the reply of each mutating operation keyed by this
+  // id and replicates the binding to its peer, so a create retried
+  // against the other replica is answered from the recorded reply instead
+  // of re-executed: the service-level, cross-replica analog of the UDP
+  // ReplyCache. A nonzero id widens the trailer to 24 bytes: trace_id ‖
+  // deadline_us ‖ message_id. Old servers reject the 24-byte form, so
+  // enabling ids requires a replication-aware server (the same
+  // append-only contract as trace ids and deadlines).
+  std::uint64_t message_id = 0;
+
   // Bytes this request occupies on the wire (for the network model).
   std::uint64_t wire_size() const noexcept {
     return Capability::kWireSize + 2 + 4 + body.size() +
-           (deadline_us != 0 ? 16 : (trace_id != 0 ? 8 : 0));
+           (message_id != 0 ? 24
+                            : (deadline_us != 0 ? 16 : (trace_id != 0 ? 8 : 0)));
   }
 
   Bytes encode() const;

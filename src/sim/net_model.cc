@@ -37,6 +37,42 @@ ProtocolCosts ProtocolCosts::sun_nfs_1989() {
   return c;
 }
 
+FaultParams FaultParams::flaky() {
+  FaultParams p;
+  p.drop_request = 0.05;
+  p.drop_reply = 0.05;
+  p.duplicate = 0.05;
+  p.reorder = 0.05;
+  p.reorder_gap_max = 3;
+  p.delay_max = from_ms(2.0);
+  return p;
+}
+
+FaultDecision FaultPlan::next() noexcept {
+  FaultDecision d;
+  ++drawn_;
+  // Fixed draw order and count per message (see header).
+  const double r_drop_req = rng_.next_double();
+  const double r_drop_rep = rng_.next_double();
+  const double r_dup = rng_.next_double();
+  const double r_reorder = rng_.next_double();
+  const std::uint64_t r_gap = rng_.next();
+  const double r_delay = rng_.next_double();
+  d.drop_request = r_drop_req < params_.drop_request;
+  d.drop_reply = r_drop_rep < params_.drop_reply;
+  d.duplicate = r_dup < params_.duplicate;
+  d.reorder = r_reorder < params_.reorder;
+  const std::uint32_t gap_max = params_.reorder_gap_max == 0
+                                    ? 1
+                                    : params_.reorder_gap_max;
+  d.reorder_gap = 1 + static_cast<std::uint32_t>(r_gap % gap_max);
+  if (params_.delay_max > 0) {
+    d.delay = static_cast<Duration>(
+        r_delay * static_cast<double>(params_.delay_max));
+  }
+  return d;
+}
+
 Duration rpc_time(const NetParams& net, const ProtocolCosts& costs,
                   std::uint64_t req_bytes, std::uint64_t rep_bytes) noexcept {
   Duration t = 0;

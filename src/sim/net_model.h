@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "common/rng.h"
 #include "sim/clock.h"
 
 namespace bullet::sim {
@@ -45,5 +46,56 @@ struct ProtocolCosts {
 // server charges itself via its SimDisk).
 Duration rpc_time(const NetParams& net, const ProtocolCosts& costs,
                   std::uint64_t req_bytes, std::uint64_t rep_bytes) noexcept;
+
+// Per-message fault probabilities for one direction of one link. The
+// network analog of disk::FaultPlan: loss, duplication, reordering, and
+// extra delay, drawn from a seeded generator so a schedule replays
+// identically on the sim substrate and under the real UDP transport.
+struct FaultParams {
+  double drop_request = 0.0;   // request vanishes before the server sees it
+  double drop_reply = 0.0;     // server executed, reply vanishes
+  double duplicate = 0.0;      // request delivered twice back to back
+  double reorder = 0.0;        // request held and delivered after later ones
+  std::uint32_t reorder_gap_max = 3;    // how many later messages overtake it
+  Duration delay_max = 0;      // uniform extra one-way latency in [0, max)
+
+  static FaultParams none() { return {}; }
+  // A visibly lossy link: a few percent of everything goes wrong.
+  static FaultParams flaky();
+};
+
+// One drawn decision for a single message.
+struct FaultDecision {
+  bool drop_request = false;
+  bool drop_reply = false;
+  bool duplicate = false;
+  bool reorder = false;
+  std::uint32_t reorder_gap = 0;  // messages that overtake a reordered one
+  Duration delay = 0;
+};
+
+// Deterministic sequence of per-message fault decisions. Same seed + same
+// params + same draw count => same decisions, on any substrate.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  FaultPlan(FaultParams params, std::uint64_t seed)
+      : params_(params), rng_(seed) {}
+
+  const FaultParams& params() const noexcept { return params_; }
+
+  // Draw the decision for the next message. Always consumes the same
+  // number of rng draws regardless of outcome, so decision streams stay
+  // aligned across substrates that skip categories (e.g. a one-shot
+  // transport that never sees replies).
+  FaultDecision next() noexcept;
+
+  std::uint64_t drawn() const noexcept { return drawn_; }
+
+ private:
+  FaultParams params_;
+  Rng rng_;
+  std::uint64_t drawn_ = 0;
+};
 
 }  // namespace bullet::sim

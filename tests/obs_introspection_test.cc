@@ -73,6 +73,14 @@ const char* const kCounterMetrics[] = {
     "bullet_deadline_expired_total",
     "bullet_rx_queue_depth_max",
     "bullet_inflight_sheds_total",
+    "bullet_repl_role",
+    "bullet_repl_peer_healthy",
+    "bullet_repl_pushes_total",
+    "bullet_repl_push_failures_total",
+    "bullet_repl_installs_total",
+    "bullet_repl_resyncs_total",
+    "bullet_repl_resync_files_total",
+    "bullet_repl_dedup_hits_total",
 };
 
 const char* const kHistogramMetrics[] = {

@@ -46,7 +46,8 @@ int usage() {
                "[--port N] [--cache-mb N] [--dir-bootstrap FILE] "
                "[--workers N] [--io-threads N] [--no-trace] "
                "[--trace-sample N] [--max-queue N] [--max-client-queue N] "
-               "[--max-inflight N] [--shed-retry-ms N]\n");
+               "[--max-inflight N] [--shed-retry-ms N] "
+               "[--peer UDP-PORT --role primary|backup]\n");
   return 2;
 }
 
@@ -114,6 +115,12 @@ int main(int argc, char** argv) {
   std::size_t max_client_queue = 0;
   std::size_t max_inflight = 256;
   std::uint32_t shed_retry_ms = 50;
+  // Replicated pair: the other server's UDP port and this side's role.
+  // Both daemons must share the library's default private port and secret
+  // (they do unless the build customizes BulletConfig), so capabilities
+  // verify at either replica.
+  std::uint16_t peer_port = 0;
+  BulletServer::ReplRole role = BulletServer::ReplRole::kSolo;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -161,6 +168,20 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       shed_retry_ms = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--peer") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      peer_port = static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--role") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      if (std::strcmp(v, "primary") == 0) {
+        role = BulletServer::ReplRole::kPrimary;
+      } else if (std::strcmp(v, "backup") == 0) {
+        role = BulletServer::ReplRole::kBackup;
+      } else {
+        return usage();
+      }
     } else if (arg == "--no-trace") {
       // Disables sampling AND client-forced traces (the overhead baseline).
       obs::set_tracing_enabled(false);
@@ -175,6 +196,10 @@ int main(int argc, char** argv) {
     }
   }
   if (images.empty() || images.size() > 2) return usage();
+  if ((peer_port != 0) != (role != BulletServer::ReplRole::kSolo)) {
+    std::fprintf(stderr, "--peer and --role go together\n");
+    return usage();
+  }
   if (bootstrap_path.empty()) bootstrap_path = images.front() + ".dircap";
 
   // Open the replica images (they must be pre-formatted via bullet_tool).
@@ -224,6 +249,39 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "bullet: %llu files, %llu repairs at boot\n",
                static_cast<unsigned long long>(boot.files),
                static_cast<unsigned long long>(boot.repairs()));
+
+  // Replicated pair: connect the peer link and, if the peer is already up,
+  // reconcile before taking traffic so a restarted replica returns current.
+  std::unique_ptr<rpc::UdpTransport> peer_link;
+  if (peer_port != 0) {
+    rpc::UdpClientOptions peer_options;
+    peer_options.server_udp_port = peer_port;
+    auto link = rpc::UdpTransport::connect(peer_options);
+    if (!link.ok()) {
+      std::fprintf(stderr, "peer: %s\n", link.error().to_string().c_str());
+      return 1;
+    }
+    peer_link = std::move(link).value();
+    server.value()->attach_replica(peer_link.get(), role);
+    const auto status = server.value()->repl_status();
+    if (status.peer_healthy) {
+      auto resync = server.value()->resync_with_peer();
+      if (resync.ok()) {
+        std::fprintf(stderr,
+                     "resync: pulled %llu, pushed %llu, erases %llu\n",
+                     static_cast<unsigned long long>(resync.value().files_pulled),
+                     static_cast<unsigned long long>(resync.value().files_pushed),
+                     static_cast<unsigned long long>(
+                         resync.value().erases_applied));
+      } else {
+        std::fprintf(stderr, "resync failed (serving degraded): %s\n",
+                     resync.error().to_string().c_str());
+      }
+    } else {
+      std::fprintf(stderr, "peer on port %u not answering; serving solo "
+                   "until it resyncs\n", peer_port);
+    }
+  }
 
   // Directory server over the local (in-process) path to the Bullet server.
   rpc::LoopbackTransport local;
@@ -276,9 +334,13 @@ int main(int argc, char** argv) {
     nanosleep(&ts, nullptr);
   }
 
-  // Clean shutdown: persist the directory state and sync the disks.
+  // Clean shutdown: persist the directory state and sync the disks. The
+  // checkpoint runs while still attached: a backup must write its snapshot
+  // file with top-down slot allocation, or two replicas shut down during a
+  // partition land their snapshots on the same slot (a resync conflict).
   udp.value()->stop();
   auto snapshot = dir_server.value()->checkpoint();
+  if (peer_link != nullptr) server.value()->detach_replica();
   if (snapshot.ok()) {
     bootstrap.snapshot = snapshot.value();
     if (!save_bootstrap(bootstrap_path, bootstrap)) {

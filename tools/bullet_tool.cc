@@ -63,6 +63,8 @@ int usage() {
       "  scrub  <image> <mirror-image> [repair]       compare replicas\n"
       "  resilver <image> <mirror-image>              rebuild a replica copy\n"
       "  stats  <port> <cap>                          live metrics exposition\n"
+      "  status <port> <cap>                          replication role + health\n"
+      "  resync <port> <cap>                          reconcile with the peer\n"
       "  top    <port> <cap> [seconds=1]              live rates over interval\n"
       "  trace  <port> <cap> [--slow DUR] [--max N]   live span chains\n"
       "         (DUR accepts ns/us/ms/s suffixes, default 0 = everything)\n");
@@ -403,6 +405,8 @@ const char* opcode_name(std::uint16_t opcode) {
     case wire::kRestrict: return "RESTRICT";
     case wire::kStats2: return "STATS2";
     case wire::kTraceDump: return "TRACE-DUMP";
+    case wire::kReplicate: return "REPLICATE";
+    case wire::kReplResync: return "REPL-RESYNC";
   }
   return "?";
 }
@@ -432,6 +436,46 @@ long long metric_value(const std::string& text, const std::string& name) {
     pos = eol + 1;
   }
   return -1;
+}
+
+int cmd_status(int argc, char** argv) {
+  if (argc < 2) return usage();
+  auto conn = connect_live(argv[0], argv[1]);
+  if (!conn.ok()) return fail(conn.error());
+  auto stats = conn.value().client->stats();
+  if (!stats.ok()) return fail(stats.error());
+  const auto& s = stats.value();
+  const char* role = s.repl_role == 1   ? "primary"
+                     : s.repl_role == 2 ? "backup"
+                                        : "solo";
+  std::printf("role:              %s\n", role);
+  if (s.repl_role != 0) {
+    std::printf("peer:              %s\n",
+                s.repl_peer_healthy != 0 ? "healthy" : "down (degraded)");
+  }
+  std::printf("files live:        %" PRIu64 "\n", s.files_live);
+  std::printf("pushes:            %" PRIu64 " ok, %" PRIu64 " failed\n",
+              s.repl_pushes, s.repl_push_failures);
+  std::printf("peer ops applied:  %" PRIu64 "\n", s.repl_installs);
+  std::printf("resyncs:           %" PRIu64 " (%" PRIu64 " files copied)\n",
+              s.repl_resyncs, s.repl_resync_files);
+  std::printf("dedup hits:        %" PRIu64 "\n", s.repl_dedup_hits);
+  // A degraded pair is a finding, like fsck's non-zero repair count.
+  return s.repl_role != 0 && s.repl_peer_healthy == 0 ? 1 : 0;
+}
+
+int cmd_resync(int argc, char** argv) {
+  if (argc < 2) return usage();
+  auto conn = connect_live(argv[0], argv[1]);
+  if (!conn.ok()) return fail(conn.error());
+  auto report = conn.value().client->repl_resync();
+  if (!report.ok()) return fail(report.error());
+  const auto& r = report.value();
+  std::printf("pulled %" PRIu64 ", pushed %" PRIu64 ", erases %" PRIu64
+              ", duplicates %" PRIu64 ", conflicts %" PRIu64 "\n",
+              r.files_pulled, r.files_pushed, r.erases_applied,
+              r.duplicates_reconciled, r.conflicts);
+  return r.conflicts == 0 ? 0 : 1;
 }
 
 int cmd_top(int argc, char** argv) {
@@ -544,6 +588,8 @@ int main(int argc, char** argv) {
   if (command == "resilver") return cmd_resilver(image, rest_argc, rest_argv);
   // Live commands: argv[2] is a UDP port, argv[3] an admin capability.
   if (command == "stats") return cmd_live_stats(argc - 2, argv + 2);
+  if (command == "status") return cmd_status(argc - 2, argv + 2);
+  if (command == "resync") return cmd_resync(argc - 2, argv + 2);
   if (command == "top") return cmd_top(argc - 2, argv + 2);
   if (command == "trace") return cmd_trace(argc - 2, argv + 2);
   return usage();
