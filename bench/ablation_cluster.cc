@@ -1,0 +1,521 @@
+// Cluster ablation: does sharding Bullet actually scale, and does a live
+// shard add lose anything?
+//
+// N Bullet shards share the cluster identity (private port + secret, so one
+// capability space spans them all) and split the object space by the
+// consistent-hash ring. Each shard runs on its own simulated testbed slice:
+// its own virtual clock, disk model, and link (a switched network, unlike
+// the shared 1989 Ethernet of the single-server figures — the point here is
+// server scaling, not wire contention). The control plane (directory server
+// holding the placement map, and the map fetches themselves) runs on
+// loopback at zero virtual cost: it is off the data path by design, and the
+// bench asserts it stays off (one map fetch per client, not per read).
+//
+// Phase 1 — scaling: an open-loop zipfian read mix (theta 0.8 over ~1K
+// whole files, Poisson arrivals at ~2x estimated capacity) is routed by a
+// RoutingClient over N = 1/2/4/8 shards. Aggregate throughput is total
+// reads over the *makespan* — the largest virtual busy time any one shard
+// accumulates — so skew hurts exactly as it would in a real cluster: the
+// hottest shard is the clock. Perfect balance would give N x; the zipf head
+// caps it below that.
+//
+// Phase 2 — shard add under load: a 3-shard cluster takes a 4th shard
+// while clients keep reading and creating. Copy steps interleave with
+// client batches; creates race the copy (some land on slots the new ring
+// assigns elsewhere — strays); the flip happens mid-workload; stale-map
+// clients self-correct via wrong_shard, post-flip clients reach strays via
+// the fallback probe; reconcile re-homes them and drain retires the old
+// copies. The bench fails (--check) if any read of an acked file fails at
+// any point, if any acked create is unreadable at the end, or if the
+// cluster does not converge (a re-plan finds moves).
+//
+// Emits JSON on stdout (snapshot: bench/BENCH_cluster.json) and a table on
+// stderr. Flags:
+//   --smoke     fewer files/reads, N up to 4 (CI gate)
+//   --check     exit 1 on: < 3x aggregate throughput at 4 shards, any
+//               failed read of an acked file, any lost acked create, or
+//               residual moves after the rebalance
+//   --seed N    workload RNG seed (default 0xC1AD)
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cluster/placement.h"
+#include "cluster/rebalance.h"
+#include "cluster/ring.h"
+#include "cluster/routing_client.h"
+#include "dir/client.h"
+#include "dir/server.h"
+
+namespace bullet::bench {
+namespace {
+
+[[noreturn]] void die(const std::string& message) {
+  std::fprintf(stderr, "bench setup failed: %s\n", message.c_str());
+  std::abort();
+}
+
+// One shard of the cluster: its own clock, simulated disk, and link. The
+// default BulletConfig port/secret make it a member of the shared
+// capability space.
+struct Shard {
+  Shard(std::uint64_t seed)
+      : raw(sim::Testbed1989::kSectorSize, 1 << 15),
+        sim(&raw, sim::Testbed1989::disk(), &clock),
+        transport(sim::Testbed1989::net(), &clock) {
+    Status st = BulletServer::format(raw, 4096);
+    if (!st.ok()) die(st.to_string());
+    auto mirror_result = MirroredDisk::create({&sim});
+    if (!mirror_result.ok()) die(mirror_result.error().to_string());
+    mirror = std::make_unique<MirroredDisk>(std::move(mirror_result).value());
+    BulletConfig config;
+    config.clock = &clock;
+    config.cache_bytes = 8u << 20;
+    config.rng_seed = seed;
+    auto started = BulletServer::start(mirror.get(), config);
+    if (!started.ok()) die(started.error().to_string());
+    server = std::move(started).value();
+    st = transport.register_service(server.get(),
+                                    sim::Testbed1989::bullet_costs());
+    if (!st.ok()) die(st.to_string());
+  }
+
+  sim::Clock clock;
+  MemDisk raw;
+  SimDisk sim;
+  std::unique_ptr<MirroredDisk> mirror;
+  std::unique_ptr<BulletServer> server;
+  rpc::SimTransport transport;
+};
+
+// The cluster plus its control plane. The directory server's own metadata
+// lives on a separate plain Bullet instance (never a cluster shard — its
+// files must not be subject to rebalance), reached over loopback.
+class ClusterRig {
+ public:
+  ClusterRig(std::size_t shard_count, std::size_t active, std::uint64_t seed)
+      : dir_raw_(512, 1 << 13) {
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      shards_.push_back(std::make_unique<Shard>(seed + 0x1111 * (i + 1)));
+    }
+    Status st = BulletServer::format(dir_raw_, 256);
+    if (!st.ok()) die(st.to_string());
+    auto mirror_result = MirroredDisk::create({&dir_raw_});
+    if (!mirror_result.ok()) die(mirror_result.error().to_string());
+    dir_mirror_ =
+        std::make_unique<MirroredDisk>(std::move(mirror_result).value());
+    BulletConfig storage_config;
+    storage_config.cache_bytes = 1u << 20;
+    auto storage_server = BulletServer::start(dir_mirror_.get(), storage_config);
+    if (!storage_server.ok()) die(storage_server.error().to_string());
+    dir_storage_server_ = std::move(storage_server).value();
+    st = dir_storage_net_.register_service(dir_storage_server_.get());
+    if (!st.ok()) die(st.to_string());
+    BulletClient storage(&dir_storage_net_,
+                         dir_storage_server_->super_capability());
+    auto dir_server = dir::DirServer::start(storage, dir::DirConfig());
+    if (!dir_server.ok()) die(dir_server.error().to_string());
+    dir_server_ = std::move(dir_server).value();
+    st = dir_net_.register_service(dir_server_.get());
+    if (!st.ok()) die(st.to_string());
+    dir_client_ = std::make_unique<dir::DirClient>(
+        &dir_net_, dir_server_->super_capability());
+
+    cluster::PlacementMap initial;
+    initial.shards = shard_infos(active);
+    const Status boot = rebalancer().bootstrap(std::move(initial));
+    if (!boot.ok()) die(boot.to_string());
+  }
+
+  cluster::RoutingClient::Resolver resolver() {
+    return [this](const cluster::ShardInfo& info) -> rpc::Transport* {
+      if (info.endpoints.empty()) return nullptr;
+      const std::uint64_t index = info.endpoints.front();
+      if (index >= shards_.size()) return nullptr;
+      return &shards_[index]->transport;
+    };
+  }
+
+  std::vector<cluster::ShardInfo> shard_infos(std::size_t n) {
+    std::vector<cluster::ShardInfo> infos;
+    for (std::size_t i = 0; i < n; ++i) {
+      infos.push_back({static_cast<std::uint32_t>(i + 1), {i}});
+    }
+    return infos;
+  }
+
+  Capability super() { return shards_[0]->server->super_capability(); }
+
+  cluster::RoutingClient client() {
+    return cluster::RoutingClient(dir_client_.get(), super(), resolver());
+  }
+
+  cluster::Rebalancer rebalancer() {
+    return cluster::Rebalancer(dir_client_.get(), super(), resolver());
+  }
+
+  Shard& shard(std::uint32_t id) { return *shards_[id - 1]; }
+  std::size_t shard_count() const { return shards_.size(); }
+
+  // Virtual busy time each shard has accumulated.
+  std::vector<sim::Time> clock_marks() const {
+    std::vector<sim::Time> marks;
+    for (const auto& s : shards_) marks.push_back(s->clock.now());
+    return marks;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Shard>> shards_;
+  MemDisk dir_raw_;
+  std::unique_ptr<MirroredDisk> dir_mirror_;
+  std::unique_ptr<BulletServer> dir_storage_server_;
+  rpc::LoopbackTransport dir_storage_net_;
+  rpc::LoopbackTransport dir_net_;
+  std::unique_ptr<dir::DirServer> dir_server_;
+  std::unique_ptr<dir::DirClient> dir_client_;
+};
+
+// Zipfian rank sampler over [0, n) with the given theta, via the inverse
+// CDF. Rank 0 is the hottest.
+class Zipf {
+ public:
+  Zipf(std::size_t n, double theta) {
+    cdf_.reserve(n);
+    double total = 0;
+    for (std::size_t i = 1; i <= n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i), theta);
+      cdf_.push_back(total);
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  std::size_t sample(Rng& rng) const {
+    const double u = rng.next_double();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+constexpr double kZipfTheta = 0.8;
+constexpr std::size_t kFileBytes = 4 << 10;
+
+struct ScalePoint {
+  std::size_t shards = 0;
+  double reads_per_s = 0;
+  double speedup = 1.0;
+  std::uint64_t failed_reads = 0;
+  std::uint64_t map_fetches = 0;
+};
+
+// Phase 1: preload `files` files, then serve `reads` zipfian reads at ~2x
+// the estimated aggregate capacity and measure reads over makespan.
+ScalePoint run_scale(std::size_t n, std::size_t files, std::size_t reads,
+                     std::uint64_t seed) {
+  ClusterRig rig(n, n, seed);
+  cluster::RoutingClient client = rig.client();
+  client.enable_message_ids(seed | 1);
+  Rng rng(seed ^ (0xBE11 * n));
+
+  std::vector<Capability> caps;
+  std::vector<Bytes> contents;
+  for (std::size_t i = 0; i < files; ++i) {
+    contents.push_back(rng.next_bytes(kFileBytes));
+    auto cap = client.create(contents.back(), 1);
+    if (!cap.ok()) die("preload create failed: " + cap.error().to_string());
+    caps.push_back(cap.value());
+  }
+  // Hot ranks land on uniformly random files, so the zipf head spreads
+  // across shards the way real popularity does.
+  std::vector<std::size_t> rank_to_file(files);
+  for (std::size_t i = 0; i < files; ++i) rank_to_file[i] = i;
+  for (std::size_t i = files; i > 1; --i) {
+    std::swap(rank_to_file[i - 1], rank_to_file[rng.next_below(i)]);
+  }
+  const Zipf zipf(files, kZipfTheta);
+
+  // Calibrate mean per-read busy time (warm reads), to set the open-loop
+  // arrival rate at ~2x the N-shard capacity estimate.
+  const std::vector<sim::Time> cal_start = rig.clock_marks();
+  const std::size_t cal_reads = 64;
+  for (std::size_t i = 0; i < cal_reads; ++i) {
+    auto data = client.read(caps[rng.next_below(caps.size())]);
+    if (!data.ok()) die("calibration read failed");
+  }
+  const std::vector<sim::Time> cal_end = rig.clock_marks();
+  sim::Duration cal_busy = 0;
+  for (std::size_t i = 0; i < cal_end.size(); ++i) {
+    cal_busy += cal_end[i] - cal_start[i];
+  }
+  const double mean_service_ns =
+      static_cast<double>(cal_busy) / static_cast<double>(cal_reads);
+  // 4x overload: shards essentially never idle, so the makespan measures
+  // service capacity, not arrival gaps.
+  const double mean_gap_ns = mean_service_ns / (4.0 * static_cast<double>(n));
+
+  ScalePoint point;
+  point.shards = n;
+  const std::vector<sim::Time> start = rig.clock_marks();
+  double arrival_ns = 0;
+  for (std::size_t i = 0; i < reads; ++i) {
+    const double u = rng.next_double();
+    arrival_ns += -mean_gap_ns * std::log(u > 1e-12 ? u : 1e-12);
+    const std::size_t file = rank_to_file[zipf.sample(rng)];
+    auto owner = client.shard_for(caps[file].object);
+    if (!owner.ok()) die("shard_for failed");
+    // Open loop: an idle shard waits for the arrival; a busy shard queues
+    // it (its clock is already past the arrival instant).
+    sim::Clock& clock = rig.shard(owner.value()).clock;
+    const auto at = static_cast<sim::Time>(arrival_ns);
+    if (clock.now() < at) clock.advance(at - clock.now());
+    auto data = client.read(caps[file]);
+    if (!data.ok() || !equal(ByteSpan(data.value()), ByteSpan(contents[file]))) {
+      ++point.failed_reads;
+    }
+  }
+  const std::vector<sim::Time> end = rig.clock_marks();
+  sim::Duration makespan = 0;
+  for (std::size_t i = 0; i < end.size(); ++i) {
+    makespan = std::max(makespan, end[i] - start[i]);
+  }
+  point.reads_per_s = makespan > 0 ? static_cast<double>(reads) /
+                                         sim::to_seconds(makespan)
+                                   : 0;
+  point.map_fetches = client.map_fetches();
+  return point;
+}
+
+struct RebalanceResult {
+  std::uint64_t planned = 0, conflicts = 0;
+  std::uint64_t reads_total = 0, failed_reads = 0;
+  std::uint64_t acked_creates = 0, lost_creates = 0;
+  std::uint64_t wrong_shard_retries = 0, fallback_reads = 0;
+  std::uint64_t residual_moves = 0;
+};
+
+// Phase 2: grow 3 shards to 4 under a live read+create workload.
+RebalanceResult run_rebalance(std::size_t files, std::uint64_t seed) {
+  ClusterRig rig(4, 3, seed);
+  cluster::RoutingClient live = rig.client();  // lives through the flip
+  live.enable_message_ids(seed | 1);
+  Rng rng(seed ^ 0xADD5);
+
+  std::vector<Capability> caps;
+  std::vector<Bytes> contents;
+  const auto tracked_create = [&](cluster::RoutingClient& client) {
+    Bytes data = rng.next_bytes(kFileBytes);
+    auto cap = client.create(data, 1);
+    if (!cap.ok()) die("create failed: " + cap.error().to_string());
+    caps.push_back(cap.value());
+    contents.push_back(std::move(data));
+  };
+  for (std::size_t i = 0; i < files; ++i) tracked_create(live);
+
+  RebalanceResult result;
+  const auto read_batch = [&](cluster::RoutingClient& client,
+                              std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t file = rng.next_below(caps.size());
+      auto data = client.read(caps[file]);
+      ++result.reads_total;
+      if (!data.ok() ||
+          !equal(ByteSpan(data.value()), ByteSpan(contents[file]))) {
+        ++result.failed_reads;
+      }
+    }
+  };
+
+  cluster::Rebalancer rebalancer = rig.rebalancer();
+  auto plan = rebalancer.plan(rig.shard_infos(4));
+  if (!plan.ok()) die("plan failed: " + plan.error().to_string());
+  result.planned = plan.value().moves.size();
+
+  // Copy in steps; between steps the workload keeps reading and creating.
+  // The racing creates land under the still-installed old map — some on
+  // slots the new ring assigns elsewhere, the strays the later phases must
+  // not lose.
+  while (!plan.value().copy_done()) {
+    auto copied = rebalancer.copy_step(plan.value(), 16);
+    if (!copied.ok()) die("copy_step failed: " + copied.error().to_string());
+    read_batch(live, 24);
+    for (int i = 0; i < 4; ++i) {
+      tracked_create(live);
+      ++result.acked_creates;
+    }
+  }
+
+  const Status flipped = rebalancer.flip(plan.value());
+  if (!flipped.ok()) die("flip failed: " + flipped.to_string());
+
+  // Post-flip, pre-reconcile: the nastiest window. The live client still
+  // holds the old map (wrong_shard self-corrects it); a fresh client never
+  // saw the old map and reaches strays only through the fallback probe.
+  read_batch(live, 48);
+  cluster::RoutingClient fresh = rig.client();
+  read_batch(fresh, 48);
+
+  auto reconciled = rebalancer.reconcile(plan.value());
+  if (!reconciled.ok()) die("reconcile failed: " + reconciled.error().to_string());
+  read_batch(live, 24);
+  cluster::Rebalancer::Report report;
+  auto drained = rebalancer.drain(plan.value(), &report);
+  if (!drained.ok()) die("drain failed: " + drained.error().to_string());
+  result.conflicts = report.conflicts;
+
+  // Every acked create (and every preloaded file) must read back through a
+  // client born after the whole dance.
+  cluster::RoutingClient audit = rig.client();
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    auto data = audit.read(caps[i]);
+    if (!data.ok() ||
+        !equal(ByteSpan(data.value()), ByteSpan(contents[i]))) {
+      if (i >= files) ++result.lost_creates;
+      else ++result.failed_reads;
+    }
+  }
+  result.reads_total += caps.size();
+  result.wrong_shard_retries = live.wrong_shard_retries();
+  result.fallback_reads = live.fallback_reads() + fresh.fallback_reads();
+
+  auto replan = rebalancer.plan(rig.shard_infos(4));
+  if (!replan.ok()) die("replan failed: " + replan.error().to_string());
+  result.residual_moves = replan.value().moves.size();
+  return result;
+}
+
+int run(bool smoke, bool check, std::uint64_t seed) {
+  const std::size_t files = smoke ? 512 : 1024;
+  const std::size_t reads = smoke ? 3000 : 12000;
+  const std::vector<std::size_t> cluster_sizes =
+      smoke ? std::vector<std::size_t>{1, 2, 4}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+
+  std::vector<ScalePoint> points;
+  for (const std::size_t n : cluster_sizes) {
+    points.push_back(run_scale(n, files, reads, seed));
+  }
+  for (auto& p : points) {
+    p.speedup = points[0].reads_per_s > 0
+                    ? p.reads_per_s / points[0].reads_per_s
+                    : 0;
+  }
+  const RebalanceResult rebalance = run_rebalance(smoke ? 128 : 512, seed);
+
+  JsonWriter json;
+  json.begin_object();
+  stamp_provenance(json, "cluster");
+  json.begin_object("config")
+      .field("smoke", smoke ? 1 : 0)
+      .field("seed", seed)
+      .field("files", static_cast<std::uint64_t>(files))
+      .field("file_bytes", static_cast<std::uint64_t>(kFileBytes))
+      .field("reads_per_point", static_cast<std::uint64_t>(reads))
+      .field("zipf_theta", kZipfTheta)
+      .end_object();
+  json.begin_array("scaling");
+  for (const auto& p : points) {
+    json.begin_object()
+        .field("shards", static_cast<std::uint64_t>(p.shards))
+        .field("reads_per_s", p.reads_per_s)
+        .field("speedup", p.speedup)
+        .field("failed_reads", p.failed_reads)
+        .field("map_fetches", p.map_fetches)
+        .end_object();
+  }
+  json.end_array();
+  json.begin_object("shard_add")
+      .field("planned_moves", rebalance.planned)
+      .field("conflicts", rebalance.conflicts)
+      .field("reads_total", rebalance.reads_total)
+      .field("failed_reads", rebalance.failed_reads)
+      .field("acked_creates", rebalance.acked_creates)
+      .field("lost_creates", rebalance.lost_creates)
+      .field("wrong_shard_retries", rebalance.wrong_shard_retries)
+      .field("fallback_reads", rebalance.fallback_reads)
+      .field("residual_moves", rebalance.residual_moves)
+      .end_object();
+  json.end_object();
+  std::printf("%s\n", json.str().c_str());
+
+  std::fprintf(stderr, "\ncluster scaling (zipf %.1f over %zu files)\n",
+               kZipfTheta, files);
+  std::fprintf(stderr, "  %8s %14s %10s\n", "shards", "reads/s", "speedup");
+  for (const auto& p : points) {
+    std::fprintf(stderr, "  %8zu %14.0f %9.2fx\n", p.shards, p.reads_per_s,
+                 p.speedup);
+  }
+  std::fprintf(stderr,
+               "\nshard add under load: %llu moves, %llu reads (%llu failed), "
+               "%llu creates (%llu lost), %llu wrong-shard retries, "
+               "%llu fallback reads, %llu conflicts, %llu residual moves\n",
+               static_cast<unsigned long long>(rebalance.planned),
+               static_cast<unsigned long long>(rebalance.reads_total),
+               static_cast<unsigned long long>(rebalance.failed_reads),
+               static_cast<unsigned long long>(rebalance.acked_creates),
+               static_cast<unsigned long long>(rebalance.lost_creates),
+               static_cast<unsigned long long>(rebalance.wrong_shard_retries),
+               static_cast<unsigned long long>(rebalance.fallback_reads),
+               static_cast<unsigned long long>(rebalance.conflicts),
+               static_cast<unsigned long long>(rebalance.residual_moves));
+
+  if (check) {
+    std::uint64_t scale_failed = 0;
+    double speedup_at_4 = 0;
+    for (const auto& p : points) {
+      scale_failed += p.failed_reads;
+      if (p.shards == 4) speedup_at_4 = p.speedup;
+    }
+    const bool ok = speedup_at_4 >= 3.0 && scale_failed == 0 &&
+                    rebalance.failed_reads == 0 &&
+                    rebalance.lost_creates == 0 &&
+                    rebalance.residual_moves == 0;
+    if (!ok) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: speedup@4=%.2f scale_failed=%llu "
+                   "rebalance_failed=%llu lost=%llu residual=%llu\n",
+                   speedup_at_4,
+                   static_cast<unsigned long long>(scale_failed),
+                   static_cast<unsigned long long>(rebalance.failed_reads),
+                   static_cast<unsigned long long>(rebalance.lost_creates),
+                   static_cast<unsigned long long>(rebalance.residual_moves));
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "CHECK OK: %.2fx at 4 shards, zero read loss through the "
+                 "shard add\n",
+                 speedup_at_4);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bullet::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool check = false;
+  std::uint64_t seed = 0xC1AD;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 0);
+    } else {
+      std::fprintf(stderr,
+                   "usage: ablation_cluster [--smoke] [--check] [--seed N]\n");
+      return 2;
+    }
+  }
+  return bullet::bench::run(smoke, check, seed);
+}

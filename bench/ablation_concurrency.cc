@@ -331,7 +331,7 @@ int compaction_main() {
 
   JsonWriter json;
   json.begin_object();
-  json.field("bench", "async_compaction");
+  stamp_provenance(json, "async_compaction");
   json.begin_object("config");
   json.field("cache_bytes", kCacheBytes);
   json.field("file_bytes", kFileBytes);
@@ -393,7 +393,7 @@ int main(int argc, char** argv) {
 
   JsonWriter json;
   json.begin_object();
-  json.field("bench", "concurrency");
+  stamp_provenance(json, "concurrency");
   json.begin_object("config");
   json.field("cache_bytes", kCacheBytes);
   json.field("file_bytes", kFileBytes);

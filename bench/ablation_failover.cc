@@ -238,8 +238,8 @@ int run(bool smoke, bool check, std::uint64_t seed) {
           : *std::max_element(failover_lat_us.begin(), failover_lat_us.end());
 
   JsonWriter json;
-  json.begin_object()
-      .field("bench", "ablation_failover")
+  json.begin_object();
+  stamp_provenance(json, "ablation_failover")
       .begin_object("config")
       .field("smoke", smoke ? 1 : 0)
       .field("seed", seed)

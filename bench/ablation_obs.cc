@@ -154,7 +154,7 @@ int main() {
 
   JsonWriter json;
   json.begin_object();
-  json.field("bench", "obs_overhead");
+  stamp_provenance(json, "obs_overhead");
   json.begin_object("config");
   json.field("file_bytes", kFileBytes);
   json.field("iters_per_rep", kItersPerRep);

@@ -496,7 +496,7 @@ int run(bool smoke, bool check, std::uint64_t seed, double zipf_s,
   const auto stats = rig.server().stats();
   JsonWriter json;
   json.begin_object();
-  json.field("bench", "overload");
+  stamp_provenance(json, "overload");
   json.begin_object("config");
   json.field("files", static_cast<std::uint64_t>(kFiles));
   json.field("file_bytes", kFileBytes);

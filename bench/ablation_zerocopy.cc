@@ -193,7 +193,7 @@ int main() {
 
   JsonWriter json;
   json.begin_object();
-  json.field("bench", "read_hotpath");
+  stamp_provenance(json, "read_hotpath");
   json.begin_object("config");
   json.field("cache_bytes", kCacheBytes);
   json.field("block_size", kBlockSize);

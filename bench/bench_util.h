@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bullet/client.h"
@@ -213,6 +214,20 @@ class JsonWriter {
   std::string out_;
   bool need_comma_ = false;
 };
+
+// Every checked-in BENCH_*.json snapshot needs enough provenance to be
+// interpreted later: which bench produced it, the commit that built the
+// binary (stamped by the build; "unknown" outside a git checkout), and how
+// parallel the host was. Call this first inside the top-level object.
+#ifndef BULLET_GIT_SHA
+#define BULLET_GIT_SHA "unknown"
+#endif
+inline JsonWriter& stamp_provenance(JsonWriter& json, const char* bench_name) {
+  return json.field("bench", bench_name)
+      .field("git_sha", BULLET_GIT_SHA)
+      .field("host_cpus",
+             static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+}
 
 // --- table printing ---------------------------------------------------------
 

@@ -1,19 +1,25 @@
-// Photo store: the immutable-object-store use case.
+// Photo store: the immutable-object-store use case, on a sharded cluster.
 //
-// Ingests a corpus of "photos" (deterministic random blobs) into the Bullet
-// server, names them through the directory service under albums, then
-// simulates a crash of the main disk mid-service and shows that (a) every
-// photo survives via the replica, (b) a resilvered drive restores
-// redundancy, and (c) integrity is verifiable end to end with checksums.
+// Ingests a corpus of "photos" (deterministic random blobs) into a
+// two-shard Bullet cluster through a RoutingClient — creates spread across
+// the shards, reads go straight to the owner by consistent hash — and
+// names them through the directory service under albums. Mid-service the
+// operator adds a third shard: the rebalance copies only the ring delta
+// while photos keep being read and new ones keep arriving, and an
+// integrity sweep straddling the flip shows that no photo was ever
+// unreadable. Checksums verify end-to-end integrity throughout.
 //
 // Run:  ./build/examples/photo_store
 #include <cinttypes>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bullet/client.h"
 #include "bullet/server.h"
+#include "cluster/rebalance.h"
+#include "cluster/routing_client.h"
 #include "common/crc.h"
 #include "common/rng.h"
 #include "dir/client.h"
@@ -32,35 +38,75 @@ struct Photo {
   std::uint32_t crc;
 };
 
+// One cluster shard: its own disk and server. All shards keep the default
+// port and secret, so one capability space spans the cluster; each answers
+// on its own loopback link.
+struct Shard {
+  explicit Shard(std::uint64_t rng_seed) : disk(512, 1 << 14) {  // 8 MB
+    if (!BulletServer::format(disk, 1024).ok()) std::abort();
+    auto mirror_result = MirroredDisk::create({&disk});
+    mirror = std::make_unique<MirroredDisk>(std::move(mirror_result).value());
+    BulletConfig config;
+    config.cache_bytes = 512 << 10;
+    config.rng_seed = rng_seed;
+    auto server_result = BulletServer::start(mirror.get(), config);
+    if (!server_result.ok()) std::abort();
+    server = std::move(server_result).value();
+    (void)net.register_service(server.get());
+  }
+
+  MemDisk disk;
+  std::unique_ptr<MirroredDisk> mirror;
+  std::unique_ptr<BulletServer> server;
+  rpc::LoopbackTransport net;
+};
+
 }  // namespace
 
 int main() {
-  // Infrastructure: two replicas, bullet + directory servers, one transport.
-  MemDisk disk_a(512, 1 << 14), disk_b(512, 1 << 14);  // 8 MB each
-  if (!BulletServer::format(disk_a, 1024).ok()) return 1;
-  if (!disk_b.restore(disk_a.snapshot()).ok()) return 1;
-  auto mirror = MirroredDisk::create({&disk_a, &disk_b});
-  auto mirror_disk = std::move(mirror).value();
-  // Keep the RAM cache smaller than the corpus so integrity sweeps really
-  // exercise the disks, not just the cache.
-  BulletConfig config;
-  config.cache_bytes = 512 << 10;
-  auto server = BulletServer::start(&mirror_disk, config);
-  if (!server.ok()) return 1;
+  // Three shards exist as machines; only the first two join the cluster at
+  // first. Endpoint tokens in the placement map index this array.
+  std::vector<std::unique_ptr<Shard>> shards;
+  for (int i = 0; i < 3; ++i) {
+    shards.push_back(std::make_unique<Shard>(0x9080 + 0x101 * i));
+  }
+  const auto resolver = [&](const cluster::ShardInfo& info) -> rpc::Transport* {
+    if (info.endpoints.empty() || info.endpoints.front() >= shards.size()) {
+      return nullptr;
+    }
+    return &shards[info.endpoints.front()]->net;
+  };
 
-  rpc::LoopbackTransport transport;
-  (void)transport.register_service(server.value().get());
-  BulletClient files(&transport, server.value()->super_capability());
-
-  auto dir_server = dir::DirServer::start(files, dir::DirConfig());
+  // The directory server (names and the placement map) keeps its own
+  // metadata on a separate small Bullet instance — never a cluster shard,
+  // so rebalance can't move its files out from under it.
+  MemDisk dir_disk(512, 1 << 13);
+  if (!BulletServer::format(dir_disk, 256).ok()) return 1;
+  auto dir_mirror_result = MirroredDisk::create({&dir_disk});
+  auto dir_mirror = std::move(dir_mirror_result).value();
+  auto dir_storage_server = BulletServer::start(&dir_mirror, BulletConfig());
+  if (!dir_storage_server.ok()) return 1;
+  rpc::LoopbackTransport dir_storage_net, dir_net;
+  (void)dir_storage_net.register_service(dir_storage_server.value().get());
+  BulletClient dir_storage(&dir_storage_net,
+                           dir_storage_server.value()->super_capability());
+  auto dir_server = dir::DirServer::start(dir_storage, dir::DirConfig());
   if (!dir_server.ok()) return 1;
-  (void)transport.register_service(dir_server.value().get());
-  dir::DirClient names(&transport, dir_server.value()->super_capability());
+  (void)dir_net.register_service(dir_server.value().get());
+  dir::DirClient names(&dir_net, dir_server.value()->super_capability());
+
+  // Bootstrap the two-shard placement, then route everything through it.
+  const Capability cluster_super = shards[0]->server->super_capability();
+  cluster::Rebalancer rebalancer(&names, cluster_super, resolver);
+  cluster::PlacementMap initial;
+  initial.shards = {{1, {0}}, {2, {1}}};
+  if (!rebalancer.bootstrap(std::move(initial)).ok()) return 1;
+  cluster::RoutingClient photos(&names, cluster_super, resolver);
 
   auto root = names.create_dir();
   if (!root.ok()) return 1;
 
-  // Ingest: 3 albums x 12 photos, 20-80 KB each.
+  // Ingest: 3 albums x 12 photos, 20-80 KB each, spread across the shards.
   Rng rng(2026);
   std::vector<Photo> catalog;
   std::uint64_t total_bytes = 0;
@@ -70,7 +116,7 @@ int main() {
     for (int i = 0; i < 12; ++i) {
       const std::string name = "img_" + std::to_string(1000 + i) + ".jpg";
       const Bytes blob = rng.next_bytes(rng.next_range(20 << 10, 80 << 10));
-      auto cap = files.create(blob, 2);  // durable on both disks
+      auto cap = photos.create(blob, 1);
       if (!cap.ok()) {
         std::fprintf(stderr, "ingest failed: %s\n",
                      cap.error().to_string().c_str());
@@ -81,10 +127,20 @@ int main() {
       total_bytes += blob.size();
     }
   }
+  const auto occupancy = [&](std::size_t n) {
+    std::string out;
+    for (std::size_t i = 0; i < n; ++i) {
+      out += (i ? " / " : "") +
+             std::to_string(shards[i]->server->live_files());
+    }
+    return out;
+  };
   std::printf("ingested %zu photos (%" PRIu64 " KB) into 3 albums\n",
               catalog.size(), total_bytes >> 10);
+  std::printf("shard occupancy: %s photos\n", occupancy(2).c_str());
 
-  // Integrity sweep by path.
+  // Integrity sweep by path: resolve the name, read through the router,
+  // compare checksums.
   auto verify_all = [&]() -> int {
     int bad = 0;
     for (const Photo& photo : catalog) {
@@ -93,39 +149,64 @@ int main() {
         ++bad;
         continue;
       }
-      auto blob = files.read_whole(cap.value());
+      auto blob = photos.read_whole(cap.value());
       if (!blob.ok() || crc32c(blob.value()) != photo.crc) ++bad;
     }
     return bad;
   };
   std::printf("integrity sweep: %d corrupt/missing\n", verify_all());
 
-  // Disaster: the main disk dies mid-service.
-  disk_a.fail_device();
-  std::printf("\n*** main disk failed ***\n");
-  std::printf("integrity sweep on replica: %d corrupt/missing\n",
-              verify_all());
-  auto stats = files.stats();
-  std::printf("healthy replicas: %" PRIu64 "\n",
-              stats.ok() ? stats.value().healthy_replicas : 0);
+  // Growth: the albums keep filling, so the operator adds shard 3 while
+  // the store stays live. Copy the ring delta in small steps, with uploads
+  // and a full sweep interleaved — clients never notice.
+  std::printf("\n*** adding shard 3 under live load ***\n");
+  auto plan = rebalancer.plan({{1, {0}}, {2, {1}}, {3, {2}}});
+  if (!plan.ok()) return 1;
+  std::printf("rebalance plan: %zu of %zu photos move (ring delta only)\n",
+              plan.value().moves.size(), catalog.size());
+  auto misc_dir = names.resolve(root.value(), "misc");
+  if (!misc_dir.ok()) return 1;
+  int uploaded_during_move = 0;
+  while (!plan.value().copy_done()) {
+    if (!rebalancer.copy_step(plan.value(), 4).ok()) return 1;
+    // An upload races the copy: it lands under the old map and is exactly
+    // the stray the reconcile pass exists to re-home.
+    const std::string name =
+        "img_" + std::to_string(2000 + uploaded_during_move) + ".jpg";
+    const Bytes blob = rng.next_bytes(rng.next_range(20 << 10, 80 << 10));
+    auto cap = photos.create(blob, 1);
+    if (!cap.ok()) return 1;
+    if (!names.enter(misc_dir.value(), name, cap.value()).ok()) return 1;
+    catalog.push_back({"misc", name, crc32c(blob)});
+    ++uploaded_during_move;
+  }
+  if (!rebalancer.flip(plan.value()).ok()) return 1;
+  auto epoch = names.map_epoch();
+  std::printf("flipped to epoch %" PRIu64 "; sweep mid-rebalance: %d "
+              "corrupt/missing\n",
+              epoch.ok() ? epoch.value() : 0, verify_all());
+  cluster::Rebalancer::Report report;
+  if (!rebalancer.reconcile(plan.value(), &report).ok()) return 1;
+  if (!rebalancer.drain(plan.value(), &report).ok()) return 1;
+  std::printf("reconciled %" PRIu64 " stragglers (incl. the racing uploads), "
+              "drained %" PRIu64 " old copies\n",
+              report.reconciled, report.drained);
+  std::printf("shard occupancy: %s photos\n", occupancy(3).c_str());
 
-  // Operator replaces the drive; full-copy recovery, as in the paper.
-  disk_a.clear_faults();
-  if (!mirror_disk.resilver(0).ok()) return 1;
-  std::printf("\nreplaced drive resilvered; healthy replicas: %d\n",
-              mirror_disk.healthy_count());
-
-  // Reboot from disk (cold cache, fsck) and verify once more.
-  server.value().reset();
-  auto reborn = BulletServer::start(&mirror_disk, config);
-  if (!reborn.ok()) return 1;
-  std::printf("rebooted: fsck scanned %" PRIu64 " inodes, %" PRIu64
-              " repairs\n",
-              reborn.value()->boot_report().inodes_scanned,
-              reborn.value()->boot_report().repairs());
-  (void)transport.unregister_service(reborn.value()->public_port());
-  (void)transport.register_service(reborn.value().get());
-  std::printf("integrity sweep after reboot: %d corrupt/missing\n",
-              verify_all());
-  return 0;
+  // Fresh client (knows only the new map) verifies the whole catalog.
+  cluster::RoutingClient fresh(&names, cluster_super, resolver);
+  int bad = 0;
+  for (const Photo& photo : catalog) {
+    auto cap = names.resolve(root.value(), photo.album + "/" + photo.name);
+    if (!cap.ok()) {
+      ++bad;
+      continue;
+    }
+    auto blob = fresh.read_whole(cap.value());
+    if (!blob.ok() || crc32c(blob.value()) != photo.crc) ++bad;
+  }
+  std::printf("final sweep from a fresh client: %d corrupt/missing "
+              "(%zu photos)\n",
+              bad, catalog.size());
+  return bad == 0 ? 0 : 1;
 }

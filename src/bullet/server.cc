@@ -153,6 +153,10 @@ BulletServer::BulletServer(MirroredDisk* disk, BulletConfig config,
     e.value("bullet_repl_resyncs_total", s.repl_resyncs);
     e.value("bullet_repl_resync_files_total", s.repl_resync_files);
     e.value("bullet_repl_dedup_hits_total", s.repl_dedup_hits);
+    e.value("bullet_shard_id", s.shard_id);
+    e.value("bullet_shard_epoch", s.shard_epoch);
+    e.value("bullet_wrong_shard_replies_total", s.wrong_shard_replies);
+    e.value("bullet_shard_map_installs_total", s.shard_map_installs);
     e.value("bullet_cache_capacity_bytes", cs.capacity);
     e.value("bullet_cache_used_bytes", cs.used);
     e.value("bullet_cache_entries", cs.entries);
@@ -336,11 +340,24 @@ Result<std::uint32_t> BulletServer::verify(const Capability& cap,
   if (cap.object == 0) {
     random = super_random_;
   } else {
+    // An absent object that the installed placement map assigns to another
+    // shard is a routing miss, not a dangling capability: answer
+    // `wrong_shard` so the client refetches the map and retries there. An
+    // object this server holds is served below regardless of the map —
+    // that keeps old-owner reads valid while a rebalance copies files.
     if (cap.object >= inodes_.size()) {
+      if (sharded_ && ring_.owner_of(cap.object) != shard_id_) {
+        wrong_shard_replies_.fetch_add(1, std::memory_order_relaxed);
+        return Error(ErrorCode::wrong_shard, "object placed on another shard");
+      }
       return Error(ErrorCode::no_such_object, "object out of range");
     }
     const Inode& inode = inodes_[cap.object];
     if (inode.is_free()) {
+      if (sharded_ && ring_.owner_of(cap.object) != shard_id_) {
+        wrong_shard_replies_.fetch_add(1, std::memory_order_relaxed);
+        return Error(ErrorCode::wrong_shard, "object placed on another shard");
+      }
       return Error(ErrorCode::no_such_object, "object not in use");
     }
     random = inode.random;
@@ -352,6 +369,67 @@ Result<std::uint32_t> BulletServer::verify(const Capability& cap,
     return Error(ErrorCode::permission, "insufficient rights");
   }
   return cap.object;
+}
+
+Result<std::uint32_t> BulletServer::pick_free_slot_locked() const {
+  if (free_inodes_.empty()) {
+    return Error(ErrorCode::no_space, "inode table full");
+  }
+  if (!sharded_) return free_inodes_.back();
+  // Scan from the allocation-direction end for the first slot the ring
+  // assigns to this shard. Expected O(shard count) probes: roughly one slot
+  // in N belongs to us.
+  for (auto it = free_inodes_.rbegin(); it != free_inodes_.rend(); ++it) {
+    if (ring_.owner_of(*it) == shard_id_) return *it;
+  }
+  return Error(ErrorCode::no_space, "no free inode slot owned by this shard");
+}
+
+void BulletServer::unlink_free_slot_locked(std::uint32_t index) {
+  if (!free_inodes_.empty() && free_inodes_.back() == index) {
+    free_inodes_.pop_back();
+    return;
+  }
+  const auto it = std::find(free_inodes_.begin(), free_inodes_.end(), index);
+  assert(it != free_inodes_.end());
+  free_inodes_.erase(it);
+}
+
+Status BulletServer::install_placement(std::uint32_t shard_id,
+                                       cluster::PlacementMap map) {
+  if (!map.has_shard(shard_id)) {
+    return Error(ErrorCode::bad_argument,
+                 "installing shard is not in the placement map");
+  }
+  const auto lock = lock_exclusive();
+  if (sharded_) {
+    if (map.epoch < placement_.epoch) {
+      return Error(ErrorCode::conflict, "placement epoch regression");
+    }
+    if (map.epoch == placement_.epoch) {
+      if (shard_id != shard_id_) {
+        return Error(ErrorCode::conflict,
+                     "same epoch, different shard identity");
+      }
+      return Status::success();  // idempotent re-install
+    }
+  }
+  ring_ = map.ring();
+  placement_ = std::move(map);
+  shard_id_ = shard_id;
+  sharded_ = true;
+  shard_map_installs_.fetch_add(1, std::memory_order_relaxed);
+  return Status::success();
+}
+
+cluster::PlacementMap BulletServer::placement() const {
+  const auto lock = lock_shared();
+  return placement_;
+}
+
+std::uint32_t BulletServer::shard_id() const {
+  const auto lock = lock_shared();
+  return shard_id_;
 }
 
 Capability BulletServer::super_capability(std::uint8_t rights) const {
@@ -383,6 +461,7 @@ Result<Capability> BulletServer::create_at_locked(ByteSpan data, int pfactor,
   }
   const auto size = static_cast<std::uint32_t>(data.size());
 
+  std::uint32_t picked = 0;
   if (want_index != 0) {
     // Replication install: the peer already assigned the slot.
     if (want_index >= inodes_.size()) {
@@ -395,8 +474,8 @@ Result<Capability> BulletServer::create_at_locked(ByteSpan data, int pfactor,
       // either way the slot is not installable right now.
       return Error(ErrorCode::conflict, "install slot occupied");
     }
-  } else if (free_inodes_.empty()) {
-    return Error(ErrorCode::no_space, "inode table full");
+  } else {
+    BULLET_ASSIGN_OR_RETURN(picked, pick_free_slot_locked());
   }
 
   // Disk extent, first fit; compaction is the fallback when the space
@@ -418,7 +497,7 @@ Result<Capability> BulletServer::create_at_locked(ByteSpan data, int pfactor,
 
   // Cache space ("creating files is much the same as reading files that
   // were not in the cache").
-  const std::uint32_t index = want_index != 0 ? want_index : free_inodes_.back();
+  const std::uint32_t index = want_index != 0 ? want_index : picked;
   std::vector<std::uint32_t> evicted;
   auto rnode_result = cache_.insert(index, size, &evicted);
   drop_evicted(evicted);
@@ -445,14 +524,7 @@ Result<Capability> BulletServer::create_at_locked(ByteSpan data, int pfactor,
     }
     return rnode_result.error();
   }
-  if (want_index == 0 || (!free_inodes_.empty() && free_inodes_.back() == index)) {
-    free_inodes_.pop_back();
-  } else {
-    // Install at a peer-chosen slot: unlink it from wherever it sits.
-    const auto it = std::find(free_inodes_.begin(), free_inodes_.end(), index);
-    assert(it != free_inodes_.end());
-    free_inodes_.erase(it);
-  }
+  unlink_free_slot_locked(index);
 
   // The RAM inode.
   Inode& inode = inodes_[index];
@@ -963,9 +1035,10 @@ void BulletServer::create_async(Bytes data, int pfactor, CreateCallback done) {
     return;
   }
   const auto size = static_cast<std::uint32_t>(ctx->data.size());
-  if (free_inodes_.empty()) {
+  const auto picked = pick_free_slot_locked();
+  if (!picked.ok()) {
     lock.unlock();
-    ctx->done(Error(ErrorCode::no_space, "inode table full"));
+    ctx->done(picked.error());
     return;
   }
   // Same admission bound as the read-miss path: a create registers a fill
@@ -998,7 +1071,7 @@ void BulletServer::create_async(Bytes data, int pfactor, CreateCallback done) {
     }
     first_block = *got;
   }
-  const std::uint32_t index = free_inodes_.back();
+  const std::uint32_t index = picked.value();
   std::vector<std::uint32_t> evicted;
   auto rnode_result = cache_.insert(index, size, &evicted);
   drop_evicted(evicted);
@@ -1026,7 +1099,7 @@ void BulletServer::create_async(Bytes data, int pfactor, CreateCallback done) {
     ctx->done(rnode_result.error());
     return;
   }
-  free_inodes_.pop_back();
+  unlink_free_slot_locked(index);
 
   Inode& inode = inodes_[index];
   inode.random = rng_.next() & kMask48;
@@ -1868,6 +1941,10 @@ wire::ServerStats BulletServer::stats() const {
   s.repl_resyncs = repl_resyncs_.load(std::memory_order_relaxed);
   s.repl_resync_files = repl_resync_files_.load(std::memory_order_relaxed);
   s.repl_dedup_hits = repl_dedup_hits_.load(std::memory_order_relaxed);
+  s.shard_id = shard_id_;
+  s.shard_epoch = placement_.epoch;
+  s.wrong_shard_replies = wrong_shard_replies_.load(std::memory_order_relaxed);
+  s.shard_map_installs = shard_map_installs_.load(std::memory_order_relaxed);
   return s;
 }
 

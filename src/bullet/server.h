@@ -30,6 +30,7 @@
 #include "bullet/layout.h"
 #include "bullet/wire.h"
 #include "cap/capability.h"
+#include "cluster/placement.h"
 #include "common/rng.h"
 #include "crypto/oneway.h"
 #include "disk/async_queue.h"
@@ -261,6 +262,27 @@ class BulletServer final : public rpc::Service {
   Status erase_object(std::uint32_t object, std::uint64_t random,
                       std::uint64_t message_id);
 
+  // --- cluster membership (sharded placement; see DESIGN.md §15) ---------
+  //
+  // All shards of a cluster share one private port and secret (like a
+  // replicated pair), so any capability verifies at any shard; the
+  // installed placement map tells this server which slice of the object
+  // space it owns. Effects of installing a map:
+  //   - creates allocate only inode slots the ring assigns to `shard_id`
+  //     (so a capability's object number encodes its placement);
+  //   - a request for an absent object that the ring places elsewhere is
+  //     answered `wrong_shard` instead of `no_such_object` — the routing
+  //     client's signal to refetch the map;
+  //   - an object this server actually holds is always served, whatever
+  //     the map says, which is what keeps old-owner reads valid while a
+  //     rebalance copies files.
+  // The epoch must not regress; re-installing the current epoch is an
+  // idempotent no-op.
+  Status install_placement(std::uint32_t shard_id, cluster::PlacementMap map);
+  // Snapshot of the installed map (epoch 0 / empty when unsharded).
+  cluster::PlacementMap placement() const;
+  std::uint32_t shard_id() const;
+
   // --- rpc::Service -----------------------------------------------------
   Port public_port() const noexcept override { return public_port_; }
   rpc::Reply handle(const rpc::Request& request) override;
@@ -447,6 +469,15 @@ class BulletServer final : public rpc::Service {
   // kReplicate / kReplResync dispatch (called from handle()).
   rpc::Reply handle_replicate(const rpc::Request& request);
   rpc::Reply handle_repl_resync();
+  // kShardMap dispatch (called from handle()).
+  rpc::Reply handle_shard_map(const rpc::Request& request);
+
+  // The free inode slot a fresh create should use: the allocation-direction
+  // end of free_inodes_ when unsharded, else the nearest free slot the ring
+  // assigns to this shard. Caller holds the exclusive lock; the slot stays
+  // on free_inodes_ until unlink_free_slot_locked().
+  Result<std::uint32_t> pick_free_slot_locked() const;
+  void unlink_free_slot_locked(std::uint32_t index);
 
   // One kReplicate RPC to the peer's super capability (the pair shares
   // port and secret, so our super capability verifies there). Updates
@@ -529,6 +560,15 @@ class BulletServer final : public rpc::Service {
   // Requests shed at the service layer because the in-flight disk-fill
   // bound (BulletConfig::max_inflight_fills) was hit.
   mutable std::atomic<std::uint64_t> inflight_sheds_{0};
+
+  // Cluster placement; guarded by state_mu_ (read on the verify path under
+  // the shared lock, swapped under the exclusive lock on install).
+  cluster::PlacementMap placement_;
+  cluster::Ring ring_;
+  std::uint32_t shard_id_ = 0;
+  bool sharded_ = false;
+  mutable std::atomic<std::uint64_t> wrong_shard_replies_{0};
+  std::atomic<std::uint64_t> shard_map_installs_{0};
 
   // Replication pair state; guarded by repl_mu_ (leaf lock, see above).
   struct ReplState {

@@ -257,6 +257,19 @@ rpc::Reply BulletServer::handle(const rpc::Request& request) {
       }
       return handle_repl_resync();
     }
+    case wire::kShardMap: {
+      // Cluster placement administration, sealed with the cluster's shared
+      // admin capability like kReplicate.
+      {
+        const auto lock = lock_shared();
+        const auto verified = verify(request.target, rights::kAdmin);
+        if (!verified.ok()) return rpc::Reply::error(verified.code());
+        if (verified.value() != 0) {
+          return rpc::Reply::error(ErrorCode::bad_argument);
+        }
+      }
+      return handle_shard_map(request);
+    }
     case wire::kRestrict: {
       auto new_rights = body.u8();
       if (!new_rights.ok() || !body.done()) {
@@ -441,6 +454,39 @@ void BulletServer::handle_async(const rpc::Request& request,
       });
       return;
     }
+  }
+}
+
+// kShardMap sub-op dispatch; the caller already verified the admin right on
+// the super capability.
+rpc::Reply BulletServer::handle_shard_map(const rpc::Request& request) {
+  Reader body(request.body);
+  const auto sub = body.u8();
+  if (!sub.ok()) return rpc::Reply::error(ErrorCode::bad_argument);
+  switch (sub.value()) {
+    case wire::kShardMapInstall: {
+      auto shard = body.u32();
+      auto blob = shard.ok() ? body.blob() : Result<ByteSpan>(shard.error());
+      if (!blob.ok() || !body.done()) {
+        return rpc::Reply::error(ErrorCode::bad_argument);
+      }
+      auto map = cluster::PlacementMap::decode_bytes(blob.value());
+      if (!map.ok()) return rpc::Reply::error(map.code());
+      const Status st =
+          install_placement(shard.value(), std::move(map).value());
+      if (!st.ok()) return rpc::Reply::error(st.code());
+      return rpc::Reply::success();
+    }
+    case wire::kShardMapFetch: {
+      if (!body.done()) return rpc::Reply::error(ErrorCode::bad_argument);
+      const cluster::PlacementMap map = placement();
+      const Bytes encoded = map.encode_bytes();
+      Writer w(4 + encoded.size());
+      w.blob(encoded);
+      return rpc::Reply::success(std::move(w).take());
+    }
+    default:
+      return rpc::Reply::error(ErrorCode::bad_argument);
   }
 }
 

@@ -152,6 +152,10 @@ void ServerStats::encode(Writer& w) const {
   w.u64(repl_resyncs);
   w.u64(repl_resync_files);
   w.u64(repl_dedup_hits);
+  w.u64(shard_id);
+  w.u64(shard_epoch);
+  w.u64(wrong_shard_replies);
+  w.u64(shard_map_installs);
 }
 
 Result<ServerStats> ServerStats::decode(Reader& r) {
@@ -198,6 +202,10 @@ Result<ServerStats> ServerStats::decode(Reader& r) {
   BULLET_ASSIGN_OR_RETURN(s.repl_resyncs, r.u64());
   BULLET_ASSIGN_OR_RETURN(s.repl_resync_files, r.u64());
   BULLET_ASSIGN_OR_RETURN(s.repl_dedup_hits, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.shard_id, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.shard_epoch, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.wrong_shard_replies, r.u64());
+  BULLET_ASSIGN_OR_RETURN(s.shard_map_installs, r.u64());
   return s;
 }
 

@@ -30,6 +30,7 @@ inline constexpr std::uint16_t kStats2 = 12;     // admin: metrics exposition
 inline constexpr std::uint16_t kTraceDump = 13;  // admin: drain trace spans
 inline constexpr std::uint16_t kReplicate = 14;  // admin: peer replication ops
 inline constexpr std::uint16_t kReplResync = 15; // admin: reconcile with peer
+inline constexpr std::uint16_t kShardMap = 16;   // admin: cluster placement map
 
 // kReplicate sub-operations (first u8 of the request body). The two
 // replicas of a pair share private port and secret, so a peer addresses
@@ -42,6 +43,11 @@ inline constexpr std::uint8_t kReplManifest = 2;   // list files + tombstones
 inline constexpr std::uint8_t kReplFetch = 3;      // read one file's bytes
 inline constexpr std::uint8_t kReplPing = 4;       // liveness probe
 inline constexpr std::uint8_t kReplTombClear = 5;  // resync done, drop tombs
+
+// kShardMap sub-operations (first u8 of the request body). Admin-gated on
+// the super capability, like kReplicate.
+inline constexpr std::uint8_t kShardMapInstall = 0;  // u32 shard_id ‖ blob map
+inline constexpr std::uint8_t kShardMapFetch = 1;    // -> blob map
 
 // One step of a CREATE-FROM edit script, applied in order to a copy of the
 // source file. Offsets refer to the file as it stands when the edit runs.
@@ -129,8 +135,14 @@ struct ServerStats {
   std::uint64_t repl_resyncs = 0;       // completed resync passes
   std::uint64_t repl_resync_files = 0;  // files copied by resync, cumulative
   std::uint64_t repl_dedup_hits = 0;    // retried ops answered from record
+  // Cluster-placement counters (appended in the sharding rework; 42 -> 46
+  // u64s, same append-only discipline).
+  std::uint64_t shard_id = 0;            // this server's ring identity
+  std::uint64_t shard_epoch = 0;         // installed placement-map epoch
+  std::uint64_t wrong_shard_replies = 0; // routing misses answered wrong_shard
+  std::uint64_t shard_map_installs = 0;  // placement maps accepted
 
-  static constexpr std::size_t kWireSize = 42 * 8;
+  static constexpr std::size_t kWireSize = 46 * 8;
 
   void encode(Writer& w) const;
   static Result<ServerStats> decode(Reader& r);

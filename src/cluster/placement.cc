@@ -1,0 +1,87 @@
+#include "cluster/placement.h"
+
+namespace bullet::cluster {
+namespace {
+
+// Sanity bounds so a corrupt map cannot drive huge allocations.
+constexpr std::uint32_t kMaxShards = 4096;
+constexpr std::uint32_t kMaxEndpoints = 16;
+constexpr std::uint32_t kMaxVnodes = 4096;
+
+}  // namespace
+
+void PlacementMap::encode(Writer& w) const {
+  w.u64(epoch);
+  w.u32(vnodes);
+  w.u32(static_cast<std::uint32_t>(shards.size()));
+  for (const ShardInfo& s : shards) {
+    w.u32(s.id);
+    w.u32(static_cast<std::uint32_t>(s.endpoints.size()));
+    for (const std::uint64_t e : s.endpoints) w.u64(e);
+  }
+}
+
+Result<PlacementMap> PlacementMap::decode(Reader& r) {
+  PlacementMap map;
+  BULLET_ASSIGN_OR_RETURN(map.epoch, r.u64());
+  BULLET_ASSIGN_OR_RETURN(map.vnodes, r.u32());
+  if (map.vnodes == 0 || map.vnodes > kMaxVnodes) {
+    return Error(ErrorCode::bad_argument, "placement vnodes out of range");
+  }
+  BULLET_ASSIGN_OR_RETURN(const std::uint32_t count, r.u32());
+  if (count > kMaxShards) {
+    return Error(ErrorCode::bad_argument, "placement shard count out of range");
+  }
+  map.shards.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ShardInfo s;
+    BULLET_ASSIGN_OR_RETURN(s.id, r.u32());
+    BULLET_ASSIGN_OR_RETURN(const std::uint32_t n, r.u32());
+    if (n > kMaxEndpoints) {
+      return Error(ErrorCode::bad_argument, "placement endpoints out of range");
+    }
+    s.endpoints.reserve(n);
+    for (std::uint32_t j = 0; j < n; ++j) {
+      BULLET_ASSIGN_OR_RETURN(const std::uint64_t e, r.u64());
+      s.endpoints.push_back(e);
+    }
+    for (const ShardInfo& seen : map.shards) {
+      if (seen.id == s.id) {
+        return Error(ErrorCode::bad_argument, "duplicate shard id");
+      }
+    }
+    map.shards.push_back(std::move(s));
+  }
+  return map;
+}
+
+Bytes PlacementMap::encode_bytes() const {
+  Writer w;
+  encode(w);
+  return std::move(w).take();
+}
+
+Result<PlacementMap> PlacementMap::decode_bytes(ByteSpan data) {
+  Reader r(data);
+  BULLET_ASSIGN_OR_RETURN(PlacementMap map, decode(r));
+  if (!r.done()) {
+    return Error(ErrorCode::bad_argument, "trailing placement map bytes");
+  }
+  return map;
+}
+
+Ring PlacementMap::ring() const {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(shards.size());
+  for (const ShardInfo& s : shards) ids.push_back(s.id);
+  return Ring(ids, vnodes);
+}
+
+const ShardInfo* PlacementMap::shard(std::uint32_t id) const noexcept {
+  for (const ShardInfo& s : shards) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace bullet::cluster

@@ -1,0 +1,50 @@
+// The versioned placement map: which shards exist and how to reach them.
+//
+// The map is the cluster's only piece of mutable metadata. It is owned by
+// the directory server (the paper's metadata home), installed on every
+// Bullet shard, and cached by routing clients; the `epoch` orders
+// versions. The invariant the rebalance protocol maintains is
+//
+//     client epoch  <=  dir epoch  <=  every shard's epoch
+//
+// so a shard can always judge a request against a map at least as new as
+// the client's, and `wrong_shard` replies are trustworthy redirect hints.
+//
+// Endpoints are opaque 64-bit tokens (a UDP port, an index into a test
+// rig, ...) resolved by the embedding program; the cluster library never
+// interprets them, which keeps it free of transport dependencies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/serde.h"
+#include "cluster/ring.h"
+
+namespace bullet::cluster {
+
+struct ShardInfo {
+  std::uint32_t id = 0;
+  // One entry per replica of this shard (a solo shard has one).
+  std::vector<std::uint64_t> endpoints;
+};
+
+struct PlacementMap {
+  std::uint64_t epoch = 0;
+  std::uint32_t vnodes = kDefaultVnodes;
+  std::vector<ShardInfo> shards;
+
+  void encode(Writer& w) const;
+  static Result<PlacementMap> decode(Reader& r);
+  Bytes encode_bytes() const;
+  static Result<PlacementMap> decode_bytes(ByteSpan data);
+
+  // Build the ring this map describes (shard ids in map order).
+  Ring ring() const;
+  const ShardInfo* shard(std::uint32_t id) const noexcept;
+  bool has_shard(std::uint32_t id) const noexcept { return shard(id); }
+};
+
+}  // namespace bullet::cluster

@@ -1,0 +1,237 @@
+#include "cluster/rebalance.h"
+
+#include <limits>
+#include <utility>
+
+namespace bullet::cluster {
+
+Result<Bytes> Rebalancer::call_shard(const PlacementMap& map,
+                                     std::uint32_t shard_id,
+                                     std::uint16_t opcode, Bytes body) {
+  const ShardInfo* info = map.shard(shard_id);
+  if (info == nullptr) {
+    return Error(ErrorCode::unreachable, "shard missing from placement map");
+  }
+  rpc::Transport* transport = resolver_(*info);
+  if (transport == nullptr) {
+    return Error(ErrorCode::unreachable, "no route to shard");
+  }
+  rpc::Request request;
+  request.target = super_;
+  request.opcode = opcode;
+  request.body = std::move(body);
+  BULLET_ASSIGN_OR_RETURN(rpc::Reply reply, transport->call(request));
+  if (reply.status != ErrorCode::ok) return Error(reply.status);
+  return std::move(reply).take_payload();
+}
+
+Result<wire::ReplManifest> Rebalancer::manifest(const PlacementMap& map,
+                                                std::uint32_t shard_id) {
+  Writer w(1);
+  w.u8(wire::kReplManifest);
+  BULLET_ASSIGN_OR_RETURN(
+      Bytes body, call_shard(map, shard_id, wire::kReplicate, std::move(w).take()));
+  Reader r(body);
+  return wire::ReplManifest::decode(r);
+}
+
+Result<Bytes> Rebalancer::fetch(const PlacementMap& map,
+                                std::uint32_t shard_id, std::uint32_t object,
+                                std::uint64_t random) {
+  Writer w(1 + 4 + 8);
+  w.u8(wire::kReplFetch);
+  w.u32(object);
+  w.u64(random);
+  return call_shard(map, shard_id, wire::kReplicate, std::move(w).take());
+}
+
+Status Rebalancer::install(const PlacementMap& map, std::uint32_t shard_id,
+                           std::uint32_t object, std::uint64_t random,
+                           ByteSpan data) {
+  Writer w(1 + 4 + 8 + 8 + 1 + 4 + data.size());
+  w.u8(wire::kReplInstall);
+  w.u32(object);
+  w.u64(random);
+  w.u64(0);  // no dedup record: installs are idempotent by (object, random)
+  w.u8(1);   // pfactor (reserved: installs run at pfactor 1)
+  w.blob(data);
+  auto result = call_shard(map, shard_id, wire::kReplicate, std::move(w).take());
+  if (!result.ok()) return result.error();
+  return Status::success();
+}
+
+Status Rebalancer::erase_at(const PlacementMap& map, std::uint32_t shard_id,
+                            std::uint32_t object, std::uint64_t random) {
+  Writer w(1 + 4 + 8 + 8);
+  w.u8(wire::kReplErase);
+  w.u32(object);
+  w.u64(random);
+  w.u64(0);
+  auto result = call_shard(map, shard_id, wire::kReplicate, std::move(w).take());
+  if (!result.ok()) return result.error();
+  return Status::success();
+}
+
+Status Rebalancer::install_shard_map(const PlacementMap& route_map,
+                                     std::uint32_t shard_id,
+                                     ByteSpan encoded_map) {
+  Writer w(1 + 4 + 4 + encoded_map.size());
+  w.u8(wire::kShardMapInstall);
+  w.u32(shard_id);
+  w.blob(encoded_map);
+  auto result =
+      call_shard(route_map, shard_id, wire::kShardMap, std::move(w).take());
+  if (!result.ok()) return result.error();
+  return Status::success();
+}
+
+Status Rebalancer::bootstrap(PlacementMap initial) {
+  if (initial.epoch == 0) initial.epoch = 1;
+  if (initial.shards.empty()) {
+    return Error(ErrorCode::bad_argument, "bootstrap map has no shards");
+  }
+  const Bytes encoded = initial.encode_bytes();
+  for (const ShardInfo& s : initial.shards) {
+    BULLET_RETURN_IF_ERROR(
+        install_shard_map(initial, s.id, ByteSpan(encoded)));
+  }
+  return dir_->install_map(initial.epoch, ByteSpan(encoded));
+}
+
+Result<Rebalancer::Plan> Rebalancer::plan(
+    std::vector<ShardInfo> target_shards) {
+  if (target_shards.empty()) {
+    return Error(ErrorCode::bad_argument, "target shard set is empty");
+  }
+  BULLET_ASSIGN_OR_RETURN(const dir::DirClient::MapFetch fetched,
+                          dir_->fetch_map());
+  if (fetched.epoch == 0) {
+    return Error(ErrorCode::bad_state,
+                 "no placement map installed; bootstrap the cluster first");
+  }
+  Plan plan;
+  BULLET_ASSIGN_OR_RETURN(plan.from,
+                          PlacementMap::decode_bytes(ByteSpan(fetched.map)));
+  plan.to.epoch = plan.from.epoch + 1;
+  plan.to.vnodes = plan.from.vnodes;
+  plan.to.shards = std::move(target_shards);
+  // Round-trip through the codec to reuse its validation (duplicate ids,
+  // bounds) before anything is copied anywhere.
+  BULLET_ASSIGN_OR_RETURN(
+      plan.to, PlacementMap::decode_bytes(ByteSpan(plan.to.encode_bytes())));
+  const Ring to_ring = plan.to.ring();
+  for (const ShardInfo& s : plan.from.shards) {
+    BULLET_ASSIGN_OR_RETURN(const wire::ReplManifest m,
+                            manifest(plan.from, s.id));
+    for (const wire::ReplManifest::File& f : m.files) {
+      const std::uint32_t dest = to_ring.owner_of(f.object);
+      if (dest == s.id) continue;
+      plan.moves.push_back({f.object, f.random, f.size, s.id, dest});
+    }
+  }
+  return plan;
+}
+
+Result<std::size_t> Rebalancer::copy_step(Plan& plan, std::size_t max_moves) {
+  std::size_t copied = 0;
+  while (copied < max_moves && plan.next < plan.moves.size()) {
+    const Move& mv = plan.moves[plan.next];
+    auto data = fetch(plan.from, mv.from_shard, mv.object, mv.random);
+    if (!data.ok()) {
+      if (data.code() == ErrorCode::no_such_object) {
+        ++plan.next;  // deleted since the plan was made: nothing to move
+        continue;
+      }
+      return data.error();
+    }
+    // Destination may exist only in the target map, so route through `to`.
+    BULLET_RETURN_IF_ERROR(install(plan.to, mv.to_shard, mv.object, mv.random,
+                                   ByteSpan(data.value())));
+    ++plan.next;
+    ++copied;
+  }
+  return copied;
+}
+
+Status Rebalancer::flip(const Plan& plan) {
+  const Bytes encoded = plan.to.encode_bytes();
+  // Shards strictly before the directory server: a client can only learn
+  // the new epoch from the directory, by which time every target shard
+  // already judges requests under it (the epoch invariant).
+  for (const ShardInfo& s : plan.to.shards) {
+    BULLET_RETURN_IF_ERROR(install_shard_map(plan.to, s.id, ByteSpan(encoded)));
+  }
+  return dir_->install_map(plan.to.epoch, ByteSpan(encoded));
+}
+
+Result<std::size_t> Rebalancer::sweep(const Plan& plan, bool erase_old,
+                                      Report* report) {
+  const Ring to_ring = plan.to.ring();
+  std::size_t acted = 0;
+  for (const ShardInfo& s : plan.from.shards) {
+    BULLET_ASSIGN_OR_RETURN(const wire::ReplManifest m,
+                            manifest(plan.from, s.id));
+    for (const wire::ReplManifest::File& f : m.files) {
+      const std::uint32_t dest = to_ring.owner_of(f.object);
+      if (dest == s.id) continue;
+      auto data = fetch(plan.from, s.id, f.object, f.random);
+      if (!data.ok()) {
+        if (data.code() == ErrorCode::no_such_object) continue;  // deleted
+        return data.error();
+      }
+      // Idempotent: a same-random install over an existing copy succeeds
+      // without rewriting. A conflict means a post-flip create took the
+      // slot at the new owner before this stray got there — leave the old
+      // copy in place (the routing client's previous-map fallback still
+      // reaches it) rather than destroy an acked object.
+      const Status installed =
+          install(plan.to, dest, f.object, f.random, ByteSpan(data.value()));
+      if (!installed.ok()) {
+        if (installed.code() == ErrorCode::conflict) {
+          if (report != nullptr) ++report->conflicts;
+          continue;
+        }
+        return installed.error();
+      }
+      if (erase_old) {
+        BULLET_RETURN_IF_ERROR(erase_at(plan.from, s.id, f.object, f.random));
+      }
+      ++acted;
+    }
+  }
+  return acted;
+}
+
+Result<std::size_t> Rebalancer::reconcile(const Plan& plan, Report* report) {
+  auto acted = sweep(plan, /*erase_old=*/false, report);
+  if (acted.ok() && report != nullptr) report->reconciled = acted.value();
+  return acted;
+}
+
+Result<std::size_t> Rebalancer::drain(const Plan& plan, Report* report) {
+  auto acted = sweep(plan, /*erase_old=*/true, report);
+  if (acted.ok() && report != nullptr) report->drained = acted.value();
+  return acted;
+}
+
+Result<Rebalancer::Report> Rebalancer::run(
+    std::vector<ShardInfo> target_shards) {
+  Report report;
+  BULLET_ASSIGN_OR_RETURN(Plan p, plan(std::move(target_shards)));
+  report.planned = p.moves.size();
+  BULLET_ASSIGN_OR_RETURN(
+      report.copied,
+      copy_step(p, std::numeric_limits<std::size_t>::max()));
+  BULLET_RETURN_IF_ERROR(flip(p));
+  {
+    auto reconciled = reconcile(p, &report);
+    if (!reconciled.ok()) return reconciled.error();
+  }
+  {
+    auto drained = drain(p, &report);
+    if (!drained.ok()) return drained.error();
+  }
+  return report;
+}
+
+}  // namespace bullet::cluster

@@ -1,0 +1,131 @@
+// Live rebalance driver: grow or shrink the shard set while clients keep
+// reading and creating, moving only the objects the ring delta reassigns.
+//
+// Files are copied with the replication fetch/install machinery (plain
+// whole-file copies at the same slot with the same random, so the moved
+// object answers to the byte-identical capability) in five phases:
+//
+//   plan       Diff every shard's manifest against the target ring: the
+//              moves are exactly the objects whose owner changes.
+//   copy       Fetch/install each planned move. Idempotent and restartable;
+//              clients still route by the old map, which the old owners
+//              keep serving in full.
+//   flip       Install the new map on every target shard, *then* on the
+//              directory server — so a shard always judges requests under a
+//              map at least as new as any client's, and the epoch invariant
+//              (client <= dir <= shard) holds at every instant.
+//   reconcile  Re-diff the old shards: creates that raced the copy phase
+//              landed on slots their (then-current) map owned but the new
+//              ring assigns elsewhere. Copy these strays to their new
+//              owners. New strays cannot form once every shard runs the
+//              new map, so one pass converges.
+//   drain      Erase each re-homed object at its old owner — but only
+//              after re-verifying the new owner's copy (an install conflict
+//              leaves the object where it is, so nothing acked is ever
+//              lost). Erases are random-checked, so a since-reused slot is
+//              never damaged.
+//
+// Reads of moved objects stay valid throughout: before flip the old map
+// routes them to the old owner, which still holds everything; after flip
+// the new owner has the copy, and the one racy exception (a stray read
+// before reconcile re-homes it) is covered by the routing client's
+// previous-map fallback. Only drain destroys data, and only after the new
+// owner's copy is confirmed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bullet/wire.h"
+#include "cap/capability.h"
+#include "cluster/placement.h"
+#include "cluster/routing_client.h"
+#include "dir/client.h"
+
+namespace bullet::cluster {
+
+class Rebalancer {
+ public:
+  struct Move {
+    std::uint32_t object = 0;
+    std::uint64_t random = 0;
+    std::uint32_t size = 0;
+    std::uint32_t from_shard = 0;
+    std::uint32_t to_shard = 0;
+  };
+
+  struct Plan {
+    PlacementMap from;  // the map installed when the plan was made
+    PlacementMap to;    // the target map (epoch = from.epoch + 1)
+    std::vector<Move> moves;
+    std::size_t next = 0;  // copy cursor
+
+    bool copy_done() const noexcept { return next >= moves.size(); }
+    std::uint64_t bytes_to_move() const noexcept {
+      std::uint64_t n = 0;
+      for (const Move& m : moves) n += m.size;
+      return n;
+    }
+  };
+
+  struct Report {
+    std::size_t planned = 0;
+    std::size_t copied = 0;
+    std::size_t reconciled = 0;  // misplaced files re-homed after the flip
+    std::size_t drained = 0;     // old-owner copies erased
+    std::size_t conflicts = 0;   // slots left in place: new owner's slot taken
+  };
+
+  // `cluster_super` needs the admin right (replication and map opcodes are
+  // admin-gated); the resolver is the same routing hook RoutingClient uses.
+  Rebalancer(dir::DirClient* dir, Capability cluster_super,
+             RoutingClient::Resolver resolver)
+      : dir_(dir), super_(cluster_super), resolver_(std::move(resolver)) {}
+
+  // Install the cluster's first map (epoch defaults to 1): every shard
+  // first, then the directory server.
+  Status bootstrap(PlacementMap initial);
+
+  // Phase 1. `target_shards` is the desired post-rebalance shard set.
+  Result<Plan> plan(std::vector<ShardInfo> target_shards);
+
+  // Phase 2: run up to `max_moves` pending copies; returns how many were
+  // done this step. Call until plan.copy_done() (a tool can interleave
+  // steps with other work; a deleted-in-the-meantime source just skips).
+  Result<std::size_t> copy_step(Plan& plan, std::size_t max_moves);
+
+  // Phase 3.
+  Status flip(const Plan& plan);
+
+  // Phase 4: returns the number of strays re-homed.
+  Result<std::size_t> reconcile(const Plan& plan, Report* report = nullptr);
+
+  // Phase 5: returns the number of old-owner copies erased.
+  Result<std::size_t> drain(const Plan& plan, Report* report = nullptr);
+
+  // All five phases back to back.
+  Result<Report> run(std::vector<ShardInfo> target_shards);
+
+ private:
+  Result<Bytes> call_shard(const PlacementMap& map, std::uint32_t shard_id,
+                           std::uint16_t opcode, Bytes body);
+  Result<wire::ReplManifest> manifest(const PlacementMap& map,
+                                      std::uint32_t shard_id);
+  Result<Bytes> fetch(const PlacementMap& map, std::uint32_t shard_id,
+                      std::uint32_t object, std::uint64_t random);
+  Status install(const PlacementMap& map, std::uint32_t shard_id,
+                 std::uint32_t object, std::uint64_t random, ByteSpan data);
+  Status erase_at(const PlacementMap& map, std::uint32_t shard_id,
+                  std::uint32_t object, std::uint64_t random);
+  Status install_shard_map(const PlacementMap& route_map,
+                           std::uint32_t shard_id, ByteSpan encoded_map);
+  // Shared by reconcile and drain: sweep the old shards for misplaced
+  // files, copy each to its new owner, optionally erasing the old copy.
+  Result<std::size_t> sweep(const Plan& plan, bool erase_old, Report* report);
+
+  dir::DirClient* dir_;
+  Capability super_;
+  RoutingClient::Resolver resolver_;
+};
+
+}  // namespace bullet::cluster

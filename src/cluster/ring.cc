@@ -1,0 +1,38 @@
+#include "cluster/ring.h"
+
+#include <algorithm>
+
+namespace bullet::cluster {
+namespace {
+
+// Domain separators keep vnode points and object keys in distinct hash
+// families, so an object number can never collide with a vnode point by
+// construction rather than by luck.
+constexpr std::uint64_t kVnodeSalt = 0x766E6F6465ull;   // "vnode"
+constexpr std::uint64_t kObjectSalt = 0x6F626A6563ull;  // "objec"
+
+}  // namespace
+
+Ring::Ring(const std::vector<std::uint32_t>& shard_ids, std::uint32_t vnodes) {
+  points_.reserve(shard_ids.size() * vnodes);
+  for (const std::uint32_t id : shard_ids) {
+    for (std::uint32_t v = 0; v < vnodes; ++v) {
+      const std::uint64_t point =
+          mix64(kVnodeSalt ^ (static_cast<std::uint64_t>(id) << 32 | v));
+      points_.emplace_back(point, id);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+  shard_count_ = shard_ids.size();
+}
+
+std::uint32_t Ring::owner_of(std::uint32_t object) const noexcept {
+  const std::uint64_t key = mix64(kObjectSalt ^ object);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), key,
+      [](const auto& p, std::uint64_t k) { return p.first < k; });
+  if (it == points_.end()) it = points_.begin();  // wrap around
+  return it->second;
+}
+
+}  // namespace bullet::cluster

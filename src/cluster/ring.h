@@ -1,0 +1,51 @@
+// Consistent-hash ring over Bullet shards.
+//
+// Placement is a pure function of (shard ids, virtual-node count, object
+// number): every client and every server that evaluates the same placement
+// map agrees on the owner with no communication. The paper's whole-file
+// immutable objects make this safe — an object never changes in place, so
+// "who serves object N" is the only coordination the cluster needs.
+//
+// Determinism matters more than hash quality here: the ring must evaluate
+// identically across processes, architectures, and standard libraries, so
+// the mixing function is a fixed 64-bit finalizer (splitmix64), never
+// std::hash.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace bullet::cluster {
+
+// Virtual nodes per shard. More vnodes smooth the key-space split between
+// shards (stddev ~ 1/sqrt(vnodes)) at O(shards * vnodes * log) build cost.
+inline constexpr std::uint32_t kDefaultVnodes = 64;
+
+// splitmix64 finalizer: a fixed, well-mixed 64-bit permutation.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+class Ring {
+ public:
+  Ring() = default;
+  Ring(const std::vector<std::uint32_t>& shard_ids,
+       std::uint32_t vnodes = kDefaultVnodes);
+
+  // The shard id owning `object`. Precondition: !empty().
+  std::uint32_t owner_of(std::uint32_t object) const noexcept;
+
+  bool empty() const noexcept { return points_.empty(); }
+  std::size_t shard_count() const noexcept { return shard_count_; }
+
+ private:
+  // (point hash, shard id), sorted by hash; lookup is the successor point.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> points_;
+  std::size_t shard_count_ = 0;
+};
+
+}  // namespace bullet::cluster

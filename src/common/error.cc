@@ -21,6 +21,9 @@ std::string_view to_string(ErrorCode code) noexcept {
     case ErrorCode::bad_state: return "bad state";
     case ErrorCode::retry_later: return "retry later";
     case ErrorCode::deadline_expired: return "deadline expired";
+    case ErrorCode::wrong_shard: return "wrong shard";
+    case ErrorCode::all_replicas_unreachable:
+      return "all replicas unreachable";
   }
   return "unknown error";
 }

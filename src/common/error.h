@@ -34,6 +34,8 @@ enum class ErrorCode : std::uint16_t {
   bad_state = 14,       // e.g. operating on a closed fd / failed disk
   retry_later = 15,     // server overloaded; reply body advises retry-after
   deadline_expired = 16,  // the caller's time budget ran out
+  wrong_shard = 17,       // object placed on another shard (cluster routing)
+  all_replicas_unreachable = 18,  // failover exhausted every replica
 };
 
 std::string_view to_string(ErrorCode code) noexcept;

@@ -124,6 +124,31 @@ Result<Capability> DirClient::restrict(const Capability& dir,
   return Capability::decode(r);
 }
 
+Result<DirClient::MapFetch> DirClient::fetch_map() {
+  BULLET_ASSIGN_OR_RETURN(Bytes body, call(server_, kFetchMap, {}));
+  Reader r(body);
+  MapFetch out;
+  BULLET_ASSIGN_OR_RETURN(out.epoch, r.u64());
+  BULLET_ASSIGN_OR_RETURN(ByteSpan map, r.blob());
+  out.map.assign(map.begin(), map.end());
+  return out;
+}
+
+Result<std::uint64_t> DirClient::map_epoch() {
+  BULLET_ASSIGN_OR_RETURN(Bytes body, call(server_, kEpoch, {}));
+  Reader r(body);
+  return r.u64();
+}
+
+Status DirClient::install_map(std::uint64_t epoch, ByteSpan map) {
+  Writer w(8 + 4 + map.size());
+  w.u64(epoch);
+  w.blob(map);
+  auto result = call(server_, kInstallMap, std::move(w).take());
+  if (!result.ok()) return result.error();
+  return Status::success();
+}
+
 Result<Capability> DirClient::resolve(const Capability& root,
                                       std::string_view path) {
   Capability current = root;

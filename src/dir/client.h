@@ -35,6 +35,15 @@ class DirClient {
   Result<Capability> checkpoint();
   Result<Capability> restrict(const Capability& dir, std::uint8_t new_rights);
 
+  // Cluster placement map (opaque bytes; cluster/placement.h decodes them).
+  struct MapFetch {
+    std::uint64_t epoch = 0;
+    Bytes map;
+  };
+  Result<MapFetch> fetch_map();
+  Result<std::uint64_t> map_epoch();
+  Status install_map(std::uint64_t epoch, ByteSpan map);
+
   // Walk a '/'-separated path of directory entries from `root`; the final
   // component may name any capability. Leading/duplicate slashes are
   // tolerated ("a//b" == "a/b").

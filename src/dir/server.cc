@@ -1,5 +1,6 @@
 #include "dir/server.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/log.h"
@@ -54,8 +55,18 @@ Status DirServer::restore(const Capability& snapshot) {
     }
     objects_.emplace(object, std::move(dir));
   }
+  // Placement-map tail, appended in the sharding rework: snapshots from
+  // older servers simply end here.
+  if (!r.done()) {
+    BULLET_ASSIGN_OR_RETURN(map_epoch_, r.u64());
+    BULLET_ASSIGN_OR_RETURN(map_storage_, Capability::decode(r));
+    if (!map_storage_.is_null()) {
+      BULLET_ASSIGN_OR_RETURN(map_bytes_, storage_.read_whole(map_storage_));
+    }
+  }
   if (!r.done()) return Error(ErrorCode::corrupt, "trailing snapshot bytes");
-  BULLET_LOG(info, kLog) << "restored " << objects_.size() << " directories";
+  BULLET_LOG(info, kLog) << "restored " << objects_.size() << " directories"
+                         << " (placement epoch " << map_epoch_ << ")";
   return Status::success();
 }
 
@@ -68,7 +79,41 @@ Result<Capability> DirServer::checkpoint() {
     w.u48(dir.random);
     dir.storage.encode(w);
   }
+  w.u64(map_epoch_);
+  map_storage_.encode(w);
   return storage_.create(w.data(), config_.pfactor);
+}
+
+Status DirServer::install_map(std::uint64_t epoch, ByteSpan map) {
+  if (epoch == 0) {
+    return Error(ErrorCode::bad_argument, "placement epoch 0 is reserved");
+  }
+  if (epoch < map_epoch_) {
+    return Error(ErrorCode::conflict, "placement epoch regression");
+  }
+  if (epoch == map_epoch_) {
+    if (map.size() == map_bytes_.size() &&
+        std::equal(map.begin(), map.end(), map_bytes_.begin())) {
+      return Status::success();  // idempotent re-install
+    }
+    return Error(ErrorCode::conflict, "same epoch, different map");
+  }
+  // New immutable version first, then retire the old one — the same
+  // create-then-erase discipline persist() uses for directories.
+  BULLET_ASSIGN_OR_RETURN(const Capability fresh,
+                          storage_.create(map, config_.pfactor));
+  if (!map_storage_.is_null()) {
+    const Status st = storage_.erase(map_storage_);
+    if (!st.ok()) {
+      BULLET_LOG(warn, kLog) << "stale placement map not deleted: "
+                             << st.to_string();
+    }
+  }
+  map_storage_ = fresh;
+  map_epoch_ = epoch;
+  map_bytes_.assign(map.begin(), map.end());
+  BULLET_LOG(info, kLog) << "placement map installed, epoch " << epoch;
+  return Status::success();
 }
 
 Result<std::uint32_t> DirServer::verify(const Capability& cap,

@@ -69,6 +69,21 @@ class DirServer final : public rpc::Service {
   // capability to DirConfig::restore_from on the next start.
   Result<Capability> checkpoint();
 
+  // --- cluster placement map (see DESIGN.md §15) --------------------------
+  //
+  // The dir server is the placement map's durable home: the map is opaque
+  // bytes (cluster/placement.h defines the contents) persisted as an
+  // immutable Bullet file like any directory, versioned by `epoch`.
+  // Clients fetch it once and route locally; the rebalance driver installs
+  // a new epoch only after every Bullet shard holds it, so a routing
+  // client's map is never newer than the shard it routes to. Installing a
+  // lower epoch fails with conflict; re-installing the current epoch with
+  // identical bytes is an idempotent no-op.
+  Status install_map(std::uint64_t epoch, ByteSpan map);
+  // The current map ({0, empty} before any install).
+  std::uint64_t map_epoch() const noexcept { return map_epoch_; }
+  const Bytes& map_bytes() const noexcept { return map_bytes_; }
+
   // Mint a weaker capability for the same directory (Amoeba std_restrict).
   Result<Capability> restrict(const Capability& cap, std::uint8_t new_rights);
 
@@ -114,6 +129,13 @@ class DirServer final : public rpc::Service {
 
   std::map<std::uint32_t, DirObject> objects_;
   std::uint32_t next_object_ = 1;
+
+  // Cluster placement map: version, contents, and the Bullet file holding
+  // the persisted copy (kept current by install_map; carried through
+  // checkpoint/restore).
+  std::uint64_t map_epoch_ = 0;
+  Bytes map_bytes_;
+  Capability map_storage_;
 };
 
 }  // namespace bullet::dir

@@ -101,6 +101,42 @@ rpc::Reply DirServer::handle(const rpc::Request& request) {
       }
       return cap_reply(restrict(request.target, new_rights.value()));
     }
+    case kFetchMap: {
+      if (!body.done()) return rpc::Reply::error(ErrorCode::bad_argument);
+      const auto verified = verify(request.target, rights::kRead);
+      if (!verified.ok()) return rpc::Reply::error(verified.code());
+      if (verified.value() != 0) {
+        return rpc::Reply::error(ErrorCode::bad_argument);
+      }
+      Writer w(8 + 4 + map_bytes().size());
+      w.u64(map_epoch());
+      w.blob(map_bytes());
+      return rpc::Reply::success(std::move(w).take());
+    }
+    case kEpoch: {
+      if (!body.done()) return rpc::Reply::error(ErrorCode::bad_argument);
+      const auto verified = verify(request.target, rights::kRead);
+      if (!verified.ok()) return rpc::Reply::error(verified.code());
+      if (verified.value() != 0) {
+        return rpc::Reply::error(ErrorCode::bad_argument);
+      }
+      Writer w(8);
+      w.u64(map_epoch());
+      return rpc::Reply::success(std::move(w).take());
+    }
+    case kInstallMap: {
+      auto epoch = body.u64();
+      auto map = epoch.ok() ? body.blob() : Result<ByteSpan>(epoch.error());
+      if (!map.ok() || !body.done()) {
+        return rpc::Reply::error(ErrorCode::bad_argument);
+      }
+      const auto verified = verify(request.target, rights::kAdmin);
+      if (!verified.ok()) return rpc::Reply::error(verified.code());
+      if (verified.value() != 0) {
+        return rpc::Reply::error(ErrorCode::bad_argument);
+      }
+      return to_reply(install_map(epoch.value(), map.value()));
+    }
     default:
       return rpc::Reply::error(ErrorCode::not_supported);
   }

@@ -32,6 +32,11 @@ inline constexpr std::uint16_t kDeleteDir = 7;
 inline constexpr std::uint16_t kCasReplace = 8; // conflict on version mismatch
 inline constexpr std::uint16_t kCheckpoint = 9; // admin: persist server state
 inline constexpr std::uint16_t kRestrict = 10;  // mint a sub-rights cap
+// Cluster placement map (opaque bytes; the dir server stores and versions
+// it but never interprets it — see cluster/placement.h for the contents).
+inline constexpr std::uint16_t kFetchMap = 11;   // -> u64 epoch ‖ blob map
+inline constexpr std::uint16_t kEpoch = 12;      // -> u64 epoch (cheap watch)
+inline constexpr std::uint16_t kInstallMap = 13; // admin: u64 epoch ‖ blob map
 
 // Longest accepted entry name (keeps directory files small and bounded).
 inline constexpr std::size_t kMaxNameLength = 255;

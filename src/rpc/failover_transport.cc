@@ -1,5 +1,7 @@
 #include "rpc/failover_transport.h"
 
+#include <string>
+
 namespace bullet::rpc {
 
 std::size_t FailoverTransport::current_replica() const {
@@ -46,6 +48,19 @@ Result<Reply> FailoverTransport::call(const Request& request) {
     ++failovers_;
     if (pushback) ++pushback_failovers_;
     current_ = cur;
+  }
+  // Exhausted the retry budget. If the final failure was transport-level,
+  // report the distinct "every replica is down" code so callers (the
+  // cluster routing client above all) can tell a dead shard from a stale
+  // placement map; pushback exhaustion keeps returning the last reply so
+  // the retry-after advice in its body survives.
+  if (!last.ok() && (last.error().code == ErrorCode::unreachable ||
+                     last.error().code == ErrorCode::io_error)) {
+    return Error(ErrorCode::all_replicas_unreachable,
+                 std::to_string(replicas_.size()) +
+                     " replica(s) unreachable after " +
+                     std::to_string(attempts) +
+                     " attempt(s); last: " + last.error().message);
   }
   return last;
 }

@@ -250,7 +250,8 @@ void run_schedule(std::uint64_t seed, int ops) {
         // A divergence window (file only on the degraded side) or a dead
         // replica mid-failover may fail a read; never with wrong bytes.
         ASSERT_TRUE(data.code() == ErrorCode::no_such_object ||
-                    data.code() == ErrorCode::unreachable)
+                    data.code() == ErrorCode::unreachable ||
+                    data.code() == ErrorCode::all_replicas_unreachable)
             << "seed " << seed << ": " << to_string(data.code());
       }
     }

@@ -589,7 +589,11 @@ TEST(FailoverTransportTest, GivesUpAfterMaxCyclesWhenAllDead) {
   rpc::FailoverTransport failover({&net_a, &net_b});
   rpc::Request request;
   request.target.port = Port(0x7C);
-  EXPECT_CODE(unreachable, status_of(failover.call(request)));
+  // Exhaustion reports the distinct every-replica-down code so callers can
+  // tell a dead shard from a single flaky replica.
+  const Status st = status_of(failover.call(request));
+  EXPECT_CODE(all_replicas_unreachable, st);
+  EXPECT_NE(std::string::npos, st.error().message.find("2 replica(s)"));
 }
 
 }  // namespace

@@ -30,16 +30,22 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bullet/client.h"
 #include "bullet/server.h"
+#include "cluster/rebalance.h"
+#include "cluster/ring.h"
 #include "common/crc.h"
+#include "dir/client.h"
 #include "disk/file_disk.h"
 #include "disk/mirrored_disk.h"
 #include "obs/trace.h"
+#include "rpc/failover_transport.h"
 #include "rpc/udp_transport.h"
 
 using namespace bullet;
@@ -67,7 +73,13 @@ int usage() {
       "  resync <port> <cap>                          reconcile with the peer\n"
       "  top    <port> <cap> [seconds=1]              live rates over interval\n"
       "  trace  <port> <cap> [--slow DUR] [--max N]   live span chains\n"
-      "         (DUR accepts ns/us/ms/s suffixes, default 0 = everything)\n");
+      "         (DUR accepts ns/us/ms/s suffixes, default 0 = everything)\n"
+      "  ring   --shards N [--vnodes V] [--sample K | --object O]\n"
+      "         print consistent-hash owners (offline, deterministic)\n"
+      "  rebalance <dir-port> <dir-cap> <cluster-cap> <id:udpport[,udpport]>...\n"
+      "         move the cluster to exactly this shard set (live)\n"
+      "  addshard  <dir-port> <dir-cap> <cluster-cap> <id:udpport[,udpport]>...\n"
+      "         grow the cluster by these shards (live)\n");
   return 2;
 }
 
@@ -407,6 +419,7 @@ const char* opcode_name(std::uint16_t opcode) {
     case wire::kTraceDump: return "TRACE-DUMP";
     case wire::kReplicate: return "REPLICATE";
     case wire::kReplResync: return "REPL-RESYNC";
+    case wire::kShardMap: return "SHARD-MAP";
   }
   return "?";
 }
@@ -567,6 +580,178 @@ int cmd_trace(int argc, char** argv) {
   return 0;
 }
 
+// --- cluster ------------------------------------------------------------
+
+// Print ring owners for shard ids 1..N. Placement is a pure function of
+// (ids, vnodes, object), so this output is identical on every machine —
+// tests diff it against the in-process ring to prove cross-process
+// determinism, and operators use it to predict where an object lands.
+int cmd_ring(int argc, char** argv) {
+  std::uint32_t shards = 0;
+  std::uint32_t vnodes = cluster::kDefaultVnodes;
+  std::uint64_t sample = 8;
+  bool have_object = false;
+  std::uint32_t object = 0;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (i + 1 >= argc) return usage();
+    const std::uint64_t value = std::strtoull(argv[++i], nullptr, 10);
+    if (arg == "--shards") shards = static_cast<std::uint32_t>(value);
+    else if (arg == "--vnodes") vnodes = static_cast<std::uint32_t>(value);
+    else if (arg == "--sample") sample = value;
+    else if (arg == "--object") {
+      have_object = true;
+      object = static_cast<std::uint32_t>(value);
+    } else {
+      return usage();
+    }
+  }
+  if (shards == 0 || shards > 4096 || vnodes == 0 || vnodes > 4096) {
+    return usage();
+  }
+  std::vector<std::uint32_t> ids;
+  for (std::uint32_t i = 1; i <= shards; ++i) ids.push_back(i);
+  const cluster::Ring ring(ids, vnodes);
+  if (have_object) {
+    std::printf("%u %u\n", object, ring.owner_of(object));
+    return 0;
+  }
+  for (std::uint64_t o = 1; o <= sample; ++o) {
+    std::printf("%" PRIu64 " %u\n", o,
+                ring.owner_of(static_cast<std::uint32_t>(o)));
+  }
+  return 0;
+}
+
+// Shard spec "id:udpport[,udpport...]" -> ShardInfo. In the UDP deployment
+// the map's opaque endpoint tokens are the shards' UDP ports.
+Result<cluster::ShardInfo> parse_shard_spec(const std::string& text) {
+  cluster::ShardInfo info;
+  char* end = nullptr;
+  const unsigned long id = std::strtoul(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != ':' || id == 0) {
+    return Error(ErrorCode::bad_argument, "bad shard spec: " + text);
+  }
+  info.id = static_cast<std::uint32_t>(id);
+  const char* p = end + 1;
+  while (*p != '\0') {
+    char* stop = nullptr;
+    const unsigned long port = std::strtoul(p, &stop, 10);
+    if (stop == p || port == 0 || port > 0xFFFF) {
+      return Error(ErrorCode::bad_argument, "bad shard spec: " + text);
+    }
+    info.endpoints.push_back(port);
+    p = stop;
+    if (*p == ',') ++p;
+    else if (*p != '\0') {
+      return Error(ErrorCode::bad_argument, "bad shard spec: " + text);
+    }
+  }
+  if (info.endpoints.empty()) {
+    return Error(ErrorCode::bad_argument, "shard spec has no ports: " + text);
+  }
+  return info;
+}
+
+// Transports for live cluster commands: one UdpTransport per endpoint
+// token, one FailoverTransport per shard (over its replica endpoints).
+struct ClusterNet {
+  std::map<std::uint64_t, std::unique_ptr<rpc::UdpTransport>> endpoints;
+  std::map<std::uint32_t, std::unique_ptr<rpc::FailoverTransport>> shards;
+
+  rpc::Transport* endpoint(std::uint64_t token) {
+    const auto it = endpoints.find(token);
+    if (it != endpoints.end()) return it->second.get();
+    if (token == 0 || token > 0xFFFF) return nullptr;
+    rpc::UdpClientOptions options;
+    options.server_udp_port = static_cast<std::uint16_t>(token);
+    auto transport = rpc::UdpTransport::connect(options);
+    if (!transport.ok()) return nullptr;
+    return endpoints.emplace(token, std::move(transport).value())
+        .first->second.get();
+  }
+
+  cluster::RoutingClient::Resolver resolver() {
+    return [this](const cluster::ShardInfo& info) -> rpc::Transport* {
+      const auto it = shards.find(info.id);
+      if (it != shards.end()) return it->second.get();
+      std::vector<rpc::Transport*> replicas;
+      for (const std::uint64_t token : info.endpoints) {
+        rpc::Transport* t = endpoint(token);
+        if (t != nullptr) replicas.push_back(t);
+      }
+      if (replicas.empty()) return nullptr;
+      auto failover =
+          std::make_unique<rpc::FailoverTransport>(std::move(replicas));
+      return shards.emplace(info.id, std::move(failover)).first->second.get();
+    };
+  }
+};
+
+// rebalance: move the cluster to exactly the given shard set; addshard:
+// grow the current set by the given shards. With no map installed yet,
+// either form bootstraps the target as epoch 1.
+int cmd_rebalance(int argc, char** argv, bool add_to_current) {
+  if (argc < 4) return usage();
+  const unsigned long dir_port = std::strtoul(argv[0], nullptr, 10);
+  if (dir_port == 0 || dir_port > 0xFFFF) return usage();
+  const auto dir_cap = Capability::from_string(argv[1]);
+  const auto cluster_cap = Capability::from_string(argv[2]);
+  if (!dir_cap || !cluster_cap) {
+    std::fprintf(stderr, "error: bad capability\n");
+    return 2;
+  }
+  std::vector<cluster::ShardInfo> target;
+  for (int i = 3; i < argc; ++i) {
+    auto info = parse_shard_spec(argv[i]);
+    if (!info.ok()) return fail(info.error());
+    target.push_back(std::move(info).value());
+  }
+
+  rpc::UdpClientOptions options;
+  options.server_udp_port = static_cast<std::uint16_t>(dir_port);
+  auto dir_transport = rpc::UdpTransport::connect(options);
+  if (!dir_transport.ok()) return fail(dir_transport.error());
+  dir::DirClient dir(dir_transport.value().get(), *dir_cap);
+
+  ClusterNet net;
+  cluster::Rebalancer rebalancer(&dir, *cluster_cap, net.resolver());
+
+  const auto epoch = dir.map_epoch();
+  if (!epoch.ok()) return fail(epoch.error());
+  if (epoch.value() == 0) {
+    cluster::PlacementMap initial;
+    initial.epoch = 1;
+    initial.shards = target;
+    const Status st = rebalancer.bootstrap(std::move(initial));
+    if (!st.ok()) return fail(st.error());
+    std::printf("bootstrapped epoch 1 with %zu shard(s)\n", target.size());
+    return 0;
+  }
+  if (add_to_current) {
+    auto fetched = dir.fetch_map();
+    if (!fetched.ok()) return fail(fetched.error());
+    auto current =
+        cluster::PlacementMap::decode_bytes(ByteSpan(fetched.value().map));
+    if (!current.ok()) return fail(current.error());
+    std::vector<cluster::ShardInfo> merged = current.value().shards;
+    for (cluster::ShardInfo& s : target) merged.push_back(std::move(s));
+    target = std::move(merged);
+  }
+  auto report = rebalancer.run(std::move(target));
+  if (!report.ok()) return fail(report.error());
+  const cluster::Rebalancer::Report& r = report.value();
+  std::printf(
+      "planned %zu move(s), copied %zu, reconciled %zu, drained %zu, "
+      "conflicts %zu\n",
+      r.planned, r.copied, r.reconciled, r.drained, r.conflicts);
+  const auto new_epoch = dir.map_epoch();
+  if (new_epoch.ok()) {
+    std::printf("epoch %" PRIu64 "\n", new_epoch.value());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -592,5 +777,10 @@ int main(int argc, char** argv) {
   if (command == "resync") return cmd_resync(argc - 2, argv + 2);
   if (command == "top") return cmd_top(argc - 2, argv + 2);
   if (command == "trace") return cmd_trace(argc - 2, argv + 2);
+  // Cluster commands: `ring` is offline; the rebalance pair talks to the
+  // directory server and every shard over UDP.
+  if (command == "ring") return cmd_ring(argc - 2, argv + 2);
+  if (command == "rebalance") return cmd_rebalance(argc - 2, argv + 2, false);
+  if (command == "addshard") return cmd_rebalance(argc - 2, argv + 2, true);
   return usage();
 }
